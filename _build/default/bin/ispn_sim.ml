@@ -1,0 +1,433 @@
+(* Command-line driver: rerun any of the paper's experiments (and the
+   extensions) with custom durations, seeds and rates. *)
+
+open Cmdliner
+
+let duration =
+  let doc = "Simulated duration in seconds (the paper uses 600)." in
+  Arg.(value & opt float 600. & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+
+let seed =
+  let doc = "PRNG seed; equal seeds reproduce runs bit-for-bit." in
+  Arg.(value & opt int64 42L & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let avg_rate =
+  let doc = "Per-flow average packet rate A (packets/second)." in
+  Arg.(value & opt float 85. & info [ "a"; "avg-rate" ] ~docv:"PPS" ~doc)
+
+let verbose =
+  let doc = "Also print per-flow statistics." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let debug =
+  let doc =
+    "Log admission decisions, flow establishment and buffer drops to stderr."
+  in
+  Arg.(value & flag & info [ "debug" ] ~doc)
+
+let with_logging debug f = begin
+    if debug then Ispn_util.Log.setup ~level:Logs.Debug ();
+    f
+  end
+
+let print_info (info : Csz.Experiment.run_info) =
+  Printf.printf "\nLinks at ";
+  Array.iteri
+    (fun i u -> Printf.printf "%sL%d %.1f%%" (if i = 0 then "" else ", ") (i + 1) (100. *. u))
+    info.Csz.Experiment.utilization;
+  Printf.printf "; %d offered, %d source-dropped (%.2f%%), %d buffer drops\n"
+    info.Csz.Experiment.offered info.Csz.Experiment.source_dropped
+    (100.
+    *. float_of_int info.Csz.Experiment.source_dropped
+    /. float_of_int (max 1 info.Csz.Experiment.offered))
+    info.Csz.Experiment.net_dropped
+
+let table1_cmd =
+  let run duration seed avg_rate verbose =
+    let runs =
+      List.map
+        (fun sched ->
+          let results, info =
+            Csz.Experiment.run_single_link ~sched ~avg_rate_pps:avg_rate
+              ~duration ~seed ()
+          in
+          (sched, results, info))
+        [ Csz.Experiment.Wfq; Csz.Experiment.Fifo ]
+    in
+    print_endline (Csz.Report.table1 runs ~sample_flow:0);
+    if verbose then
+      List.iter
+        (fun (sched, results, info) ->
+          Printf.printf "\n%s per-flow:\n%s\n"
+            (Csz.Experiment.sched_name sched)
+            (Csz.Report.flow_results results);
+          print_info info)
+        runs
+  in
+  let doc = "Reproduce Table 1: WFQ vs FIFO on a single shared link." in
+  Cmd.v (Cmd.info "table1" ~doc)
+    Term.(const run $ duration $ seed $ avg_rate $ verbose)
+
+let table2_cmd =
+  let run duration seed avg_rate verbose =
+    let runs =
+      List.map
+        (fun sched ->
+          ( sched,
+            Csz.Experiment.run_figure1 ~sched ~avg_rate_pps:avg_rate ~duration
+              ~seed () ))
+        [ Csz.Experiment.Wfq; Csz.Experiment.Fifo; Csz.Experiment.Fifo_plus ]
+    in
+    let table_runs = List.map (fun (s, (r, _)) -> (s, r)) runs in
+    print_endline (Csz.Report.table2 table_runs ~sample_flows:[ 18; 8; 2; 0 ]);
+    if verbose then
+      List.iter
+        (fun (sched, (results, info)) ->
+          Printf.printf "\n%s per-flow:\n%s\n"
+            (Csz.Experiment.sched_name sched)
+            (Csz.Report.flow_results results);
+          print_info info)
+        runs
+  in
+  let doc =
+    "Reproduce Table 2: WFQ vs FIFO vs FIFO+ on the Figure-1 multihop chain."
+  in
+  Cmd.v (Cmd.info "table2" ~doc)
+    Term.(const run $ duration $ seed $ avg_rate $ verbose)
+
+let table3_cmd =
+  let run duration seed avg_rate verbose debug =
+    with_logging debug ();
+    let res =
+      Csz.Experiment.run_table3 ~avg_rate_pps:avg_rate ~duration ~seed ()
+    in
+    print_endline (Csz.Report.table3 res);
+    if verbose then begin
+      Printf.printf "\nAll real-time flows:\n%s\n"
+        (Csz.Report.flow_results res.Csz.Experiment.all_flows);
+      print_info res.Csz.Experiment.info
+    end
+  in
+  let doc = "Reproduce Table 3: the unified CSZ scheduling algorithm." in
+  Cmd.v (Cmd.info "table3" ~doc)
+    Term.(const run $ duration $ seed $ avg_rate $ verbose $ debug)
+
+let topology_cmd =
+  let run () = print_string (Csz.Report.figure1 ()) in
+  let doc = "Print the Figure-1 topology and flow layout." in
+  Cmd.v (Cmd.info "topology" ~doc) Term.(const run $ const ())
+
+let bakeoff_cmd =
+  let run duration seed =
+    let runs = Csz.Extensions.run_bakeoff ~duration ~seed () in
+    let f2 = Ispn_util.Table.fmt_float ~decimals:2 in
+    let rows =
+      List.map
+        (fun (sched, results) ->
+          Csz.Extensions.bakeoff_name sched
+          :: List.concat_map
+               (fun flow ->
+                 let r =
+                   List.find
+                     (fun (fr : Csz.Experiment.flow_result) ->
+                       fr.Csz.Experiment.flow = flow)
+                     results
+                 in
+                 [ f2 r.Csz.Experiment.mean; f2 r.Csz.Experiment.p999 ])
+               [ 18; 8; 2; 0 ])
+        runs
+    in
+    print_endline
+      (Ispn_util.Table.render
+         ~header:
+           [
+             "scheduler"; "mean@1"; "p999@1"; "mean@2"; "p999@2"; "mean@3";
+             "p999@3"; "mean@4"; "p999@4";
+           ]
+         ~rows ())
+  in
+  let doc =
+    "E1: related-work scheduler bake-off (VirtualClock, EDF, DRR, RR-groups) \
+     on the Table-2 workload."
+  in
+  Cmd.v (Cmd.info "bakeoff" ~doc) Term.(const run $ duration $ seed)
+
+let admission_cmd =
+  let run duration seed debug =
+    with_logging debug ();
+    List.iter
+      (fun (r : Csz.Extensions.admission_result) ->
+        Printf.printf
+          "%-24s requests %3d, accepted %3d, utilization %5.1f%%, target \
+           violations %5.2f%%, buffer drops %5.2f%%\n"
+          (Csz.Extensions.policy_name r.Csz.Extensions.policy)
+          r.Csz.Extensions.requests r.Csz.Extensions.accepted
+          (100. *. r.Csz.Extensions.mean_utilization)
+          (100. *. r.Csz.Extensions.violation_rate)
+          (100. *. r.Csz.Extensions.net_drop_rate))
+      (Csz.Extensions.run_admission ~duration ~seed ())
+  in
+  let doc = "E2: admission-control policies under dynamic flow arrivals." in
+  Cmd.v (Cmd.info "admission" ~doc) Term.(const run $ duration $ seed $ debug)
+
+let playback_cmd =
+  let run duration seed =
+    List.iter
+      (fun (r : Csz.Extensions.playback_result) ->
+        Printf.printf
+          "%-10s mean play-back point %6.2f packet times, application loss \
+           %.3f%%\n"
+          r.Csz.Extensions.client r.Csz.Extensions.mean_point
+          (100. *. r.Csz.Extensions.app_loss_rate))
+      (Csz.Extensions.run_playback ~duration ~seed ())
+  in
+  let doc = "E3: adaptive vs rigid play-back clients on the 4-hop flow." in
+  Cmd.v (Cmd.info "playback" ~doc) Term.(const run $ duration $ seed)
+
+let cascade_cmd =
+  let run duration seed =
+    List.iter
+      (fun (r : Csz.Extensions.cascade_row) ->
+        Printf.printf "%-10s per-hop mean %6.2f, 99.9%%ile %8.2f\n"
+          r.Csz.Extensions.cascade_class r.Csz.Extensions.c_mean
+          r.Csz.Extensions.c_p999)
+      (Csz.Extensions.run_cascade ~duration ~seed ())
+  in
+  let doc = "E6: jitter shifting down the priority-class ladder." in
+  Cmd.v (Cmd.info "cascade" ~doc) Term.(const run $ duration $ seed)
+
+let isolation_cmd =
+  let run duration seed =
+    List.iter
+      (fun (r : Csz.Extensions.isolation_row) ->
+        Printf.printf
+          "%-28s honest: mean %6.2f p999 %8.2f | cheater: mean %8.2f p999 \
+           %8.2f\n"
+          r.Csz.Extensions.iso_sched r.Csz.Extensions.honest_mean
+          r.Csz.Extensions.honest_p999 r.Csz.Extensions.cheat_mean
+          r.Csz.Extensions.cheat_p999)
+      (Csz.Extensions.run_isolation ~duration ~seed ())
+  in
+  let doc = "E4: a misbehaving source under FIFO, WFQ and edge policing." in
+  Cmd.v (Cmd.info "isolation" ~doc) Term.(const run $ duration $ seed)
+
+let discard_cmd =
+  let run duration seed =
+    List.iter
+      (fun (r : Csz.Extensions.discard_result) ->
+        Printf.printf
+          "threshold %-8s 4-hop p999 %7.2f, discarded %.3f%% of packets\n"
+          (match r.Csz.Extensions.threshold with
+          | None -> "off"
+          | Some t -> Printf.sprintf "%.0f ms" (1000. *. t))
+          r.Csz.Extensions.p999_4hop
+          (100. *. r.Csz.Extensions.discarded_fraction))
+      (Csz.Extensions.run_discard ~duration ~seed ())
+  in
+  let doc = "E5: Section 10 late-packet discard via the FIFO+ offset." in
+  Cmd.v (Cmd.info "discard" ~doc) Term.(const run $ duration $ seed)
+
+let ablation_cmd =
+  let run duration seed =
+    List.iter
+      (fun (gain, (r : Csz.Experiment.flow_result)) ->
+        Printf.printf "gain 1/%-6.0f 4-hop mean %5.2f, p999 %6.2f\n"
+          (1. /. gain) r.Csz.Experiment.mean r.Csz.Experiment.p999)
+      (Csz.Extensions.run_gain_ablation ~duration ~seed ())
+  in
+  let doc = "Ablation: FIFO+ class-average gain vs multi-hop jitter." in
+  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ duration $ seed)
+
+let service_cmd =
+  let run duration seed =
+    let r = Csz.Extensions.run_table3_service ~duration ~seed () in
+    List.iter
+      (fun (row : Csz.Extensions.e2e_row) ->
+        Printf.printf "flow %2d %-20s %d hop(s) -> %s\n"
+          row.Csz.Extensions.e2e_flow row.Csz.Extensions.e2e_label
+          row.Csz.Extensions.e2e_hops row.Csz.Extensions.e2e_outcome)
+      r.Csz.Extensions.e2e_rows;
+    Printf.printf
+      "admitted %d, utilization %.1f%%, target violations %.2f%%\n"
+      r.Csz.Extensions.e2e_admitted
+      (100. *. r.Csz.Extensions.e2e_utilization)
+      (100. *. r.Csz.Extensions.e2e_violations)
+  in
+  let doc =
+    "E7: offer the Table-3 population to the full service stack (admission + \
+     policing + scheduling) instead of hand-placing it."
+  in
+  Cmd.v (Cmd.info "service" ~doc) Term.(const run $ duration $ seed)
+
+let sweep_cmd =
+  let run duration seed =
+    List.iter
+      (fun (r : Csz.Extensions.sweep_row) ->
+        Printf.printf
+          "utilization %5.1f%%  FIFO 99.9%%ile %6.2f  WFQ 99.9%%ile %6.2f\n"
+          (100. *. r.Csz.Extensions.achieved_utilization)
+          r.Csz.Extensions.fifo_p999 r.Csz.Extensions.wfq_p999)
+      (Csz.Extensions.run_load_sweep ~duration ~seed ())
+  in
+  let doc = "E8: sharing's tail advantage as a function of load." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ duration $ seed)
+
+let signaling_cmd =
+  let run duration seed =
+    List.iter
+      (fun (r : Csz.Extensions.signaling_row) ->
+        Printf.printf
+          "background load %3.0f%%: %3d setups, mean %6.2f ms, max %7.2f ms\n"
+          (100. *. r.Csz.Extensions.sig_load)
+          r.Csz.Extensions.sig_setups r.Csz.Extensions.sig_mean_ms
+          r.Csz.Extensions.sig_max_ms)
+      (Csz.Extensions.run_signaling ~duration ~seed ())
+  in
+  let doc = "E9: in-band hop-by-hop establishment latency vs load." in
+  Cmd.v (Cmd.info "signaling" ~doc) Term.(const run $ duration $ seed)
+
+let importance_cmd =
+  let run duration seed =
+    List.iter
+      (fun (r : Csz.Extensions.importance_row) ->
+        Printf.printf "%-16s received %6d   mean %6.2f   99.9%%ile %7.2f\n"
+          r.Csz.Extensions.imp_label r.Csz.Extensions.imp_received
+          r.Csz.Extensions.imp_mean r.Csz.Extensions.imp_p999)
+      (Csz.Extensions.run_importance ~duration ~seed ())
+  in
+  let doc =
+    "E10: one application's important vs less-important packets in adjacent \
+     priority classes."
+  in
+  Cmd.v (Cmd.info "importance" ~doc) Term.(const run $ duration $ seed)
+
+let profile_cmd =
+  let run duration seed avg_rate =
+    (* Record the Appendix's on/off process and characterize it: the b(r)
+       curve and the clock rate a guaranteed client should request. *)
+    let engine = Ispn_sim.Engine.create () in
+    let profile = Ispn_traffic.Profile.create () in
+    let source =
+      Ispn_traffic.Onoff.create ~engine
+        ~prng:(Ispn_util.Prng.create ~seed)
+        ~flow:0 ~avg_rate_pps:avg_rate
+        ~emit:(fun pkt ->
+          Ispn_traffic.Profile.record profile
+            ~time:(Ispn_sim.Engine.now engine)
+            ~bits:pkt.Ispn_sim.Packet.size_bits)
+        ()
+    in
+    source.Ispn_traffic.Source.start ();
+    Ispn_sim.Engine.run engine ~until:duration;
+    Printf.printf
+      "Recorded %d packets over %.0f s: mean %.0f bit/s, peak %.0f bit/s\n\n"
+      (Ispn_traffic.Profile.packets profile)
+      duration
+      (Ispn_traffic.Profile.mean_rate_bps profile)
+      (Ispn_traffic.Profile.peak_rate_bps profile);
+    print_endline "b(r), the minimal token-bucket depth at clock rate r:";
+    let mean = Ispn_traffic.Profile.mean_rate_bps profile in
+    List.iter
+      (fun mult ->
+        let r = mean *. mult in
+        let b = Ispn_traffic.Profile.min_depth_bits profile ~rate_bps:r in
+        let bound1 = Ispn_traffic.Profile.delay_bound profile ~rate_bps:r ~hops:1 in
+        Printf.printf
+          "  r = %.2f x mean = %7.0f bit/s   b(r) = %6.0f bits (%.0f pkts)  \
+           1-hop bound %.1f ms\n"
+          mult r b (b /. 1000.) (1000. *. bound1))
+      [ 1.02; 1.1; 1.25; 1.5; 1.75; 2.0 ];
+    print_newline ();
+    List.iter
+      (fun target ->
+        match
+          Ispn_traffic.Profile.clock_rate_for_delay profile ~target ~hops:4 ()
+        with
+        | Some r ->
+            Printf.printf
+              "For a %.0f ms bound over 4 hops, request clock rate %.0f \
+               bit/s (%.2f x mean)\n"
+              (1000. *. target) r (r /. mean)
+        | None ->
+            Printf.printf
+              "A %.0f ms bound over 4 hops is infeasible for this source\n"
+              (1000. *. target))
+      [ 0.6; 0.2; 0.05 ]
+  in
+  let doc =
+    "Characterize an on/off source: its b(r) curve and the guaranteed-service \
+     clock rate needed for a target delay bound (Section 4's client-side \
+     computation)."
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ duration $ seed $ avg_rate)
+
+let backlog_cmd =
+  let run duration seed avg_rate =
+    (* The Table-1 single link, instrumented for queue depth instead of
+       delay: how close does the paper's 200-packet buffer come to full? *)
+    let engine = Ispn_sim.Engine.create () in
+    let prng = Ispn_util.Prng.create ~seed in
+    let pool = Ispn_sim.Qdisc.pool ~capacity:Ispn_util.Units.buffer_packets in
+    let net =
+      Ispn_sim.Network.chain ~engine ~n_switches:2 ~rate_bps:1e6
+        ~qdisc_of:(fun _ -> Ispn_sched.Fifo.create ~pool ())
+        ()
+    in
+    for flow = 0 to 9 do
+      Ispn_sim.Network.install_flow net ~flow ~ingress:0 ~egress:1
+        ~sink:(fun _ -> ());
+      let bucket =
+        Ispn_traffic.Token_bucket.create
+          ~rate_bps:(avg_rate *. 1000.)
+          ~depth_bits:50_000. ()
+      in
+      let policer =
+        Ispn_traffic.Token_bucket.policer ~engine ~bucket
+          ~mode:Ispn_traffic.Token_bucket.Drop
+          ~next:(fun pkt -> Ispn_sim.Network.inject net ~at_switch:0 pkt)
+      in
+      let source =
+        Ispn_traffic.Onoff.create ~engine ~prng:(Ispn_util.Prng.split prng)
+          ~flow ~avg_rate_pps:avg_rate
+          ~emit:(Ispn_traffic.Token_bucket.admit_fn policer)
+          ()
+      in
+      source.Ispn_traffic.Source.start ()
+    done;
+    let watcher =
+      Ispn_sim.Backlog.watch ~engine ~link:(Ispn_sim.Network.link net 0) ()
+    in
+    Ispn_sim.Engine.run engine ~until:duration;
+    Printf.printf
+      "Queue depth over %.0f s at %.1f%% load: mean %.1f, 99.9%%ile %.0f, max        %.0f of %d packets\n\n"
+      duration
+      (100. *. Ispn_sim.Network.utilization net ~link:0 ~elapsed:duration)
+      (Ispn_sim.Backlog.mean watcher)
+      (Ispn_sim.Backlog.percentile watcher 99.9)
+      (Ispn_sim.Backlog.max watcher)
+      Ispn_util.Units.buffer_packets;
+    print_string
+      (Ispn_util.Histogram.render ~unit_label:"pkts"
+         (Ispn_sim.Backlog.histogram ~bins:16 watcher))
+  in
+  let doc =
+    "Sample the single-link queue depth: how close the 200-packet buffer \
+     comes to overflow at the Appendix's load."
+  in
+  Cmd.v (Cmd.info "backlog" ~doc) Term.(const run $ duration $ seed $ avg_rate)
+
+let default =
+  let doc =
+    "Reproduction of Clark, Shenker & Zhang, \"Supporting Real-Time \
+     Applications in an Integrated Services Packet Network\" (SIGCOMM 1992)."
+  in
+  Cmd.group
+    (Cmd.info "ispn_sim" ~version:"1.0.0" ~doc)
+    [
+      table1_cmd; table2_cmd; table3_cmd; topology_cmd; bakeoff_cmd;
+      admission_cmd; playback_cmd; cascade_cmd; isolation_cmd; discard_cmd;
+      ablation_cmd; service_cmd; sweep_cmd; signaling_cmd; importance_cmd;
+      profile_cmd; backlog_cmd;
+    ]
+
+let () = exit (Cmd.eval default)

@@ -1,0 +1,1 @@
+examples/adaptive_audio.ml: Csz Engine Fun Ispn_admission Ispn_playback Ispn_sim Ispn_traffic Ispn_util List Packet Printf

@@ -1,0 +1,1 @@
+examples/admission_control.ml: Csz Engine Ispn_admission Ispn_sim Ispn_traffic Ispn_util Link Printf

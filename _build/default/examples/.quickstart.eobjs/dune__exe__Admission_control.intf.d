@@ -1,0 +1,1 @@
+examples/admission_control.mli:

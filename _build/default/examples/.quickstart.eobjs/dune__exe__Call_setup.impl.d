@@ -1,0 +1,1 @@
+examples/call_setup.ml: Csz Engine Ispn_admission Ispn_sim Ispn_traffic Ispn_util Option Printf

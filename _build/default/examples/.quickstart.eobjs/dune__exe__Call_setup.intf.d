@@ -1,0 +1,1 @@
+examples/call_setup.mli:

@@ -1,0 +1,1 @@
+examples/mesh_conference.ml: Csz Engine Ispn_admission Ispn_sim Ispn_traffic Ispn_util Link List Option Printf

@@ -1,0 +1,1 @@
+examples/mesh_conference.mli:

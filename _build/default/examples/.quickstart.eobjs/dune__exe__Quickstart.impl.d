@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Ispn_sched Ispn_sim Ispn_traffic Ispn_util List Network Printf Probe Qdisc

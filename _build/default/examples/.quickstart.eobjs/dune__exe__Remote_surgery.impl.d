@@ -1,0 +1,1 @@
+examples/remote_surgery.ml: Csz Engine Ispn_admission Ispn_sim Ispn_traffic Ispn_util Packet Printf Stdlib

@@ -1,0 +1,1 @@
+examples/remote_surgery.mli:

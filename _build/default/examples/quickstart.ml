@@ -1,0 +1,60 @@
+(* Quickstart: build a two-switch network, run ten bursty flows through it
+   under FIFO and under WFQ, and print each flow's queueing delays — the
+   paper's Table-1 experiment in about forty lines.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ispn_sim
+
+let run_once sched_name make_qdisc =
+  let engine = Engine.create () in
+  let prng = Ispn_util.Prng.create ~seed:1L in
+  (* A chain of two switches = one shared 1 Mbit/s link. *)
+  let net =
+    Network.chain ~engine ~n_switches:2 ~rate_bps:1_000_000.
+      ~qdisc_of:(fun _ -> make_qdisc ())
+      ()
+  in
+  (* Ten identical on/off sources (A = 85 pkt/s, peak 170), each policed by
+     the paper's (A, 50-packet) token bucket, each measured by a probe. *)
+  let probes =
+    List.init 10 (fun flow ->
+        let probe = Probe.create () in
+        Network.install_flow net ~flow ~ingress:0 ~egress:1
+          ~sink:(fun pkt -> Probe.sink probe ~engine pkt);
+        let bucket =
+          Ispn_traffic.Token_bucket.create ~rate_bps:85_000.
+            ~depth_bits:50_000. ()
+        in
+        let policer =
+          Ispn_traffic.Token_bucket.policer ~engine ~bucket
+            ~mode:Ispn_traffic.Token_bucket.Drop
+            ~next:(fun pkt -> Network.inject net ~at_switch:0 pkt)
+        in
+        let source =
+          Ispn_traffic.Onoff.create ~engine
+            ~prng:(Ispn_util.Prng.split prng) ~flow ~avg_rate_pps:85.
+            ~emit:(Ispn_traffic.Token_bucket.admit_fn policer)
+            ()
+        in
+        source.Ispn_traffic.Source.start ();
+        (flow, probe))
+  in
+  Engine.run engine ~until:120.;
+  Printf.printf "%s  (link %.1f%% utilized)\n" sched_name
+    (100. *. Network.utilization net ~link:0 ~elapsed:120.);
+  List.iter
+    (fun (flow, probe) ->
+      Printf.printf "  flow %d: mean %5.2f   99.9%%ile %6.2f   (packet times)\n"
+        flow (Probe.mean_qdelay probe)
+        (Probe.percentile_qdelay probe 99.9))
+    probes;
+  print_newline ()
+
+let () =
+  let pool () = Qdisc.pool ~capacity:200 in
+  run_once "FIFO — bursts are shared, everyone's tail stays moderate"
+    (fun () -> Ispn_sched.Fifo.create ~pool:(pool ()) ());
+  run_once "WFQ — bursts are charged to the burster, tails are larger"
+    (fun () ->
+      Ispn_sched.Wfq.create_equal ~pool:(pool ()) ~link_rate_bps:1_000_000. ())

@@ -1,0 +1,1 @@
+lib/admission/bounds.ml: Array Ispn_util Spec

@@ -1,0 +1,1 @@
+lib/admission/controller.ml: Array Hashtbl Ispn_util List Logs Meter Printf Spec Stdlib

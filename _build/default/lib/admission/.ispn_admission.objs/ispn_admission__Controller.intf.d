@@ -1,0 +1,1 @@
+lib/admission/controller.mli: Meter Spec

@@ -1,0 +1,1 @@
+lib/admission/meter.ml: Array Stdlib

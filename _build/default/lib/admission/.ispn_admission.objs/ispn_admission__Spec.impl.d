@@ -1,0 +1,1 @@
+lib/admission/spec.ml: Format Ispn_util

@@ -1,0 +1,39 @@
+type t = {
+  n_classes : int;
+  epochs : int;
+  util : float array;  (* max utilization sample per epoch slot *)
+  delay : float array array;  (* [epoch slot][class] max delay *)
+  mutable cursor : int;
+}
+
+let create ~n_classes ?(epochs = 8) () =
+  assert (n_classes > 0 && epochs > 0);
+  {
+    n_classes;
+    epochs;
+    util = Array.make epochs 0.;
+    delay = Array.init epochs (fun _ -> Array.make n_classes 0.);
+    cursor = 0;
+  }
+
+let note_util t u = t.util.(t.cursor) <- Stdlib.max t.util.(t.cursor) u
+
+let note_delay t ~cls d =
+  if cls < 0 || cls >= t.n_classes then
+    invalid_arg "Meter.note_delay: class out of range";
+  let row = t.delay.(t.cursor) in
+  row.(cls) <- Stdlib.max row.(cls) d
+
+let rotate t =
+  t.cursor <- (t.cursor + 1) mod t.epochs;
+  t.util.(t.cursor) <- 0.;
+  Array.fill t.delay.(t.cursor) 0 t.n_classes 0.
+
+let util_hat t = Array.fold_left Stdlib.max 0. t.util
+
+let delay_hat t ~cls =
+  if cls < 0 || cls >= t.n_classes then
+    invalid_arg "Meter.delay_hat: class out of range";
+  Array.fold_left (fun acc row -> Stdlib.max acc row.(cls)) 0. t.delay
+
+let observed_classes t = t.n_classes

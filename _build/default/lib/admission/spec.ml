@@ -1,0 +1,31 @@
+type bucket = { rate_bps : float; depth_bits : float }
+
+let bucket ~rate_pps ~depth_packets ?(packet_bits = Ispn_util.Units.packet_bits)
+    () =
+  assert (rate_pps > 0. && depth_packets > 0.);
+  {
+    rate_bps = rate_pps *. float_of_int packet_bits;
+    depth_bits = depth_packets *. float_of_int packet_bits;
+  }
+
+type request =
+  | Guaranteed of { clock_rate_bps : float }
+  | Predicted of { bucket : bucket; target_delay : float; target_loss : float }
+  | Datagram
+
+let pp_request ppf = function
+  | Guaranteed { clock_rate_bps } ->
+      Format.fprintf ppf "guaranteed(r=%.0f bps)" clock_rate_bps
+  | Predicted { bucket; target_delay; target_loss } ->
+      Format.fprintf ppf "predicted(r=%.0f bps, b=%.0f bits, D=%gs, L=%g)"
+        bucket.rate_bps bucket.depth_bits target_delay target_loss
+  | Datagram -> Format.fprintf ppf "datagram"
+
+let is_realtime = function
+  | Guaranteed _ | Predicted _ -> true
+  | Datagram -> false
+
+let declared_rate_bps = function
+  | Guaranteed { clock_rate_bps } -> clock_rate_bps
+  | Predicted { bucket; _ } -> bucket.rate_bps
+  | Datagram -> 0.

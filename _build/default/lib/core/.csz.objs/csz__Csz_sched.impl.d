@@ -1,0 +1,1 @@
+lib/core/csz_sched.ml: Array Hashtbl Ispn_sched Ispn_sim Ispn_util Packet Printf Qdisc Stdlib

@@ -1,0 +1,1 @@
+lib/core/csz_sched.mli: Ispn_sim

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Csz_sched Engine Ispn_admission Ispn_sched Ispn_sim Ispn_traffic Ispn_transport Ispn_util List Network Option Probe Qdisc Scenario

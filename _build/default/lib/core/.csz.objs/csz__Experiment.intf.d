@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Ispn_sim Ispn_traffic Ispn_util Scenario

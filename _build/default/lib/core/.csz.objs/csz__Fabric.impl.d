@@ -1,0 +1,1 @@
+lib/core/fabric.ml: Array Csz_sched Engine Hashtbl Ispn_sim Ispn_util Link List Network Option Printf Qdisc Topology

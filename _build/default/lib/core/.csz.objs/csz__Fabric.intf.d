@@ -1,0 +1,1 @@
+lib/core/fabric.mli: Csz_sched Ispn_sim

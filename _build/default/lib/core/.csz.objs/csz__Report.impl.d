@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Experiment Ispn_util List Printf Scenario String

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Format List Printf

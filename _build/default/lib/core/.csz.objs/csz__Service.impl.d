@@ -1,0 +1,1 @@
+lib/core/service.ml: Array Csz_sched Engine Fabric Hashtbl Ispn_admission Ispn_sim Ispn_traffic Ispn_util List Logs Option Packet Printf String

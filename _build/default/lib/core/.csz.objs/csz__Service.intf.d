@@ -1,0 +1,1 @@
+lib/core/service.mli: Csz_sched Fabric Ispn_admission Ispn_sim

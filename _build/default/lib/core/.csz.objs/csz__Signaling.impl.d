@@ -1,0 +1,1 @@
+lib/core/signaling.ml: Array Csz_sched Engine Fabric Hashtbl Ispn_admission Ispn_sim Ispn_traffic Ispn_util List Option Packet Printf

@@ -1,0 +1,1 @@
+lib/core/signaling.mli: Fabric Ispn_admission Ispn_sim

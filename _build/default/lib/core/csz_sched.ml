@@ -1,0 +1,317 @@
+open Ispn_sim
+module Heap = Ispn_util.Heap
+module Ewma = Ispn_util.Ewma
+module Vtime = Ispn_sched.Vtime
+
+type config = {
+  link_rate_bps : float;
+  n_predicted_classes : int;
+  ewma_gain : float;
+  discard_late_above : float option;
+}
+
+let default_config =
+  {
+    link_rate_bps = Ispn_util.Units.link_rate_bps;
+    n_predicted_classes = 2;
+    ewma_gain = 1. /. 4096.;
+    discard_late_above = None;
+  }
+
+type g_state = {
+  weight : float;
+  mutable last_finish : float;
+  mutable qlen : int;
+  mutable retiring : bool;  (* reservation released; unregister when drained *)
+}
+
+type g_entry = { tag : float; g_seq : int; g_pkt : Packet.t }
+
+type c_entry = { deadline : float; c_seq : int; c_pkt : Packet.t; cls : int }
+
+type class_state = { heap : c_entry Heap.t; avg : Ewma.t }
+
+type t = {
+  cfg : config;
+  pool : Qdisc.pool;
+  g_flows : (int, g_state) Hashtbl.t;
+  g_heap : g_entry Heap.t;
+  mutable g_count : int;  (* guaranteed packets queued *)
+  mutable g_weight_sum : float;
+  classes : class_state array;  (* K predicted + 1 datagram *)
+  flow_cls : (int, int) Hashtbl.t;
+  mutable head : c_entry option;  (* flow 0's committed next packet *)
+  mutable head_start : float;  (* virtual start of flow 0's service slot *)
+  mutable f0_last : float;
+  mutable f0_backlog : int;  (* flow-0 packets queued, head included *)
+  vt : Vtime.t;
+  mutable seq : int;
+  mutable late_discards : int;
+  mutable realtime_bits : int;
+  mutable datagram_bits : int;
+  mutable delay_hook : (cls:int -> float -> unit) option;
+  mutable last_now : float;  (* latest clock seen; for weight adjustments *)
+}
+
+let compare_g a b =
+  match compare a.tag b.tag with 0 -> compare a.g_seq b.g_seq | c -> c
+
+let compare_c a b =
+  match compare a.deadline b.deadline with
+  | 0 -> compare a.c_seq b.c_seq
+  | c -> c
+
+let datagram_class t = t.cfg.n_predicted_classes
+let flow0_rate_bps t = t.cfg.link_rate_bps -. t.g_weight_sum
+let guaranteed_reserved_bps t = t.g_weight_sum
+let late_discards t = t.late_discards
+let realtime_bits_sent t = t.realtime_bits
+let datagram_bits_sent t = t.datagram_bits
+let set_delay_hook t f = t.delay_hook <- Some f
+
+let class_avg_delay t ~cls =
+  if cls < 0 || cls > t.cfg.n_predicted_classes then
+    invalid_arg "Csz_sched.class_avg_delay";
+  Ewma.value t.classes.(cls).avg
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- t.seq + 1;
+  s
+
+let f0_active t = t.f0_backlog > 0
+
+(* Flow 0's committed packet: the earliest-deadline packet of the highest-
+   priority backlogged class.  The commitment is re-examined on every
+   dequeue because a higher-priority packet may have arrived since the last
+   promotion; the virtual service slot (head_start) survives such a swap —
+   it belongs to flow 0, not to the particular packet. *)
+let refresh_head t ~now =
+  let best =
+    let rec find c =
+      if c > t.cfg.n_predicted_classes then None
+      else if Heap.length t.classes.(c).heap > 0 then Some c
+      else find (c + 1)
+    in
+    find 0
+  in
+  match (t.head, best) with
+  | None, None -> ()
+  | Some _, None -> ()
+  | None, Some c ->
+      let entry = Heap.pop_exn t.classes.(c).heap in
+      t.head <- Some entry;
+      Vtime.advance t.vt ~now;
+      t.head_start <- Stdlib.max (Vtime.v t.vt) t.f0_last
+  | Some h, Some c ->
+      if c < h.cls then begin
+        (* Demote the committed packet; promote the higher-priority one. *)
+        Heap.push t.classes.(h.cls).heap h;
+        let entry = Heap.pop_exn t.classes.(c).heap in
+        t.head <- Some entry
+      end
+
+let head_tag t entry =
+  t.head_start
+  +. (float_of_int entry.c_pkt.Packet.size_bits /. flow0_rate_bps t)
+
+let serve_flow0 t ~now entry =
+  t.head <- None;
+  t.f0_last <- head_tag t entry;
+  t.f0_backlog <- t.f0_backlog - 1;
+  if t.f0_backlog = 0 then
+    Vtime.flow_deactivated t.vt ~now ~weight:(flow0_rate_bps t);
+  Qdisc.pool_release t.pool;
+  let pkt = entry.c_pkt in
+  let delay = now -. pkt.Packet.enqueued_at in
+  let cls = entry.cls in
+  if cls < t.cfg.n_predicted_classes then begin
+    (* FIFO+ bookkeeping: export this hop's deviation from the class
+       average in the packet header, then update the average. *)
+    let st = t.classes.(cls) in
+    pkt.Packet.offset <- pkt.Packet.offset +. (delay -. Ewma.value st.avg);
+    Ewma.update st.avg delay;
+    t.realtime_bits <- t.realtime_bits + pkt.Packet.size_bits
+  end
+  else t.datagram_bits <- t.datagram_bits + pkt.Packet.size_bits;
+  (match t.delay_hook with Some f -> f ~cls delay | None -> ());
+  Some pkt
+
+let serve_guaranteed t ~now =
+  let entry = Heap.pop_exn t.g_heap in
+  let pkt = entry.g_pkt in
+  let gs = Hashtbl.find t.g_flows pkt.Packet.flow in
+  gs.qlen <- gs.qlen - 1;
+  t.g_count <- t.g_count - 1;
+  if gs.qlen = 0 then begin
+    Vtime.flow_deactivated t.vt ~now ~weight:gs.weight;
+    if gs.retiring then begin
+      Hashtbl.remove t.g_flows pkt.Packet.flow;
+      t.g_weight_sum <- t.g_weight_sum -. gs.weight;
+      if f0_active t then
+        Vtime.adjust_active t.vt ~now ~delta:gs.weight
+    end
+  end;
+  Qdisc.pool_release t.pool;
+  t.realtime_bits <- t.realtime_bits + pkt.Packet.size_bits;
+  (match t.delay_hook with
+  | Some f -> f ~cls:(-1) (now -. pkt.Packet.enqueued_at)
+  | None -> ());
+  Some pkt
+
+let enqueue t ~now pkt =
+  t.last_now <- Stdlib.max t.last_now now;
+  pkt.Packet.enqueued_at <- now;
+  match Hashtbl.find_opt t.g_flows pkt.Packet.flow with
+  | Some gs ->
+      if Qdisc.pool_take t.pool then begin
+        Vtime.advance t.vt ~now;
+        if gs.qlen = 0 then Vtime.flow_activated t.vt ~weight:gs.weight;
+        let tag =
+          Stdlib.max (Vtime.v t.vt) gs.last_finish
+          +. (float_of_int pkt.Packet.size_bits /. gs.weight)
+        in
+        gs.last_finish <- tag;
+        gs.qlen <- gs.qlen + 1;
+        t.g_count <- t.g_count + 1;
+        Heap.push t.g_heap { tag; g_seq = next_seq t; g_pkt = pkt };
+        true
+      end
+      else false
+  | None ->
+      let cls =
+        match Hashtbl.find_opt t.flow_cls pkt.Packet.flow with
+        | Some c -> c
+        | None -> datagram_class t
+      in
+      let late =
+        cls < t.cfg.n_predicted_classes
+        &&
+        match t.cfg.discard_late_above with
+        | Some threshold -> pkt.Packet.offset > threshold
+        | None -> false
+      in
+      if late then begin
+        t.late_discards <- t.late_discards + 1;
+        false
+      end
+      else if Qdisc.pool_take t.pool then begin
+        Vtime.advance t.vt ~now;
+        if not (f0_active t) then
+          Vtime.flow_activated t.vt ~weight:(flow0_rate_bps t);
+        let deadline = Packet.expected_arrival pkt in
+        Heap.push t.classes.(cls).heap
+          { deadline; c_seq = next_seq t; c_pkt = pkt; cls };
+        t.f0_backlog <- t.f0_backlog + 1;
+        true
+      end
+      else false
+
+let dequeue t ~now =
+  t.last_now <- Stdlib.max t.last_now now;
+  Vtime.advance t.vt ~now;
+  refresh_head t ~now;
+  match (t.head, Heap.peek t.g_heap) with
+  | None, None -> None
+  | Some h, None -> serve_flow0 t ~now h
+  | None, Some _ -> serve_guaranteed t ~now
+  | Some h, Some g ->
+      if g.tag <= head_tag t h then serve_guaranteed t ~now
+      else serve_flow0 t ~now h
+
+let length t = t.g_count + t.f0_backlog
+
+let create ?(config = default_config) ~pool () =
+  assert (config.link_rate_bps > 0. && config.n_predicted_classes >= 1);
+  let n = config.n_predicted_classes + 1 in
+  let t_ref = ref None in
+  let on_reset () =
+    match !t_ref with
+    | None -> ()
+    | Some t ->
+        Hashtbl.iter (fun _ gs -> gs.last_finish <- 0.) t.g_flows;
+        t.f0_last <- 0.
+  in
+  let t =
+    {
+      cfg = config;
+      pool;
+      g_flows = Hashtbl.create 16;
+      g_heap = Heap.create ~cmp:compare_g ();
+      g_count = 0;
+      g_weight_sum = 0.;
+      classes =
+        Array.init n (fun _ ->
+            {
+              heap = Heap.create ~cmp:compare_c ();
+              avg = Ewma.create ~gain:config.ewma_gain ();
+            });
+      flow_cls = Hashtbl.create 32;
+      head = None;
+      head_start = 0.;
+      f0_last = 0.;
+      f0_backlog = 0;
+      vt = Vtime.create ~link_rate_bps:config.link_rate_bps ~on_reset;
+      seq = 0;
+      late_discards = 0;
+      realtime_bits = 0;
+      datagram_bits = 0;
+      delay_hook = None;
+      last_now = 0.;
+    }
+  in
+  t_ref := Some t;
+  let qdisc =
+    Qdisc.make
+      ~enqueue:(fun ~now pkt -> enqueue t ~now pkt)
+      ~dequeue:(fun ~now -> dequeue t ~now)
+      ~length:(fun () -> length t)
+      ~name:"CSZ" ()
+  in
+  (t, qdisc)
+
+(* Changing a reservation re-sizes flow 0; when flow 0 is live its weight in
+   the GPS active sum must change too, with virtual time integrated up to the
+   latest clock the scheduler has seen first. *)
+let resize_flow0 t ~delta_reserved =
+  if f0_active t then begin
+    (* Flow 0's weight moves opposite to the reserved sum. *)
+    Vtime.adjust_active t.vt ~now:t.last_now ~delta:(-.delta_reserved)
+  end;
+  t.g_weight_sum <- t.g_weight_sum +. delta_reserved
+
+let add_guaranteed t ~flow ~clock_rate_bps =
+  if clock_rate_bps <= 0. then
+    invalid_arg "Csz_sched.add_guaranteed: non-positive clock rate";
+  if Hashtbl.mem t.g_flows flow then
+    invalid_arg
+      (Printf.sprintf "Csz_sched.add_guaranteed: flow %d already guaranteed"
+         flow);
+  if t.g_weight_sum +. clock_rate_bps >= t.cfg.link_rate_bps then
+    invalid_arg "Csz_sched.add_guaranteed: flow 0 would have no bandwidth";
+  Hashtbl.remove t.flow_cls flow;
+  resize_flow0 t ~delta_reserved:clock_rate_bps;
+  Hashtbl.replace t.g_flows flow
+    { weight = clock_rate_bps; last_finish = 0.; qlen = 0; retiring = false }
+
+let remove_guaranteed t ~flow =
+  match Hashtbl.find_opt t.g_flows flow with
+  | None -> invalid_arg "Csz_sched.remove_guaranteed: unknown flow"
+  | Some gs ->
+      if gs.qlen > 0 then
+        (* Queued packets keep their reservation until they drain; the flow
+           is unregistered by the dequeue path at that point. *)
+        gs.retiring <- true
+      else begin
+        Hashtbl.remove t.g_flows flow;
+        resize_flow0 t ~delta_reserved:(-.gs.weight)
+      end
+
+let set_predicted t ~flow ~cls =
+  if cls < 0 || cls >= t.cfg.n_predicted_classes then
+    invalid_arg "Csz_sched.set_predicted: class out of range";
+  if Hashtbl.mem t.g_flows flow then
+    invalid_arg "Csz_sched.set_predicted: flow is guaranteed";
+  Hashtbl.replace t.flow_cls flow cls
+
+let clear_predicted t ~flow = Hashtbl.remove t.flow_cls flow

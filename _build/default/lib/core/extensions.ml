@@ -1,0 +1,961 @@
+open Ispn_sim
+module Units = Ispn_util.Units
+module Prng = Ispn_util.Prng
+module Dist = Ispn_util.Dist
+module Spec = Ispn_admission.Spec
+module Controller = Ispn_admission.Controller
+module Meter = Ispn_admission.Meter
+
+(* --- E1: scheduler bake-off ---------------------------------------------- *)
+
+type bakeoff_sched =
+  | B_wfq
+  | B_fifo
+  | B_fifo_plus
+  | B_virtual_clock
+  | B_edf
+  | B_drr
+  | B_rr_groups
+  | B_stop_and_go
+  | B_hrr
+  | B_jitter_edd
+
+let bakeoff_name = function
+  | B_wfq -> "WFQ"
+  | B_fifo -> "FIFO"
+  | B_fifo_plus -> "FIFO+"
+  | B_virtual_clock -> "VirtualClock"
+  | B_edf -> "EDF"
+  | B_drr -> "DRR"
+  | B_rr_groups -> "RR-groups"
+  | B_stop_and_go -> "Stop-and-Go"
+  | B_hrr -> "HRR"
+  | B_jitter_edd -> "Jitter-EDD"
+
+let bakeoff_qdisc sched engine _link =
+  let pool = Qdisc.pool ~capacity:Units.buffer_packets in
+  let link_rate_bps = Units.link_rate_bps in
+  match sched with
+  | B_wfq -> Ispn_sched.Wfq.create_equal ~pool ~link_rate_bps ()
+  | B_fifo -> Ispn_sched.Fifo.create ~pool ()
+  | B_fifo_plus -> snd (Ispn_sched.Fifo_plus.create ~pool ())
+  | B_virtual_clock ->
+      (* Ten flows per link: each is entitled to a tenth of the link. *)
+      Ispn_sched.Virtual_clock.create ~pool
+        ~rate_of:(fun _ -> link_rate_bps /. 10.)
+        ()
+  | B_edf ->
+      (* Equal per-hop budgets: Section 5 predicts this degenerates to
+         FIFO, which the bake-off table lets the reader confirm. *)
+      Ispn_sched.Edf.create ~pool ~deadline_of:(fun _ -> 0.01) ()
+  | B_drr -> Ispn_sched.Drr.create ~pool ~quantum_bits:Units.packet_bits ()
+  | B_rr_groups ->
+      (* One group per flow: per-flow round robin, the Jacobson-Floyd
+         within-priority scheme. *)
+      Ispn_sched.Rr_groups.create ~pool ~n_groups:22
+        ~group_of:(fun p -> p.Packet.flow)
+        ()
+  | B_stop_and_go ->
+      (* Frame sized so that every flow's per-frame allocation holds its
+         average rate: 10 flows at 85 pkt/s on a 1000 pkt/s link gives
+         about 10 packets per 10 ms frame. *)
+      Ispn_sched.Stop_and_go.create ~engine ~frame:0.010 ~pool ()
+  | B_hrr ->
+      (* 20 ms frames with 2 slots per flow: each flow is rate-limited to
+         100 pkt/s, just above its 85 pkt/s average. *)
+      Ispn_sched.Hrr.create ~engine ~frame:0.020 ~slots_of:(fun _ -> 2) ~pool
+        ()
+  | B_jitter_edd ->
+      (* Per-hop budget of 20 packet times: enough for the observed
+         per-hop 99.9%ile, so deadline misses are rare. *)
+      Ispn_sched.Jitter_edd.create ~engine ~budget_of:(fun _ -> 0.020) ~pool
+        ()
+
+let run_bakeoff ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
+  List.map
+    (fun sched ->
+      let results, _ =
+        Experiment.run_figure1_custom
+          ~qdisc_of:(fun engine link -> bakeoff_qdisc sched engine link)
+          ~duration ~seed ()
+      in
+      (sched, results))
+    [
+      B_wfq; B_fifo; B_fifo_plus; B_virtual_clock; B_edf; B_drr; B_rr_groups;
+      B_stop_and_go; B_hrr; B_jitter_edd;
+    ]
+
+(* --- E2: admission policies ---------------------------------------------- *)
+
+type admission_policy = Measured | Worst_case | Open_door
+
+let policy_name = function
+  | Measured -> "measured (Section 9)"
+  | Worst_case -> "worst-case declared"
+  | Open_door -> "no admission control"
+
+type admission_result = {
+  policy : admission_policy;
+  requests : int;
+  accepted : int;
+  mean_utilization : float;
+  violation_rate : float;
+  net_drop_rate : float;
+}
+
+(* A pre-drawn flow request: arrival instant, holding time, and whether it
+   asks for the tight or the loose delay class. *)
+type offered_flow = {
+  of_id : int;
+  at : float;
+  holding : float;
+  tight : bool;
+  src_seed : int64;
+}
+
+let draw_offered_load ~seed ~duration ~arrival_rate ~mean_holding =
+  let prng = Prng.create ~seed in
+  let rec go t acc id =
+    let t = t +. Dist.exponential prng ~mean:(1. /. arrival_rate) in
+    if t >= duration then List.rev acc
+    else
+      let f =
+        {
+          of_id = id;
+          at = t;
+          holding = Dist.exponential prng ~mean:mean_holding;
+          tight = Prng.bool prng;
+          src_seed = Prng.int64 prng;
+        }
+      in
+      go t (f :: acc) (id + 1)
+  in
+  go 0. [] 0
+
+let class_targets = [| 0.008; 0.064 |]
+
+let run_admission_policy ~policy ~offered ~duration =
+  let engine = Engine.create () in
+  let sched_ref = ref None in
+  let net =
+    Network.chain ~engine ~n_switches:2 ~rate_bps:Units.link_rate_bps
+      ~qdisc_of:(fun _ ->
+        let pool = Qdisc.pool ~capacity:Units.buffer_packets in
+        let st, q = Csz_sched.create ~pool () in
+        sched_ref := Some st;
+        q)
+      ()
+  in
+  let sched = Option.get !sched_ref in
+  let ctrl =
+    Controller.create ~n_links:1 ~mu_bps:Units.link_rate_bps ~class_targets ()
+  in
+  (* Violation accounting and meter feeding share the scheduler's hook. *)
+  let rt_packets = ref 0 and violations = ref 0 in
+  Csz_sched.set_delay_hook sched (fun ~cls delay ->
+      if cls >= 0 && cls < Array.length class_targets then begin
+        incr rt_packets;
+        if delay > class_targets.(cls) then incr violations;
+        Meter.note_delay (Controller.meter ctrl ~link:0) ~cls delay
+      end);
+  (* Worst-case bookkeeping: declared rates of live flows. *)
+  let declared = ref 0. in
+  let offered_pkts = ref 0 in
+  let decide flow (bucket : Spec.bucket) target =
+    match policy with
+    | Measured -> (
+        match
+          Controller.request ctrl ~flow ~path:[ 0 ]
+            (Spec.Predicted
+               { bucket; target_delay = target; target_loss = 0.01 })
+        with
+        | Controller.Admitted { cls = Some cls } -> Some cls
+        | Controller.Admitted { cls = None } -> None
+        | Controller.Rejected _ -> None)
+    | Worst_case ->
+        let cls = if target <= class_targets.(0) then 0 else 1 in
+        let mu = Units.link_rate_bps in
+        let r = bucket.Spec.rate_bps and b = bucket.Spec.depth_bits in
+        let fits =
+          r +. !declared < 0.9 *. mu
+          && b < class_targets.(cls) *. (mu -. !declared -. r)
+        in
+        if fits then Some cls else None
+    | Open_door ->
+        Some (if target <= class_targets.(0) then 0 else 1)
+  in
+  (* Clients declare their bucket at the source's *peak* rate — the safe
+     declaration a real client makes — while their actual average is half
+     that.  This overstatement is exactly where measurement-based admission
+     wins: a worst-case controller books the declared 170 kbit/s per flow
+     and saturates its books at ~5 flows, while the measured controller
+     sees the true ~83 kbit/s usage. *)
+  let bucket = Spec.bucket ~rate_pps:170. ~depth_packets:5. () in
+  let accepted = ref 0 in
+  List.iter
+    (fun f ->
+      ignore
+        (Engine.schedule engine ~at:f.at (fun () ->
+             let target = if f.tight then 0.008 else 0.064 in
+             match decide f.of_id bucket target with
+             | None ->
+                 if policy <> Measured then ()
+                 (* Measured-policy rejections are already counted by the
+                    controller; nothing else to do either way. *)
+             | Some cls ->
+                 incr accepted;
+                 declared := !declared +. bucket.Spec.rate_bps;
+                 Csz_sched.set_predicted sched ~flow:f.of_id ~cls;
+                 let probe_sink _ = () in
+                 Network.install_flow net ~flow:f.of_id ~ingress:0 ~egress:1
+                   ~sink:probe_sink;
+                 let tb =
+                   Ispn_traffic.Token_bucket.create
+                     ~rate_bps:bucket.Spec.rate_bps
+                     ~depth_bits:bucket.Spec.depth_bits ()
+                 in
+                 let policer =
+                   Ispn_traffic.Token_bucket.policer ~engine ~bucket:tb
+                     ~mode:Ispn_traffic.Token_bucket.Drop ~next:(fun pkt ->
+                       incr offered_pkts;
+                       Network.inject net ~at_switch:0 pkt)
+                 in
+                 let source =
+                   Ispn_traffic.Onoff.create ~engine
+                     ~prng:(Prng.create ~seed:f.src_seed) ~flow:f.of_id
+                     ~avg_rate_pps:85.
+                     ~emit:(Ispn_traffic.Token_bucket.admit_fn policer)
+                     ()
+                 in
+                 source.Ispn_traffic.Source.start ();
+                 ignore
+                   (Engine.schedule_after engine ~delay:f.holding (fun () ->
+                        source.Ispn_traffic.Source.stop ();
+                        declared := !declared -. bucket.Spec.rate_bps;
+                        Csz_sched.clear_predicted sched ~flow:f.of_id;
+                        if policy = Measured then
+                          Controller.release ctrl ~flow:f.of_id)))))
+    offered;
+  (* Measurement pump for the controller (1 s epochs). *)
+  let last_bits = ref 0 in
+  let rec pump () =
+    let bits = Csz_sched.realtime_bits_sent sched in
+    Meter.note_util
+      (Controller.meter ctrl ~link:0)
+      (float_of_int (bits - !last_bits) /. Units.link_rate_bps);
+    last_bits := bits;
+    Controller.epoch ctrl;
+    ignore (Engine.schedule_after engine ~delay:1.0 pump)
+  in
+  ignore (Engine.schedule_after engine ~delay:1.0 pump);
+  Engine.run engine ~until:duration;
+  {
+    policy;
+    requests = List.length offered;
+    accepted = !accepted;
+    mean_utilization =
+      Link.utilization (Network.link net 0) ~elapsed:duration;
+    violation_rate =
+      (if !rt_packets = 0 then 0.
+       else float_of_int !violations /. float_of_int !rt_packets);
+    net_drop_rate =
+      (if !offered_pkts = 0 then 0.
+       else
+         float_of_int (Network.total_dropped net)
+         /. float_of_int !offered_pkts);
+  }
+
+let run_admission ?(duration = 300.) ?(seed = 42L) ?(arrival_rate = 0.5)
+    ?(mean_holding = 60.) () =
+  let offered =
+    draw_offered_load ~seed ~duration ~arrival_rate ~mean_holding
+  in
+  List.map
+    (fun policy -> run_admission_policy ~policy ~offered ~duration)
+    [ Measured; Worst_case; Open_door ]
+
+(* --- E3: adaptive vs rigid play-back ------------------------------------- *)
+
+type playback_result = {
+  client : string;
+  mean_point : float;
+  app_loss_rate : float;
+}
+
+let run_playback ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
+  let engine = Engine.create () in
+  let prng = Prng.create ~seed in
+  let net =
+    Network.chain ~engine ~n_switches:Scenario.figure1_n_switches
+      ~rate_bps:Units.link_rate_bps
+      ~qdisc_of:(fun _ ->
+        snd
+          (Ispn_sched.Fifo_plus.create
+             ~pool:(Qdisc.pool ~capacity:Units.buffer_packets)
+             ()))
+      ()
+  in
+  (* The advertised a-priori bound for the watched 4-hop flow: the sum of
+     per-switch class targets, as Section 7 prescribes (4 x 16 ms). *)
+  let advertised = 4. *. 0.016 in
+  let rigid = Ispn_playback.Client.rigid ~bound:advertised in
+  let adaptive =
+    Ispn_playback.Client.adaptive ~window:200 ~quantile:0.99 ~margin:0.002
+      ~update_every:50 ()
+  in
+  let vat = Ispn_playback.Client.adaptive_vat ~update_every:1 () in
+  let rt_flows =
+    List.map
+      (fun spec -> Experiment.attach_rt_flow net prng ~spec ~avg_rate_pps:85.)
+      Scenario.figure1_flows
+  in
+  (* Re-route flow 0 so its packets also feed the two play-back clients. *)
+  let watched = List.find (fun rt -> rt.Experiment.spec.Scenario.flow = 0) rt_flows in
+  Network.install_flow net ~flow:0 ~ingress:0 ~egress:4 ~sink:(fun pkt ->
+      let delay = Engine.now engine -. pkt.Packet.created in
+      Ispn_playback.Client.receive rigid ~delay;
+      Ispn_playback.Client.receive adaptive ~delay;
+      Ispn_playback.Client.receive vat ~delay;
+      Probe.sink watched.Experiment.probe ~engine pkt);
+  List.iter (fun rt -> rt.Experiment.source.Ispn_traffic.Source.start ()) rt_flows;
+  Engine.run engine ~until:duration;
+  let to_units s = Units.packet_times ~link_rate_bps:Units.link_rate_bps ~packet_bits:Units.packet_bits s in
+  [
+    {
+      client = "rigid";
+      mean_point = to_units (Ispn_playback.Client.mean_playback_point rigid);
+      app_loss_rate = Ispn_playback.Client.loss_rate rigid;
+    };
+    {
+      client = "adaptive";
+      mean_point = to_units (Ispn_playback.Client.mean_playback_point adaptive);
+      app_loss_rate = Ispn_playback.Client.loss_rate adaptive;
+    };
+    {
+      client = "vat";
+      mean_point = to_units (Ispn_playback.Client.mean_playback_point vat);
+      app_loss_rate = Ispn_playback.Client.loss_rate vat;
+    };
+  ]
+
+(* --- E6: jitter shifting between priority classes ------------------------ *)
+
+type cascade_row = {
+  cascade_class : string;
+  c_mean : float;
+  c_p999 : float;
+}
+
+let run_cascade ?(duration = Units.sim_duration_s) ?(seed = 42L)
+    ?(n_classes = 4) () =
+  assert (n_classes >= 1);
+  let engine = Engine.create () in
+  let prng = Prng.create ~seed in
+  let sched_ref = ref None in
+  let net =
+    Network.chain ~engine ~n_switches:2 ~rate_bps:Units.link_rate_bps
+      ~qdisc_of:(fun _ ->
+        let pool = Qdisc.pool ~capacity:Units.buffer_packets in
+        let config =
+          { Csz_sched.default_config with n_predicted_classes = n_classes }
+        in
+        let st, q = Csz_sched.create ~config ~pool () in
+        sched_ref := Some st;
+        q)
+      ()
+  in
+  let sched = Option.get !sched_ref in
+  (* Per-class per-hop delays straight from the scheduler. *)
+  let per_class = Array.init (n_classes + 1) (fun _ -> Ispn_util.Fvec.create ()) in
+  Csz_sched.set_delay_hook sched (fun ~cls delay ->
+      if cls >= 0 then Ispn_util.Fvec.push per_class.(cls) delay);
+  (* Two identical policed on/off flows per predicted class, plus two
+     datagram flows: 10 x 85 pkt/s on a 1000 pkt/s link. *)
+  let flows_per_class = 2 in
+  let attach flow maybe_cls =
+    (match maybe_cls with
+    | Some cls -> Csz_sched.set_predicted sched ~flow ~cls
+    | None -> ());
+    Network.install_flow net ~flow ~ingress:0 ~egress:1 ~sink:(fun _ -> ());
+    let tb =
+      Ispn_traffic.Token_bucket.create ~rate_bps:85_000. ~depth_bits:50_000. ()
+    in
+    let policer =
+      Ispn_traffic.Token_bucket.policer ~engine ~bucket:tb
+        ~mode:Ispn_traffic.Token_bucket.Drop
+        ~next:(fun pkt -> Network.inject net ~at_switch:0 pkt)
+    in
+    let source =
+      Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng) ~flow
+        ~avg_rate_pps:85.
+        ~emit:(Ispn_traffic.Token_bucket.admit_fn policer)
+        ()
+    in
+    source.Ispn_traffic.Source.start ()
+  in
+  let next_flow = ref 0 in
+  for cls = 0 to n_classes - 1 do
+    for _ = 1 to flows_per_class do
+      attach !next_flow (Some cls);
+      incr next_flow
+    done
+  done;
+  for _ = 1 to flows_per_class do
+    attach !next_flow None;
+    (* datagram *)
+    incr next_flow
+  done;
+  Engine.run engine ~until:duration;
+  let to_units s =
+    Units.packet_times ~link_rate_bps:Units.link_rate_bps
+      ~packet_bits:Units.packet_bits s
+  in
+  List.init (n_classes + 1) (fun cls ->
+      let delays = per_class.(cls) in
+      let n = Ispn_util.Fvec.length delays in
+      {
+        cascade_class =
+          (if cls = n_classes then "datagram"
+           else Printf.sprintf "class %d" cls);
+        c_mean =
+          (if n = 0 then 0.
+           else to_units (Ispn_util.Fvec.fold ( +. ) 0. delays /. float_of_int n));
+        c_p999 =
+          (if n = 0 then 0.
+           else to_units (Ispn_util.Quantile.percentile delays 99.9));
+      })
+
+(* --- E4: isolation vs sharing with a misbehaving source ------------------ *)
+
+type isolation_row = {
+  iso_sched : string;
+  honest_mean : float;
+  honest_p999 : float;
+  cheat_mean : float;
+  cheat_p999 : float;
+}
+
+let run_isolation ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
+  let cheat_flow = 9 in
+  let run name make_qdisc ~police_cheat =
+    let engine = Engine.create () in
+    let prng = Prng.create ~seed in
+    let net =
+      Network.chain ~engine ~n_switches:2 ~rate_bps:Units.link_rate_bps
+        ~qdisc_of:(fun _ -> make_qdisc ())
+        ()
+    in
+    let probes = Hashtbl.create 10 in
+    let attach flow ~avg ~police =
+      let probe = Probe.create () in
+      Hashtbl.replace probes flow probe;
+      Network.install_flow net ~flow ~ingress:0 ~egress:1
+        ~sink:(fun pkt -> Probe.sink probe ~engine pkt);
+      let inject pkt = Network.inject net ~at_switch:0 pkt in
+      let emit =
+        if police then begin
+          (* Policed against the *declared* (85, 50) profile, whatever the
+             source actually emits. *)
+          let tb =
+            Ispn_traffic.Token_bucket.create ~rate_bps:85_000.
+              ~depth_bits:50_000. ()
+          in
+          Ispn_traffic.Token_bucket.admit_fn
+            (Ispn_traffic.Token_bucket.policer ~engine ~bucket:tb
+               ~mode:Ispn_traffic.Token_bucket.Drop ~next:inject)
+        end
+        else inject
+      in
+      let source =
+        Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng) ~flow
+          ~avg_rate_pps:avg ~emit ()
+      in
+      source.Ispn_traffic.Source.start ()
+    in
+    for flow = 0 to 8 do
+      attach flow ~avg:85. ~police:true
+    done;
+    (* The cheater claims 85 pkt/s but runs at three times that. *)
+    attach cheat_flow ~avg:255. ~police:police_cheat;
+    Engine.run engine ~until:duration;
+    let stats flow =
+      let p = Hashtbl.find probes flow in
+      (Probe.mean_qdelay p, Probe.percentile_qdelay p 99.9)
+    in
+    let honest_mean, honest_p999 = stats 0 in
+    let cheat_mean, cheat_p999 = stats cheat_flow in
+    { iso_sched = name; honest_mean; honest_p999; cheat_mean; cheat_p999 }
+  in
+  let pool () = Qdisc.pool ~capacity:Units.buffer_packets in
+  [
+    run "FIFO (sharing only)"
+      (fun () -> Ispn_sched.Fifo.create ~pool:(pool ()) ())
+      ~police_cheat:false;
+    run "WFQ (isolation)"
+      (fun () ->
+        Ispn_sched.Wfq.create_equal ~pool:(pool ())
+          ~link_rate_bps:Units.link_rate_bps ())
+      ~police_cheat:false;
+    run "FIFO + edge policing (CSZ)"
+      (fun () -> Ispn_sched.Fifo.create ~pool:(pool ()) ())
+      ~police_cheat:true;
+  ]
+
+(* --- E5: late-packet discard --------------------------------------------- *)
+
+type discard_result = {
+  threshold : float option;
+  p999_4hop : float;
+  discarded_fraction : float;
+}
+
+let run_discard ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
+  let run threshold =
+    let states = ref [] in
+    let qdisc_of _engine _link =
+      let st, q =
+        Ispn_sched.Fifo_plus.create ?discard_late_above:threshold
+          ~pool:(Qdisc.pool ~capacity:Units.buffer_packets)
+          ()
+      in
+      states := st :: !states;
+      q
+    in
+    let results, info = Experiment.run_figure1_custom ~qdisc_of ~duration ~seed () in
+    let four_hop =
+      List.find (fun (r : Experiment.flow_result) -> r.Experiment.flow = 0) results
+    in
+    let discarded =
+      List.fold_left
+        (fun acc st -> acc + Ispn_sched.Fifo_plus.discarded st)
+        0 !states
+    in
+    let delivered =
+      info.Experiment.offered - info.Experiment.source_dropped
+    in
+    {
+      threshold;
+      p999_4hop = four_hop.Experiment.p999;
+      discarded_fraction =
+        (if delivered = 0 then 0.
+         else float_of_int discarded /. float_of_int delivered);
+    }
+  in
+  [ run None; run (Some 0.030); run (Some 0.015) ]
+
+(* --- E7: Table 3 through the full service stack --------------------------- *)
+
+type e2e_row = {
+  e2e_label : string;
+  e2e_flow : int;
+  e2e_hops : int;
+  e2e_outcome : string;
+}
+
+type e2e_result = {
+  e2e_rows : e2e_row list;
+  e2e_admitted : int;
+  e2e_rejected : int;
+  e2e_utilization : float;
+  e2e_violations : float;
+}
+
+let run_table3_service ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
+  let open Scenario in
+  let engine = Engine.create () in
+  let prng = Prng.create ~seed in
+  (* Targets an order of magnitude apart (Section 7), sized to bracket what
+     Table 3's classes actually deliver per switch: 16 ms for High, 128 ms
+     for Low. *)
+  let targets = [| 0.016; 0.128 |] in
+  let svc =
+    Service.create ~engine ~n_switches:figure1_n_switches
+      ~class_targets:targets ()
+  in
+  Service.start svc;
+  (* Target-violation accounting across all links. *)
+  let rt_packets = ref 0 and violations = ref 0 in
+  let fabric = Service.fabric svc in
+  for i = 0 to Fabric.n_links fabric - 1 do
+    let meter =
+      Ispn_admission.Controller.meter (Service.controller svc) ~link:i
+    in
+    Csz_sched.set_delay_hook (Fabric.sched fabric ~link:i) (fun ~cls delay ->
+        if cls >= 0 && cls < Array.length targets then begin
+          incr rt_packets;
+          if delay > targets.(cls) then incr violations;
+          Meter.note_delay meter ~cls delay
+        end)
+  done;
+  let avg_bucket = Spec.bucket ~rate_pps:85. ~depth_packets:50. () in
+  let peak_bucket =
+    { Spec.rate_bps = 170_000.; depth_bits = 1000. (* b(peak) = 1 packet *) }
+  in
+  (* A client that wants the tight class cannot honestly fit a 50-packet
+     burst under a 16 ms target; it instead declares its peak rate with a
+     small bucket — which its on/off process also conforms to (at r = 2A
+     the bucket never builds more than a few packets of deficit). *)
+  let high_bucket = Spec.bucket ~rate_pps:170. ~depth_packets:5. () in
+  let start_source flow spec emit =
+    let source =
+      Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng) ~flow
+        ~avg_rate_pps:85. ~emit ()
+    in
+    ignore spec;
+    source.Ispn_traffic.Source.start ()
+  in
+  (* Outcomes are recorded as flows get admitted; predicted clients retry
+     every 20 s — as the meters replace worst-case declared accounting with
+     measured load, requests that were refused at t=0 succeed later. *)
+  let outcomes : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  let request_flow spec =
+    let { flow; ingress; egress } = spec in
+    let hops = Scenario.hops spec in
+    let sink _ = () in
+    let ask request ~own_bucket =
+      Service.request svc ~flow ~ingress ~egress ?own_bucket request ~sink
+    in
+    match table3_class_of flow with
+    | Guaranteed_peak | Guaranteed_avg -> (
+        let rate, own_bucket =
+          match table3_class_of flow with
+          | Guaranteed_peak -> (170_000., peak_bucket)
+          | _ -> (85_000., avg_bucket)
+        in
+        match
+          ask (Spec.Guaranteed { clock_rate_bps = rate })
+            ~own_bucket:(Some own_bucket)
+        with
+        | Ok est ->
+            start_source flow spec est.Service.emit;
+            Hashtbl.replace outcomes flow "guaranteed"
+        | Error e -> Hashtbl.replace outcomes flow ("rejected: " ^ e))
+    | Predicted_high | Predicted_low ->
+        let target, bucket =
+          match table3_class_of flow with
+          | Predicted_high -> (targets.(0), high_bucket)
+          | _ -> (targets.(Array.length targets - 1), avg_bucket)
+        in
+        let request =
+          Spec.Predicted
+            {
+              bucket;
+              target_delay = float_of_int hops *. target;
+              target_loss = 0.01;
+            }
+        in
+        let rec attempt () =
+          match ask request ~own_bucket:None with
+          | Ok est ->
+              start_source flow spec est.Service.emit;
+              Hashtbl.replace outcomes flow
+                (Printf.sprintf "class %d at t=%.0fs"
+                   (Option.get est.Service.cls)
+                   (Engine.now engine))
+          | Error e ->
+              Hashtbl.replace outcomes flow ("rejected: " ^ e);
+              if Engine.now engine +. 20. < duration then
+                ignore (Engine.schedule_after engine ~delay:20. attempt)
+        in
+        attempt ()
+  in
+  (* Guaranteed clients sign up first (they need reservations), then the
+     predicted population keeps knocking. *)
+  let order =
+    List.stable_sort
+      (fun a b ->
+        let rank s =
+          match table3_class_of s.flow with
+          | Guaranteed_peak | Guaranteed_avg -> 0
+          | Predicted_high -> 1
+          | Predicted_low -> 2
+        in
+        compare (rank a) (rank b))
+      figure1_flows
+  in
+  List.iter request_flow order;
+  (* Datagram TCP filler, via the service interface. *)
+  List.iteri
+    (fun i (ingress, egress) ->
+      let flow = 100 + i in
+      match
+        Service.request svc ~flow ~ingress ~egress Spec.Datagram
+          ~sink:(fun _ -> ())
+      with
+      | Ok est ->
+          let tcp =
+            Ispn_transport.Tcp.create ~engine ~flow
+              ~send:est.Service.emit ()
+          in
+          Fabric.install_flow fabric ~flow ~ingress ~egress ~sink:(fun pkt ->
+              Ispn_transport.Tcp.receive tcp pkt);
+          Ispn_transport.Tcp.start tcp
+      | Error _ -> ())
+    table3_tcp_paths;
+  Engine.run engine ~until:duration;
+  let util =
+    let n = Fabric.n_links fabric in
+    let sum = ref 0. in
+    for i = 0 to n - 1 do
+      sum := !sum +. Link.utilization (Fabric.link fabric i) ~elapsed:duration
+    done;
+    !sum /. float_of_int n
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        {
+          e2e_label =
+            Format.asprintf "%a" pp_service_class
+              (table3_class_of spec.flow);
+          e2e_flow = spec.flow;
+          e2e_hops = Scenario.hops spec;
+          e2e_outcome =
+            (try Hashtbl.find outcomes spec.flow
+             with Not_found -> "no outcome recorded");
+        })
+      order
+  in
+  {
+    e2e_rows = rows;
+    e2e_admitted = Service.admitted svc;
+    e2e_rejected = Service.rejected svc;
+    e2e_utilization = util;
+    e2e_violations =
+      (if !rt_packets = 0 then 0.
+       else float_of_int !violations /. float_of_int !rt_packets);
+  }
+
+(* --- E8: load sweep ------------------------------------------------------- *)
+
+type sweep_row = {
+  target_utilization : float;
+  achieved_utilization : float;
+  fifo_p999 : float;
+  wfq_p999 : float;
+}
+
+let run_load_sweep ?(duration = Units.sim_duration_s) ?(seed = 42L)
+    ?(points = [ 0.5; 0.65; 0.8; 0.9 ]) () =
+  List.map
+    (fun target ->
+      (* Ten flows on a 1000 pkt/s link; ~2% of the offered load dies at the
+         edge policer, so aim slightly high. *)
+      let avg_rate_pps = target *. 1000. /. 10. /. 0.98 in
+      let sample results =
+        (List.find
+           (fun (r : Experiment.flow_result) -> r.Experiment.flow = 0)
+           results)
+          .Experiment.p999
+      in
+      let fifo, info =
+        Experiment.run_single_link ~sched:Experiment.Fifo ~avg_rate_pps
+          ~duration ~seed ()
+      in
+      let wfq, _ =
+        Experiment.run_single_link ~sched:Experiment.Wfq ~avg_rate_pps
+          ~duration ~seed ()
+      in
+      {
+        target_utilization = target;
+        achieved_utilization = info.Experiment.utilization.(0);
+        fifo_p999 = sample fifo;
+        wfq_p999 = sample wfq;
+      })
+    points
+
+(* --- E9: in-band signaling latency ---------------------------------------- *)
+
+type signaling_row = {
+  sig_load : float;
+  sig_setups : int;
+  sig_mean_ms : float;
+  sig_max_ms : float;
+}
+
+let run_signaling ?(duration = 120.) ?(seed = 42L)
+    ?(loads = [ 0.; 0.5; 0.9 ]) () =
+  List.map
+    (fun load ->
+      let engine = Engine.create () in
+      let prng = Prng.create ~seed in
+      let fab = Fabric.chain ~engine ~n_switches:5 () in
+      let sig_net = Signaling.deploy ~fabric:fab () in
+      (* Background datagram load on every link: on/off sources whose
+         average hits the requested fraction. *)
+      if load > 0. then
+        for link = 0 to 3 do
+          let flow = 700 + link in
+          Fabric.install_flow fab ~flow ~ingress:link ~egress:(link + 1)
+            ~sink:(fun _ -> ());
+          let source =
+            Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng) ~flow
+              ~avg_rate_pps:(load *. 1000.)
+              ~peak_rate_pps:(Stdlib.min 2000. (load *. 2000.))
+              ~emit:(fun p -> Fabric.inject fab ~at_switch:link p)
+              ()
+          in
+          source.Ispn_traffic.Source.start ()
+        done;
+      (* One tiny guaranteed setup per second across the whole chain, torn
+         down immediately after confirmation so reservations never pile
+         up. *)
+      let times = Ispn_util.Fvec.create () in
+      let next_flow = ref 0 in
+      let rec attempt () =
+        let flow = !next_flow in
+        incr next_flow;
+        Signaling.setup sig_net ~flow ~ingress:0 ~egress:4
+          (Spec.Guaranteed { clock_rate_bps = 10_000. })
+          ~sink:(fun _ -> ())
+          ~on_result:(fun result ->
+            (match result with
+            | Ok est ->
+                Ispn_util.Fvec.push times est.Signaling.setup_time;
+                Signaling.teardown sig_net ~flow
+            | Error _ -> ()));
+        if Engine.now engine +. 1. < duration then
+          ignore (Engine.schedule_after engine ~delay:1. attempt)
+      in
+      attempt ();
+      Engine.run engine ~until:duration;
+      let n = Ispn_util.Fvec.length times in
+      {
+        sig_load = load;
+        sig_setups = n;
+        sig_mean_ms =
+          (if n = 0 then 0.
+           else 1000. *. Ispn_util.Fvec.fold ( +. ) 0. times /. float_of_int n);
+        sig_max_ms =
+          (if n = 0 then 0.
+           else 1000. *. Ispn_util.Fvec.fold Stdlib.max 0. times);
+      })
+    loads
+
+(* --- E10: packet-importance classes ---------------------------------------- *)
+
+type importance_row = {
+  imp_label : string;
+  imp_received : int;
+  imp_p999 : float;
+  imp_mean : float;
+}
+
+let run_importance ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
+  let engine = Engine.create () in
+  let prng = Prng.create ~seed in
+  let sched_ref = ref None in
+  let net =
+    Network.chain ~engine ~n_switches:2 ~rate_bps:Units.link_rate_bps
+      ~qdisc_of:(fun _ ->
+        let pool = Qdisc.pool ~capacity:Units.buffer_packets in
+        let st, q = Csz_sched.create ~pool () in
+        sched_ref := Some st;
+        q)
+      ()
+  in
+  let sched = Option.get !sched_ref in
+  (* The application's two subflows: every other packet is tagged less
+     important.  Same generation process, adjacent priority classes. *)
+  Csz_sched.set_predicted sched ~flow:0 ~cls:0;
+  Csz_sched.set_predicted sched ~flow:1 ~cls:1;
+  let probes = Array.init 2 (fun _ -> Probe.create ()) in
+  let sources =
+    Array.mapi
+      (fun flow probe ->
+        Network.install_flow net ~flow ~ingress:0 ~egress:1
+          ~sink:(fun pkt -> Probe.sink probe ~engine pkt);
+        let source =
+          Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng) ~flow
+            ~avg_rate_pps:42.5
+            ~emit:(fun pkt -> Network.inject net ~at_switch:0 pkt)
+            ()
+        in
+        source.Ispn_traffic.Source.start ();
+        source)
+      probes
+  in
+  (* Heavy competing load in the lower class so the tiers actually bite. *)
+  for flow = 10 to 18 do
+    Csz_sched.set_predicted sched ~flow ~cls:1;
+    Network.install_flow net ~flow ~ingress:0 ~egress:1 ~sink:(fun _ -> ());
+    let tb =
+      Ispn_traffic.Token_bucket.create ~rate_bps:85_000. ~depth_bits:50_000. ()
+    in
+    let policer =
+      Ispn_traffic.Token_bucket.policer ~engine ~bucket:tb
+        ~mode:Ispn_traffic.Token_bucket.Drop
+        ~next:(fun pkt -> Network.inject net ~at_switch:0 pkt)
+    in
+    let source =
+      Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng) ~flow
+        ~avg_rate_pps:95.
+        ~emit:(Ispn_traffic.Token_bucket.admit_fn policer)
+        ()
+    in
+    source.Ispn_traffic.Source.start ()
+  done;
+  Engine.run engine ~until:duration;
+  ignore sources;
+  List.mapi
+    (fun flow probe ->
+      {
+        imp_label = (if flow = 0 then "important" else "less important");
+        imp_received = Probe.received probe;
+        imp_p999 =
+          (if Probe.received probe = 0 then 0.
+           else Probe.percentile_qdelay probe 99.9);
+        imp_mean = Probe.mean_qdelay probe;
+      })
+    (Array.to_list probes)
+
+(* --- Seed robustness ------------------------------------------------------ *)
+
+type seeds_row = {
+  seeds_sched : Experiment.sched;
+  p999_mean : float;
+  p999_min : float;
+  p999_max : float;
+}
+
+let run_seed_robustness ?(duration = 300.)
+    ?(seeds = [ 1L; 2L; 3L; 4L; 5L ]) () =
+  List.map
+    (fun sched ->
+      let tails =
+        List.map
+          (fun seed ->
+            let results, _ = Experiment.run_figure1 ~sched ~duration ~seed () in
+            (List.find
+               (fun (r : Experiment.flow_result) -> r.Experiment.flow = 0)
+               results)
+              .Experiment.p999)
+          seeds
+      in
+      let n = float_of_int (List.length tails) in
+      {
+        seeds_sched = sched;
+        p999_mean = List.fold_left ( +. ) 0. tails /. n;
+        p999_min = List.fold_left Stdlib.min infinity tails;
+        p999_max = List.fold_left Stdlib.max neg_infinity tails;
+      })
+    [ Experiment.Wfq; Experiment.Fifo; Experiment.Fifo_plus ]
+
+(* --- Ablation: FIFO+ averaging gain -------------------------------------- *)
+
+let run_gain_ablation ?(duration = Units.sim_duration_s) ?(seed = 42L)
+    ?(gains = [ 1. /. 16.; 1. /. 256.; 1. /. 4096. ]) () =
+  List.map
+    (fun gain ->
+      let qdisc_of _engine _link =
+        snd
+          (Ispn_sched.Fifo_plus.create ~ewma_gain:gain
+             ~pool:(Qdisc.pool ~capacity:Units.buffer_packets)
+             ())
+      in
+      let results, _ = Experiment.run_figure1_custom ~qdisc_of ~duration ~seed () in
+      let four_hop =
+        List.find (fun (r : Experiment.flow_result) -> r.Experiment.flow = 0) results
+      in
+      (gain, four_hop))
+    gains

@@ -1,0 +1,56 @@
+(** A set of CSZ-scheduled links with path resolution — the substrate the
+    {!Service} layer manages.
+
+    The paper's experiments run on the Figure-1 chain, but the architecture
+    is topology-agnostic: every output link runs the unified scheduler and
+    admission control reasons per-link along a flow's path.  A fabric
+    packages exactly that: the links (each with its {!Csz_sched} state),
+    a path resolver from switch pairs to link sequences, and flow
+    installation/injection. *)
+
+type t
+
+val engine : t -> Ispn_sim.Engine.t
+val n_links : t -> int
+val n_switches : t -> int
+val sched : t -> link:int -> Csz_sched.t
+val link : t -> int -> Ispn_sim.Link.t
+
+val path : t -> ingress:int -> egress:int -> int list option
+(** Link indices a flow from [ingress] to [egress] traverses; [None] when
+    unreachable, [Some []] when [ingress = egress]. *)
+
+val install_flow :
+  t -> flow:int -> ingress:int -> egress:int -> sink:(Ispn_sim.Packet.t -> unit) ->
+  unit
+(** Raises [Failure] when no path exists. *)
+
+val inject : t -> at_switch:int -> Ispn_sim.Packet.t -> unit
+
+(** {2 Constructors}
+
+    Both build every link with the unified scheduler; [config] defaults to
+    {!Csz_sched.default_config} with the given link rate and class count. *)
+
+val chain :
+  engine:Ispn_sim.Engine.t ->
+  n_switches:int ->
+  ?link_rate_bps:float ->
+  ?n_classes:int ->
+  ?buffer_packets:int ->
+  unit ->
+  t
+(** The Figure-1 shape: switches 0..n-1, link [i] from switch [i] to
+    [i+1]. *)
+
+val topology :
+  engine:Ispn_sim.Engine.t ->
+  n_switches:int ->
+  links:(int * int) list ->
+  ?link_rate_bps:float ->
+  ?n_classes:int ->
+  ?buffer_packets:int ->
+  unit ->
+  t
+(** Arbitrary directed links (shortest-path routed).  Duplicate links and
+    self-loops are rejected as in {!Ispn_sim.Topology.connect}. *)

@@ -1,0 +1,27 @@
+(** Render experiment results in the layout of the paper's tables. *)
+
+val table1 :
+  (Experiment.sched * Experiment.flow_result list * Experiment.run_info) list ->
+  sample_flow:int ->
+  string
+(** One row per scheduler: mean and 99.9th-percentile queueing delay of the
+    sample flow, as in Table 1. *)
+
+val table2 :
+  (Experiment.sched * Experiment.flow_result list) list ->
+  sample_flows:int list ->
+  string
+(** Rows per scheduler, columns (mean, 99.9 %ile) per path length, as in
+    Table 2.  [sample_flows] picks one flow per path length, shortest
+    first. *)
+
+val table3 : Experiment.t3_result -> string
+(** The eight sample rows with measured mean / 99.9 %ile / max and the
+    computed Parekh-Gallager bound for guaranteed flows, plus the
+    utilization and datagram summary lines the paper quotes in the text. *)
+
+val figure1 : unit -> string
+(** ASCII rendering of the Figure-1 topology and flow layout. *)
+
+val flow_results : Experiment.flow_result list -> string
+(** Generic per-flow dump used by the CLI. *)

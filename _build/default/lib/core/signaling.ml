@@ -1,0 +1,299 @@
+open Ispn_sim
+module Spec = Ispn_admission.Spec
+module Bounds = Ispn_admission.Bounds
+module Controller = Ispn_admission.Controller
+module Meter = Ispn_admission.Meter
+module Units = Ispn_util.Units
+
+let control_packet_bits = 500
+let ctrl_flow_base = 900_000
+
+type established = {
+  flow : int;
+  cls : int option;
+  advertised_bound : float option;
+  setup_time : float;
+  emit : Packet.t -> unit;
+}
+
+(* A setup in flight.  [granted] records, per completed hop, the link index
+   and the class granted there (None = guaranteed), newest first — exactly
+   what a rollback must undo. *)
+type setup_ctx = {
+  ctx_flow : int;
+  ingress : int;
+  egress : int;
+  spec : Spec.request;
+  own_bucket : Spec.bucket option;
+  sink : Packet.t -> unit;
+  on_result : (established, string) result -> unit;
+  started_at : float;
+  path : int list;
+  mutable granted : (int * int option) list;
+  mutable bound_acc : float;  (* summed class targets along the path *)
+}
+
+type flow_record = { fr_granted : (int * int option) list }
+
+type t = {
+  fab : Fabric.t;
+  class_targets : float array;
+  reverse_hop_delay : float;
+  (* One single-link controller per link, owned by that link's upstream
+     agent. *)
+  ctrls : Controller.t array;
+  pending_msgs : (int, setup_ctx * int) Hashtbl.t;  (* token -> (ctx, hop) *)
+  mutable next_token : int;
+  in_flight : (int, unit) Hashtbl.t;  (* flows with a setup travelling *)
+  flows : (int, flow_record) Hashtbl.t;  (* established *)
+  mutable established_count : int;
+  mutable refused_count : int;
+  mutable control_packets : int;
+}
+
+let fabric t = t.fab
+let established_count t = t.established_count
+let refused_count t = t.refused_count
+let control_packets_sent t = t.control_packets
+
+let engine t = Fabric.engine t.fab
+
+(* Forward declaration dance: agents need [process] which needs [t]. *)
+let rec process t token =
+  match Hashtbl.find_opt t.pending_msgs token with
+  | None -> ()  (* stale or duplicated control packet; ignore *)
+  | Some (ctx, hop) ->
+      Hashtbl.remove t.pending_msgs token;
+      advance t ctx hop
+
+(* Try to reserve at [hop] (an index into ctx.path); on success forward the
+   setup message over that hop's link, or confirm if past the last hop. *)
+and advance t ctx hop =
+  if hop >= List.length ctx.path then confirm t ctx
+  else begin
+    let link = List.nth ctx.path hop in
+    let ctrl = t.ctrls.(link) in
+    match Controller.request ctrl ~flow:ctx.ctx_flow ~path:[ 0 ] (local_spec t ctx) with
+    | Controller.Rejected reason -> refuse t ctx hop reason
+    | Controller.Admitted { cls } ->
+        let sched = Fabric.sched t.fab ~link in
+        (match (ctx.spec, cls) with
+        | Spec.Guaranteed { clock_rate_bps }, _ ->
+            Csz_sched.add_guaranteed sched ~flow:ctx.ctx_flow ~clock_rate_bps
+        | Spec.Predicted _, Some c ->
+            Csz_sched.set_predicted sched ~flow:ctx.ctx_flow ~cls:c;
+            ctx.bound_acc <- ctx.bound_acc +. t.class_targets.(c)
+        | Spec.Predicted _, None | Spec.Datagram, _ -> ());
+        ctx.granted <- (link, cls) :: ctx.granted;
+        forward t ctx (hop + 1)
+  end
+
+(* The per-hop admission request: the end-to-end delay target is split
+   evenly over the remaining hops so each local controller can pick a class
+   for its own switch (the paper allows different levels per switch). *)
+and local_spec t ctx =
+  ignore t;
+  match ctx.spec with
+  | Spec.Predicted { bucket; target_delay; target_loss } ->
+      let hops = List.length ctx.path in
+      Spec.Predicted
+        {
+          bucket;
+          target_delay = target_delay /. float_of_int hops;
+          target_loss;
+        }
+  | (Spec.Guaranteed _ | Spec.Datagram) as s -> s
+
+(* Put the setup message on the wire toward the next agent.  [hop] is the
+   next hop to reserve; the message travels the link just reserved (the
+   last element of ctx.granted). *)
+and forward t ctx hop =
+  let sent_over =
+    match ctx.granted with
+    | (link, _) :: _ -> link
+    | [] -> assert false
+  in
+  let token = t.next_token in
+  t.next_token <- t.next_token + 1;
+  Hashtbl.replace t.pending_msgs token (ctx, hop);
+  t.control_packets <- t.control_packets + 1;
+  let pkt =
+    Packet.make
+      ~flow:(ctrl_flow_base + sent_over)
+      ~seq:token ~size_bits:control_packet_bits
+      ~created:(Engine.now (engine t))
+      ()
+  in
+  (* Inject at the upstream switch of that link; the pre-installed control
+     route carries it across exactly one hop, through the datagram class. *)
+  Fabric.inject t.fab ~at_switch:(ctx.ingress + List.length ctx.granted - 1) pkt
+
+and confirm t ctx =
+  let hops = List.length ctx.path in
+  let delay = t.reverse_hop_delay *. float_of_int hops in
+  ignore
+    (Engine.schedule_after (engine t) ~delay (fun () ->
+         Hashtbl.remove t.in_flight ctx.ctx_flow;
+         Hashtbl.replace t.flows ctx.ctx_flow { fr_granted = ctx.granted };
+         t.established_count <- t.established_count + 1;
+         Fabric.install_flow t.fab ~flow:ctx.ctx_flow ~ingress:ctx.ingress
+           ~egress:ctx.egress ~sink:ctx.sink;
+         let inject pkt = Fabric.inject t.fab ~at_switch:ctx.ingress pkt in
+         let emit, cls, bound =
+           match ctx.spec with
+           | Spec.Guaranteed { clock_rate_bps } ->
+               let bound =
+                 Option.map
+                   (fun bucket ->
+                     Bounds.pg_bound ~bucket ~clock_rate_bps ~hops ())
+                   ctx.own_bucket
+               in
+               (inject, None, bound)
+           | Spec.Predicted { bucket; _ } ->
+               let tb =
+                 Ispn_traffic.Token_bucket.create ~rate_bps:bucket.Spec.rate_bps
+                   ~depth_bits:bucket.Spec.depth_bits ()
+               in
+               let policer =
+                 Ispn_traffic.Token_bucket.policer ~engine:(engine t)
+                   ~bucket:tb ~mode:Ispn_traffic.Token_bucket.Drop ~next:inject
+               in
+               let ingress_cls =
+                 match List.rev ctx.granted with
+                 | (_, c) :: _ -> c
+                 | [] -> None
+               in
+               ( Ispn_traffic.Token_bucket.admit_fn policer,
+                 ingress_cls,
+                 Some ctx.bound_acc )
+           | Spec.Datagram -> (inject, None, None)
+         in
+         ctx.on_result
+           (Ok
+              {
+                flow = ctx.ctx_flow;
+                cls;
+                advertised_bound = bound;
+                setup_time = Engine.now (engine t) -. ctx.started_at;
+                emit;
+              })))
+
+and refuse t ctx failed_hop reason =
+  (* Roll back every reservation made so far, then report after the
+     reverse trip. *)
+  release_granted t ~flow:ctx.ctx_flow ctx.granted;
+  let delay = t.reverse_hop_delay *. float_of_int (failed_hop + 1) in
+  ignore
+    (Engine.schedule_after (engine t) ~delay (fun () ->
+         Hashtbl.remove t.in_flight ctx.ctx_flow;
+         t.refused_count <- t.refused_count + 1;
+         ctx.on_result
+           (Error
+              (Printf.sprintf "refused at hop %d: %s" (failed_hop + 1) reason))))
+
+and release_granted t ~flow granted =
+  List.iter
+    (fun (link, cls) ->
+      Controller.release t.ctrls.(link) ~flow;
+      let sched = Fabric.sched t.fab ~link in
+      match cls with
+      | Some _ -> Csz_sched.clear_predicted sched ~flow
+      | None -> (
+          (* Guaranteed or datagram; removing an unknown guaranteed flow is
+             the datagram case. *)
+          try Csz_sched.remove_guaranteed sched ~flow
+          with Invalid_argument _ -> ()))
+    granted
+
+let deploy ~fabric:fab ?(class_targets = [| 0.008; 0.064 |])
+    ?(epoch_interval = 1.0) ?(reverse_hop_delay = 1e-3) () =
+  let n_links = Fabric.n_links fab in
+  (* Chain check: link i must be the one-hop path from switch i to i+1. *)
+  for i = 0 to n_links - 1 do
+    if Fabric.path fab ~ingress:i ~egress:(i + 1) <> Some [ i ] then
+      invalid_arg "Signaling.deploy: chain fabrics only"
+  done;
+  let ctrls =
+    Array.init n_links (fun _ ->
+        Controller.create ~n_links:1 ~mu_bps:Units.link_rate_bps ~class_targets
+          ())
+  in
+  let t =
+    {
+      fab;
+      class_targets;
+      reverse_hop_delay;
+      ctrls;
+      pending_msgs = Hashtbl.create 64;
+      next_token = 0;
+      in_flight = Hashtbl.create 16;
+      flows = Hashtbl.create 32;
+      established_count = 0;
+      refused_count = 0;
+      control_packets = 0;
+    }
+  in
+  (* Control channels: one flow per link, delivered to the downstream
+     agent, which resumes the setup from there. *)
+  for link = 0 to n_links - 1 do
+    Fabric.install_flow fab ~flow:(ctrl_flow_base + link) ~ingress:link
+      ~egress:(link + 1)
+      ~sink:(fun pkt -> process t pkt.Packet.seq)
+  done;
+  (* Measurement pumps, one per link's controller. *)
+  let last_bits = Array.make n_links 0 in
+  let rec pump () =
+    for i = 0 to n_links - 1 do
+      let bits = Csz_sched.realtime_bits_sent (Fabric.sched fab ~link:i) in
+      Meter.note_util
+        (Controller.meter ctrls.(i) ~link:0)
+        (float_of_int (bits - last_bits.(i))
+        /. (Units.link_rate_bps *. epoch_interval));
+      last_bits.(i) <- bits;
+      Controller.epoch ctrls.(i)
+    done;
+    ignore (Engine.schedule_after (engine t) ~delay:epoch_interval pump)
+  in
+  ignore (Engine.schedule_after (engine t) ~delay:epoch_interval pump);
+  (* Per-class delay measurements feed each link's own controller. *)
+  for i = 0 to n_links - 1 do
+    let meter = Controller.meter ctrls.(i) ~link:0 in
+    let k = Array.length class_targets in
+    Csz_sched.set_delay_hook (Fabric.sched fab ~link:i) (fun ~cls delay ->
+        if cls >= 0 && cls < k then Meter.note_delay meter ~cls delay)
+  done;
+  t
+
+let setup t ~flow ~ingress ~egress ?own_bucket spec ~sink ~on_result =
+  if Hashtbl.mem t.in_flight flow || Hashtbl.mem t.flows flow then
+    invalid_arg
+      (Printf.sprintf "Signaling.setup: flow %d already in flight" flow);
+  match Fabric.path t.fab ~ingress ~egress with
+  | None | Some [] -> on_result (Error "no route")
+  | Some path ->
+      Hashtbl.replace t.in_flight flow ();
+      let ctx =
+        {
+          ctx_flow = flow;
+          ingress;
+          egress;
+          spec;
+          own_bucket;
+          sink;
+          on_result;
+          started_at = Engine.now (engine t);
+          path;
+          granted = [];
+          bound_acc = 0.;
+        }
+      in
+      (* The ingress agent processes hop 0 locally, with no wire delay. *)
+      advance t ctx 0
+
+let teardown t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> ()
+  | Some { fr_granted } ->
+      Hashtbl.remove t.flows flow;
+      t.established_count <- t.established_count - 1;
+      release_granted t ~flow fr_granted

@@ -1,0 +1,76 @@
+(** Hop-by-hop service establishment — the paper's fourth architectural
+    component, realized.
+
+    Section 1 names "the means by which the traffic and service commitments
+    get established" as the final part of the architecture and Section 9
+    explicitly leaves "the negotiation process" unspecified.  This module
+    supplies an example mechanism in the spirit the authors' line of work
+    later took (RSVP): a {e setup} message carrying the service request
+    travels the flow's path as a real control packet through each link's
+    datagram class, each switch's agent runs the Section 9 admission test
+    for its own outgoing link and installs the reservation before
+    forwarding; the egress agent returns a confirmation, and a mid-path
+    refusal sends a teardown back along the hops already reserved, rolling
+    them back.
+
+    Consequences the instant central {!Service} cannot exhibit, and tests
+    do: setup takes real network time (it queues behind data traffic);
+    concurrent setups race and serialize in arrival order at each hop; a
+    refusal at hop [k] leaves no residue at hops [< k].
+
+    Control packets are 500 bits and travel in-band; confirmations and
+    teardowns return on the uncongested reverse path (fixed per-hop delay),
+    consistent with the paper's one-directional data plane. *)
+
+type t
+(** A fabric with a signaling agent deployed at every switch. *)
+
+val deploy :
+  fabric:Fabric.t ->
+  ?class_targets:float array ->
+  ?epoch_interval:float ->
+  ?reverse_hop_delay:float ->
+  unit ->
+  t
+(** Attach agents to every switch of [fabric] (each owns the admission
+    state of its outgoing links) and start their measurement pumps.
+    [class_targets] defaults to [| 0.008; 0.064 |];
+    [reverse_hop_delay] to 1 ms. *)
+
+val fabric : t -> Fabric.t
+
+type established = {
+  flow : int;
+  cls : int option;  (** Predicted class, as granted hop-by-hop. *)
+  advertised_bound : float option;
+      (** Guaranteed: Parekh-Gallager (if [own_bucket] given); predicted:
+          summed class targets. *)
+  setup_time : float;  (** Seconds the three-way establishment took. *)
+  emit : Ispn_sim.Packet.t -> unit;  (** Edge-policed injection. *)
+}
+
+val setup :
+  t ->
+  flow:int ->
+  ingress:int ->
+  egress:int ->
+  ?own_bucket:Ispn_admission.Spec.bucket ->
+  Ispn_admission.Spec.request ->
+  sink:(Ispn_sim.Packet.t -> unit) ->
+  on_result:((established, string) result -> unit) ->
+  unit
+(** Launch the setup message; [on_result] fires when the confirmation (or
+    the refusal) arrives back at the ingress, which takes at least one
+    control-packet transmission per hop.  Raises [Invalid_argument] when a
+    setup for [flow] is already in flight. *)
+
+val teardown : t -> flow:int -> unit
+(** Release an established flow's reservations at every hop (immediate;
+    teardown signaling latency is not modelled on the release side). *)
+
+(** {2 Introspection} *)
+
+val established_count : t -> int
+val refused_count : t -> int
+val control_packets_sent : t -> int
+(** Setup messages put on the wire (per hop). *)

@@ -1,0 +1,1 @@
+lib/playback/client.ml: Delay_estimator Estimator Vat_estimator

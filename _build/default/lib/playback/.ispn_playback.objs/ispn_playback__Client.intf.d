@@ -1,0 +1,1 @@
+lib/playback/client.mli: Estimator

@@ -1,0 +1,1 @@
+lib/playback/delay_estimator.mli:

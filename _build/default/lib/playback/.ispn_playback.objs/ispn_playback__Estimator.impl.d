@@ -1,0 +1,1 @@
+lib/playback/estimator.ml: Delay_estimator Vat_estimator

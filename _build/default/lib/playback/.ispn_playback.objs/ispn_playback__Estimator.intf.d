@@ -1,0 +1,1 @@
+lib/playback/estimator.mli: Delay_estimator Vat_estimator

@@ -1,0 +1,1 @@
+lib/playback/vat_estimator.ml: Float Stdlib

@@ -1,0 +1,67 @@
+type mode =
+  | Rigid of float
+  | Adaptive of { estimator : Estimator.t; update_every : int }
+
+type t = {
+  mode : mode;
+  mutable point : float;
+  mutable received : int;
+  mutable missed : int;
+  mutable point_sum : float;  (* for the packet-averaged play-back point *)
+  mutable since_update : int;
+}
+
+let create mode =
+  let point =
+    match mode with
+    | Rigid bound -> bound
+    | Adaptive { estimator; _ } -> estimator.Estimator.estimate ()
+  in
+  { mode; point; received = 0; missed = 0; point_sum = 0.; since_update = 0 }
+
+let rigid ~bound = create (Rigid bound)
+
+let adaptive_with ~estimator ?(update_every = 50) () =
+  create (Adaptive { estimator; update_every })
+
+let adaptive ?window ?quantile ?margin ?update_every () =
+  let estimator =
+    Estimator.of_quantile (Delay_estimator.create ?window ?quantile ?margin ())
+  in
+  adaptive_with ~estimator ?update_every ()
+
+let adaptive_vat ?update_every () =
+  adaptive_with ~estimator:(Estimator.of_vat (Vat_estimator.create ()))
+    ?update_every ()
+
+let receive t ~delay =
+  t.received <- t.received + 1;
+  t.point_sum <- t.point_sum +. t.point;
+  if delay > t.point then t.missed <- t.missed + 1;
+  match t.mode with
+  | Rigid _ -> ()
+  | Adaptive { estimator; update_every } ->
+      estimator.Estimator.observe delay;
+      t.since_update <- t.since_update + 1;
+      (* Bootstrap: until a window's worth of data exists, track eagerly so a
+         cold start does not count everything as lost. *)
+      if
+        t.since_update >= update_every
+        || estimator.Estimator.count () < update_every
+      then begin
+        t.since_update <- 0;
+        t.point <- estimator.Estimator.estimate ()
+      end
+
+let received t = t.received
+let missed t = t.missed
+
+let loss_rate t =
+  if t.received = 0 then 0.
+  else float_of_int t.missed /. float_of_int t.received
+
+let playback_point t = t.point
+
+let mean_playback_point t =
+  if t.received = 0 then t.point
+  else t.point_sum /. float_of_int t.received

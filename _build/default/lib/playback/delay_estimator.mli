@@ -1,0 +1,23 @@
+(** Sliding-window delay estimation for adaptive play-back clients.
+
+    An adaptive application (Section 2.3) measures the delays of arriving
+    packets and moves its play-back point to "the minimal delay that still
+    produces a sufficiently low loss rate" — i.e. a high quantile of the
+    recently observed delay distribution, plus a safety margin. *)
+
+type t
+
+val create : ?window:int -> ?quantile:float -> ?margin:float -> unit -> t
+(** [window] (default 200) is how many recent delays are remembered;
+    [quantile] (default 0.99) which point of their distribution is targeted;
+    [margin] (default 0) a constant added to the estimate, in seconds. *)
+
+val observe : t -> float -> unit
+(** Record one packet's delay (seconds). *)
+
+val count : t -> int
+(** Observations recorded so far (not capped by the window). *)
+
+val estimate : t -> float
+(** Current play-back point estimate.  With no observations yet this is
+    [margin]. *)

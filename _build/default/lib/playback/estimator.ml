@@ -1,0 +1,27 @@
+type t = {
+  observe : float -> unit;
+  estimate : unit -> float;
+  count : unit -> int;
+}
+
+let of_quantile de =
+  {
+    observe = Delay_estimator.observe de;
+    estimate = (fun () -> Delay_estimator.estimate de);
+    count = (fun () -> Delay_estimator.count de);
+  }
+
+let of_vat ve =
+  {
+    observe = Vat_estimator.observe ve;
+    estimate = (fun () -> Vat_estimator.estimate ve);
+    count = (fun () -> Vat_estimator.count ve);
+  }
+
+let constant point =
+  let n = ref 0 in
+  {
+    observe = (fun _ -> incr n);
+    estimate = (fun () -> point);
+    count = (fun () -> !n);
+  }

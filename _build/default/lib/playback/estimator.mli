@@ -1,0 +1,15 @@
+(** A common face over play-back point estimators.
+
+    {!Client} adapts through this record, so a receiver can plug in the
+    windowed-quantile tracker, the VAT-style filter, or anything else. *)
+
+type t = {
+  observe : float -> unit;
+  estimate : unit -> float;
+  count : unit -> int;
+}
+
+val of_quantile : Delay_estimator.t -> t
+val of_vat : Vat_estimator.t -> t
+val constant : float -> t
+(** Never moves: turns an adaptive client into a rigid one (for tests). *)

@@ -1,0 +1,30 @@
+(** VAT-style play-back delay estimation.
+
+    The paper cites the VAT packet-voice tool as a living adaptive
+    application.  VAT's playout algorithm (later standardized around RTP)
+    tracks a smoothed delay [d] and mean deviation [v] with exponential
+    filters and plays out at [d + k v]; a sudden large delay jump flips it
+    into a {e spike mode} that follows the delay closely until the spike
+    drains, avoiding a long tail of losses during the transient.
+
+    This estimator trades the exactness of {!Delay_estimator}'s windowed
+    quantile for O(1) state and faster reaction to level shifts — the
+    bench's playback experiment compares the two. *)
+
+type t
+
+val create :
+  ?gain:float -> ?deviation_factor:float -> ?spike_threshold:float ->
+  ?spike_exit:float -> unit -> t
+(** [gain] (default 1/16) is the EWMA gain for [d] and [v];
+    [deviation_factor] (default 4) the [k] in [d + k v];
+    [spike_threshold] (default 8): a delay beyond [d + threshold * v]
+    enters spike mode; [spike_exit] (default 2): spike mode ends once
+    delays return within [d + exit * v]. *)
+
+val observe : t -> float -> unit
+val estimate : t -> float
+(** Current playout point [d + k v] ([0.] before any observation). *)
+
+val count : t -> int
+val in_spike : t -> bool

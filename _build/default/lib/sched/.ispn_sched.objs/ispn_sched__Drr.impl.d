@@ -1,0 +1,1 @@
+lib/sched/drr.ml: Hashtbl Ispn_sim Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/sched/drr.mli: Ispn_sim

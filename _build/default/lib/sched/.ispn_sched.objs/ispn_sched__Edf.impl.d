@@ -1,0 +1,1 @@
+lib/sched/edf.ml: Hashtbl Ispn_sim Ispn_util Packet Printf Qdisc

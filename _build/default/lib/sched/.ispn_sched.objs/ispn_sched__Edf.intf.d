@@ -1,0 +1,1 @@
+lib/sched/edf.mli: Ispn_sim

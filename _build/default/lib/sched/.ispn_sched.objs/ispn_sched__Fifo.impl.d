@@ -1,0 +1,1 @@
+lib/sched/fifo.ml: Ispn_sim Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/sched/fifo.mli: Ispn_sim

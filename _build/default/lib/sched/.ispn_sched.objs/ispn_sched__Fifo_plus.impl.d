@@ -1,0 +1,1 @@
+lib/sched/fifo_plus.ml: Ispn_sim Ispn_util Packet Qdisc

@@ -1,0 +1,1 @@
+lib/sched/fifo_plus.mli: Ispn_sim

@@ -1,0 +1,1 @@
+lib/sched/hrr.ml: Engine Hashtbl Ispn_sim Packet Printf Qdisc Queue

@@ -1,0 +1,1 @@
+lib/sched/hrr.mli: Ispn_sim

@@ -1,0 +1,1 @@
+lib/sched/jitter_edd.ml: Engine Hashtbl Ispn_sim Ispn_util Packet Printf Qdisc Stdlib

@@ -1,0 +1,1 @@
+lib/sched/jitter_edd.mli: Ispn_sim

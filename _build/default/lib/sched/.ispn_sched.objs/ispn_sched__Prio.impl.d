@@ -1,0 +1,1 @@
+lib/sched/prio.ml: Array Ispn_sim Packet Printf Qdisc

@@ -1,0 +1,1 @@
+lib/sched/prio.mli: Ispn_sim

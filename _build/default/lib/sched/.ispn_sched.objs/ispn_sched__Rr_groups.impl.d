@@ -1,0 +1,1 @@
+lib/sched/rr_groups.ml: Array Ispn_sim Packet Printf Qdisc Queue

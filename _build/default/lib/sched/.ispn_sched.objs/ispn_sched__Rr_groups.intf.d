@@ -1,0 +1,1 @@
+lib/sched/rr_groups.mli: Ispn_sim

@@ -1,0 +1,1 @@
+lib/sched/stop_and_go.ml: Engine Float Ispn_sim Packet Qdisc Queue

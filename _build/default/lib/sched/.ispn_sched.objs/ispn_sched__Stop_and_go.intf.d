@@ -1,0 +1,1 @@
+lib/sched/stop_and_go.mli: Ispn_sim

@@ -1,0 +1,1 @@
+lib/sched/virtual_clock.ml: Hashtbl Ispn_sim Ispn_util Packet Printf Qdisc Stdlib

@@ -1,0 +1,1 @@
+lib/sched/virtual_clock.mli: Ispn_sim

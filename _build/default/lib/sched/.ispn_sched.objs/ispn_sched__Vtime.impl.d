@@ -1,0 +1,1 @@
+lib/sched/vtime.ml:

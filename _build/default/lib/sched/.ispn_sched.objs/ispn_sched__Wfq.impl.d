@@ -1,0 +1,1 @@
+lib/sched/wfq.ml: Hashtbl Ispn_sim Ispn_util Packet Printf Qdisc Stdlib Vtime

@@ -1,0 +1,1 @@
+lib/sched/wfq.mli: Ispn_sim

@@ -1,0 +1,98 @@
+open Ispn_sim
+
+type flow_state = {
+  queue : Packet.t Queue.t;
+  mutable deficit : int;
+  mutable in_round : bool;
+}
+
+(* Standard DRR: when a flow reaches the head of the active list it earns
+   one quantum and may send as long as its deficit covers the head packet;
+   it then goes to the tail keeping any leftover deficit (reset only when
+   it drains).  Because the qdisc interface serves one packet per dequeue,
+   [current] remembers the flow whose service opportunity is still open, so
+   the quantum is granted once per round — not once per packet.  (An
+   earlier version re-credited on every visit, which over-served
+   large-packet flows; the mixed-size fairness test pinned this down.) *)
+let create ~pool ~quantum_bits () =
+  if quantum_bits <= 0 then invalid_arg "Drr: quantum must be positive";
+  let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
+  let active : int Queue.t = Queue.create () in
+  let current : int option ref = ref None in
+  let total = ref 0 in
+  let flow_state flow =
+    match Hashtbl.find_opt flows flow with
+    | Some fs -> fs
+    | None ->
+        let fs = { queue = Queue.create (); deficit = 0; in_round = false } in
+        Hashtbl.add flows flow fs;
+        fs
+  in
+  let enqueue ~now pkt =
+    pkt.Packet.enqueued_at <- now;
+    if Qdisc.pool_take pool then begin
+      let fs = flow_state pkt.Packet.flow in
+      Queue.push pkt fs.queue;
+      incr total;
+      if (not fs.in_round) && !current <> Some pkt.Packet.flow then begin
+        fs.in_round <- true;
+        fs.deficit <- 0;
+        Queue.push pkt.Packet.flow active
+      end;
+      true
+    end
+    else false
+  in
+  (* Serve one packet from [flow] and update its service-opportunity
+     state. *)
+  let serve flow fs =
+    let pkt = Queue.pop fs.queue in
+    fs.deficit <- fs.deficit - pkt.Packet.size_bits;
+    decr total;
+    Qdisc.pool_release pool;
+    if Queue.is_empty fs.queue then begin
+      (* Drained: leave the round entirely and forfeit leftover credit. *)
+      fs.deficit <- 0;
+      fs.in_round <- false;
+      current := None
+    end
+    else if fs.deficit < (Queue.peek fs.queue).Packet.size_bits then begin
+      (* Opportunity exhausted: back to the tail, keep the remainder. *)
+      fs.in_round <- true;
+      Queue.push flow active;
+      current := None
+    end;
+    Some pkt
+  in
+  let rec dequeue ~now =
+    match !current with
+    | Some flow ->
+        let fs = Hashtbl.find flows flow in
+        (* The open opportunity always covers the head packet (checked when
+           it was opened or after the previous send). *)
+        serve flow fs
+    | None -> (
+        match Queue.take_opt active with
+        | None -> None
+        | Some flow ->
+            let fs = Hashtbl.find flows flow in
+            if Queue.is_empty fs.queue then begin
+              (* Flow drained while waiting its turn. *)
+              fs.in_round <- false;
+              dequeue ~now
+            end
+            else begin
+              fs.deficit <- fs.deficit + quantum_bits;
+              if fs.deficit >= (Queue.peek fs.queue).Packet.size_bits then begin
+                fs.in_round <- false;
+                current := Some flow;
+                dequeue ~now
+              end
+              else begin
+                (* Not yet affordable: keep saving, go to the tail. *)
+                Queue.push flow active;
+                dequeue ~now
+              end
+            end)
+  in
+  Qdisc.make ~enqueue ~dequeue ~length:(fun () -> !total) ~name:"DRR" ()

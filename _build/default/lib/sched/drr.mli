@@ -1,0 +1,12 @@
+(** Deficit round robin — a later, cheaper approximation of fair queueing.
+
+    Included as a baseline for the scheduler bake-off: it provides WFQ-like
+    per-flow isolation with O(1) dequeue, at the cost of burstier short-term
+    service.  Each backlogged flow holds a deficit counter; a round visits
+    flows cyclically, adding a quantum and sending packets while the deficit
+    covers them. *)
+
+val create :
+  pool:Ispn_sim.Qdisc.pool -> quantum_bits:int -> unit -> Ispn_sim.Qdisc.t
+(** [quantum_bits] must be at least the maximum packet size or a flow could
+    stall; raises [Invalid_argument] if non-positive. *)

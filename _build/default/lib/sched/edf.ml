@@ -1,0 +1,43 @@
+open Ispn_sim
+
+type entry = { deadline : float; arrival_seq : int; pkt : Packet.t }
+
+let compare_entry a b =
+  match compare a.deadline b.deadline with
+  | 0 -> compare a.arrival_seq b.arrival_seq
+  | c -> c
+
+let create ~pool ~deadline_of () =
+  let budgets : (int, float) Hashtbl.t = Hashtbl.create 32 in
+  let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
+  let next_seq = ref 0 in
+  let budget flow =
+    match Hashtbl.find_opt budgets flow with
+    | Some d -> d
+    | None ->
+        let d = deadline_of flow in
+        if d < 0. then
+          invalid_arg (Printf.sprintf "Edf: flow %d has budget %g" flow d);
+        Hashtbl.add budgets flow d;
+        d
+  in
+  let enqueue ~now pkt =
+    pkt.Packet.enqueued_at <- now;
+    if Qdisc.pool_take pool then begin
+      let deadline = now +. budget pkt.Packet.flow in
+      Ispn_util.Heap.push heap { deadline; arrival_seq = !next_seq; pkt };
+      incr next_seq;
+      true
+    end
+    else false
+  in
+  let dequeue ~now:_ =
+    match Ispn_util.Heap.pop heap with
+    | None -> None
+    | Some { pkt; _ } ->
+        Qdisc.pool_release pool;
+        Some pkt
+  in
+  Qdisc.make ~enqueue ~dequeue
+    ~length:(fun () -> Ispn_util.Heap.length heap)
+    ~name:"EDF" ()

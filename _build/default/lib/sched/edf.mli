@@ -1,0 +1,14 @@
+(** Static earliest-deadline-first — a Delay-EDD-style baseline.
+
+    Each flow has a fixed local delay budget [d]; a packet arriving at time
+    [a] gets deadline [a + d] and packets leave in deadline order (Ferrari &
+    Verma's Delay-EDD assigns deadlines this way from per-channel delay
+    bounds).  With equal budgets for every flow this degenerates to FIFO —
+    the observation of Section 5 that deadline scheduling in a homogeneous
+    class *is* FIFO, which tests verify. *)
+
+val create :
+  pool:Ispn_sim.Qdisc.pool -> deadline_of:(int -> float) -> unit ->
+  Ispn_sim.Qdisc.t
+(** [deadline_of flow] is the flow's local delay budget in seconds
+    (consulted at first packet; must be non-negative). *)

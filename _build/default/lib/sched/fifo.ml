@@ -1,0 +1,20 @@
+open Ispn_sim
+
+let create ~pool () =
+  let q : Packet.t Queue.t = Queue.create () in
+  let enqueue ~now pkt =
+    pkt.Packet.enqueued_at <- now;
+    if Qdisc.pool_take pool then begin
+      Queue.push pkt q;
+      true
+    end
+    else false
+  in
+  let dequeue ~now:_ =
+    match Queue.take_opt q with
+    | None -> None
+    | Some pkt ->
+        Qdisc.pool_release pool;
+        Some pkt
+  in
+  Qdisc.make ~enqueue ~dequeue ~length:(fun () -> Queue.length q) ~name:"FIFO" ()

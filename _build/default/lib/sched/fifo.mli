@@ -1,0 +1,11 @@
+(** First-in first-out queueing.
+
+    The paper's point (Section 5): within a class of clients with similar
+    service desires, FIFO is exactly earliest-deadline-first and *shares*
+    jitter across the aggregate — bursts are multiplexed instead of being
+    charged back to the bursting source, so the post-facto delay bound (the
+    99.9th percentile in Table 1) is lower than under WFQ at the same
+    utilization. *)
+
+val create : pool:Ispn_sim.Qdisc.pool -> unit -> Ispn_sim.Qdisc.t
+(** Tail-drop FIFO drawing buffers from [pool]. *)

@@ -1,0 +1,57 @@
+open Ispn_sim
+
+type entry = { deadline : float; arrival_seq : int; pkt : Packet.t }
+
+type state = {
+  avg : Ispn_util.Ewma.t;
+  mutable discarded : int;
+}
+
+let avg_delay st = Ispn_util.Ewma.value st.avg
+let discarded st = st.discarded
+
+let compare_entry a b =
+  match compare a.deadline b.deadline with
+  | 0 -> compare a.arrival_seq b.arrival_seq
+  | c -> c
+
+let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ~pool () =
+  let st = { avg = Ispn_util.Ewma.create ~gain:ewma_gain (); discarded = 0 } in
+  let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
+  let next_seq = ref 0 in
+  let enqueue ~now pkt =
+    pkt.Packet.enqueued_at <- now;
+    let late =
+      match discard_late_above with
+      | Some threshold -> pkt.Packet.offset > threshold
+      | None -> false
+    in
+    if late then begin
+      st.discarded <- st.discarded + 1;
+      false
+    end
+    else if Qdisc.pool_take pool then begin
+      let deadline = Packet.expected_arrival pkt in
+      Ispn_util.Heap.push heap { deadline; arrival_seq = !next_seq; pkt };
+      incr next_seq;
+      true
+    end
+    else false
+  in
+  let dequeue ~now =
+    match Ispn_util.Heap.pop heap with
+    | None -> None
+    | Some { pkt; _ } ->
+        Qdisc.pool_release pool;
+        let delay = now -. pkt.Packet.enqueued_at in
+        (* Accumulate this hop's deviation from the class average into the
+           header field, then fold the observation into the average. *)
+        pkt.Packet.offset <-
+          pkt.Packet.offset +. (delay -. Ispn_util.Ewma.value st.avg);
+        Ispn_util.Ewma.update st.avg delay;
+        Some pkt
+  in
+  ( st,
+    Qdisc.make ~enqueue ~dequeue
+      ~length:(fun () -> Ispn_util.Heap.length heap)
+      ~name:"FIFO+" () )

@@ -1,0 +1,87 @@
+open Ispn_sim
+
+type flow_state = {
+  queue : Packet.t Queue.t;
+  slots : int;  (* allocation per frame *)
+  mutable credit : int;  (* slots left in the current frame *)
+}
+
+let create ~engine ~frame ~slots_of ~pool () =
+  assert (frame > 0.);
+  let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
+  let order : int Queue.t = Queue.create () in
+  (* Round-robin visiting order; rebuilt lazily. *)
+  let total = ref 0 in
+  let waker = ref (fun () -> ()) in
+  let frame_start = ref 0. in
+  let boundary_armed = ref false in
+  let flow_state flow =
+    match Hashtbl.find_opt flows flow with
+    | Some fs -> fs
+    | None ->
+        let slots = slots_of flow in
+        if slots <= 0 then
+          invalid_arg (Printf.sprintf "Hrr: flow %d has %d slots" flow slots);
+        let fs = { queue = Queue.create (); slots; credit = slots } in
+        Hashtbl.add flows flow fs;
+        Queue.push flow order;
+        fs
+  in
+  let rec arm_boundary ~now =
+    if not !boundary_armed then begin
+      boundary_armed := true;
+      let next = !frame_start +. frame in
+      let next = if next <= now then now +. frame else next in
+      ignore
+        (Engine.schedule engine ~at:next (fun () ->
+             boundary_armed := false;
+             frame_start := next;
+             Hashtbl.iter (fun _ fs -> fs.credit <- fs.slots) flows;
+             if !total > 0 then begin
+               (* More frames will be needed while backlog remains. *)
+               arm_boundary ~now:next;
+               !waker ()
+             end))
+    end
+  in
+  let enqueue ~now pkt =
+    pkt.Packet.enqueued_at <- now;
+    if Qdisc.pool_take pool then begin
+      let fs = flow_state pkt.Packet.flow in
+      Queue.push pkt fs.queue;
+      incr total;
+      arm_boundary ~now;
+      true
+    end
+    else false
+  in
+  let dequeue ~now:_ =
+    if !total = 0 then None
+    else begin
+      (* Visit each flow at most once looking for queued work + credit. *)
+      let n = Queue.length order in
+      let rec visit k =
+        if k >= n then None
+        else begin
+          let flow = Queue.pop order in
+          Queue.push flow order;
+          let fs = Hashtbl.find flows flow in
+          if fs.credit > 0 && not (Queue.is_empty fs.queue) then begin
+            fs.credit <- fs.credit - 1;
+            decr total;
+            Qdisc.pool_release pool;
+            Some (Queue.pop fs.queue)
+          end
+          else visit (k + 1)
+        end
+      in
+      visit 0
+      (* [None] with work queued means every backlogged flow exhausted its
+         frame credit; the armed frame boundary will wake the link. *)
+    end
+  in
+  Qdisc.make
+    ~attach_waker:(fun w -> waker := w)
+    ~enqueue ~dequeue
+    ~length:(fun () -> !total)
+    ~name:"HRR" ()

@@ -1,0 +1,20 @@
+(** Hierarchical Round Robin (Kalmanek, Kanakia & Keshav 1990) —
+    non-work-conserving, rate-controlled baseline.
+
+    Each flow owns a fixed number of packet slots per frame of length
+    [frame].  Within a frame, backlogged flows are served round-robin until
+    each has consumed its slots; a flow's unused slots are {e not} given
+    away — the link idles instead, which is what bounds every flow's rate
+    (and hence downstream burstiness) at the cost of wasted capacity.  This
+    is the single-level special case of the HRR hierarchy, which is all the
+    paper's comparison calls for. *)
+
+val create :
+  engine:Ispn_sim.Engine.t ->
+  frame:float ->
+  slots_of:(int -> int) ->
+  pool:Ispn_sim.Qdisc.pool ->
+  unit ->
+  Ispn_sim.Qdisc.t
+(** [slots_of flow] is the flow's per-frame packet allocation (consulted at
+    first packet; must be positive). *)

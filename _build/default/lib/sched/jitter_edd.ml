@@ -1,0 +1,82 @@
+open Ispn_sim
+
+type entry = {
+  eligible : float;
+  deadline : float;
+  arrival_seq : int;
+  pkt : Packet.t;
+}
+
+let compare_deadline a b =
+  match compare a.deadline b.deadline with
+  | 0 -> compare a.arrival_seq b.arrival_seq
+  | c -> c
+
+let compare_eligible a b =
+  match compare a.eligible b.eligible with
+  | 0 -> compare a.arrival_seq b.arrival_seq
+  | c -> c
+
+let create ~engine ~budget_of ~pool () =
+  let budgets : (int, float) Hashtbl.t = Hashtbl.create 32 in
+  (* Packets still being held back wait in [holding]; eligible packets sit
+     in [ready], ordered by deadline. *)
+  let holding = Ispn_util.Heap.create ~cmp:compare_eligible () in
+  let ready = Ispn_util.Heap.create ~cmp:compare_deadline () in
+  let next_seq = ref 0 in
+  let waker = ref (fun () -> ()) in
+  let budget flow =
+    match Hashtbl.find_opt budgets flow with
+    | Some d -> d
+    | None ->
+        let d = budget_of flow in
+        if d <= 0. then
+          invalid_arg (Printf.sprintf "Jitter_edd: flow %d has budget %g" flow d);
+        Hashtbl.add budgets flow d;
+        d
+  in
+  (* Move everything whose holding time has expired into the ready heap. *)
+  let promote ~now =
+    let rec go () =
+      match Ispn_util.Heap.peek holding with
+      | Some e when e.eligible <= now +. 1e-12 ->
+          ignore (Ispn_util.Heap.pop holding);
+          Ispn_util.Heap.push ready e;
+          go ()
+      | Some _ | None -> ()
+    in
+    go ()
+  in
+  let enqueue ~now pkt =
+    pkt.Packet.enqueued_at <- now;
+    if Qdisc.pool_take pool then begin
+      (* The header carries the earliness accumulated at the previous hop;
+         the packet is held for exactly that long here. *)
+      let hold = Stdlib.max 0. pkt.Packet.offset in
+      let eligible = now +. hold in
+      let deadline = eligible +. budget pkt.Packet.flow in
+      let e = { eligible; deadline; arrival_seq = !next_seq; pkt } in
+      incr next_seq;
+      if hold > 0. then begin
+        Ispn_util.Heap.push holding e;
+        ignore (Engine.schedule engine ~at:eligible (fun () -> !waker ()))
+      end
+      else Ispn_util.Heap.push ready e;
+      true
+    end
+    else false
+  in
+  let dequeue ~now =
+    promote ~now;
+    match Ispn_util.Heap.pop ready with
+    | Some e ->
+        Qdisc.pool_release pool;
+        (* Export this hop's earliness for the next hop to cancel. *)
+        e.pkt.Packet.offset <- Stdlib.max 0. (e.deadline -. now);
+        Some e.pkt
+    | None -> None
+  in
+  let length () = Ispn_util.Heap.length holding + Ispn_util.Heap.length ready in
+  Qdisc.make
+    ~attach_waker:(fun w -> waker := w)
+    ~enqueue ~dequeue ~length ~name:"Jitter-EDD" ()

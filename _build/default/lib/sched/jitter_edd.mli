@@ -1,0 +1,25 @@
+(** Jitter-EDD (Verma, Zhang & Ferrari 1991) — non-work-conserving
+    deadline scheduling with cross-hop jitter cancellation.
+
+    Like FIFO+, Jitter-EDD carries a delay field in the packet header; the
+    mechanisms differ in sign and in work conservation.  At each hop a
+    packet is stamped with deadline [eligible + d] where [d] is its flow's
+    local delay budget.  When the packet departs {e ahead} of that
+    deadline, the slack is written into the header; the next switch then
+    {b holds} the packet for exactly that slack before it becomes eligible,
+    reconstructing the fully-delayed schedule.  End-to-end jitter collapses
+    to the jitter of the last hop, at the price of never letting a packet
+    run early (higher mean delay, idle links).
+
+    This implementation reuses [Packet.offset] as the header field, carrying
+    {e earliness} (non-negative) rather than FIFO+'s signed lateness; a
+    network mixes one interpretation per path, never both. *)
+
+val create :
+  engine:Ispn_sim.Engine.t ->
+  budget_of:(int -> float) ->
+  pool:Ispn_sim.Qdisc.pool ->
+  unit ->
+  Ispn_sim.Qdisc.t
+(** [budget_of flow] is the flow's per-hop delay budget [d] in seconds
+    (consulted at first packet; must be positive). *)

@@ -1,0 +1,25 @@
+open Ispn_sim
+
+let create ~classes ~classify () =
+  assert (Array.length classes > 0);
+  let n = Array.length classes in
+  let enqueue ~now pkt =
+    let c = classify pkt in
+    if c < 0 || c >= n then
+      invalid_arg
+        (Printf.sprintf "Prio: classify returned %d for flow %d" c
+           pkt.Packet.flow);
+    classes.(c).Qdisc.enqueue ~now pkt
+  in
+  let rec dequeue_from i ~now =
+    if i >= n then None
+    else
+      match classes.(i).Qdisc.dequeue ~now with
+      | Some pkt -> Some pkt
+      | None -> dequeue_from (i + 1) ~now
+  in
+  let dequeue ~now = dequeue_from 0 ~now in
+  let length () =
+    Array.fold_left (fun acc c -> acc + c.Qdisc.length ()) 0 classes
+  in
+  Qdisc.make ~enqueue ~dequeue ~length ~name:"PRIO" ()

@@ -1,0 +1,17 @@
+(** Strict priority over sub-schedulers.
+
+    The sharing mechanism between predicted-service classes (Section 7): a
+    burst in a high class momentarily steals bandwidth from the classes
+    below, shifting its jitter downwards; a lower class never affects a
+    higher one.  Class 0 is the highest priority.
+
+    Used in the unified scheduler with one {!Fifo_plus} per predicted class
+    and a plain {!Fifo} for datagram traffic at the bottom. *)
+
+val create :
+  classes:Ispn_sim.Qdisc.t array ->
+  classify:(Ispn_sim.Packet.t -> int) ->
+  unit ->
+  Ispn_sim.Qdisc.t
+(** [classify pkt] must return an index into [classes].  Raises
+    [Invalid_argument] on an out-of-range class at enqueue time. *)

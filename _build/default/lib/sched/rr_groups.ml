@@ -1,0 +1,39 @@
+open Ispn_sim
+
+let create ~pool ~n_groups ~group_of () =
+  assert (n_groups > 0);
+  let queues = Array.init n_groups (fun _ -> Queue.create ()) in
+  let total = ref 0 in
+  let cursor = ref 0 in
+  let enqueue ~now pkt =
+    let g = group_of pkt in
+    if g < 0 || g >= n_groups then
+      invalid_arg
+        (Printf.sprintf "Rr_groups: group %d out of range for flow %d" g
+           pkt.Packet.flow);
+    if Qdisc.pool_take pool then begin
+      pkt.Packet.enqueued_at <- now;
+      Queue.push pkt queues.(g);
+      incr total;
+      true
+    end
+    else false
+  in
+  let dequeue ~now:_ =
+    if !total = 0 then None
+    else begin
+      (* Find the next backlogged group at or after the cursor. *)
+      let rec find k =
+        let g = (!cursor + k) mod n_groups in
+        if Queue.is_empty queues.(g) then find (k + 1) else g
+      in
+      let g = find 0 in
+      cursor := (g + 1) mod n_groups;
+      let pkt = Queue.pop queues.(g) in
+      decr total;
+      Qdisc.pool_release pool;
+      Some pkt
+    end
+  in
+  Qdisc.make ~enqueue ~dequeue ~length:(fun () -> !total)
+    ~name:"RR-groups" ()

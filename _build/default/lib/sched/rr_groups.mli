@@ -1,0 +1,16 @@
+(** Round-robin among groups, FIFO within each group.
+
+    The Jacobson-Floyd scheme sketched in Section 11: traffic in a priority
+    level is combined into aggregate groups; each group keeps FIFO order and
+    the scheduler round-robins packet-by-packet among the backlogged groups.
+    Compared to the CSZ choice of FIFO across the whole class, round-robin
+    re-introduces per-group isolation inside the class — the bake-off bench
+    measures what that costs in post-facto jitter. *)
+
+val create :
+  pool:Ispn_sim.Qdisc.pool ->
+  n_groups:int ->
+  group_of:(Ispn_sim.Packet.t -> int) ->
+  unit ->
+  Ispn_sim.Qdisc.t
+(** [group_of pkt] must return a value in [\[0, n_groups)]. *)

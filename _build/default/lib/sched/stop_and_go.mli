@@ -1,0 +1,19 @@
+(** Stop-and-Go queueing (Golestani 1990) — non-work-conserving baseline.
+
+    Time is divided into frames of length [frame].  A packet arriving during
+    one frame may only depart during a later frame: it becomes eligible at
+    the first frame boundary after its arrival.  Eligible packets go out in
+    FIFO order; when the head packet is not yet eligible the link is left
+    {e idle} even though work is queued — the defining non-work-conserving
+    trade of Section 11: "these algorithms typically deliver higher average
+    delays in return for lower jitter."  Per-hop jitter is bounded by one
+    frame regardless of the competing load, provided each flow's
+    arrivals fit its frame allocation. *)
+
+val create :
+  engine:Ispn_sim.Engine.t ->
+  frame:float ->
+  pool:Ispn_sim.Qdisc.pool ->
+  unit ->
+  Ispn_sim.Qdisc.t
+(** [frame] is the framing time [T] in seconds (must be positive). *)

@@ -1,0 +1,50 @@
+open Ispn_sim
+
+type flow_state = { rate : float; mutable vc : float }
+type entry = { tag : float; arrival_seq : int; pkt : Packet.t }
+
+let compare_entry a b =
+  match compare a.tag b.tag with
+  | 0 -> compare a.arrival_seq b.arrival_seq
+  | c -> c
+
+let create ~pool ~rate_of () =
+  let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
+  let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
+  let next_seq = ref 0 in
+  let flow_state flow =
+    match Hashtbl.find_opt flows flow with
+    | Some fs -> fs
+    | None ->
+        let rate = rate_of flow in
+        if rate <= 0. then
+          invalid_arg
+            (Printf.sprintf "Virtual_clock: flow %d has rate %g" flow rate);
+        let fs = { rate; vc = 0. } in
+        Hashtbl.add flows flow fs;
+        fs
+  in
+  let enqueue ~now pkt =
+    pkt.Packet.enqueued_at <- now;
+    if Qdisc.pool_take pool then begin
+      let fs = flow_state pkt.Packet.flow in
+      let tag =
+        Stdlib.max now fs.vc +. (float_of_int pkt.Packet.size_bits /. fs.rate)
+      in
+      fs.vc <- tag;
+      Ispn_util.Heap.push heap { tag; arrival_seq = !next_seq; pkt };
+      incr next_seq;
+      true
+    end
+    else false
+  in
+  let dequeue ~now:_ =
+    match Ispn_util.Heap.pop heap with
+    | None -> None
+    | Some { pkt; _ } ->
+        Qdisc.pool_release pool;
+        Some pkt
+  in
+  Qdisc.make ~enqueue ~dequeue
+    ~length:(fun () -> Ispn_util.Heap.length heap)
+    ~name:"VirtualClock" ()

@@ -1,0 +1,14 @@
+(** VirtualClock (Zhang, SIGCOMM 1990) — related-work baseline.
+
+    Each flow runs a virtual clock at its reserved rate: packet [i] of a flow
+    with rate [r] is stamped [max (now, vc) + size / r] where [vc] is the
+    flow's previous stamp, and packets leave in stamp order.  Unlike WFQ's
+    virtual time, the reference clock is *real* time, so a flow that idles
+    does not bank credit.  Behaviour is very close to WFQ for the paper's
+    workloads (both are isolating time-stamp schedulers). *)
+
+val create :
+  pool:Ispn_sim.Qdisc.pool -> rate_of:(int -> float) -> unit ->
+  Ispn_sim.Qdisc.t
+(** [rate_of flow] is the flow's reserved rate in bits/s (consulted at first
+    packet; must be positive). *)

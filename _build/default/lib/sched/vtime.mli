@@ -1,0 +1,38 @@
+(** GPS virtual time.
+
+    Shared by {!Wfq} and the unified CSZ scheduler.  Virtual time [V(t)]
+    advances at rate [C / Phi(t)] where [C] is the link rate and [Phi(t)] the
+    summed clock rates of the currently backlogged flows (the fluid-flow
+    dynamics of Section 4).  A flow's packet gets finish tag
+    [max (V(arrival), previous finish tag of the flow) + size / clock_rate];
+    serving packets in increasing tag order approximates GPS.
+
+    The active set is tracked at packet granularity (a flow is active while
+    it has packets queued), the standard packetized approximation of the
+    fluid model.  When the system drains completely, the busy period ends
+    and virtual time resets to zero; callers must reset their per-flow
+    finish tags at the same time via the [on_reset] callback. *)
+
+type t
+
+val create : link_rate_bps:float -> on_reset:(unit -> unit) -> t
+
+val advance : t -> now:float -> unit
+(** Integrate [V] up to [now].  Call before reading {!v} or changing the
+    active set. *)
+
+val v : t -> float
+
+val flow_activated : t -> weight:float -> unit
+(** A flow with clock rate [weight] (bits/s) became backlogged. *)
+
+val flow_deactivated : t -> now:float -> weight:float -> unit
+(** A flow drained.  When the last flow deactivates the busy period ends:
+    [V] resets to 0 and [on_reset] fires. *)
+
+val adjust_active : t -> now:float -> delta:float -> unit
+(** Change the weight of a currently-active flow in place (the unified
+    scheduler re-sizes pseudo-flow 0 when guaranteed reservations change).
+    Advances [V] first so past service is accounted at the old weight. *)
+
+val active_weight : t -> float

@@ -1,0 +1,68 @@
+open Ispn_sim
+
+type flow_state = {
+  weight : float;
+  mutable last_finish : float;
+  mutable qlen : int;
+}
+
+type entry = { tag : float; arrival_seq : int; pkt : Packet.t }
+
+let compare_entry a b =
+  match compare a.tag b.tag with
+  | 0 -> compare a.arrival_seq b.arrival_seq
+  | c -> c
+
+let create ~pool ~link_rate_bps ~weight_of () =
+  let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
+  let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
+  let next_seq = ref 0 in
+  let vt =
+    Vtime.create ~link_rate_bps ~on_reset:(fun () ->
+        Hashtbl.iter (fun _ fs -> fs.last_finish <- 0.) flows)
+  in
+  let flow_state flow =
+    match Hashtbl.find_opt flows flow with
+    | Some fs -> fs
+    | None ->
+        let weight = weight_of flow in
+        if weight <= 0. then
+          invalid_arg (Printf.sprintf "Wfq: flow %d has weight %g" flow weight);
+        let fs = { weight; last_finish = 0.; qlen = 0 } in
+        Hashtbl.add flows flow fs;
+        fs
+  in
+  let enqueue ~now pkt =
+    pkt.Packet.enqueued_at <- now;
+    if Qdisc.pool_take pool then begin
+      Vtime.advance vt ~now;
+      let fs = flow_state pkt.Packet.flow in
+      if fs.qlen = 0 then Vtime.flow_activated vt ~weight:fs.weight;
+      let tag =
+        Stdlib.max (Vtime.v vt) fs.last_finish
+        +. (float_of_int pkt.Packet.size_bits /. fs.weight)
+      in
+      fs.last_finish <- tag;
+      fs.qlen <- fs.qlen + 1;
+      Ispn_util.Heap.push heap { tag; arrival_seq = !next_seq; pkt };
+      incr next_seq;
+      true
+    end
+    else false
+  in
+  let dequeue ~now =
+    match Ispn_util.Heap.pop heap with
+    | None -> None
+    | Some { pkt; _ } ->
+        Qdisc.pool_release pool;
+        let fs = Hashtbl.find flows pkt.Packet.flow in
+        fs.qlen <- fs.qlen - 1;
+        if fs.qlen = 0 then Vtime.flow_deactivated vt ~now ~weight:fs.weight;
+        Some pkt
+  in
+  Qdisc.make ~enqueue ~dequeue
+    ~length:(fun () -> Ispn_util.Heap.length heap)
+    ~name:"WFQ" ()
+
+let create_equal ~pool ~link_rate_bps () =
+  create ~pool ~link_rate_bps ~weight_of:(fun _ -> 1.) ()

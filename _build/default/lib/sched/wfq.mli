@@ -1,0 +1,26 @@
+(** Weighted Fair Queueing (packetized GPS).
+
+    The isolation scheduler of Section 4.  Each flow has a clock rate
+    (weight, in bits/s); packets are stamped with virtual finish times
+    [F_i = max (V(a_i), F_{i-1}) + p_i / r] and transmitted in increasing
+    stamp order.  Under the Parekh-Gallager conditions (same clock rate at
+    every switch, sum of clock rates at most the link speed), a flow
+    conforming to an [(r, b)] token bucket sees queueing delay at most about
+    [b / r] regardless of how the *other* flows behave — the property
+    Table 3 verifies for the guaranteed service class.
+
+    With equal weights this is the plain Fair Queueing of Demers, Keshav &
+    Shenker used in Tables 1 and 2. *)
+
+val create :
+  pool:Ispn_sim.Qdisc.pool ->
+  link_rate_bps:float ->
+  weight_of:(int -> float) ->
+  unit ->
+  Ispn_sim.Qdisc.t
+(** [weight_of flow] gives the clock rate (bits/s) of [flow]; it is consulted
+    once, when the flow's first packet arrives, and must be positive. *)
+
+val create_equal :
+  pool:Ispn_sim.Qdisc.pool -> link_rate_bps:float -> unit -> Ispn_sim.Qdisc.t
+(** Unweighted Fair Queueing: every flow gets the same share. *)

@@ -1,0 +1,1 @@
+lib/sim/backlog.ml: Engine Fvec Histogram Ispn_util Link Qdisc Quantile Stats Stdlib

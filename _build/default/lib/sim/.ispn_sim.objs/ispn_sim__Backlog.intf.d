@@ -1,0 +1,1 @@
+lib/sim/backlog.mli: Engine Ispn_util Link

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Ispn_util Printf Stdlib

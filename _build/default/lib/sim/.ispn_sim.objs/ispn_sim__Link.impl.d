@@ -1,0 +1,1 @@
+lib/sim/link.ml: Engine Ispn_util Logs Packet Qdisc Stdlib

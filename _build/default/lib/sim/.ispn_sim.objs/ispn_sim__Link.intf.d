@@ -1,0 +1,1 @@
+lib/sim/link.mli: Engine Ispn_util Packet Qdisc

@@ -1,0 +1,1 @@
+lib/sim/network.mli: Engine Link Node Packet Qdisc

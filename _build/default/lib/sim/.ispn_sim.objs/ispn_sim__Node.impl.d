@@ -1,0 +1,1 @@
+lib/sim/node.ml: Hashtbl Link Packet Printf

@@ -1,0 +1,1 @@
+lib/sim/node.mli: Link Packet

@@ -1,0 +1,1 @@
+lib/sim/packet.ml: Format Ispn_util

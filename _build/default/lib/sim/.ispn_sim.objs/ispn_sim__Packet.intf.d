@@ -1,0 +1,1 @@
+lib/sim/packet.mli: Format

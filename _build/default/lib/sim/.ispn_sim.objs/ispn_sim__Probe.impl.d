@@ -1,0 +1,1 @@
+lib/sim/probe.ml: Engine Fvec Ispn_util Node Packet Quantile Stdlib Units

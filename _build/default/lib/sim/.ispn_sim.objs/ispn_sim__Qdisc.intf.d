@@ -1,0 +1,1 @@
+lib/sim/qdisc.mli: Packet

@@ -1,0 +1,1 @@
+lib/sim/topology.ml: Array Engine Hashtbl Link List Node Printf Queue Stdlib

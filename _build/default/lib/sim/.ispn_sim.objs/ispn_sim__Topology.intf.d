@@ -1,0 +1,1 @@
+lib/sim/topology.mli: Engine Link Node Packet Qdisc

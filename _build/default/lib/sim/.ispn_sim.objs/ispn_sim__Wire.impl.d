@@ -1,0 +1,1 @@
+lib/sim/wire.ml: Bytes Float Int32 Packet Printf

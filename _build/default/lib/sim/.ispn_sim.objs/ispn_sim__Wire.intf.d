@@ -1,0 +1,1 @@
+lib/sim/wire.mli: Packet

@@ -1,0 +1,26 @@
+open Ispn_util
+
+type t = { samples : Fvec.t; stats : Stats.t }
+
+let watch ~engine ~link ?(interval = 0.01) () =
+  assert (interval > 0.);
+  let t = { samples = Fvec.create (); stats = Stats.create () } in
+  let qdisc = Link.qdisc link in
+  let rec tick () =
+    let depth = float_of_int (qdisc.Qdisc.length ()) in
+    Fvec.push t.samples depth;
+    Stats.add t.stats depth;
+    ignore (Engine.schedule_after engine ~delay:interval tick)
+  in
+  ignore (Engine.schedule_after engine ~delay:interval tick);
+  t
+
+let samples t = t.samples
+let count t = Fvec.length t.samples
+let mean t = Stats.mean t.stats
+let max t = if count t = 0 then 0. else Stats.max t.stats
+let percentile t p = Quantile.percentile t.samples p
+
+let histogram ?(bins = 20) t =
+  let hi = Stdlib.max 1. (max t +. 1.) in
+  Histogram.of_values ~lo:0. ~hi ~bins (Fvec.to_array t.samples)

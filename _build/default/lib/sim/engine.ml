@@ -1,0 +1,80 @@
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable live : int;
+  heap : event Ispn_util.Heap.t;
+}
+
+let compare_event a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  {
+    clock = 0.;
+    next_seq = 0;
+    live = 0;
+    heap = Ispn_util.Heap.create ~cmp:compare_event ();
+  }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%g is before now=%g" at t.clock);
+  let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Ispn_util.Heap.push t.heap ev;
+  ev
+
+let schedule_after t ~delay action =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) action
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let step t =
+  match Ispn_util.Heap.pop t.heap with
+  | None -> false
+  | Some ev ->
+      if ev.cancelled then true
+      else begin
+        t.live <- t.live - 1;
+        t.clock <- ev.time;
+        ev.action ();
+        true
+      end
+
+let run t ~until =
+  let rec loop () =
+    match Ispn_util.Heap.peek t.heap with
+    | Some ev when ev.time <= until ->
+        ignore (step t);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.clock <- Stdlib.max t.clock until
+
+let run_until_idle t ~max_events =
+  let rec loop n =
+    if n > max_events then failwith "Engine.run_until_idle: event budget blown"
+    else if step t then loop (n + 1)
+  in
+  loop 0

@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    A single mutable clock plus a pending-event heap.  Events scheduled for
+    the same instant fire in scheduling order (a strictly increasing sequence
+    number breaks ties), which makes runs deterministic.  Cancellation is by
+    lazy deletion: a cancelled event stays in the heap but is skipped when it
+    surfaces. *)
+
+type t
+
+type handle
+(** Names a scheduled event so it can be cancelled (e.g. a TCP
+    retransmission timer disarmed by an ack). *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time in seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] when the clock reaches [at].  Raises
+    [Invalid_argument] if [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] is [schedule t ~at:(now t +. delay) f];
+    [delay] must be non-negative. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) events still queued. *)
+
+val run : t -> until:float -> unit
+(** Execute events in time order until the clock would pass [until], then set
+    the clock to [until].  Events scheduled during the run are honoured. *)
+
+val run_until_idle : t -> max_events:int -> unit
+(** Drain the queue completely, stopping early (with [Failure]) after
+    [max_events] events as a runaway guard for tests. *)

@@ -1,0 +1,92 @@
+type t = {
+  engine : Engine.t;
+  rate_bps : float;
+  prop_delay : float;
+  qdisc : Qdisc.t;
+  link_name : string;
+  mutable receiver : (Packet.t -> unit) option;
+  mutable drop_hook : (Packet.t -> unit) option;
+  mutable busy : bool;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable busy_time : float;
+  waits : Ispn_util.Stats.t;
+}
+
+let set_receiver t f = t.receiver <- Some f
+let name t = t.link_name
+let qdisc t = t.qdisc
+let set_drop_hook t f = t.drop_hook <- Some f
+
+let deliver t pkt =
+  match t.receiver with
+  | Some f -> f pkt
+  | None -> failwith ("Link " ^ t.link_name ^ ": no receiver attached")
+
+let rec start_transmission t =
+  let now = Engine.now t.engine in
+  match t.qdisc.Qdisc.dequeue ~now with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      let wait = now -. pkt.Packet.enqueued_at in
+      (* A scheduler may not dequeue a packet before it arrived. *)
+      assert (wait >= -1e-9);
+      let wait = Stdlib.max 0. wait in
+      pkt.Packet.qdelay_total <- pkt.Packet.qdelay_total +. wait;
+      Ispn_util.Stats.add t.waits wait;
+      let tx_time = float_of_int pkt.Packet.size_bits /. t.rate_bps in
+      t.busy_time <- t.busy_time +. tx_time;
+      let finish () =
+        t.sent <- t.sent + 1;
+        if t.prop_delay = 0. then deliver t pkt
+        else
+          ignore
+            (Engine.schedule_after t.engine ~delay:t.prop_delay (fun () ->
+                 deliver t pkt));
+        start_transmission t
+      in
+      ignore (Engine.schedule_after t.engine ~delay:tx_time finish)
+
+let create ~engine ~rate_bps ?(prop_delay = 0.) ~qdisc ~name () =
+  assert (rate_bps > 0. && prop_delay >= 0.);
+  let t =
+    {
+      engine;
+      rate_bps;
+      prop_delay;
+      qdisc;
+      link_name = name;
+      receiver = None;
+      drop_hook = None;
+      busy = false;
+      sent = 0;
+      dropped = 0;
+      busy_time = 0.;
+      waits = Ispn_util.Stats.create ();
+    }
+  in
+  (* Non-work-conserving schedulers call this back when a held packet
+     becomes eligible while the transmitter is idle. *)
+  qdisc.Qdisc.attach_waker (fun () -> if not t.busy then start_transmission t);
+  t
+
+let send t pkt =
+  let now = Engine.now t.engine in
+  pkt.Packet.enqueued_at <- now;
+  if t.qdisc.Qdisc.enqueue ~now pkt then begin
+    if not t.busy then start_transmission t
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    Logs.debug ~src:Ispn_util.Log.link (fun m ->
+        m "%s: buffer full, dropping flow %d seq %d at t=%.6f" t.link_name
+          pkt.Packet.flow pkt.Packet.seq now);
+    match t.drop_hook with Some f -> f pkt | None -> ()
+  end
+
+let sent t = t.sent
+let dropped t = t.dropped
+let busy_time t = t.busy_time
+let utilization t ~elapsed = if elapsed <= 0. then 0. else t.busy_time /. elapsed
+let wait_stats t = t.waits

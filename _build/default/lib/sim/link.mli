@@ -1,0 +1,48 @@
+(** Store-and-forward output link.
+
+    A link serializes packets at a fixed bit rate from its qdisc, then hands
+    them to the downstream receiver after a propagation delay.  The paper's
+    switches are output-queued: each inter-switch link has one qdisc and a
+    200-packet buffer.
+
+    Per-hop queueing delay is defined as the time from arrival at the qdisc
+    to the start of transmission (the scheduling-dependent part of the
+    delay); the link accumulates it into [Packet.qdelay_total], which is the
+    quantity the paper's tables report summed over a path. *)
+
+type t
+
+val create :
+  engine:Engine.t ->
+  rate_bps:float ->
+  ?prop_delay:float ->
+  qdisc:Qdisc.t ->
+  name:string ->
+  unit ->
+  t
+(** The receiver is attached afterwards with {!set_receiver} so that
+    topologies with cycles of references can be wired up. *)
+
+val set_receiver : t -> (Packet.t -> unit) -> unit
+val name : t -> string
+val qdisc : t -> Qdisc.t
+
+val send : t -> Packet.t -> unit
+(** Enqueue a packet for transmission; starts the transmitter if idle.
+    Raises [Failure] if no receiver has been attached. *)
+
+val set_drop_hook : t -> (Packet.t -> unit) -> unit
+(** Called for every packet rejected by the qdisc (buffer overflow). *)
+
+(** {2 Accounting} *)
+
+val sent : t -> int
+val dropped : t -> int
+val busy_time : t -> float
+(** Total seconds spent transmitting. *)
+
+val utilization : t -> elapsed:float -> float
+(** [busy_time /. elapsed]. *)
+
+val wait_stats : t -> Ispn_util.Stats.t
+(** Per-hop queueing (waiting) delays of all packets sent on this link. *)

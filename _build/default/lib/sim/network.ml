@@ -1,0 +1,45 @@
+type t = {
+  engine : Engine.t;
+  switches : Node.t array;
+  links : Link.t array;
+}
+
+let chain ~engine ~n_switches ~rate_bps ?(prop_delay = 0.) ~qdisc_of () =
+  assert (n_switches >= 1);
+  let switches =
+    Array.init n_switches (fun i ->
+        Node.create ~name:(Printf.sprintf "S-%d" (i + 1)))
+  in
+  let links =
+    Array.init (n_switches - 1) (fun i ->
+        Link.create ~engine ~rate_bps ~prop_delay ~qdisc:(qdisc_of i)
+          ~name:(Printf.sprintf "L-%d" (i + 1))
+          ())
+  in
+  Array.iteri
+    (fun i link ->
+      let next = switches.(i + 1) in
+      Link.set_receiver link (fun pkt -> Node.receive next pkt))
+    links;
+  { engine; switches; links }
+
+let engine t = t.engine
+let n_switches t = Array.length t.switches
+let n_links t = Array.length t.links
+let switch t i = t.switches.(i)
+let link t i = t.links.(i)
+
+let install_flow t ~flow ~ingress ~egress ~sink =
+  if ingress > egress || egress >= Array.length t.switches then
+    invalid_arg "Network.install_flow: bad path";
+  for i = ingress to egress - 1 do
+    Node.add_route t.switches.(i) ~flow (Node.Forward t.links.(i))
+  done;
+  Node.add_route t.switches.(egress) ~flow (Node.Deliver sink)
+
+let inject t ~at_switch pkt = Node.receive t.switches.(at_switch) pkt
+
+let total_dropped t =
+  Array.fold_left (fun acc l -> acc + Link.dropped l) 0 t.links
+
+let utilization t ~link ~elapsed = Link.utilization t.links.(link) ~elapsed

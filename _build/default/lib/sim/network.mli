@@ -1,0 +1,44 @@
+(** Topology assembly.
+
+    The paper's multi-hop experiments all run on the Figure-1 chain: hosts
+    attached to a line of switches joined by equal-rate links, with every
+    flow travelling in the same direction.  [chain] builds that shape for an
+    arbitrary switch count and per-link qdisc choice; flows are installed as
+    source-routed paths over consecutive switches. *)
+
+type t
+
+val chain :
+  engine:Engine.t ->
+  n_switches:int ->
+  rate_bps:float ->
+  ?prop_delay:float ->
+  qdisc_of:(int -> Qdisc.t) ->
+  unit ->
+  t
+(** [chain ~n_switches ~qdisc_of ()] creates switches [0 .. n-1] and links
+    [0 .. n-2], where link [i] carries traffic from switch [i] to switch
+    [i+1] through [qdisc_of i]. *)
+
+val engine : t -> Engine.t
+val n_switches : t -> int
+val n_links : t -> int
+val switch : t -> int -> Node.t
+val link : t -> int -> Link.t
+
+val install_flow :
+  t -> flow:int -> ingress:int -> egress:int -> sink:(Packet.t -> unit) -> unit
+(** Route [flow] from switch [ingress] over links [ingress .. egress-1] and
+    deliver to [sink] at switch [egress].  [ingress <= egress]; a flow with
+    [ingress = egress] is delivered locally without queueing (used by probes
+    colocated with the source).  The path length in the paper's sense is
+    [egress - ingress] inter-switch links. *)
+
+val inject : t -> at_switch:int -> Packet.t -> unit
+(** Host-to-switch links are infinitely fast (Appendix), so injection is a
+    direct call into the switch. *)
+
+val total_dropped : t -> int
+(** Sum of buffer drops over all links. *)
+
+val utilization : t -> link:int -> elapsed:float -> float

@@ -1,0 +1,24 @@
+type port = Forward of Link.t | Deliver of (Packet.t -> unit)
+
+type t = {
+  node_name : string;
+  routes : (int, port) Hashtbl.t;
+  mutable received : int;
+}
+
+let create ~name = { node_name = name; routes = Hashtbl.create 32; received = 0 }
+let name t = t.node_name
+let add_route t ~flow port = Hashtbl.replace t.routes flow port
+
+let receive t pkt =
+  t.received <- t.received + 1;
+  pkt.Packet.hops <- pkt.Packet.hops + 1;
+  match Hashtbl.find_opt t.routes pkt.Packet.flow with
+  | Some (Forward link) -> Link.send link pkt
+  | Some (Deliver f) -> f pkt
+  | None ->
+      failwith
+        (Printf.sprintf "Node %s: no route for flow %d" t.node_name
+           pkt.Packet.flow)
+
+let received t = t.received

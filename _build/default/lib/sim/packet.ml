@@ -1,0 +1,35 @@
+type kind = Data | Ack
+
+type t = {
+  flow : int;
+  seq : int;
+  size_bits : int;
+  kind : kind;
+  created : float;
+  mutable offset : float;
+  mutable qdelay_total : float;
+  mutable enqueued_at : float;
+  mutable hops : int;
+}
+
+let make ~flow ~seq ?(size_bits = Ispn_util.Units.packet_bits) ?(kind = Data)
+    ~created () =
+  {
+    flow;
+    seq;
+    size_bits;
+    kind;
+    created;
+    offset = 0.;
+    qdelay_total = 0.;
+    enqueued_at = created;
+    hops = 0;
+  }
+
+let expected_arrival p = p.enqueued_at -. p.offset
+
+let pp ppf p =
+  Format.fprintf ppf "pkt(flow=%d seq=%d %s created=%.6f off=%.6f)" p.flow
+    p.seq
+    (match p.kind with Data -> "data" | Ack -> "ack")
+    p.created p.offset

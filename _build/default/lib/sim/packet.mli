@@ -1,0 +1,40 @@
+(** Packets.
+
+    One record per packet in flight.  Besides addressing, a packet carries
+    the two header fields the CSZ mechanism needs:
+
+    - [offset] — the FIFO+ jitter-offset field (Section 6): the accumulated
+      difference between this packet's per-hop queueing delays and the
+      average delay of its sharing class at each hop.  The paper proposes
+      this field become part of the packet header; here it is a float field.
+    - [qdelay_total] — bookkeeping (not a real header field): the summed
+      queueing (waiting) delay across hops, which is exactly the quantity
+      Tables 1-3 report per flow. *)
+
+type kind =
+  | Data
+  | Ack  (** Transport acknowledgment (used by the TCP substrate). *)
+
+type t = {
+  flow : int;  (** Flow identifier; switches route on it. *)
+  seq : int;  (** Per-flow sequence number. *)
+  size_bits : int;
+  kind : kind;
+  created : float;  (** Generation time at the source. *)
+  mutable offset : float;  (** FIFO+ jitter-offset header field. *)
+  mutable qdelay_total : float;  (** Accumulated queueing delay (seconds). *)
+  mutable enqueued_at : float;  (** Arrival time at the current hop. *)
+  mutable hops : int;  (** Switches traversed so far. *)
+}
+
+val make :
+  flow:int -> seq:int -> ?size_bits:int -> ?kind:kind -> created:float ->
+  unit -> t
+(** [size_bits] defaults to {!Ispn_util.Units.packet_bits}. *)
+
+val expected_arrival : t -> float
+(** [enqueued_at - offset]: when the packet would have arrived at the current
+    hop had it received average service upstream.  FIFO+ orders its queue by
+    this value. *)
+
+val pp : Format.formatter -> t -> unit

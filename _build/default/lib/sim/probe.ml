@@ -1,0 +1,41 @@
+open Ispn_util
+
+type t = {
+  qdelays : Fvec.t;
+  latencies : Fvec.t;
+  mutable received : int;
+}
+
+let create () =
+  { qdelays = Fvec.create (); latencies = Fvec.create (); received = 0 }
+
+let sink t ~engine pkt =
+  let now = Engine.now engine in
+  t.received <- t.received + 1;
+  Fvec.push t.qdelays pkt.Packet.qdelay_total;
+  Fvec.push t.latencies (now -. pkt.Packet.created)
+
+let port t ~engine = Node.Deliver (fun pkt -> sink t ~engine pkt)
+let received t = t.received
+let qdelays t = t.qdelays
+let latencies t = t.latencies
+
+let to_units ~link_rate_bps ~packet_bits s =
+  Units.packet_times ~link_rate_bps ~packet_bits s
+
+let mean_qdelay ?(link_rate_bps = Units.link_rate_bps)
+    ?(packet_bits = Units.packet_bits) t =
+  let sum = Fvec.fold ( +. ) 0. t.qdelays in
+  let n = Fvec.length t.qdelays in
+  if n = 0 then 0.
+  else to_units ~link_rate_bps ~packet_bits (sum /. float_of_int n)
+
+let percentile_qdelay ?(link_rate_bps = Units.link_rate_bps)
+    ?(packet_bits = Units.packet_bits) t p =
+  to_units ~link_rate_bps ~packet_bits (Quantile.percentile t.qdelays p)
+
+let max_qdelay ?(link_rate_bps = Units.link_rate_bps)
+    ?(packet_bits = Units.packet_bits) t =
+  let m = Fvec.fold Stdlib.max neg_infinity t.qdelays in
+  if Fvec.length t.qdelays = 0 then 0.
+  else to_units ~link_rate_bps ~packet_bits m

@@ -1,0 +1,31 @@
+type pool = { capacity : int; mutable in_use : int }
+
+let pool ~capacity =
+  assert (capacity > 0);
+  { capacity; in_use = 0 }
+
+let pool_take p =
+  if p.in_use >= p.capacity then false
+  else begin
+    p.in_use <- p.in_use + 1;
+    true
+  end
+
+let pool_release p =
+  assert (p.in_use > 0);
+  p.in_use <- p.in_use - 1
+
+let pool_in_use p = p.in_use
+let pool_capacity p = p.capacity
+let unbounded_pool () = { capacity = max_int; in_use = 0 }
+
+type t = {
+  enqueue : now:float -> Packet.t -> bool;
+  dequeue : now:float -> Packet.t option;
+  length : unit -> int;
+  name : string;
+  attach_waker : (unit -> unit) -> unit;
+}
+
+let make ?(attach_waker = fun _ -> ()) ~enqueue ~dequeue ~length ~name () =
+  { enqueue; dequeue; length; name; attach_waker }

@@ -1,0 +1,56 @@
+(** Queueing-discipline interface.
+
+    A link owns exactly one qdisc; composite schedulers (strict priority over
+    FIFO+ classes, the unified CSZ scheduler) are themselves qdiscs built
+    from inner ones.  The interface is a record of closures rather than a
+    functor so that heterogeneous schedulers can be swapped per link at
+    runtime — the benchmark harness runs identical workloads over FIFO, WFQ
+    and FIFO+ by substituting this value.
+
+    Buffer accounting uses a shared {!pool} so that a composite scheduler's
+    sub-queues jointly respect the paper's 200-packet-per-link budget. *)
+
+type pool
+(** Shared packet-buffer budget for one output link. *)
+
+val pool : capacity:int -> pool
+val pool_take : pool -> bool
+(** Reserve one buffer; [false] when the pool is exhausted (drop). *)
+
+val pool_release : pool -> unit
+val pool_in_use : pool -> int
+val pool_capacity : pool -> int
+
+val unbounded_pool : unit -> pool
+(** A pool that never rejects; for analytic tests. *)
+
+type t = {
+  enqueue : now:float -> Packet.t -> bool;
+      (** [false] means the packet was dropped (buffer full); the caller owns
+          drop accounting.  Schedulers stamp [Packet.enqueued_at] with [now]
+          themselves, so a qdisc can be driven directly in tests. *)
+  dequeue : now:float -> Packet.t option;
+      (** Called by the link at the instant transmission could begin.
+          Schedulers measure a packet's queueing delay here as
+          [now - enqueued_at].  A non-work-conserving scheduler may return
+          [None] while holding packets; it must then use its waker to call
+          the link back when the head packet becomes eligible. *)
+  length : unit -> int;  (** Packets currently queued. *)
+  name : string;  (** For reports and traces. *)
+  attach_waker : (unit -> unit) -> unit;
+      (** The link passes in a thunk that restarts its transmitter; only
+          non-work-conserving schedulers (Stop-and-Go, HRR, Jitter-EDD)
+          keep it. *)
+}
+
+val make :
+  ?attach_waker:((unit -> unit) -> unit) ->
+  enqueue:(now:float -> Packet.t -> bool) ->
+  dequeue:(now:float -> Packet.t option) ->
+  length:(unit -> int) ->
+  name:string ->
+  unit ->
+  t
+(** Smart constructor; [attach_waker] defaults to dropping the thunk, which
+    is correct for every work-conserving scheduler. *)
+

@@ -1,0 +1,112 @@
+type t = {
+  engine : Engine.t;
+  mutable switches : Node.t array;
+  mutable n : int;
+  links : (int * int, Link.t) Hashtbl.t;  (* (src, dst) -> link *)
+  adj : (int, int list ref) Hashtbl.t;  (* src -> neighbours *)
+}
+
+let create ~engine () =
+  { engine; switches = [||]; n = 0; links = Hashtbl.create 16; adj = Hashtbl.create 16 }
+
+let add_switch t ~name =
+  let id = t.n in
+  let node = Node.create ~name in
+  if id = Array.length t.switches then begin
+    let cap = Stdlib.max 4 (2 * id) in
+    let bigger = Array.make cap node in
+    Array.blit t.switches 0 bigger 0 id;
+    t.switches <- bigger
+  end;
+  t.switches.(id) <- node;
+  t.n <- t.n + 1;
+  Hashtbl.replace t.adj id (ref []);
+  id
+
+let n_switches t = t.n
+
+let switch t i =
+  if i < 0 || i >= t.n then invalid_arg "Topology.switch";
+  t.switches.(i)
+
+let link t ~src ~dst = Hashtbl.find_opt t.links (src, dst)
+
+let connect t ~src ~dst ~rate_bps ?(prop_delay = 0.) ~qdisc () =
+  if src = dst then invalid_arg "Topology.connect: self loop";
+  if Hashtbl.mem t.links (src, dst) then
+    invalid_arg "Topology.connect: duplicate link";
+  let l =
+    Link.create ~engine:t.engine ~rate_bps ~prop_delay ~qdisc
+      ~name:
+        (Printf.sprintf "%s->%s"
+           (Node.name (switch t src))
+           (Node.name (switch t dst)))
+      ()
+  in
+  let dst_node = switch t dst in
+  Link.set_receiver l (fun pkt -> Node.receive dst_node pkt);
+  Hashtbl.replace t.links (src, dst) l;
+  let neighbours = Hashtbl.find t.adj src in
+  neighbours := dst :: !neighbours
+
+let connect_duplex t ~a ~b ~rate_bps ?(prop_delay = 0.) ~qdisc_of () =
+  connect t ~src:a ~dst:b ~rate_bps ~prop_delay ~qdisc:(qdisc_of ()) ();
+  connect t ~src:b ~dst:a ~rate_bps ~prop_delay ~qdisc:(qdisc_of ()) ()
+
+(* Unit-weight Dijkstra = breadth-first search; neighbours are visited in
+   ascending id order so routes are deterministic. *)
+let shortest_path t ~src ~dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Topology.shortest_path";
+  if src = dst then Some [ src ]
+  else begin
+    let prev = Array.make t.n (-1) in
+    let seen = Array.make t.n false in
+    seen.(src) <- true;
+    let frontier = Queue.create () in
+    Queue.push src frontier;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty frontier) do
+      let u = Queue.pop frontier in
+      let neighbours = List.sort compare !(Hashtbl.find t.adj u) in
+      List.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            prev.(v) <- u;
+            if v = dst then found := true;
+            Queue.push v frontier
+          end)
+        neighbours
+    done;
+    if not seen.(dst) then None
+    else begin
+      let rec walk v acc = if v = src then v :: acc else walk prev.(v) (v :: acc) in
+      Some (walk dst [])
+    end
+  end
+
+let install_flow t ~flow ~src ~dst ~sink =
+  match shortest_path t ~src ~dst with
+  | None ->
+      failwith
+        (Printf.sprintf "Topology.install_flow: switch %d unreachable from %d"
+           dst src)
+  | Some path ->
+      let rec wire = function
+        | [ last ] -> Node.add_route (switch t last) ~flow (Node.Deliver sink)
+        | hop :: (next :: _ as rest) ->
+            let l = Hashtbl.find t.links (hop, next) in
+            Node.add_route (switch t hop) ~flow (Node.Forward l);
+            wire rest
+        | [] -> assert false
+      in
+      wire path;
+      path
+
+let inject t ~at_switch pkt = Node.receive (switch t at_switch) pkt
+
+let iter_links t f = Hashtbl.iter (fun (src, dst) l -> f ~src ~dst l) t.links
+
+let total_dropped t =
+  Hashtbl.fold (fun _ l acc -> acc + Link.dropped l) t.links 0

@@ -1,0 +1,59 @@
+(** Arbitrary topologies with shortest-path routing.
+
+    The paper's experiments use the Figure-1 chain ({!Network.chain}), but a
+    downstream user of the library wants meshes, stars and dumbbells.  This
+    module builds a directed graph of switches and links, computes
+    fewest-hops routes (Dijkstra with unit weights; ties broken toward the
+    lower switch id, deterministically), and installs per-flow routes on the
+    underlying {!Node} tables.
+
+    Routing is static, computed at flow-installation time — consistent with
+    the paper, which leaves routing out of scope. *)
+
+type t
+
+val create : engine:Engine.t -> unit -> t
+
+val add_switch : t -> name:string -> int
+(** Returns the new switch's id (dense, starting at 0). *)
+
+val connect :
+  t ->
+  src:int ->
+  dst:int ->
+  rate_bps:float ->
+  ?prop_delay:float ->
+  qdisc:Qdisc.t ->
+  unit ->
+  unit
+(** Add a directed link.  Raises [Invalid_argument] if one already exists
+    from [src] to [dst]. *)
+
+val connect_duplex :
+  t ->
+  a:int ->
+  b:int ->
+  rate_bps:float ->
+  ?prop_delay:float ->
+  qdisc_of:(unit -> Qdisc.t) ->
+  unit ->
+  unit
+(** Two directed links with independently constructed qdiscs. *)
+
+val n_switches : t -> int
+val switch : t -> int -> Node.t
+val link : t -> src:int -> dst:int -> Link.t option
+
+val shortest_path : t -> src:int -> dst:int -> int list option
+(** Switch ids from [src] to [dst] inclusive; [None] if unreachable;
+    [Some [src]] when [src = dst]. *)
+
+val install_flow :
+  t -> flow:int -> src:int -> dst:int -> sink:(Packet.t -> unit) -> int list
+(** Route the flow along the shortest path and deliver to [sink] at [dst];
+    returns the path.  Raises [Failure] when [dst] is unreachable. *)
+
+val inject : t -> at_switch:int -> Packet.t -> unit
+
+val iter_links : t -> (src:int -> dst:int -> Link.t -> unit) -> unit
+val total_dropped : t -> int

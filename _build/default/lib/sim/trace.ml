@@ -1,0 +1,32 @@
+type t = {
+  capacity : int;
+  buf : (float * string) array;
+  mutable len : int;
+  mutable next : int;
+}
+
+let create ?(capacity = 4096) () =
+  assert (capacity > 0);
+  { capacity; buf = Array.make capacity (0., ""); len = 0; next = 0 }
+
+let record t ~time msg =
+  t.buf.(t.next) <- (time, msg);
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.len < t.capacity then t.len <- t.len + 1
+
+let entries t =
+  let start =
+    if t.len < t.capacity then 0 else t.next
+  in
+  List.init t.len (fun i -> t.buf.((start + i) mod t.capacity))
+
+let length t = t.len
+
+let clear t =
+  t.len <- 0;
+  t.next <- 0
+
+let pp ppf t =
+  List.iter
+    (fun (time, msg) -> Format.fprintf ppf "%.6f %s@." time msg)
+    (entries t)

@@ -1,0 +1,18 @@
+(** Bounded in-memory event trace.
+
+    A cheap debugging aid: components append timestamped lines, the trace
+    keeps the most recent [capacity] of them.  Tests use it to assert event
+    orderings without parsing logs. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 entries. *)
+
+val record : t -> time:float -> string -> unit
+val entries : t -> (float * string) list
+(** Oldest first. *)
+
+val length : t -> int
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Wire encoding of the packet header.
+
+    Section 12 proposes "that the control field (the jitter offset) be
+    defined as part of the packet header"; this module pins down a concrete
+    16-byte layout so that the field's precision and range are explicit,
+    and so switches that "naturally produce very low jitters ... could just
+    ignore the field":
+
+    {v
+      offset  size  field
+      0       1     version (currently 1)
+      1       1     kind (0 = data, 1 = ack)
+      2       2     payload size in bits, big-endian (0..65535)
+      4       4     flow id, big-endian
+      8       4     sequence number, big-endian
+      12      4     jitter offset, signed microseconds, big-endian
+    v}
+
+    The jitter offset is saturated to the representable +-2147 s; at the
+    paper's delay scales (milliseconds) the microsecond quantization error
+    is three orders of magnitude below the measured quantities. *)
+
+val header_bytes : int
+(** 16. *)
+
+val version : int
+
+exception Malformed of string
+
+val encode : Packet.t -> bytes
+(** Serialize the header fields of a packet.  Raises [Invalid_argument] if
+    the packet's size, flow or sequence number exceed the field ranges. *)
+
+val decode : ?created:float -> bytes -> Packet.t
+(** Parse a header back into a packet ([created] defaults to 0; transit
+    bookkeeping fields start fresh).  Raises {!Malformed} on short input,
+    bad version or unknown kind. *)
+
+val offset_quantum : float
+(** 1e-6 s: the precision the offset field survives a round trip with. *)

@@ -1,0 +1,1 @@
+lib/traffic/cbr.ml: Dist Engine Ispn_sim Ispn_util Packet Source Units

@@ -1,0 +1,1 @@
+lib/traffic/cbr.mli: Ispn_sim Ispn_util Source

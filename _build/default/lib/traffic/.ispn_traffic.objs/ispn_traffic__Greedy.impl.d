@@ -1,0 +1,1 @@
+lib/traffic/greedy.ml: Engine Ispn_sim Ispn_util Packet Source Units

@@ -1,0 +1,1 @@
+lib/traffic/greedy.mli: Ispn_sim Source

@@ -1,0 +1,1 @@
+lib/traffic/leaky_bucket.ml: Engine Ispn_sim Ispn_util Option Packet Queue Stdlib Token_bucket

@@ -1,0 +1,1 @@
+lib/traffic/leaky_bucket.mli: Ispn_sim

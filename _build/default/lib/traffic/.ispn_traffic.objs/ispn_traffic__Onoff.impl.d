@@ -1,0 +1,1 @@
+lib/traffic/onoff.ml: Dist Engine Ispn_sim Ispn_util Option Packet Source Units

@@ -1,0 +1,1 @@
+lib/traffic/onoff.mli: Ispn_sim Ispn_util Source

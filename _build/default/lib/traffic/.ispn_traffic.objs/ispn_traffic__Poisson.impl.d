@@ -1,0 +1,1 @@
+lib/traffic/poisson.ml: Dist Engine Ispn_sim Ispn_util Packet Source Units

@@ -1,0 +1,1 @@
+lib/traffic/poisson.mli: Ispn_sim Ispn_util Source

@@ -1,0 +1,1 @@
+lib/traffic/replay.ml: Array Engine Float Ispn_sim List Packet Profile Source Stdlib

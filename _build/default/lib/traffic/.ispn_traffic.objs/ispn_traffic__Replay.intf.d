@@ -1,0 +1,1 @@
+lib/traffic/replay.mli: Ispn_sim Profile Source

@@ -1,0 +1,1 @@
+lib/traffic/token_bucket.ml: Ispn_sim Option Stdlib

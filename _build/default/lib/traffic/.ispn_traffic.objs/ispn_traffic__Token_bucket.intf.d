@@ -1,0 +1,1 @@
+lib/traffic/token_bucket.mli: Ispn_sim

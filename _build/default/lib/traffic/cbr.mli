@@ -1,0 +1,17 @@
+(** Constant-bit-rate source.
+
+    One packet every [1 / rate_pps] seconds — the classic rigid codec the
+    paper contrasts with bursty sources.  Used in examples and in tests
+    where deterministic arrivals make assertions exact. *)
+
+val create :
+  engine:Ispn_sim.Engine.t ->
+  flow:int ->
+  rate_pps:float ->
+  ?packet_bits:int ->
+  ?jitter:(Ispn_util.Prng.t * float) ->
+  emit:(Ispn_sim.Packet.t -> unit) ->
+  unit ->
+  Source.t
+(** [jitter (prng, j)] adds a uniform perturbation in [\[0, j)] seconds to
+    each inter-packet gap, for tests that need to break phase locking. *)

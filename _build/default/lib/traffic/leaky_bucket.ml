@@ -1,0 +1,63 @@
+open Ispn_sim
+
+type t = {
+  engine : Engine.t;
+  bucket : Token_bucket.t;
+  max_queue : int;
+  next : Packet.t -> unit;
+  queue : Packet.t Queue.t;
+  mutable draining : bool;
+  mutable dropped : int;
+  mutable forwarded : int;
+}
+
+let create ~engine ~rate_bps ?depth_bits ?(max_queue = max_int) ~next () =
+  let depth =
+    Option.value depth_bits ~default:(float_of_int Ispn_util.Units.packet_bits)
+  in
+  {
+    engine;
+    bucket = Token_bucket.create ~rate_bps ~depth_bits:depth ();
+    max_queue;
+    next;
+    queue = Queue.create ();
+    draining = false;
+    dropped = 0;
+    forwarded = 0;
+  }
+
+(* Forward every queued packet whose tokens are available; when blocked,
+   sleep exactly until the head packet's tokens will have accumulated. *)
+let rec drain t =
+  match Queue.peek_opt t.queue with
+  | None -> t.draining <- false
+  | Some head ->
+      let now = Engine.now t.engine in
+      let bits = head.Packet.size_bits in
+      if Token_bucket.conforms t.bucket ~now ~bits then begin
+        ignore (Queue.pop t.queue);
+        t.forwarded <- t.forwarded + 1;
+        t.next head;
+        drain t
+      end
+      else begin
+        t.draining <- true;
+        let missing =
+          float_of_int bits -. Token_bucket.level_bits t.bucket ~now
+        in
+        let wait = missing /. Token_bucket.rate_bps t.bucket in
+        ignore
+          (Engine.schedule_after t.engine ~delay:(Stdlib.max wait 1e-9)
+             (fun () -> drain t))
+      end
+
+let send t pkt =
+  if Queue.length t.queue >= t.max_queue then t.dropped <- t.dropped + 1
+  else begin
+    Queue.push pkt t.queue;
+    if not t.draining then drain t
+  end
+
+let queued t = Queue.length t.queue
+let dropped t = t.dropped
+let forwarded t = t.forwarded

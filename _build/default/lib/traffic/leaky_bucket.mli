@@ -1,0 +1,27 @@
+(** Leaky-bucket shaper.
+
+    Section 4's intuition for the Parekh-Gallager bound: putting a flow
+    through a leaky bucket of its clock rate at the network edge concentrates
+    *all* of its queueing delay in the shaper, after which it sails through a
+    conforming WFQ network.  This component delays (rather than drops)
+    packets so that the output never exceeds rate [r] with burst tolerance
+    [depth]; tests use it to demonstrate that equivalence. *)
+
+type t
+
+val create :
+  engine:Ispn_sim.Engine.t ->
+  rate_bps:float ->
+  ?depth_bits:float ->
+  ?max_queue:int ->
+  next:(Ispn_sim.Packet.t -> unit) ->
+  unit ->
+  t
+(** [depth_bits] is the burst allowance (default: one 1000-bit packet, i.e.
+    a pure rate shaper).  [max_queue] bounds the holding queue (default
+    unbounded); overflow packets are dropped. *)
+
+val send : t -> Ispn_sim.Packet.t -> unit
+val queued : t -> int
+val dropped : t -> int
+val forwarded : t -> int

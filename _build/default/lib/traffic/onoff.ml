@@ -1,0 +1,54 @@
+open Ispn_sim
+open Ispn_util
+
+let idle_mean ~avg_rate_pps ~peak_rate_pps ~burst_mean =
+  burst_mean *. ((1. /. avg_rate_pps) -. (1. /. peak_rate_pps))
+
+let create ~engine ~prng ~flow ~avg_rate_pps ?peak_rate_pps ?(burst_mean = 5.)
+    ?(packet_bits = Units.packet_bits) ~emit () =
+  let peak = Option.value peak_rate_pps ~default:(2. *. avg_rate_pps) in
+  assert (avg_rate_pps > 0. && peak > avg_rate_pps);
+  let idle = idle_mean ~avg_rate_pps ~peak_rate_pps:peak ~burst_mean in
+  assert (idle > 0.);
+  let running = ref false in
+  let count = ref 0 in
+  let next_seq = ref 0 in
+  let send () =
+    let pkt =
+      Packet.make ~flow ~seq:!next_seq ~size_bits:packet_bits
+        ~created:(Engine.now engine) ()
+    in
+    incr next_seq;
+    incr count;
+    emit pkt
+  in
+  (* [burst remaining] emits one packet then either continues the burst at
+     the peak-rate spacing or idles for an exponential period.  The idle
+     clock starts after the last packet's peak-rate slot, so a burst of N
+     packets occupies N/P seconds and the mean rate satisfies the Appendix
+     relation 1/A = I/B + 1/P exactly. *)
+  let rec burst remaining =
+    if !running then begin
+      send ();
+      let continue () =
+        if remaining > 1 then burst (remaining - 1) else go_idle ()
+      in
+      ignore (Engine.schedule_after engine ~delay:(1. /. peak) continue)
+    end
+  and go_idle () =
+    let pause = Dist.exponential prng ~mean:idle in
+    ignore
+      (Engine.schedule_after engine ~delay:pause (fun () -> start_burst ()))
+  and start_burst () =
+    if !running then burst (Dist.geometric prng ~mean:burst_mean)
+  in
+  let start () =
+    if not !running then begin
+      running := true;
+      (* Begin in the idle state so sources with distinct PRNG streams
+         desynchronize immediately. *)
+      go_idle ()
+    end
+  in
+  let stop () = running := false in
+  { Source.start; stop; generated = (fun () -> !count) }

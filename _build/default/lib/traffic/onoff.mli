@@ -1,0 +1,30 @@
+(** Two-state Markov (on/off) source — the paper's Appendix process.
+
+    In each burst period a geometrically distributed number of packets
+    (mean [burst_mean], the paper's [B = 5]) is generated at peak rate [P]
+    packets/s; between bursts the source idles for an exponentially
+    distributed period whose mean [I] is derived from the average rate [A]
+    by [1/A = I/B + 1/P].  The paper sets [P = 2A] so that the peak rate is
+    double the average.
+
+    All simulated real-time flows in Tables 1-3 use this process with
+    [A = 85] packets/s. *)
+
+val create :
+  engine:Ispn_sim.Engine.t ->
+  prng:Ispn_util.Prng.t ->
+  flow:int ->
+  avg_rate_pps:float ->
+  ?peak_rate_pps:float ->
+  ?burst_mean:float ->
+  ?packet_bits:int ->
+  emit:(Ispn_sim.Packet.t -> unit) ->
+  unit ->
+  Source.t
+(** [peak_rate_pps] defaults to [2 *. avg_rate_pps]; [burst_mean] to [5.];
+    [packet_bits] to 1000.  Requires [peak_rate_pps > avg_rate_pps > 0]. *)
+
+val idle_mean :
+  avg_rate_pps:float -> peak_rate_pps:float -> burst_mean:float -> float
+(** The mean idle period implied by the Appendix relation
+    [1/A = I/B + 1/P]; exposed for tests. *)

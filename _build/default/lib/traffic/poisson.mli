@@ -1,0 +1,15 @@
+(** Poisson source: exponential inter-arrival times.
+
+    Not used in the paper's tables (its real-time sources are on/off Markov)
+    but a standard reference workload for the admission-control and
+    bake-off extension experiments. *)
+
+val create :
+  engine:Ispn_sim.Engine.t ->
+  prng:Ispn_util.Prng.t ->
+  flow:int ->
+  rate_pps:float ->
+  ?packet_bits:int ->
+  emit:(Ispn_sim.Packet.t -> unit) ->
+  unit ->
+  Source.t

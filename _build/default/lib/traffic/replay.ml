@@ -1,0 +1,61 @@
+open Ispn_sim
+
+let validate schedule =
+  let rec go last = function
+    | [] -> ()
+    | (t, bits) :: rest ->
+        if t < last then invalid_arg "Replay.create: offsets decrease";
+        if bits <= 0 then invalid_arg "Replay.create: non-positive size";
+        go t rest
+  in
+  go 0. schedule
+
+let mean_gap schedule =
+  match schedule with
+  | [] | [ _ ] -> 1e-6
+  | (first, _) :: _ ->
+      let last, _ = List.nth schedule (List.length schedule - 1) in
+      Stdlib.max 1e-6 ((last -. first) /. float_of_int (List.length schedule - 1))
+
+let create ~engine ~flow ~schedule ?(loop = false) ~emit () =
+  validate schedule;
+  let arr = Array.of_list schedule in
+  let running = ref false in
+  let count = ref 0 in
+  let gap = mean_gap schedule in
+  (* [fire base i] emits packet [i] of the current cycle (scheduled
+     relative to [base]). *)
+  let rec fire base i () =
+    if !running then begin
+      let _, bits = arr.(i) in
+      emit (Packet.make ~flow ~seq:!count ~size_bits:bits ~created:(Engine.now engine) ());
+      incr count;
+      if i + 1 < Array.length arr then
+        schedule_packet base (i + 1)
+      else if loop then begin
+        let last_offset, _ = arr.(Array.length arr - 1) in
+        schedule_cycle (base +. last_offset +. gap)
+      end
+    end
+  and schedule_packet base i =
+    let offset, _ = arr.(i) in
+    let at = Stdlib.max (Engine.now engine) (base +. offset) in
+    ignore (Engine.schedule engine ~at (fire base i))
+  and schedule_cycle base = schedule_packet base 0 in
+  let start () =
+    if (not !running) && Array.length arr > 0 then begin
+      running := true;
+      let base = Engine.now engine -. fst arr.(0) in
+      schedule_cycle base
+    end
+  in
+  let stop () = running := false in
+  { Source.start; stop; generated = (fun () -> !count) }
+
+let of_profile profile =
+  let acc = ref [] in
+  let base = ref nan in
+  Profile.iter profile (fun ~time ~bits ->
+      if Float.is_nan !base then base := time;
+      acc := (time -. !base, bits) :: !acc);
+  List.rev !acc

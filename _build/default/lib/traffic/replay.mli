@@ -1,0 +1,26 @@
+(** Trace-driven source: replay a recorded packet schedule.
+
+    The paper notes "there is no widely accepted set of benchmarks for
+    real-time loads"; replaying captured traces is the standard answer.  A
+    replay source emits packets at recorded offsets from its start time,
+    optionally in a loop (re-basing the clock each cycle), so one recorded
+    burst pattern can drive an arbitrarily long simulation. *)
+
+val create :
+  engine:Ispn_sim.Engine.t ->
+  flow:int ->
+  schedule:(float * int) list ->
+  ?loop:bool ->
+  emit:(Ispn_sim.Packet.t -> unit) ->
+  unit ->
+  Source.t
+(** [schedule] is a list of [(offset_seconds, size_bits)] pairs with
+    non-decreasing non-negative offsets (raises [Invalid_argument]
+    otherwise; an empty schedule is allowed and emits nothing).  With
+    [loop] (default false) the schedule repeats, each cycle starting one
+    inter-cycle gap (the mean inter-packet gap, at least one microsecond)
+    after the previous cycle's last packet. *)
+
+val of_profile : Profile.t -> (float * int) list
+(** Turn a recorded {!Profile} into a replayable schedule (offsets re-based
+    to the first packet). *)

@@ -1,0 +1,7 @@
+type t = {
+  start : unit -> unit;
+  stop : unit -> unit;
+  generated : unit -> int;
+}
+
+let null = { start = (fun () -> ()); stop = (fun () -> ()); generated = (fun () -> 0) }

@@ -1,0 +1,66 @@
+type t = {
+  rate_bps : float;
+  depth_bits : float;
+  mutable tokens : float;
+  mutable last_refill : float;
+}
+
+let create ~rate_bps ~depth_bits ?initial_bits () =
+  assert (rate_bps > 0. && depth_bits > 0.);
+  let initial = Option.value initial_bits ~default:depth_bits in
+  { rate_bps; depth_bits; tokens = initial; last_refill = 0. }
+
+let rate_bps t = t.rate_bps
+let depth_bits t = t.depth_bits
+
+let refill t ~now =
+  assert (now >= t.last_refill -. 1e-9);
+  if now > t.last_refill then begin
+    t.tokens <-
+      Stdlib.min t.depth_bits (t.tokens +. ((now -. t.last_refill) *. t.rate_bps));
+    t.last_refill <- now
+  end
+
+let conforms t ~now ~bits =
+  refill t ~now;
+  let need = float_of_int bits in
+  if t.tokens >= need -. 1e-9 then begin
+    t.tokens <- t.tokens -. need;
+    true
+  end
+  else false
+
+let level_bits t ~now =
+  refill t ~now;
+  t.tokens
+
+type mode = Drop | Pass
+
+type policer = {
+  engine : Ispn_sim.Engine.t;
+  bucket : t;
+  mode : mode;
+  next : Ispn_sim.Packet.t -> unit;
+  mutable offered : int;
+  mutable dropped : int;
+  mutable violations : int;
+}
+
+let policer ~engine ~bucket ~mode ~next =
+  { engine; bucket; mode; next; offered = 0; dropped = 0; violations = 0 }
+
+let police p pkt =
+  p.offered <- p.offered + 1;
+  let now = Ispn_sim.Engine.now p.engine in
+  if conforms p.bucket ~now ~bits:pkt.Ispn_sim.Packet.size_bits then p.next pkt
+  else begin
+    p.violations <- p.violations + 1;
+    match p.mode with
+    | Drop -> p.dropped <- p.dropped + 1
+    | Pass -> p.next pkt
+  end
+
+let admit_fn p = police p
+let offered p = p.offered
+let dropped p = p.dropped
+let violations p = p.violations

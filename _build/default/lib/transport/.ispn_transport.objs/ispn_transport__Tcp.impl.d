@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Engine Float Hashtbl Ispn_sim Ispn_util Option Packet Stdlib

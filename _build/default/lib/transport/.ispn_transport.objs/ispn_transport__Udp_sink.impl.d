@@ -1,0 +1,1 @@
+lib/transport/udp_sink.ml: Ispn_sim

@@ -1,0 +1,1 @@
+lib/transport/udp_sink.mli: Ispn_sim

@@ -1,0 +1,15 @@
+type t = {
+  on_packet : (Ispn_sim.Packet.t -> unit) option;
+  mutable received : int;
+  mutable bits : int;
+}
+
+let create ?on_packet () = { on_packet; received = 0; bits = 0 }
+
+let receive t pkt =
+  t.received <- t.received + 1;
+  t.bits <- t.bits + pkt.Ispn_sim.Packet.size_bits;
+  match t.on_packet with Some f -> f pkt | None -> ()
+
+let received t = t.received
+let bits_received t = t.bits

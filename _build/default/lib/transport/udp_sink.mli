@@ -1,0 +1,12 @@
+(** Fire-and-forget datagram endpoint.
+
+    Counts deliveries for sources that need no feedback loop (the open-loop
+    datagram traffic of the extension experiments).  An optional callback
+    lets applications (e.g. play-back clients) observe each packet. *)
+
+type t
+
+val create : ?on_packet:(Ispn_sim.Packet.t -> unit) -> unit -> t
+val receive : t -> Ispn_sim.Packet.t -> unit
+val received : t -> int
+val bits_received : t -> int

@@ -1,0 +1,1 @@
+lib/util/log.ml: List Logs

@@ -1,0 +1,1 @@
+lib/util/log.mli: Logs

@@ -1,0 +1,23 @@
+let check_stable ~lambda ~mu =
+  if not (lambda > 0. && mu > lambda) then
+    invalid_arg "Analytic: need 0 < lambda < mu"
+
+let mm1_mean_wait ~lambda ~mu =
+  check_stable ~lambda ~mu;
+  let rho = lambda /. mu in
+  rho /. (mu -. lambda)
+
+let mm1_mean_sojourn ~lambda ~mu =
+  check_stable ~lambda ~mu;
+  1. /. (mu -. lambda)
+
+let mg1_mean_wait ~lambda ~mean_service ~var_service =
+  let mu = 1. /. mean_service in
+  check_stable ~lambda ~mu;
+  let second_moment = var_service +. (mean_service *. mean_service) in
+  lambda *. second_moment /. (2. *. (1. -. (lambda *. mean_service)))
+
+let md1_mean_wait ~lambda ~service =
+  mg1_mean_wait ~lambda ~mean_service:service ~var_service:0.
+
+let utilization ~lambda ~service = lambda *. service

@@ -1,0 +1,28 @@
+(** Closed-form queueing results used to validate the simulator.
+
+    The discrete-event substrate is trusted because, fed textbook arrival
+    processes, it reproduces textbook queueing delays: an M/D/1 queue for
+    Poisson arrivals of fixed-size packets (the integration suite compares
+    simulated FIFO waits against {!md1_mean_wait} to within a few
+    percent), and M/M/1 for exponential service as a further reference. *)
+
+val mm1_mean_wait : lambda:float -> mu:float -> float
+(** Mean waiting time (excluding service) in an M/M/1 queue,
+    [rho / (mu - lambda)] with [rho = lambda / mu].  Requires
+    [0 < lambda < mu]. *)
+
+val mm1_mean_sojourn : lambda:float -> mu:float -> float
+(** Mean time in system, [1 / (mu - lambda)]. *)
+
+val md1_mean_wait : lambda:float -> service:float -> float
+(** Mean waiting time in an M/D/1 queue (Pollaczek-Khinchine with zero
+    service variance): [rho * s / (2 (1 - rho))] where [s] is the fixed
+    service time and [rho = lambda * s < 1]. *)
+
+val mg1_mean_wait : lambda:float -> mean_service:float -> var_service:float ->
+  float
+(** Full Pollaczek-Khinchine mean wait:
+    [lambda * E(S^2) / (2 (1 - rho))]. *)
+
+val utilization : lambda:float -> service:float -> float
+(** Offered load [rho = lambda * service]. *)

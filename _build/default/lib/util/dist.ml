@@ -1,0 +1,41 @@
+let uniform g ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. Prng.float g)
+
+let exponential g ~mean =
+  assert (mean > 0.);
+  let u = Prng.float g in
+  (* 1 - u is in (0, 1], so log is finite. *)
+  -.mean *. log (1.0 -. u)
+
+let geometric g ~mean =
+  assert (mean >= 1.);
+  if mean = 1. then 1
+  else begin
+    let p = 1. /. mean in
+    let u = Prng.float g in
+    (* Inversion: ceil(log(1-u) / log(1-p)) >= 1. *)
+    let k = ceil (log (1.0 -. u) /. log (1.0 -. p)) in
+    max 1 (int_of_float k)
+  end
+
+let bernoulli g ~p = Prng.float g < p
+
+let poisson g ~mean =
+  assert (mean >= 0.);
+  if mean = 0. then 0
+  else if mean > 500. then begin
+    (* Normal approximation with continuity correction: adequate for the
+       load-generation uses in this library. *)
+    let u1 = Prng.float g and u2 = Prng.float g in
+    let z =
+      sqrt (-2. *. log (1. -. u1)) *. cos (2. *. Float.pi *. u2)
+    in
+    max 0 (int_of_float (Float.round (mean +. (sqrt mean *. z))))
+  end else begin
+    let limit = exp (-.mean) in
+    let rec loop k prod =
+      if prod <= limit then k else loop (k + 1) (prod *. Prng.float g)
+    in
+    loop 0 (Prng.float g)
+  end

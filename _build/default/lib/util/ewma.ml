@@ -1,0 +1,13 @@
+type t = { gain : float; mutable avg : float; mutable n : int }
+
+let create ?(init = 0.) ~gain () =
+  assert (gain > 0. && gain <= 1.);
+  { gain; avg = init; n = 0 }
+
+let update t x =
+  if t.n = 0 then t.avg <- x
+  else t.avg <- t.avg +. (t.gain *. (x -. t.avg));
+  t.n <- t.n + 1
+
+let value t = t.avg
+let count t = t.n

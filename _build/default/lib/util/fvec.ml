@@ -1,0 +1,40 @@
+type t = { mutable data : float array; mutable len : int }
+
+let create ?(capacity = 64) () =
+  { data = Array.make (max 1 capacity) 0.; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Fvec.get";
+  t.data.(i)
+
+let to_array t = Array.sub t.data 0 t.len
+
+let sorted_copy t =
+  let a = to_array t in
+  Array.sort compare a;
+  a
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let clear t = t.len <- 0

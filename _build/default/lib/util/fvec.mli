@@ -1,0 +1,23 @@
+(** Growable float vector.
+
+    Delay probes append one observation per packet; a ten-minute Table-2 run
+    records a few hundred thousand floats per flow, so the representation is
+    an amortized-doubling [float array] rather than a list. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> float -> unit
+val get : t -> int -> float
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val to_array : t -> float array
+(** Fresh array of the live elements. *)
+
+val sorted_copy : t -> float array
+(** Ascending copy; used by {!Quantile}. *)
+
+val iter : (float -> unit) -> t -> unit
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+val clear : t -> unit

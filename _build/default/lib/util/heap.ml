@@ -1,0 +1,85 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+(* The array is allocated lazily on first push because we have no dummy 'a
+   value; [capacity] is kept for API symmetry. *)
+let create ?(capacity = 16) ~cmp () =
+  ignore capacity;
+  { cmp; data = [||]; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.len && t.cmp t.data.(left) t.data.(!smallest) < 0 then
+    smallest := left;
+  if right < t.len && t.cmp t.data.(right) t.data.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let cap = Stdlib.max 16 (2 * t.len) in
+    let bigger = Array.make cap x in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty"
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_sorted_list t =
+  let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.len; len = t.len } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,25 @@
+(** Binary min-heap with a user-supplied ordering.
+
+    Backbone of both the discrete-event engine (events keyed by time and a
+    sequence number for FIFO tie-breaking) and the deadline-ordered queues of
+    FIFO+ and the EDF baselines. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** Min-heap under [cmp]: {!pop} returns the smallest element. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val pop_exn : 'a t -> 'a
+(** Raises [Invalid_argument] when empty. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterates in unspecified (heap) order. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive ascending listing (copies the heap). *)

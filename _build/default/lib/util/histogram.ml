@@ -1,0 +1,59 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) || bins < 1 then invalid_arg "Histogram.create";
+  { lo; hi; bins = Array.make bins 0; overflow = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let n = Array.length t.bins in
+    let idx =
+      int_of_float (float_of_int n *. (x -. t.lo) /. (t.hi -. t.lo))
+    in
+    let idx = Stdlib.max 0 (Stdlib.min (n - 1) idx) in
+    t.bins.(idx) <- t.bins.(idx) + 1
+  end
+
+let of_values ~lo ~hi ~bins values =
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add t) values;
+  t
+
+let count t = t.total
+let overflow t = t.overflow
+
+let bin_count t i =
+  if i < 0 || i >= Array.length t.bins then invalid_arg "Histogram.bin_count";
+  t.bins.(i)
+
+let bin_bounds t i =
+  if i < 0 || i >= Array.length t.bins then invalid_arg "Histogram.bin_bounds";
+  let n = Array.length t.bins in
+  let step = (t.hi -. t.lo) /. float_of_int n in
+  (t.lo +. (step *. float_of_int i), t.lo +. (step *. float_of_int (i + 1)))
+
+let render ?(width = 50) ?(unit_label = "") t =
+  let peak =
+    Array.fold_left Stdlib.max t.overflow t.bins |> Stdlib.max 1
+  in
+  let bar count = String.make (count * width / peak) '#' in
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i count ->
+      let lo, hi = bin_bounds t i in
+      Buffer.add_string buf
+        (Printf.sprintf "%10.2f-%-10.2f %s |%s %d\n" lo hi unit_label
+           (bar count) count))
+    t.bins;
+  Buffer.add_string buf
+    (Printf.sprintf "%10s>=%-9.2f %s |%s %d\n" "" t.hi unit_label
+       (bar t.overflow) t.overflow);
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Fixed-bin histograms with ASCII rendering.
+
+    Used by the CLI's verbose mode to show delay distributions — the
+    play-back point discussion in Section 2.3 is really about the shape of
+    this distribution, not a single number. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Values below [lo] land in the first bin, values at or above [hi] in an
+    overflow bin.  Requires [lo < hi] and [bins >= 1]. *)
+
+val of_values : lo:float -> hi:float -> bins:int -> float array -> t
+
+val add : t -> float -> unit
+val count : t -> int
+val overflow : t -> int
+(** Observations at or above [hi]. *)
+
+val bin_count : t -> int -> int
+(** Count in bin [i] (0-based).  Raises [Invalid_argument] out of range. *)
+
+val bin_bounds : t -> int -> float * float
+
+val render : ?width:int -> ?unit_label:string -> t -> string
+(** Bar chart, one line per bin plus an overflow line, bars scaled to
+    [width] (default 50) characters at the modal bin. *)

@@ -1,0 +1,9 @@
+let link = Logs.Src.create "ispn.link" ~doc:"Link-level events"
+let admission = Logs.Src.create "ispn.admission" ~doc:"Admission decisions"
+let service = Logs.Src.create "ispn.service" ~doc:"Service establishment"
+
+let setup ?(level = Logs.Info) () =
+  Logs.set_reporter (Logs.format_reporter ());
+  List.iter
+    (fun src -> Logs.Src.set_level src (Some level))
+    [ link; admission; service ]

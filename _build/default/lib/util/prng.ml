@@ -1,0 +1,35 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+(* Mixing function from Steele, Lea & Flood, "Fast splittable pseudorandom
+   number generators" (OOPSLA 2014). *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_raw g =
+  g.state <- Int64.add g.state golden_gamma;
+  g.state
+
+let int64 g = mix64 (next_raw g)
+
+let split g = { state = int64 g }
+
+let float g =
+  (* Use the top 53 bits for a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int g ~bound =
+  assert (bound > 0);
+  (* Rejection-free for our purposes: modulo bias is negligible for the small
+     bounds used in simulation (< 2^20 against a 62-bit range).  Shift by two
+     so the value fits OCaml's 63-bit native int as a non-negative number. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 g) 2) in
+  v mod bound
+
+let bool g = Int64.logand (int64 g) 1L = 1L

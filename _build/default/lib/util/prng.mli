@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows from a single 64-bit seed through
+    instances of this SplitMix64 generator.  Each traffic source owns its own
+    stream (obtained with {!split}), so adding or removing a source does not
+    perturb the random sequence seen by the others — experiments are
+    reproducible bit-for-bit. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds give equal
+    sequences. *)
+
+val split : t -> t
+(** [split g] derives an independent child stream from [g], advancing [g].
+    The child's sequence is uncorrelated with the parent's subsequent
+    output. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float g] is uniform on [\[0, 1)] with 53 bits of precision. *)
+
+val int : t -> bound:int -> int
+(** [int g ~bound] is uniform on [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)

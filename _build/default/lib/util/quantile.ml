@@ -1,0 +1,12 @@
+let of_sorted a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Quantile.of_sorted: empty";
+  if q < 0. || q > 1. then invalid_arg "Quantile.of_sorted: q out of range";
+  (* Nearest-rank: smallest index i such that (i+1)/n >= q. *)
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  let idx = if rank <= 0 then 0 else Stdlib.min (n - 1) (rank - 1) in
+  a.(idx)
+
+let of_fvec v q = of_sorted (Fvec.sorted_copy v) q
+let percentile v p = of_fvec v (p /. 100.)
+let median v = of_fvec v 0.5

@@ -1,0 +1,1 @@
+test/helpers.ml: Engine Ispn_sim Link List Packet Stdlib

@@ -1,0 +1,1 @@
+test/test_admission.ml: Alcotest Ispn_admission Ispn_util

@@ -1,0 +1,1 @@
+test/test_analytic.ml: Alcotest Engine Float Ispn_sched Ispn_sim Ispn_traffic Ispn_util List Network Probe Qdisc

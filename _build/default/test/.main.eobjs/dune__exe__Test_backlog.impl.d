@@ -1,0 +1,1 @@
+test/test_backlog.ml: Alcotest Backlog Engine Ispn_sched Ispn_sim Ispn_util Link Packet Qdisc

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Fun Gen Helpers Ispn_sched Ispn_sim List Option Packet QCheck QCheck_alcotest Qdisc

@@ -1,0 +1,1 @@
+test/test_csz_sched.ml: Alcotest Csz Gen Helpers Ispn_sim List Option Packet QCheck QCheck_alcotest Qdisc

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Dist Float Ispn_util Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Fun Gen Ispn_sim List QCheck QCheck_alcotest

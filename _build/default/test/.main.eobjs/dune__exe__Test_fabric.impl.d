@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Csz Engine Ispn_admission Ispn_sim Packet

@@ -1,0 +1,1 @@
+test/test_fifo.ml: Alcotest Gen Helpers Ispn_sched Ispn_sim List Packet QCheck QCheck_alcotest Qdisc

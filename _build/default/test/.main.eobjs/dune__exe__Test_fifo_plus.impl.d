@@ -1,0 +1,1 @@
+test/test_fifo_plus.ml: Alcotest Gen Helpers Ispn_sched Ispn_sim List Option Packet QCheck QCheck_alcotest Qdisc

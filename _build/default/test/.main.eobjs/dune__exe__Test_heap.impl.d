@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Heap Ispn_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Ispn_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mixed_sizes.ml: Alcotest Array Csz Engine Float Gen Helpers Ispn_sched Ispn_sim Link List Packet QCheck QCheck_alcotest Qdisc

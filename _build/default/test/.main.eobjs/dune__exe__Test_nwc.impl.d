@@ -1,0 +1,1 @@
+test/test_nwc.ml: Alcotest Engine Helpers Ispn_sched Ispn_sim Link List Network Packet Printf Qdisc

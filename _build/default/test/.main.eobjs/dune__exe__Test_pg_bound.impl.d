@@ -1,0 +1,1 @@
+test/test_pg_bound.ml: Alcotest Csz Engine Ispn_admission Ispn_sched Ispn_sim Ispn_traffic List Network Probe QCheck QCheck_alcotest Qdisc

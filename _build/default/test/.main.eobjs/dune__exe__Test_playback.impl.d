@@ -1,0 +1,1 @@
+test/test_playback.ml: Alcotest Ispn_playback List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prio.ml: Alcotest Array Gen Helpers Ispn_sched Ispn_sim List Option Packet QCheck QCheck_alcotest Qdisc

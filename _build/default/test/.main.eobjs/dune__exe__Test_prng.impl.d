@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Ispn_util List Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Gen Ispn_traffic Ispn_util List QCheck QCheck_alcotest

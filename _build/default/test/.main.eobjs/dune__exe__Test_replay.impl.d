@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Engine Ispn_sim Ispn_traffic List Packet Printf

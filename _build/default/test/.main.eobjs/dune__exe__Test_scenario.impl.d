@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Csz List Printf

@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest Csz Engine Ispn_admission Ispn_sim Packet

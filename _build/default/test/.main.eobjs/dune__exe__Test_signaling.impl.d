@@ -1,0 +1,1 @@
+test/test_signaling.ml: Alcotest Csz Engine Ispn_admission Ispn_sim Ispn_traffic List Option Packet Printf Result String

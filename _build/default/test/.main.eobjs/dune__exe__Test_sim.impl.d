@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Format Ispn_sched Ispn_sim Ispn_util Link List Network Node Packet Printf Probe Qdisc String Trace

@@ -1,0 +1,1 @@
+test/test_sources.ml: Alcotest Engine Float Ispn_sim Ispn_traffic Ispn_util List Packet

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Gen Ispn_util List QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Engine Ispn_sched Ispn_sim Ispn_transport Network Qdisc

@@ -1,0 +1,1 @@
+test/test_token_bucket.ml: Alcotest Engine Gen Ispn_sim Ispn_traffic List Packet Printf QCheck QCheck_alcotest Stdlib

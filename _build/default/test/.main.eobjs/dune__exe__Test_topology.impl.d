@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Engine Gen Ispn_sched Ispn_sim List Packet Printf QCheck QCheck_alcotest Qdisc Topology

@@ -1,0 +1,1 @@
+test/test_util_misc.ml: Alcotest Array Ewma Float Fvec Gen Ispn_util List QCheck QCheck_alcotest Quantile String Table Units

@@ -1,0 +1,1 @@
+test/test_vat.ml: Alcotest Ispn_playback Ispn_util

@@ -1,0 +1,1 @@
+test/test_vtime.ml: Alcotest Ispn_sched

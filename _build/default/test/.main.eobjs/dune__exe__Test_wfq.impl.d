@@ -1,0 +1,1 @@
+test/test_wfq.ml: Alcotest Float Gen Hashtbl Helpers Ispn_sched Ispn_sim List Packet QCheck QCheck_alcotest Qdisc

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Float Ispn_sim Packet QCheck QCheck_alcotest Wire

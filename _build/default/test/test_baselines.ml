@@ -1,0 +1,183 @@
+(* VirtualClock, EDF, DRR and RR-groups baselines. *)
+open Ispn_sim
+open Helpers
+
+(* --- VirtualClock --- *)
+
+let make_vc ?(capacity = 1000) ?(rate_of = fun _ -> 5e5) () =
+  Ispn_sched.Virtual_clock.create ~pool:(Qdisc.pool ~capacity) ~rate_of ()
+
+let test_vc_interleaves_equal_rates () =
+  let qdisc = make_vc () in
+  let arrivals = burst ~flow:0 ~at:0. ~n:50 @ burst ~flow:1 ~at:0. ~n:50 in
+  let records = run_schedule ~qdisc ~arrivals ~until:0.05 () in
+  let f0 = List.length (flows_served records 0) in
+  let f1 = List.length (flows_served records 1) in
+  if abs (f0 - f1) > 1 then Alcotest.failf "unfair: %d vs %d" f0 f1
+
+let test_vc_punishes_overdriving_flow () =
+  (* Flow 0 sends at twice its reserved rate; flow 1 is conforming.  The
+     conforming flow's packets must not queue behind the cheater's excess. *)
+  let rate_of = fun _ -> 2.5e5 (* 250 pkt/s reserved each *) in
+  let qdisc = make_vc ~rate_of () in
+  let cheat = paced ~flow:0 ~at:0. ~gap:0.002 ~n:100 (* 500 pkt/s *) in
+  let fair = paced ~flow:1 ~at:0.0001 ~gap:0.004 ~n:50 (* 250 pkt/s *) in
+  let records = run_schedule ~qdisc ~arrivals:(cheat @ fair) ~until:1. () in
+  let fair_max = max_wait (flows_served records 1) in
+  if fair_max > 0.003 then
+    Alcotest.failf "conforming flow penalized: %.6f" fair_max
+
+let test_vc_no_banked_credit () =
+  (* After a long idle period a flow's virtual clock snaps to now: it cannot
+     dump an arbitrarily large burst at the head of the queue. *)
+  let qdisc = make_vc () in
+  let arrivals =
+    burst ~flow:1 ~at:0.5 ~n:20 @ burst ~flow:0 ~at:0.5 ~n:20
+  in
+  let records = run_schedule ~qdisc ~arrivals ~until:1. () in
+  let f0_first10 =
+    records |> List.filteri (fun i _ -> i < 10) |> fun l ->
+    List.length (flows_served l 0)
+  in
+  (* Interleaved, so flow 0 gets about half of the first ten slots. *)
+  if f0_first10 < 3 || f0_first10 > 7 then
+    Alcotest.failf "no interleave: %d of first 10" f0_first10
+
+(* --- EDF --- *)
+
+let make_edf ?(capacity = 1000) ~deadline_of () =
+  Ispn_sched.Edf.create ~pool:(Qdisc.pool ~capacity) ~deadline_of ()
+
+let test_edf_equal_budgets_is_fifo () =
+  (* Section 5's observation: deadline scheduling in a homogeneous class is
+     FIFO. *)
+  let qdisc = make_edf ~deadline_of:(fun _ -> 0.01) () in
+  let arrivals =
+    List.concat_map
+      (fun i -> [ (float_of_int i *. 1e-4, pkt ~flow:(i mod 3) ~seq:i ()) ])
+      (List.init 20 Fun.id)
+  in
+  let records = run_schedule ~qdisc ~arrivals ~until:1. () in
+  let seqs = List.map (fun r -> r.r_seq) records in
+  Alcotest.(check (list int)) "fifo" (List.init 20 Fun.id) seqs
+
+let test_edf_tight_budget_first () =
+  let deadline_of = function 0 -> 0.001 | _ -> 0.1 in
+  let q = make_edf ~deadline_of () in
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:0 ()));
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:0 ()));
+  Alcotest.(check int) "tight deadline first" 0
+    (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow
+
+let test_edf_rejects_negative_budget () =
+  let q = make_edf ~deadline_of:(fun _ -> -1.) () in
+  try
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ()));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* --- DRR --- *)
+
+let make_drr ?(capacity = 1000) ?(quantum_bits = 1000) () =
+  Ispn_sched.Drr.create ~pool:(Qdisc.pool ~capacity) ~quantum_bits ()
+
+let test_drr_fair_split () =
+  let qdisc = make_drr () in
+  let arrivals = burst ~flow:0 ~at:0. ~n:100 @ burst ~flow:1 ~at:0. ~n:100 in
+  let records = run_schedule ~qdisc ~arrivals ~until:0.1 () in
+  let f0 = List.length (flows_served records 0) in
+  let f1 = List.length (flows_served records 1) in
+  if abs (f0 - f1) > 1 then Alcotest.failf "unfair: %d vs %d" f0 f1
+
+let test_drr_small_quantum_still_serves () =
+  (* Quantum below packet size: deficits accumulate over rounds and packets
+     still flow. *)
+  let qdisc = make_drr ~quantum_bits:100 () in
+  let records =
+    run_schedule ~qdisc ~arrivals:(burst ~flow:0 ~at:0. ~n:5) ~until:1. ()
+  in
+  Alcotest.(check int) "all served" 5 (List.length records)
+
+let test_drr_rejects_bad_quantum () =
+  try
+    ignore (make_drr ~quantum_bits:0 ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let qcheck_drr_conservation =
+  QCheck.Test.make ~name:"DRR conserves accepted packets" ~count:150
+    QCheck.(list_of_size (Gen.int_range 0 30) (int_bound 4))
+    (fun flows ->
+      let q = make_drr () in
+      let n = ref 0 in
+      List.iteri
+        (fun i f ->
+          if q.Qdisc.enqueue ~now:0. (pkt ~flow:f ~seq:i ()) then incr n)
+        flows;
+      let rec drain k =
+        match q.Qdisc.dequeue ~now:0. with None -> k | Some _ -> drain (k + 1)
+      in
+      drain 0 = !n)
+
+(* --- RR-groups --- *)
+
+let make_rr ?(capacity = 1000) ?(n_groups = 3) () =
+  Ispn_sched.Rr_groups.create ~pool:(Qdisc.pool ~capacity) ~n_groups
+    ~group_of:(fun p -> p.Packet.flow mod n_groups)
+    ()
+
+let test_rr_alternates_groups () =
+  let q = make_rr ~n_groups:2 () in
+  for i = 0 to 3 do
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:i ()))
+  done;
+  for i = 0 to 3 do
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:i ()))
+  done;
+  let order =
+    List.init 8 (fun _ -> (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow)
+  in
+  Alcotest.(check (list int)) "alternation" [ 0; 1; 0; 1; 0; 1; 0; 1 ] order
+
+let test_rr_fifo_within_group () =
+  let q = make_rr ~n_groups:2 () in
+  for i = 0 to 5 do
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:i ()))
+  done;
+  let seqs =
+    List.init 6 (fun _ -> (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.seq)
+  in
+  Alcotest.(check (list int)) "fifo in group" [ 0; 1; 2; 3; 4; 5 ] seqs
+
+let test_rr_skips_empty_groups () =
+  let q = make_rr ~n_groups:3 () in
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:2 ()));
+  Alcotest.(check int) "only backlogged group" 2
+    (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow;
+  Alcotest.(check bool) "then empty" true (q.Qdisc.dequeue ~now:0. = None)
+
+let suite =
+  [
+    Alcotest.test_case "vc interleaves equal rates" `Quick
+      test_vc_interleaves_equal_rates;
+    Alcotest.test_case "vc punishes overdriving flow" `Quick
+      test_vc_punishes_overdriving_flow;
+    Alcotest.test_case "vc no banked credit" `Quick test_vc_no_banked_credit;
+    Alcotest.test_case "edf equal budgets is fifo" `Quick
+      test_edf_equal_budgets_is_fifo;
+    Alcotest.test_case "edf tight budget first" `Quick
+      test_edf_tight_budget_first;
+    Alcotest.test_case "edf rejects negative budget" `Quick
+      test_edf_rejects_negative_budget;
+    Alcotest.test_case "drr fair split" `Quick test_drr_fair_split;
+    Alcotest.test_case "drr small quantum still serves" `Quick
+      test_drr_small_quantum_still_serves;
+    Alcotest.test_case "drr rejects bad quantum" `Quick
+      test_drr_rejects_bad_quantum;
+    QCheck_alcotest.to_alcotest qcheck_drr_conservation;
+    Alcotest.test_case "rr alternates groups" `Quick test_rr_alternates_groups;
+    Alcotest.test_case "rr fifo within group" `Quick
+      test_rr_fifo_within_group;
+    Alcotest.test_case "rr skips empty groups" `Quick
+      test_rr_skips_empty_groups;
+  ]

@@ -1,0 +1,128 @@
+open Ispn_sim
+
+let test_time_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule e ~at:3. (note "c"));
+  ignore (Engine.schedule e ~at:1. (note "a"));
+  ignore (Engine.schedule e ~at:2. (note "b"));
+  Engine.run e ~until:10.;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule e ~at:1. (fun () -> log := i :: !log))
+  done;
+  Engine.run e ~until:2.;
+  Alcotest.(check (list int)) "scheduling order on ties"
+    (List.init 10 Fun.id) (List.rev !log)
+
+let test_clock_advances_to_until () =
+  let e = Engine.create () in
+  Engine.run e ~until:5.;
+  Alcotest.(check (float 1e-9)) "clock" 5. (Engine.now e)
+
+let test_events_after_until_stay () =
+  let e = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule e ~at:7. (fun () -> fired := true));
+  Engine.run e ~until:5.;
+  Alcotest.(check bool) "not yet" false !fired;
+  Engine.run e ~until:10.;
+  Alcotest.(check bool) "eventually" true !fired
+
+let test_schedule_during_run () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~at:1. (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule e ~at:2. (fun () -> log := "inner" :: !log))));
+  Engine.run e ~until:3.;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~at:1. (fun () -> fired := true) in
+  Alcotest.(check int) "pending" 1 (Engine.pending e);
+  Engine.cancel e h;
+  Alcotest.(check int) "pending after cancel" 0 (Engine.pending e);
+  Engine.cancel e h;
+  (* idempotent *)
+  Engine.run e ~until:2.;
+  Alcotest.(check bool) "cancelled event silent" false !fired
+
+let test_schedule_in_past_rejected () =
+  let e = Engine.create () in
+  Engine.run e ~until:5.;
+  try
+    ignore (Engine.schedule e ~at:1. (fun () -> ()));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_schedule_after () =
+  let e = Engine.create () in
+  let seen = ref 0. in
+  ignore (Engine.schedule e ~at:2. (fun () ->
+      ignore (Engine.schedule_after e ~delay:3. (fun () -> seen := Engine.now e))));
+  Engine.run e ~until:10.;
+  Alcotest.(check (float 1e-9)) "fires at 5" 5. !seen
+
+let test_run_until_idle_budget () =
+  let e = Engine.create () in
+  (* A self-perpetuating event chain must trip the budget guard. *)
+  let rec forever () = ignore (Engine.schedule_after e ~delay:1. forever) in
+  forever ();
+  try
+    Engine.run_until_idle e ~max_events:100;
+    Alcotest.fail "expected Failure"
+  with Failure _ -> ()
+
+let test_run_until_idle_drains () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~at:(float_of_int i) (fun () -> incr count))
+  done;
+  Engine.run_until_idle e ~max_events:100;
+  Alcotest.(check int) "all fired" 5 !count
+
+let qcheck_ordering =
+  QCheck.Test.make ~name:"arbitrary schedules fire in nondecreasing time"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 50) (float_range 0. 100.))
+    (fun times ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun t -> ignore (Engine.schedule e ~at:t (fun () ->
+             fired := Engine.now e :: !fired)))
+        times;
+      Engine.run e ~until:200.;
+      let seq = List.rev !fired in
+      List.length seq = List.length times
+      && List.sort compare seq = seq)
+
+let suite =
+  [
+    Alcotest.test_case "time ordering" `Quick test_time_ordering;
+    Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+    Alcotest.test_case "clock advances to until" `Quick
+      test_clock_advances_to_until;
+    Alcotest.test_case "events after until stay queued" `Quick
+      test_events_after_until_stay;
+    Alcotest.test_case "schedule during run" `Quick test_schedule_during_run;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "schedule in past rejected" `Quick
+      test_schedule_in_past_rejected;
+    Alcotest.test_case "schedule_after" `Quick test_schedule_after;
+    Alcotest.test_case "run_until_idle budget" `Quick
+      test_run_until_idle_budget;
+    Alcotest.test_case "run_until_idle drains" `Quick
+      test_run_until_idle_drains;
+    QCheck_alcotest.to_alcotest qcheck_ordering;
+  ]

@@ -1,0 +1,200 @@
+(* Fast (short-duration) versions of the extension experiments, asserting
+   their qualitative shapes. *)
+module X = Csz.Extensions
+module E = Csz.Experiment
+
+let find_result results flow =
+  List.find (fun (r : E.flow_result) -> r.E.flow = flow) results
+
+let test_cascade_monotone () =
+  let rows = X.run_cascade ~duration:90. () in
+  Alcotest.(check int) "classes + datagram" 5 (List.length rows);
+  let tails = List.map (fun r -> r.X.c_p999) rows in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "tails grow down the ladder: %s"
+       (String.concat ", " (List.map (Printf.sprintf "%.2f") tails)))
+    true (non_decreasing tails)
+
+let test_isolation_ordering () =
+  let rows = X.run_isolation ~duration:60. () in
+  match rows with
+  | [ fifo; wfq; policed ] ->
+      (* FIFO: cheater and honest suffer alike. *)
+      Alcotest.(check bool) "fifo hurts honest" true
+        (fifo.X.honest_p999 > 3. *. policed.X.honest_p999);
+      (* WFQ: honest protected, cheater punished. *)
+      Alcotest.(check bool) "wfq punishes cheater" true
+        (wfq.X.cheat_p999 > 5. *. wfq.X.honest_p999);
+      (* Edge policing keeps everyone low. *)
+      Alcotest.(check bool) "policing restores" true
+        (policed.X.honest_p999 < fifo.X.honest_p999)
+  | _ -> Alcotest.fail "expected three rows"
+
+let test_playback_ordering () =
+  let rows = X.run_playback ~duration:120. () in
+  let get name = List.find (fun r -> r.X.client = name) rows in
+  let rigid = get "rigid" and adaptive = get "adaptive" and vat = get "vat" in
+  Alcotest.(check (float 1e-6)) "rigid holds the advertised bound" 0.
+    rigid.X.app_loss_rate;
+  Alcotest.(check bool) "adaptive point below rigid" true
+    (adaptive.X.mean_point < 0.7 *. rigid.X.mean_point);
+  Alcotest.(check bool) "vat point below rigid" true
+    (vat.X.mean_point < 0.7 *. rigid.X.mean_point);
+  Alcotest.(check bool) "adaptive loss bounded" true
+    (adaptive.X.app_loss_rate < 0.06);
+  Alcotest.(check bool) "vat loss bounded" true (vat.X.app_loss_rate < 0.06)
+
+let test_admission_ordering () =
+  let rows = X.run_admission ~duration:150. () in
+  let get p = List.find (fun r -> r.X.policy = p) rows in
+  let measured = get X.Measured in
+  let worst = get X.Worst_case in
+  let open_door = get X.Open_door in
+  Alcotest.(check bool) "same offered load" true
+    (measured.X.requests = worst.X.requests
+    && worst.X.requests = open_door.X.requests);
+  Alcotest.(check bool) "measured admits at least as many" true
+    (measured.X.accepted >= worst.X.accepted);
+  Alcotest.(check bool) "open door admits everything" true
+    (open_door.X.accepted = open_door.X.requests);
+  Alcotest.(check (float 1e-9)) "measured keeps targets" 0.
+    measured.X.violation_rate;
+  Alcotest.(check (float 1e-9)) "worst-case keeps targets" 0.
+    worst.X.violation_rate;
+  Alcotest.(check bool) "open door violates heavily" true
+    (open_door.X.violation_rate > 0.1)
+
+let test_discard_tradeoff () =
+  let rows = X.run_discard ~duration:60. () in
+  match rows with
+  | [ off; loose; tight ] ->
+      Alcotest.(check bool) "off discards nothing" true
+        (off.X.discarded_fraction = 0.);
+      Alcotest.(check bool) "tighter threshold discards more" true
+        (tight.X.discarded_fraction > loose.X.discarded_fraction);
+      Alcotest.(check bool) "discard trims the tail" true
+        (loose.X.p999_4hop <= off.X.p999_4hop)
+  | _ -> Alcotest.fail "expected three rows"
+
+let test_gain_ablation_direction () =
+  let rows = X.run_gain_ablation ~duration:120. () in
+  match rows with
+  | [ (_, fast); _; (_, slow) ] ->
+      Alcotest.(check bool) "slow gain beats fast gain at 4 hops" true
+        (slow.E.p999 < fast.E.p999)
+  | _ -> Alcotest.fail "expected three gains"
+
+let test_bakeoff_edf_equals_fifo () =
+  (* EDF with equal budgets must reproduce FIFO *exactly* (same packets,
+     same order, same delays) — the strongest version of Section 5's
+     observation. *)
+  let runs = X.run_bakeoff ~duration:30. () in
+  let get s = List.assoc s runs in
+  Alcotest.(check bool) "identical results" true
+    (get X.B_edf = get X.B_fifo)
+
+let test_bakeoff_nwc_higher_means () =
+  let runs = X.run_bakeoff ~duration:30. () in
+  let mean4 s = (find_result (List.assoc s runs) 0).E.mean in
+  Alcotest.(check bool) "Jitter-EDD mean far above FIFO" true
+    (mean4 X.B_jitter_edd > 3. *. mean4 X.B_fifo);
+  Alcotest.(check bool) "Stop-and-Go mean above FIFO" true
+    (mean4 X.B_stop_and_go > 2. *. mean4 X.B_fifo)
+
+let test_table3_service_shape () =
+  let r = X.run_table3_service ~duration:120. () in
+  (* All five guaranteed flows get in immediately. *)
+  let guaranteed =
+    List.filter (fun row -> row.X.e2e_outcome = "guaranteed") r.X.e2e_rows
+  in
+  Alcotest.(check int) "guaranteed admitted" 5 (List.length guaranteed);
+  (* Some predicted flows are admitted, some only after retries. *)
+  let admitted_predicted =
+    List.filter
+      (fun row ->
+        String.length row.X.e2e_outcome >= 5
+        && String.sub row.X.e2e_outcome 0 5 = "class")
+      r.X.e2e_rows
+  in
+  Alcotest.(check bool) "some predicted admitted" true
+    (List.length admitted_predicted >= 3);
+  Alcotest.(check bool) "late admissions happen" true
+    (List.exists
+       (fun row ->
+         String.length row.X.e2e_outcome > 0
+         && admitted_predicted <> []
+         &&
+         match String.index_opt row.X.e2e_outcome '=' with
+         | Some i ->
+             let t =
+               String.sub row.X.e2e_outcome (i + 1)
+                 (String.length row.X.e2e_outcome - i - 2)
+             in
+             (try float_of_string t > 0. with Failure _ -> false)
+         | None -> false)
+       r.X.e2e_rows);
+  (* Whatever got in respects its targets, and TCP refills the link. *)
+  Alcotest.(check (float 1e-9)) "no violations" 0. r.X.e2e_violations;
+  Alcotest.(check bool) "link refilled" true (r.X.e2e_utilization > 0.9)
+
+let test_load_sweep_crossover () =
+  let rows = X.run_load_sweep ~duration:150. ~points:[ 0.5; 0.9 ] () in
+  match rows with
+  | [ light; heavy ] ->
+      let ratio r = r.X.wfq_p999 /. r.X.fifo_p999 in
+      Alcotest.(check bool) "no gap at half load" true (ratio light < 1.1);
+      Alcotest.(check bool) "clear gap near saturation" true
+        (ratio heavy > 1.2);
+      Alcotest.(check bool) "delays grow with load" true
+        (heavy.X.fifo_p999 > light.X.fifo_p999)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_signaling_latency_grows_with_load () =
+  let rows = X.run_signaling ~duration:60. ~loads:[ 0.; 0.9 ] () in
+  match rows with
+  | [ idle; loaded ] ->
+      Alcotest.(check bool) "setups completed" true
+        (idle.X.sig_setups > 30 && loaded.X.sig_setups > 30);
+      (* Idle chain: ~6 ms deterministic. *)
+      Alcotest.(check bool) "idle baseline" true
+        (idle.X.sig_mean_ms > 5. && idle.X.sig_mean_ms < 7.);
+      Alcotest.(check bool) "load slows establishment" true
+        (loaded.X.sig_mean_ms > 2. *. idle.X.sig_mean_ms)
+  | _ -> Alcotest.fail "expected two loads"
+
+let test_importance_differentiation () =
+  let rows = X.run_importance ~duration:120. () in
+  match rows with
+  | [ important; less ] ->
+      Alcotest.(check bool) "both delivered" true
+        (important.X.imp_received > 3000 && less.X.imp_received > 3000);
+      Alcotest.(check bool) "important protected" true
+        (important.X.imp_p999 < 0.2 *. less.X.imp_p999)
+  | _ -> Alcotest.fail "expected two rows"
+
+let suite =
+  [
+    Alcotest.test_case "importance differentiation" `Slow
+      test_importance_differentiation;
+    Alcotest.test_case "signaling latency grows with load" `Slow
+      test_signaling_latency_grows_with_load;
+    Alcotest.test_case "load sweep crossover" `Slow
+      test_load_sweep_crossover;
+    Alcotest.test_case "table3 via service stack" `Slow
+      test_table3_service_shape;
+    Alcotest.test_case "cascade monotone" `Slow test_cascade_monotone;
+    Alcotest.test_case "isolation ordering" `Slow test_isolation_ordering;
+    Alcotest.test_case "playback ordering" `Slow test_playback_ordering;
+    Alcotest.test_case "admission ordering" `Slow test_admission_ordering;
+    Alcotest.test_case "discard tradeoff" `Slow test_discard_tradeoff;
+    Alcotest.test_case "gain ablation direction" `Slow
+      test_gain_ablation_direction;
+    Alcotest.test_case "bakeoff: EDF equals FIFO" `Slow
+      test_bakeoff_edf_equals_fifo;
+    Alcotest.test_case "bakeoff: non-work-conserving means" `Slow
+      test_bakeoff_nwc_higher_means;
+  ]

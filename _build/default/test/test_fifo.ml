@@ -1,0 +1,93 @@
+open Ispn_sim
+open Helpers
+
+let make ?(capacity = 100) () =
+  Ispn_sched.Fifo.create ~pool:(Qdisc.pool ~capacity) ()
+
+let test_order_preserved () =
+  let qdisc = make () in
+  let arrivals =
+    burst ~flow:0 ~at:0. ~n:5 @ [ (0.0005, pkt ~flow:1 ~seq:0 ()) ]
+  in
+  let records = run_schedule ~qdisc ~arrivals ~until:1. () in
+  let order = List.map (fun r -> (r.r_flow, r.r_seq)) records in
+  Alcotest.(check (list (pair int int)))
+    "arrival order"
+    [ (0, 0); (0, 1); (0, 2); (0, 3); (0, 4); (1, 0) ]
+    order
+
+let test_work_conserving () =
+  let qdisc = make () in
+  (* Packets spread out; the link must finish each exactly one transmission
+     time after it arrives (no idling with work queued). *)
+  let records =
+    run_schedule ~qdisc ~arrivals:(paced ~flow:0 ~at:0. ~gap:0.005 ~n:10)
+      ~until:1. ()
+  in
+  List.iter
+    (fun r -> Alcotest.(check (float 1e-9)) "no added wait" 0. r.r_wait)
+    records
+
+let test_tail_drop () =
+  let qdisc = make ~capacity:3 () in
+  let records =
+    run_schedule ~qdisc ~arrivals:(burst ~flow:0 ~at:0. ~n:10) ~until:1. ()
+  in
+  (* One in flight immediately + 3 buffered = 4 delivered. *)
+  Alcotest.(check int) "survivors" 4 (List.length records)
+
+let test_length_interface () =
+  let pool = Qdisc.pool ~capacity:10 in
+  let q = Ispn_sched.Fifo.create ~pool () in
+  Alcotest.(check int) "empty" 0 (q.Qdisc.length ());
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ()));
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~seq:1 ()));
+  Alcotest.(check int) "two queued" 2 (q.Qdisc.length ());
+  ignore (q.Qdisc.dequeue ~now:0.);
+  Alcotest.(check int) "one left" 1 (q.Qdisc.length ());
+  Alcotest.(check int) "pool tracks" 1 (Qdisc.pool_in_use pool)
+
+let test_dequeue_empty () =
+  let q = make () in
+  Alcotest.(check bool) "none" true (q.Qdisc.dequeue ~now:0. = None)
+
+let qcheck_fifo_order =
+  QCheck.Test.make ~name:"FIFO never reorders" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 40) (int_bound 4))
+    (fun flows ->
+      let q = make ~capacity:1000 () in
+      List.iteri
+        (fun i f -> ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:f ~seq:i ())))
+        flows;
+      let rec drain acc =
+        match q.Qdisc.dequeue ~now:0. with
+        | None -> List.rev acc
+        | Some p -> drain (p.Packet.seq :: acc)
+      in
+      let seqs = drain [] in
+      seqs = List.sort compare seqs)
+
+let qcheck_conservation =
+  QCheck.Test.make ~name:"FIFO conserves accepted packets" ~count:200
+    QCheck.(int_range 0 50)
+    (fun n ->
+      let q = make ~capacity:20 () in
+      let accepted = ref 0 in
+      for i = 0 to n - 1 do
+        if q.Qdisc.enqueue ~now:0. (pkt ~seq:i ()) then incr accepted
+      done;
+      let rec drain k =
+        match q.Qdisc.dequeue ~now:0. with None -> k | Some _ -> drain (k + 1)
+      in
+      drain 0 = !accepted)
+
+let suite =
+  [
+    Alcotest.test_case "order preserved" `Quick test_order_preserved;
+    Alcotest.test_case "work conserving" `Quick test_work_conserving;
+    Alcotest.test_case "tail drop" `Quick test_tail_drop;
+    Alcotest.test_case "length interface" `Quick test_length_interface;
+    Alcotest.test_case "dequeue empty" `Quick test_dequeue_empty;
+    QCheck_alcotest.to_alcotest qcheck_fifo_order;
+    QCheck_alcotest.to_alcotest qcheck_conservation;
+  ]

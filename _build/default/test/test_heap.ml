@@ -1,0 +1,101 @@
+open Ispn_util
+
+let int_heap () = Heap.create ~cmp:compare ()
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_ordering () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 5; 9; 2; 6 ];
+  let drained = List.init 8 (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 4; 5; 5; 6; 9 ] drained
+
+let test_peek_does_not_remove () =
+  let h = int_heap () in
+  Heap.push h 3;
+  Alcotest.(check (option int)) "peek" (Some 3) (Heap.peek h);
+  Alcotest.(check int) "length unchanged" 1 (Heap.length h)
+
+let test_clear () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
+
+let test_iter_visits_all () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 4; 1; 3 ];
+  let sum = ref 0 in
+  Heap.iter (fun x -> sum := !sum + x) h;
+  Alcotest.(check int) "sum over heap order" 8 !sum
+
+let test_to_sorted_list_nondestructive () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "heap intact" 3 (Heap.length h)
+
+let test_interleaved_push_pop () =
+  let h = int_heap () in
+  Heap.push h 5;
+  Heap.push h 3;
+  Alcotest.(check (option int)) "pop min" (Some 3) (Heap.pop h);
+  Heap.push h 1;
+  Heap.push h 4;
+  Alcotest.(check (option int)) "pop new min" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "then" (Some 4) (Heap.pop h);
+  Alcotest.(check (option int)) "then" (Some 5) (Heap.pop h)
+
+let test_stability_with_seq () =
+  (* Equal keys break ties on a sequence number — the pattern every
+     scheduler in this library uses.  Drain order must be insertion order. *)
+  let h = Heap.create ~cmp:(fun (k1, s1, _) (k2, s2, _) ->
+      match compare (k1 : int) k2 with 0 -> compare (s1 : int) s2 | c -> c) ()
+  in
+  List.iteri (fun i v -> Heap.push h (0, i, v)) [ "a"; "b"; "c"; "d" ];
+  let order = List.init 4 (fun _ -> let _, _, v = Heap.pop_exn h in v) in
+  Alcotest.(check (list string)) "fifo on ties" [ "a"; "b"; "c"; "d" ] order
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:500
+    QCheck.(list int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let qcheck_heap_length =
+  QCheck.Test.make ~name:"length tracks pushes and pops" ~count:300
+    QCheck.(pair (list int) small_nat)
+    (fun (xs, npops) ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      let pops = min npops (List.length xs) in
+      for _ = 1 to pops do
+        ignore (Heap.pop h)
+      done;
+      Heap.length h = List.length xs - pops)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "peek does not remove" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "iter visits all" `Quick test_iter_visits_all;
+    Alcotest.test_case "to_sorted_list nondestructive" `Quick
+      test_to_sorted_list_nondestructive;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
+    Alcotest.test_case "tie-break stability" `Quick test_stability_with_seq;
+    QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+    QCheck_alcotest.to_alcotest qcheck_heap_length;
+  ]

@@ -1,0 +1,51 @@
+module Histogram = Ispn_util.Histogram
+
+let test_binning () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.9; 9.99; 10.0; 42. ];
+  Alcotest.(check int) "count" 6 (Histogram.count h);
+  Alcotest.(check int) "bin 0" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 9" 1 (Histogram.bin_count h 9);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h)
+
+let test_below_lo_clamps () =
+  let h = Histogram.create ~lo:5. ~hi:10. ~bins:5 in
+  Histogram.add h 0.;
+  Alcotest.(check int) "clamped to first bin" 1 (Histogram.bin_count h 0)
+
+let test_bounds () =
+  let h = Histogram.create ~lo:0. ~hi:100. ~bins:4 in
+  let lo, hi = Histogram.bin_bounds h 2 in
+  Alcotest.(check (float 1e-9)) "lo" 50. lo;
+  Alcotest.(check (float 1e-9)) "hi" 75. hi;
+  Alcotest.check_raises "range" (Invalid_argument "Histogram.bin_bounds")
+    (fun () -> ignore (Histogram.bin_bounds h 4))
+
+let test_of_values_and_render () =
+  let h = Histogram.of_values ~lo:0. ~hi:4. ~bins:4 [| 0.1; 1.1; 1.2; 9. |] in
+  let out = Histogram.render ~width:10 h in
+  Alcotest.(check int) "five lines (4 bins + overflow)" 5
+    (List.length (String.split_on_char '\n' (String.trim out)));
+  Alcotest.(check bool) "bars drawn" true (String.contains out '#')
+
+let qcheck_conservation =
+  QCheck.Test.make ~name:"histogram conserves observations" ~count:300
+    QCheck.(list (float_range (-10.) 110.))
+    (fun xs ->
+      let h = Histogram.create ~lo:0. ~hi:100. ~bins:7 in
+      List.iter (Histogram.add h) xs;
+      let binned = ref (Histogram.overflow h) in
+      for i = 0 to 6 do
+        binned := !binned + Histogram.bin_count h i
+      done;
+      !binned = List.length xs && Histogram.count h = List.length xs)
+
+let suite =
+  [
+    Alcotest.test_case "binning" `Quick test_binning;
+    Alcotest.test_case "below lo clamps" `Quick test_below_lo_clamps;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "of_values and render" `Quick test_of_values_and_render;
+    QCheck_alcotest.to_alcotest qcheck_conservation;
+  ]

@@ -1,0 +1,145 @@
+(* The paper's simulations use uniform 1000-bit packets, but the library
+   must be correct for arbitrary sizes: conservation, per-flow ordering and
+   bit-level (not packet-level) fairness. *)
+open Ispn_sim
+open Helpers
+
+let schedulers =
+  [
+    ( "FIFO",
+      fun () -> Ispn_sched.Fifo.create ~pool:(Qdisc.unbounded_pool ()) () );
+    ( "WFQ",
+      fun () ->
+        Ispn_sched.Wfq.create_equal ~pool:(Qdisc.unbounded_pool ())
+          ~link_rate_bps:1e6 () );
+    ( "FIFO+",
+      fun () ->
+        snd (Ispn_sched.Fifo_plus.create ~pool:(Qdisc.unbounded_pool ()) ()) );
+    ( "VirtualClock",
+      fun () ->
+        Ispn_sched.Virtual_clock.create ~pool:(Qdisc.unbounded_pool ())
+          ~rate_of:(fun _ -> 2e5)
+          () );
+    ( "DRR",
+      fun () ->
+        Ispn_sched.Drr.create ~pool:(Qdisc.unbounded_pool ())
+          ~quantum_bits:1500 () );
+    ( "EDF",
+      fun () ->
+        Ispn_sched.Edf.create ~pool:(Qdisc.unbounded_pool ())
+          ~deadline_of:(fun _ -> 0.01)
+          () );
+    ( "CSZ",
+      fun () ->
+        let st, q = Csz.Csz_sched.create ~pool:(Qdisc.unbounded_pool ()) () in
+        Csz.Csz_sched.add_guaranteed st ~flow:0 ~clock_rate_bps:2e5;
+        Csz.Csz_sched.set_predicted st ~flow:1 ~cls:0;
+        q );
+  ]
+
+let qcheck_conservation_mixed_sizes =
+  let gen =
+    QCheck.(
+      list_of_size (Gen.int_range 0 60)
+        (pair (int_bound 3) (int_range 100 60_000)))
+  in
+  List.map
+    (fun (name, make) ->
+      QCheck.Test.make
+        ~name:(name ^ " conserves mixed-size packets and total bits")
+        ~count:100 gen
+        (fun plan ->
+          let q = make () in
+          let in_bits = ref 0 and in_count = ref 0 in
+          List.iteri
+            (fun i (flow, size_bits) ->
+              if
+                q.Qdisc.enqueue
+                  ~now:(float_of_int i *. 1e-4)
+                  (pkt ~flow ~seq:i ~size_bits ())
+              then begin
+                incr in_count;
+                in_bits := !in_bits + size_bits
+              end)
+            plan;
+          let out_bits = ref 0 and out_count = ref 0 in
+          let rec drain () =
+            match q.Qdisc.dequeue ~now:1. with
+            | None -> ()
+            | Some p ->
+                incr out_count;
+                out_bits := !out_bits + p.Packet.size_bits;
+                drain ()
+          in
+          drain ();
+          !out_count = !in_count && !out_bits = !in_bits))
+    schedulers
+
+let test_wfq_bit_level_fairness () =
+  (* Flow 0 sends 2000-bit packets, flow 1 sends 1000-bit ones, equal
+     weights, both saturated: WFQ must equalize *bits*, so flow 1 gets
+     twice the packets. *)
+  let q =
+    Ispn_sched.Wfq.create_equal ~pool:(Qdisc.unbounded_pool ())
+      ~link_rate_bps:1e6 ()
+  in
+  for i = 0 to 199 do
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:i ~size_bits:2000 ()));
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:i ~size_bits:1000 ()))
+  done;
+  (* Serve the first 150 packets and count bits per flow. *)
+  let bits = [| 0; 0 |] in
+  for _ = 1 to 150 do
+    match q.Qdisc.dequeue ~now:0. with
+    | Some p -> bits.(p.Packet.flow) <- bits.(p.Packet.flow) + p.Packet.size_bits
+    | None -> Alcotest.fail "queue ran dry"
+  done;
+  let ratio = float_of_int bits.(0) /. float_of_int bits.(1) in
+  if Float.abs (ratio -. 1.) > 0.05 then
+    Alcotest.failf "bit shares uneven: %d vs %d" bits.(0) bits.(1)
+
+let test_drr_bit_level_fairness () =
+  let q =
+    Ispn_sched.Drr.create ~pool:(Qdisc.unbounded_pool ()) ~quantum_bits:2000 ()
+  in
+  for i = 0 to 199 do
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:i ~size_bits:2000 ()));
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:i ~size_bits:1000 ()))
+  done;
+  let bits = [| 0; 0 |] in
+  for _ = 1 to 150 do
+    match q.Qdisc.dequeue ~now:0. with
+    | Some p -> bits.(p.Packet.flow) <- bits.(p.Packet.flow) + p.Packet.size_bits
+    | None -> Alcotest.fail "queue ran dry"
+  done;
+  let ratio = float_of_int bits.(0) /. float_of_int bits.(1) in
+  if Float.abs (ratio -. 1.) > 0.1 then
+    Alcotest.failf "bit shares uneven: %d vs %d" bits.(0) bits.(1)
+
+let test_link_serializes_by_size () =
+  (* A 5000-bit packet takes five times as long on the wire as a 1000-bit
+     one. *)
+  let engine = Engine.create () in
+  let q = Ispn_sched.Fifo.create ~pool:(Qdisc.pool ~capacity:10) () in
+  let link = Link.create ~engine ~rate_bps:1e6 ~qdisc:q ~name:"l" () in
+  let times = ref [] in
+  Link.set_receiver link (fun p ->
+      times := (p.Packet.seq, Engine.now engine) :: !times);
+  Link.send link (pkt ~seq:0 ~size_bits:5000 ());
+  Link.send link (pkt ~seq:1 ~size_bits:1000 ());
+  Engine.run engine ~until:1.;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "serialization times"
+    [ (0, 0.005); (1, 0.006) ]
+    (List.rev !times)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest qcheck_conservation_mixed_sizes
+  @ [
+      Alcotest.test_case "WFQ bit-level fairness" `Quick
+        test_wfq_bit_level_fairness;
+      Alcotest.test_case "DRR bit-level fairness" `Quick
+        test_drr_bit_level_fairness;
+      Alcotest.test_case "link serializes by size" `Quick
+        test_link_serializes_by_size;
+    ]

@@ -1,0 +1,201 @@
+(* Non-work-conserving schedulers: Stop-and-Go, HRR, Jitter-EDD. *)
+open Ispn_sim
+open Helpers
+
+(* A link driven by the engine so the waker machinery is exercised. *)
+let run_on_link ~qdisc_of ~arrivals ~until =
+  let engine = Engine.create () in
+  let qdisc = qdisc_of engine in
+  let link = Link.create ~engine ~rate_bps:1e6 ~qdisc ~name:"nwc" () in
+  let out = ref [] in
+  Link.set_receiver link (fun p ->
+      out := (Engine.now engine, p) :: !out);
+  List.iter
+    (fun (time, p) ->
+      ignore (Engine.schedule engine ~at:time (fun () -> Link.send link p)))
+    arrivals;
+  Engine.run engine ~until;
+  List.rev !out
+
+(* --- Stop-and-Go --- *)
+
+let sg engine =
+  Ispn_sched.Stop_and_go.create ~engine ~frame:0.010
+    ~pool:(Qdisc.pool ~capacity:100)
+    ()
+
+let test_sg_holds_until_frame_boundary () =
+  (* A packet arriving at 3 ms (mid-frame) departs at the 10 ms boundary. *)
+  let out =
+    run_on_link ~qdisc_of:sg
+      ~arrivals:[ (0.003, pkt ~seq:0 ~created:0.003 ()) ]
+      ~until:1.
+  in
+  match out with
+  | [ (t, _) ] -> Alcotest.(check (float 1e-9)) "boundary + tx" 0.011 t
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_sg_frame_batching () =
+  (* Five packets arriving in one frame all become eligible together at the
+     boundary and then serialize back-to-back. *)
+  let arrivals =
+    List.init 5 (fun i ->
+        let t = 0.001 +. (0.0005 *. float_of_int i) in
+        (t, pkt ~seq:i ~created:t ()))
+  in
+  let out = run_on_link ~qdisc_of:sg ~arrivals ~until:1. in
+  Alcotest.(check int) "all delivered" 5 (List.length out);
+  List.iteri
+    (fun i (t, _) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "packet %d" i)
+        (0.011 +. (0.001 *. float_of_int i))
+        t)
+    out
+
+let test_sg_not_work_conserving () =
+  (* With one packet queued, the link stays idle until the boundary — unlike
+     every work-conserving scheduler in this library. *)
+  let engine = Engine.create () in
+  let q = sg engine in
+  ignore (q.Qdisc.enqueue ~now:0.002 (pkt ~seq:0 ()));
+  Alcotest.(check int) "queued" 1 (q.Qdisc.length ());
+  Alcotest.(check bool) "held" true (q.Qdisc.dequeue ~now:0.005 = None);
+  Alcotest.(check bool) "released at boundary" true
+    (q.Qdisc.dequeue ~now:0.010 <> None)
+
+(* --- HRR --- *)
+
+let hrr ?(slots = 2) engine =
+  Ispn_sched.Hrr.create ~engine ~frame:0.020
+    ~slots_of:(fun _ -> slots)
+    ~pool:(Qdisc.pool ~capacity:100)
+    ()
+
+let test_hrr_rate_limits_a_burst () =
+  (* Ten packets, two slots per 20 ms frame: the burst drains over five
+     frames — about 100 ms — instead of 10 ms. *)
+  let arrivals = burst ~flow:0 ~at:0. ~n:10 in
+  let out = run_on_link ~qdisc_of:hrr ~arrivals ~until:1. in
+  Alcotest.(check int) "all delivered" 10 (List.length out);
+  let last, _ = List.nth out 9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread across frames (last at %.3f)" last)
+    true
+    (last > 0.080 && last < 0.120)
+
+let test_hrr_unused_slots_not_reallocated () =
+  (* Even with the link otherwise idle, a single flow cannot exceed its own
+     allocation — the defining non-work-conserving property. *)
+  let arrivals = burst ~flow:0 ~at:0. ~n:4 in
+  let out = run_on_link ~qdisc_of:(hrr ~slots:1) ~arrivals ~until:1. in
+  let times = List.map fst out in
+  (* One packet per 20 ms frame. *)
+  List.iteri
+    (fun i t ->
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "gap %d >= frame" i)
+          true
+          (t -. List.nth times (i - 1) > 0.019))
+    times
+
+let test_hrr_two_flows_share_frame () =
+  let arrivals = burst ~flow:0 ~at:0. ~n:2 @ burst ~flow:1 ~at:0. ~n:2 in
+  let out = run_on_link ~qdisc_of:hrr ~arrivals ~until:1. in
+  (* Both flows fit in the first frame's slots: everything inside 20 ms. *)
+  Alcotest.(check int) "all delivered" 4 (List.length out);
+  List.iter
+    (fun (t, _) -> Alcotest.(check bool) "first frame" true (t < 0.020))
+    out
+
+(* --- Jitter-EDD --- *)
+
+let jedd ?(budget = 0.020) engine =
+  Ispn_sched.Jitter_edd.create ~engine
+    ~budget_of:(fun _ -> budget)
+    ~pool:(Qdisc.pool ~capacity:200)
+    ()
+
+let test_jedd_single_hop_is_edd () =
+  (* No earliness on entry: packets leave in deadline (= arrival, equal
+     budgets) order with no holding. *)
+  let arrivals = paced ~flow:0 ~at:0. ~gap:0.002 ~n:5 in
+  let out = run_on_link ~qdisc_of:jedd ~arrivals ~until:1. in
+  Alcotest.(check int) "all delivered" 5 (List.length out);
+  List.iteri
+    (fun i (t, _) ->
+      Alcotest.(check (float 1e-9))
+        "no holding at first hop"
+        ((0.002 *. float_of_int i) +. 0.001)
+        t)
+    out
+
+let test_jedd_exports_earliness () =
+  let engine = Engine.create () in
+  let q = jedd engine in
+  let p = pkt ~seq:0 () in
+  ignore (q.Qdisc.enqueue ~now:0. p);
+  (* Departing immediately, 20 ms ahead of its deadline. *)
+  ignore (q.Qdisc.dequeue ~now:0.);
+  Alcotest.(check (float 1e-9)) "earliness in header" 0.020 p.Packet.offset
+
+let test_jedd_holds_early_packet () =
+  let engine = Engine.create () in
+  let q = jedd engine in
+  let p = pkt ~seq:0 () in
+  p.Packet.offset <- 0.015;
+  (* 15 ms early at the previous hop. *)
+  ignore (q.Qdisc.enqueue ~now:1.000 p);
+  Alcotest.(check bool) "held while early" true (q.Qdisc.dequeue ~now:1.010 = None);
+  Alcotest.(check bool) "eligible after hold" true
+    (q.Qdisc.dequeue ~now:1.015 <> None)
+
+let test_jedd_reconstructs_schedule_across_hops () =
+  (* Over a two-link chain, an unloaded Jitter-EDD path delivers every
+     packet at a *fixed* latency: one budget (the hold at hop 2 restores
+     hop 1's full deadline) plus two transmissions. *)
+  let engine = Engine.create () in
+  let net =
+    Network.chain ~engine ~n_switches:3 ~rate_bps:1e6
+      ~qdisc_of:(fun _ -> jedd engine)
+      ()
+  in
+  let latencies = ref [] in
+  Network.install_flow net ~flow:0 ~ingress:0 ~egress:2 ~sink:(fun p ->
+      latencies := (Engine.now engine -. p.Packet.created) :: !latencies);
+  for i = 0 to 9 do
+    let at = 0.005 *. float_of_int i in
+    ignore
+      (Engine.schedule engine ~at (fun () ->
+           Network.inject net ~at_switch:0
+             (Packet.make ~flow:0 ~seq:i ~created:at ())))
+  done;
+  Engine.run engine ~until:2.;
+  Alcotest.(check int) "all delivered" 10 (List.length !latencies);
+  List.iter
+    (fun l -> Alcotest.(check (float 1e-6)) "constant latency" 0.022 l)
+    !latencies
+
+let suite =
+  [
+    Alcotest.test_case "S&G holds until frame boundary" `Quick
+      test_sg_holds_until_frame_boundary;
+    Alcotest.test_case "S&G frame batching" `Quick test_sg_frame_batching;
+    Alcotest.test_case "S&G not work conserving" `Quick
+      test_sg_not_work_conserving;
+    Alcotest.test_case "HRR rate limits a burst" `Quick
+      test_hrr_rate_limits_a_burst;
+    Alcotest.test_case "HRR unused slots not reallocated" `Quick
+      test_hrr_unused_slots_not_reallocated;
+    Alcotest.test_case "HRR two flows share frame" `Quick
+      test_hrr_two_flows_share_frame;
+    Alcotest.test_case "Jitter-EDD single hop is EDD" `Quick
+      test_jedd_single_hop_is_edd;
+    Alcotest.test_case "Jitter-EDD exports earliness" `Quick
+      test_jedd_exports_earliness;
+    Alcotest.test_case "Jitter-EDD holds early packet" `Quick
+      test_jedd_holds_early_packet;
+    Alcotest.test_case "Jitter-EDD reconstructs schedule" `Quick
+      test_jedd_reconstructs_schedule_across_hops;
+  ]

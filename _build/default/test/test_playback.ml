@@ -1,0 +1,125 @@
+module Client = Ispn_playback.Client
+module De = Ispn_playback.Delay_estimator
+
+(* --- Delay estimator --- *)
+
+let test_estimator_empty_is_margin () =
+  let e = De.create ~margin:0.02 () in
+  Alcotest.(check (float 1e-9)) "margin" 0.02 (De.estimate e)
+
+let test_estimator_tracks_quantile () =
+  let e = De.create ~window:100 ~quantile:0.5 () in
+  for i = 1 to 100 do
+    De.observe e (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "median of 1..100" 50. (De.estimate e)
+
+let test_estimator_window_slides () =
+  let e = De.create ~window:10 ~quantile:1.0 () in
+  for i = 1 to 100 do
+    De.observe e (float_of_int i)
+  done;
+  (* Only the last 10 observations (91..100) remain. *)
+  Alcotest.(check (float 1e-9)) "windowed max" 100. (De.estimate e);
+  for _ = 1 to 10 do
+    De.observe e 1.
+  done;
+  Alcotest.(check (float 1e-9)) "old peak forgotten" 1. (De.estimate e)
+
+let test_estimator_margin_added () =
+  let e = De.create ~window:10 ~quantile:1.0 ~margin:0.5 () in
+  De.observe e 2.;
+  Alcotest.(check (float 1e-9)) "margin added" 2.5 (De.estimate e)
+
+(* --- Rigid client --- *)
+
+let test_rigid_counts_misses () =
+  let c = Client.rigid ~bound:0.1 in
+  List.iter (fun d -> Client.receive c ~delay:d) [ 0.05; 0.09; 0.11; 0.2; 0.01 ];
+  Alcotest.(check int) "received" 5 (Client.received c);
+  Alcotest.(check int) "missed" 2 (Client.missed c);
+  Alcotest.(check (float 1e-9)) "loss rate" 0.4 (Client.loss_rate c);
+  Alcotest.(check (float 1e-9)) "fixed point" 0.1 (Client.playback_point c);
+  Alcotest.(check (float 1e-9)) "mean point" 0.1 (Client.mean_playback_point c)
+
+(* --- Adaptive client --- *)
+
+let test_adaptive_tracks_delays () =
+  let c = Client.adaptive ~window:50 ~quantile:0.99 ~update_every:10 () in
+  for _ = 1 to 200 do
+    Client.receive c ~delay:0.03
+  done;
+  Alcotest.(check (float 1e-6)) "settles on observed delay" 0.03
+    (Client.playback_point c)
+
+let test_adaptive_beats_rigid_on_mean_point () =
+  (* Delays are almost always 10 ms with rare 100 ms spikes.  A rigid client
+     provisioned at the worst case holds a 100 ms play-back point; an
+     adaptive client should sit far lower while losing only the spikes. *)
+  let delays =
+    List.init 2000 (fun i -> if i mod 200 = 199 then 0.1 else 0.01)
+  in
+  let rigid = Client.rigid ~bound:0.1 in
+  let adaptive = Client.adaptive ~window:100 ~quantile:0.99 ~update_every:20 () in
+  List.iter
+    (fun d ->
+      Client.receive rigid ~delay:d;
+      Client.receive adaptive ~delay:d)
+    delays;
+  let r = Client.mean_playback_point rigid in
+  let a = Client.mean_playback_point adaptive in
+  if a >= r /. 2. then
+    Alcotest.failf "adaptive point %.4f not well below rigid %.4f" a r;
+  (* And its loss stays small. *)
+  if Client.loss_rate adaptive > 0.02 then
+    Alcotest.failf "adaptive loss too high: %.3f" (Client.loss_rate adaptive)
+
+let test_adaptive_readjusts_upward () =
+  (* When conditions worsen the client suffers briefly, then adapts. *)
+  let c = Client.adaptive ~window:50 ~quantile:1.0 ~update_every:10 () in
+  for _ = 1 to 100 do
+    Client.receive c ~delay:0.01
+  done;
+  let before = Client.playback_point c in
+  for _ = 1 to 100 do
+    Client.receive c ~delay:0.05
+  done;
+  let after = Client.playback_point c in
+  Alcotest.(check bool) "moved up" true (after > before);
+  Alcotest.(check (float 1e-6)) "tracks new level" 0.05 after;
+  Alcotest.(check bool) "took some losses while adapting" true
+    (Client.missed c > 0)
+
+let test_zero_received () =
+  let c = Client.adaptive () in
+  Alcotest.(check (float 1e-9)) "loss rate" 0. (Client.loss_rate c)
+
+let qcheck_rigid_miss_count =
+  QCheck.Test.make ~name:"rigid client misses exactly delays above bound"
+    ~count:200
+    QCheck.(pair (float_range 0.01 0.2) (list (float_range 0. 0.3)))
+    (fun (bound, delays) ->
+      let c = Client.rigid ~bound in
+      List.iter (fun d -> Client.receive c ~delay:d) delays;
+      Client.missed c = List.length (List.filter (fun d -> d > bound) delays))
+
+let suite =
+  [
+    Alcotest.test_case "estimator empty is margin" `Quick
+      test_estimator_empty_is_margin;
+    Alcotest.test_case "estimator tracks quantile" `Quick
+      test_estimator_tracks_quantile;
+    Alcotest.test_case "estimator window slides" `Quick
+      test_estimator_window_slides;
+    Alcotest.test_case "estimator margin added" `Quick
+      test_estimator_margin_added;
+    Alcotest.test_case "rigid counts misses" `Quick test_rigid_counts_misses;
+    Alcotest.test_case "adaptive tracks delays" `Quick
+      test_adaptive_tracks_delays;
+    Alcotest.test_case "adaptive beats rigid on mean point" `Quick
+      test_adaptive_beats_rigid_on_mean_point;
+    Alcotest.test_case "adaptive readjusts upward" `Quick
+      test_adaptive_readjusts_upward;
+    Alcotest.test_case "zero received" `Quick test_zero_received;
+    QCheck_alcotest.to_alcotest qcheck_rigid_miss_count;
+  ]

@@ -1,0 +1,94 @@
+open Ispn_sim
+open Helpers
+
+(* Two FIFO classes over one shared pool; classify by flow id. *)
+let make ?(capacity = 100) ?(n = 2) () =
+  let pool = Qdisc.pool ~capacity in
+  let classes = Array.init n (fun _ -> Ispn_sched.Fifo.create ~pool ()) in
+  Ispn_sched.Prio.create ~classes
+    ~classify:(fun p -> p.Packet.flow)
+    ()
+
+let test_high_class_first () =
+  let q = make () in
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:0 ()));
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:1 ()));
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:0 ()));
+  let order =
+    List.init 3 (fun _ -> (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow)
+  in
+  Alcotest.(check (list int)) "priority order" [ 0; 1; 1 ] order
+
+let test_low_class_served_when_high_empty () =
+  let q = make () in
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ()));
+  Alcotest.(check int) "low served" 1
+    (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow
+
+let test_preemption_between_dequeues () =
+  (* A high-priority arrival after low-priority packets are queued still
+     goes out first at the next service opportunity. *)
+  let qdisc = make () in
+  let arrivals =
+    burst ~flow:1 ~at:0. ~n:5
+    @ [ (0.0015, pkt ~flow:0 ~seq:0 ~created:0.0015 ()) ]
+  in
+  let records = run_schedule ~qdisc ~arrivals ~until:1. () in
+  let order = List.map (fun r -> r.r_flow) records in
+  (* Two low packets are already gone (one in flight at 0-1ms, one at
+     1-2ms); the high packet arriving at 1.5ms beats the remaining three. *)
+  Alcotest.(check (list int)) "preemption" [ 1; 1; 0; 1; 1; 1 ] order
+
+let test_shared_pool_across_classes () =
+  let q = make ~capacity:3 () in
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:0 ()));
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:0 ()));
+  ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:1 ()));
+  Alcotest.(check bool) "pool exhausted across classes" false
+    (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:1 ()));
+  Alcotest.(check int) "length sums classes" 3 (q.Qdisc.length ())
+
+let test_classify_out_of_range () =
+  let q = make () in
+  try
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:7 ()));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let qcheck_priority_invariant =
+  QCheck.Test.make
+    ~name:"a class-0 packet never waits behind a class-1 packet" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 1))
+    (fun flows ->
+      let q = make () in
+      List.iteri
+        (fun i f -> ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:f ~seq:i ())))
+        flows;
+      let rec drain acc =
+        match q.Qdisc.dequeue ~now:0. with
+        | None -> List.rev acc
+        | Some p -> drain (p.Packet.flow :: acc)
+      in
+      let out = drain [] in
+      (* All zeros must precede all ones. *)
+      let rec check seen_one = function
+        | [] -> true
+        | 0 :: _ when seen_one -> false
+        | 0 :: rest -> check seen_one rest
+        | _ :: rest -> check true rest
+      in
+      check false out)
+
+let suite =
+  [
+    Alcotest.test_case "high class first" `Quick test_high_class_first;
+    Alcotest.test_case "low class when high empty" `Quick
+      test_low_class_served_when_high_empty;
+    Alcotest.test_case "preemption between dequeues" `Quick
+      test_preemption_between_dequeues;
+    Alcotest.test_case "shared pool across classes" `Quick
+      test_shared_pool_across_classes;
+    Alcotest.test_case "classify out of range" `Quick
+      test_classify_out_of_range;
+    QCheck_alcotest.to_alcotest qcheck_priority_invariant;
+  ]

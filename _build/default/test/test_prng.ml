@@ -1,0 +1,94 @@
+open Ispn_util
+
+let check = Alcotest.check
+
+let test_determinism () =
+  let a = Prng.create ~seed:7L and b = Prng.create ~seed:7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same sequence" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:7L and b = Prng.create ~seed:8L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.int64 a = Prng.int64 b then incr same
+  done;
+  check Alcotest.int "different seeds differ" 0 !same
+
+let test_split_independence () =
+  let parent = Prng.create ~seed:1L in
+  let child = Prng.split parent in
+  (* The child must not replay the parent's subsequent stream. *)
+  let p = List.init 32 (fun _ -> Prng.int64 parent) in
+  let c = List.init 32 (fun _ -> Prng.int64 child) in
+  Alcotest.(check bool) "streams differ" false (p = c)
+
+let test_split_deterministic () =
+  let mk () =
+    let parent = Prng.create ~seed:99L in
+    let child = Prng.split parent in
+    List.init 8 (fun _ -> Prng.int64 child)
+  in
+  Alcotest.(check bool) "split is reproducible" true (mk () = mk ())
+
+let test_float_range () =
+  let g = Prng.create ~seed:3L in
+  for _ = 1 to 10_000 do
+    let x = Prng.float g in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of range: %g" x
+  done
+
+let test_float_mean () =
+  let g = Prng.create ~seed:4L in
+  let n = 100_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float g
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.01 then
+    Alcotest.failf "mean %g too far from 0.5" mean
+
+let test_int_bound () =
+  let g = Prng.create ~seed:5L in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g ~bound:10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of range: %d" v;
+    seen.(v) <- true
+  done;
+  Array.iteri
+    (fun i hit -> if not hit then Alcotest.failf "value %d never drawn" i)
+    seen
+
+let test_bool_balance () =
+  let g = Prng.create ~seed:6L in
+  let heads = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Prng.bool g then incr heads
+  done;
+  let frac = float_of_int !heads /. float_of_int n in
+  if Float.abs (frac -. 0.5) > 0.01 then
+    Alcotest.failf "coin bias: %g" frac
+
+let qcheck_float_unit =
+  QCheck.Test.make ~name:"prng float always in [0,1)" ~count:200
+    QCheck.int64 (fun seed ->
+      let g = Prng.create ~seed in
+      let x = Prng.float g in
+      x >= 0. && x < 1.)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "split deterministic" `Quick test_split_deterministic;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "int bound coverage" `Quick test_int_bound;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    QCheck_alcotest.to_alcotest qcheck_float_unit;
+  ]

@@ -1,0 +1,96 @@
+open Ispn_sim
+module Replay = Ispn_traffic.Replay
+module Profile = Ispn_traffic.Profile
+
+let collect ~schedule ?loop ~until () =
+  let engine = Engine.create () in
+  let out = ref [] in
+  let src =
+    Replay.create ~engine ~flow:0 ~schedule ?loop
+      ~emit:(fun p -> out := (Engine.now engine, p.Packet.size_bits) :: !out)
+      ()
+  in
+  src.Ispn_traffic.Source.start ();
+  Engine.run engine ~until;
+  (src, List.rev !out)
+
+let test_exact_times () =
+  let schedule = [ (0., 1000); (0.005, 2000); (0.007, 500) ] in
+  let _, out = collect ~schedule ~until:1. () in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "replayed verbatim"
+    [ (0., 1000); (0.005, 2000); (0.007, 500) ]
+    out
+
+let test_offset_base_is_start_time () =
+  (* Starting at t=2 shifts the whole schedule by 2. *)
+  let engine = Engine.create () in
+  let out = ref [] in
+  let src =
+    Replay.create ~engine ~flow:0
+      ~schedule:[ (0., 1000); (0.01, 1000) ]
+      ~emit:(fun _ -> out := Engine.now engine :: !out)
+      ()
+  in
+  ignore (Engine.schedule engine ~at:2. (fun () -> src.Ispn_traffic.Source.start ()));
+  Engine.run engine ~until:3.;
+  Alcotest.(check (list (float 1e-9))) "rebased" [ 2.; 2.01 ] (List.rev !out)
+
+let test_loop_repeats () =
+  let schedule = [ (0., 1000); (0.01, 1000) ] in
+  (* Cycle length = 0.01 + mean gap (0.01) = 0.02: 50 cycles/second. *)
+  let src, out = collect ~schedule ~loop:true ~until:0.1 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "looped (%d packets)" (List.length out))
+    true
+    (List.length out >= 8);
+  Alcotest.(check int) "counter agrees" (List.length out)
+    (src.Ispn_traffic.Source.generated ())
+
+let test_empty_schedule () =
+  let _, out = collect ~schedule:[] ~until:1. () in
+  Alcotest.(check int) "silent" 0 (List.length out)
+
+let test_validation () =
+  let engine = Engine.create () in
+  (try
+     ignore
+       (Replay.create ~engine ~flow:0
+          ~schedule:[ (0.5, 1000); (0.1, 1000) ]
+          ~emit:(fun _ -> ())
+          ());
+     Alcotest.fail "expected Invalid_argument (decreasing)"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Replay.create ~engine ~flow:0
+         ~schedule:[ (0., 0) ]
+         ~emit:(fun _ -> ())
+         ());
+    Alcotest.fail "expected Invalid_argument (size)"
+  with Invalid_argument _ -> ()
+
+let test_profile_roundtrip () =
+  (* Record a source with Profile, replay it, re-record: identical. *)
+  let p = Profile.create () in
+  List.iter
+    (fun (t, bits) -> Profile.record p ~time:t ~bits)
+    [ (1.0, 1000); (1.002, 2000); (1.01, 1500) ];
+  let schedule = Replay.of_profile p in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "rebased schedule"
+    [ (0., 1000); (0.002, 2000); (0.01, 1500) ]
+    schedule;
+  let _, out = collect ~schedule ~until:1. () in
+  Alcotest.(check int) "all replayed" 3 (List.length out)
+
+let suite =
+  [
+    Alcotest.test_case "exact times" `Quick test_exact_times;
+    Alcotest.test_case "offset base is start time" `Quick
+      test_offset_base_is_start_time;
+    Alcotest.test_case "loop repeats" `Quick test_loop_repeats;
+    Alcotest.test_case "empty schedule" `Quick test_empty_schedule;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "profile roundtrip" `Quick test_profile_roundtrip;
+  ]

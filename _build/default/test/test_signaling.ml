@@ -1,0 +1,210 @@
+open Ispn_sim
+module Signaling = Csz.Signaling
+module Fabric = Csz.Fabric
+module Spec = Ispn_admission.Spec
+
+let make ?(n_switches = 3) () =
+  let engine = Engine.create () in
+  let fab = Fabric.chain ~engine ~n_switches () in
+  let sig_net = Signaling.deploy ~fabric:fab () in
+  (engine, fab, sig_net)
+
+let guaranteed r = Spec.Guaranteed { clock_rate_bps = r }
+
+let test_setup_takes_network_time () =
+  let engine, _, s = make () in
+  let result = ref None in
+  Signaling.setup s ~flow:1 ~ingress:0 ~egress:2
+    ~own_bucket:(Spec.bucket ~rate_pps:100. ~depth_packets:10. ())
+    (guaranteed 100_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r -> result := Some r);
+  (* Nothing resolves synchronously: the setup message is on the wire. *)
+  Alcotest.(check bool) "asynchronous" true (!result = None);
+  Engine.run engine ~until:1.;
+  match !result with
+  | Some (Ok est) ->
+      (* Two 0.5 ms control transmissions forward + 2 ms of reverse-path
+         confirmation. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "setup took %.4fs" est.Signaling.setup_time)
+        true
+        (est.Signaling.setup_time >= 0.0025 && est.Signaling.setup_time < 0.006);
+      (match est.Signaling.advertised_bound with
+      | Some b -> Alcotest.(check (float 1e-6)) "P-G bound" 0.11 b
+      | None -> Alcotest.fail "expected bound");
+      Alcotest.(check int) "established" 1 (Signaling.established_count s);
+      Alcotest.(check int) "two control packets" 2
+        (Signaling.control_packets_sent s)
+  | Some (Error e) -> Alcotest.failf "refused: %s" e
+  | None -> Alcotest.fail "no result"
+
+let test_data_flows_after_establishment () =
+  let engine, _, s = make () in
+  let got = ref 0 in
+  let emit = ref None in
+  Signaling.setup s ~flow:1 ~ingress:0 ~egress:2 (guaranteed 100_000.)
+    ~sink:(fun _ -> incr got)
+    ~on_result:(fun r ->
+      match r with Ok est -> emit := Some est.Signaling.emit | Error _ -> ());
+  Engine.run engine ~until:0.1;
+  (Option.get !emit) (Packet.make ~flow:1 ~seq:0 ~created:0.1 ());
+  Engine.run engine ~until:0.2;
+  Alcotest.(check int) "delivered end to end" 1 !got
+
+let test_midpath_refusal_rolls_back () =
+  let engine, fab, s = make () in
+  (* Book most of link 1 (the second hop) with a one-hop flow. *)
+  let ok = ref false in
+  Signaling.setup s ~flow:1 ~ingress:1 ~egress:2 (guaranteed 500_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r -> ok := Result.is_ok r);
+  Engine.run engine ~until:0.1;
+  Alcotest.(check bool) "pre-booking succeeded" true !ok;
+  (* Now a two-hop flow that fits link 0 but not link 1. *)
+  let refused = ref None in
+  Signaling.setup s ~flow:2 ~ingress:0 ~egress:2 (guaranteed 500_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r ->
+      match r with Error e -> refused := Some e | Ok _ -> ());
+  Engine.run engine ~until:0.2;
+  (match !refused with
+  | Some msg ->
+      Alcotest.(check bool) "refused at the second hop" true
+        (String.length msg >= 16 && String.sub msg 0 16 = "refused at hop 2")
+  | None -> Alcotest.fail "expected refusal");
+  (* The first hop's reservation was rolled back... *)
+  Alcotest.(check (float 1e-6)) "link 0 clean" 0.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:0));
+  Alcotest.(check int) "refusal counted" 1 (Signaling.refused_count s);
+  (* ...so an equally big flow can still take link 0. *)
+  let ok2 = ref false in
+  Signaling.setup s ~flow:3 ~ingress:0 ~egress:1 (guaranteed 500_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r -> ok2 := Result.is_ok r);
+  Engine.run engine ~until:0.3;
+  Alcotest.(check bool) "link 0 reusable" true !ok2
+
+let test_concurrent_setups_race () =
+  let engine, _, s = make () in
+  let results = ref [] in
+  List.iter
+    (fun flow ->
+      Signaling.setup s ~flow ~ingress:0 ~egress:2 (guaranteed 500_000.)
+        ~sink:(fun _ -> ())
+        ~on_result:(fun r -> results := (flow, Result.is_ok r) :: !results))
+    [ 1; 2 ];
+  Engine.run engine ~until:0.5;
+  let winners = List.filter snd !results in
+  Alcotest.(check int) "exactly one winner" 1 (List.length winners);
+  Alcotest.(check int) "both resolved" 2 (List.length !results)
+
+let test_predicted_setup_assigns_classes () =
+  let engine, _, s = make () in
+  let est = ref None in
+  Signaling.setup s ~flow:1 ~ingress:0 ~egress:2
+    (Spec.Predicted
+       {
+         bucket = Spec.bucket ~rate_pps:85. ~depth_packets:3. ();
+         target_delay = 0.128;
+         target_loss = 0.01;
+       })
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r ->
+      match r with Ok e -> est := Some e | Error _ -> ());
+  Engine.run engine ~until:0.5;
+  match !est with
+  | Some e ->
+      (* 0.128 over two hops = 64 ms per hop: the loose class. *)
+      Alcotest.(check (option int)) "class" (Some 1) e.Signaling.cls;
+      Alcotest.(check (option (float 1e-9))) "summed targets"
+        (Some 0.128) e.Signaling.advertised_bound
+  | None -> Alcotest.fail "not established"
+
+let test_teardown_releases_all_hops () =
+  let engine, fab, s = make () in
+  Signaling.setup s ~flow:1 ~ingress:0 ~egress:2 (guaranteed 300_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun _ -> ());
+  Engine.run engine ~until:0.1;
+  Signaling.teardown s ~flow:1;
+  Alcotest.(check (float 1e-6)) "link 0 released" 0.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:0));
+  Alcotest.(check (float 1e-6)) "link 1 released" 0.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:1));
+  Alcotest.(check int) "count" 0 (Signaling.established_count s)
+
+let test_duplicate_setup_rejected () =
+  let _, _, s = make () in
+  Signaling.setup s ~flow:1 ~ingress:0 ~egress:2 (guaranteed 1000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun _ -> ());
+  try
+    Signaling.setup s ~flow:1 ~ingress:0 ~egress:2 (guaranteed 1000.)
+      ~sink:(fun _ -> ())
+      ~on_result:(fun _ -> ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_no_route () =
+  let _, _, s = make () in
+  let got = ref None in
+  Signaling.setup s ~flow:1 ~ingress:2 ~egress:0 (guaranteed 1000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r -> got := Some r);
+  match !got with
+  | Some (Error "no route") -> ()
+  | Some _ | None -> Alcotest.fail "expected immediate no-route error"
+
+let test_setup_queues_behind_data () =
+  (* With the datagram class saturated, the control packet itself waits:
+     establishment latency grows — signaling is genuinely in-band. *)
+  let engine, fab, s = make () in
+  for link = 0 to 1 do
+    Fabric.install_flow fab ~flow:(500 + link) ~ingress:link
+      ~egress:(link + 1)
+      ~sink:(fun _ -> ());
+    let src =
+      Ispn_traffic.Greedy.create ~engine ~flow:(500 + link) ~rate_pps:950.
+        ~burst_packets:50
+        ~emit:(fun p -> Fabric.inject fab ~at_switch:link p)
+        ()
+    in
+    src.Ispn_traffic.Source.start ()
+  done;
+  Engine.run engine ~until:0.05;
+  let est_time = ref None in
+  Signaling.setup s ~flow:1 ~ingress:0 ~egress:2 (guaranteed 50_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r ->
+      match r with
+      | Ok e -> est_time := Some e.Signaling.setup_time
+      | Error _ -> ());
+  Engine.run engine ~until:2.;
+  match !est_time with
+  | Some time ->
+      Alcotest.(check bool)
+        (Printf.sprintf "setup slowed by load (%.4fs)" time)
+        true (time > 0.006)
+  | None -> Alcotest.fail "setup did not complete"
+
+let suite =
+  [
+    Alcotest.test_case "setup takes network time" `Quick
+      test_setup_takes_network_time;
+    Alcotest.test_case "data flows after establishment" `Quick
+      test_data_flows_after_establishment;
+    Alcotest.test_case "mid-path refusal rolls back" `Quick
+      test_midpath_refusal_rolls_back;
+    Alcotest.test_case "concurrent setups race" `Quick
+      test_concurrent_setups_race;
+    Alcotest.test_case "predicted setup assigns classes" `Quick
+      test_predicted_setup_assigns_classes;
+    Alcotest.test_case "teardown releases all hops" `Quick
+      test_teardown_releases_all_hops;
+    Alcotest.test_case "duplicate setup rejected" `Quick
+      test_duplicate_setup_rejected;
+    Alcotest.test_case "no route" `Quick test_no_route;
+    Alcotest.test_case "setup queues behind data" `Quick
+      test_setup_queues_behind_data;
+  ]

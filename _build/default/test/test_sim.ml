@@ -1,0 +1,286 @@
+(* Packet, Qdisc pools, Link, Node, Network, Probe and Trace. *)
+open Ispn_sim
+
+let mk_packet ?(flow = 0) ?(seq = 0) ?(created = 0.) () =
+  Packet.make ~flow ~seq ~created ()
+
+(* --- Packet --- *)
+
+let test_packet_defaults () =
+  let p = mk_packet () in
+  Alcotest.(check int) "size" Ispn_util.Units.packet_bits p.Packet.size_bits;
+  Alcotest.(check (float 0.)) "offset" 0. p.Packet.offset;
+  Alcotest.(check (float 0.)) "qdelay" 0. p.Packet.qdelay_total;
+  Alcotest.(check int) "hops" 0 p.Packet.hops
+
+let test_packet_expected_arrival () =
+  let p = mk_packet () in
+  p.Packet.enqueued_at <- 10.;
+  p.Packet.offset <- 3.;
+  Alcotest.(check (float 1e-9)) "expected arrival" 7. (Packet.expected_arrival p)
+
+(* --- Qdisc pool --- *)
+
+let test_pool_capacity () =
+  let pool = Qdisc.pool ~capacity:2 in
+  Alcotest.(check bool) "take 1" true (Qdisc.pool_take pool);
+  Alcotest.(check bool) "take 2" true (Qdisc.pool_take pool);
+  Alcotest.(check bool) "take 3 fails" false (Qdisc.pool_take pool);
+  Qdisc.pool_release pool;
+  Alcotest.(check bool) "take after release" true (Qdisc.pool_take pool);
+  Alcotest.(check int) "in use" 2 (Qdisc.pool_in_use pool);
+  Alcotest.(check int) "capacity" 2 (Qdisc.pool_capacity pool)
+
+let test_unbounded_pool () =
+  let pool = Qdisc.unbounded_pool () in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "take" true (Qdisc.pool_take pool)
+  done
+
+(* --- Link --- *)
+
+let make_link engine ?(rate_bps = 1e6) ?(prop_delay = 0.) () =
+  let pool = Qdisc.pool ~capacity:10 in
+  let qdisc = Ispn_sched.Fifo.create ~pool () in
+  Link.create ~engine ~rate_bps ~prop_delay ~qdisc ~name:"test" ()
+
+let test_link_serializes_at_rate () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  let arrivals = ref [] in
+  Link.set_receiver link (fun _ -> arrivals := Engine.now engine :: !arrivals);
+  (* Three 1000-bit packets at 1 Mbit/s: finish at 1, 2, 3 ms. *)
+  for i = 0 to 2 do
+    Link.send link (mk_packet ~seq:i ())
+  done;
+  Engine.run engine ~until:1.;
+  let times = List.rev !arrivals in
+  Alcotest.(check int) "delivered" 3 (List.length times);
+  List.iteri
+    (fun i t ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "packet %d" i)
+        (0.001 *. float_of_int (i + 1))
+        t)
+    times
+
+let test_link_propagation_delay () =
+  let engine = Engine.create () in
+  let link = make_link engine ~prop_delay:0.5 () in
+  let arrival = ref nan in
+  Link.set_receiver link (fun _ -> arrival := Engine.now engine);
+  Link.send link (mk_packet ());
+  Engine.run engine ~until:1.;
+  Alcotest.(check (float 1e-9)) "tx + prop" 0.501 !arrival
+
+let test_link_accumulates_qdelay () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  let delays = ref [] in
+  Link.set_receiver link (fun p ->
+      delays := p.Packet.qdelay_total :: !delays);
+  for i = 0 to 2 do
+    Link.send link (mk_packet ~seq:i ())
+  done;
+  Engine.run engine ~until:1.;
+  (* Packet 0 waits 0; packet 1 waits one transmission; packet 2 two. *)
+  Alcotest.(check (list (float 1e-9)))
+    "waits" [ 0.; 0.001; 0.002 ] (List.rev !delays)
+
+let test_link_drops_on_full_buffer () =
+  let engine = Engine.create () in
+  let pool = Qdisc.pool ~capacity:2 in
+  let qdisc = Ispn_sched.Fifo.create ~pool () in
+  let link =
+    Link.create ~engine ~rate_bps:1e6 ~qdisc ~name:"small" ()
+  in
+  let dropped_pkts = ref 0 in
+  Link.set_drop_hook link (fun _ -> incr dropped_pkts);
+  Link.set_receiver link (fun _ -> ());
+  (* First packet goes straight to the transmitter, freeing its buffer slot;
+     2 more fit in the queue; the rest drop. *)
+  for i = 0 to 5 do
+    Link.send link (mk_packet ~seq:i ())
+  done;
+  Alcotest.(check int) "dropped count" 3 (Link.dropped link);
+  Alcotest.(check int) "drop hook fired" 3 !dropped_pkts;
+  Engine.run engine ~until:1.;
+  Alcotest.(check int) "sent" 3 (Link.sent link)
+
+let test_link_utilization () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  Link.set_receiver link (fun _ -> ());
+  for i = 0 to 4 do
+    Link.send link (mk_packet ~seq:i ())
+  done;
+  Engine.run engine ~until:0.010;
+  (* 5 ms busy of 10 ms elapsed. *)
+  Alcotest.(check (float 1e-9)) "utilization" 0.5
+    (Link.utilization link ~elapsed:0.010)
+
+let test_link_requires_receiver () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  Link.send link (mk_packet ());
+  try
+    Engine.run engine ~until:1.;
+    Alcotest.fail "expected Failure"
+  with Failure _ -> ()
+
+(* --- Node --- *)
+
+let test_node_routes_and_counts () =
+  let node = Node.create ~name:"S" in
+  let got = ref [] in
+  Node.add_route node ~flow:1 (Node.Deliver (fun p -> got := p.Packet.flow :: !got));
+  let p = mk_packet ~flow:1 () in
+  Node.receive node p;
+  Alcotest.(check (list int)) "delivered" [ 1 ] !got;
+  Alcotest.(check int) "hop counted" 1 p.Packet.hops;
+  Alcotest.(check int) "received" 1 (Node.received node)
+
+let test_node_unknown_flow () =
+  let node = Node.create ~name:"S" in
+  try
+    Node.receive node (mk_packet ~flow:9 ());
+    Alcotest.fail "expected Failure"
+  with Failure _ -> ()
+
+(* --- Network + Probe --- *)
+
+let test_network_chain_end_to_end () =
+  let engine = Engine.create () in
+  let net =
+    Network.chain ~engine ~n_switches:3 ~rate_bps:1e6
+      ~qdisc_of:(fun _ ->
+        Ispn_sched.Fifo.create ~pool:(Qdisc.pool ~capacity:10) ())
+      ()
+  in
+  let probe = Probe.create () in
+  Network.install_flow net ~flow:5 ~ingress:0 ~egress:2
+    ~sink:(fun p -> Probe.sink probe ~engine p);
+  Network.inject net ~at_switch:0 (mk_packet ~flow:5 ());
+  Engine.run engine ~until:1.;
+  Alcotest.(check int) "received" 1 (Probe.received probe);
+  (* Two links traversed, no queueing: latency = 2 transmission times. *)
+  Alcotest.(check (float 1e-9)) "latency" 0.002
+    (Ispn_util.Fvec.get (Probe.latencies probe) 0);
+  Alcotest.(check (float 1e-9)) "no queueing" 0.
+    (Ispn_util.Fvec.get (Probe.qdelays probe) 0)
+
+let test_network_zero_length_path () =
+  let engine = Engine.create () in
+  let net =
+    Network.chain ~engine ~n_switches:2 ~rate_bps:1e6
+      ~qdisc_of:(fun _ ->
+        Ispn_sched.Fifo.create ~pool:(Qdisc.pool ~capacity:10) ())
+      ()
+  in
+  let got = ref 0 in
+  Network.install_flow net ~flow:1 ~ingress:0 ~egress:0
+    ~sink:(fun _ -> incr got);
+  Network.inject net ~at_switch:0 (mk_packet ~flow:1 ());
+  Alcotest.(check int) "delivered locally" 1 !got
+
+let test_network_bad_path_rejected () =
+  let engine = Engine.create () in
+  let net =
+    Network.chain ~engine ~n_switches:2 ~rate_bps:1e6
+      ~qdisc_of:(fun _ ->
+        Ispn_sched.Fifo.create ~pool:(Qdisc.pool ~capacity:10) ())
+      ()
+  in
+  try
+    Network.install_flow net ~flow:1 ~ingress:0 ~egress:5 ~sink:(fun _ -> ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_probe_units () =
+  let engine = Engine.create () in
+  let probe = Probe.create () in
+  let p = mk_packet () in
+  p.Packet.qdelay_total <- 0.004;
+  Probe.sink probe ~engine p;
+  (* 4 ms = 4 packet transmission times at the default configuration. *)
+  Alcotest.(check (float 1e-9)) "mean in units" 4. (Probe.mean_qdelay probe);
+  Alcotest.(check (float 1e-9)) "max in units" 4. (Probe.max_qdelay probe)
+
+(* --- Trace --- *)
+
+let test_trace_bounded () =
+  let tr = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record tr ~time:(float_of_int i) (string_of_int i)
+  done;
+  Alcotest.(check int) "length capped" 3 (Trace.length tr);
+  let entries = List.map snd (Trace.entries tr) in
+  Alcotest.(check (list string)) "keeps most recent" [ "3"; "4"; "5" ] entries
+
+let test_trace_pp () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1.5 "hello";
+  let out = Format.asprintf "%a" Trace.pp tr in
+  Alcotest.(check bool) "renders entries" true
+    (String.length out > 0
+    &&
+    let rec contains i =
+      i + 5 <= String.length out
+      && (String.sub out i 5 = "hello" || contains (i + 1))
+    in
+    contains 0)
+
+let test_link_wait_stats () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  Link.set_receiver link (fun _ -> ());
+  for i = 0 to 2 do
+    Link.send link (mk_packet ~seq:i ())
+  done;
+  Engine.run engine ~until:1.;
+  let stats = Link.wait_stats link in
+  Alcotest.(check int) "three waits recorded" 3
+    (Ispn_util.Stats.count stats);
+  (* Waits 0, 1 ms, 2 ms: mean 1 ms. *)
+  Alcotest.(check (float 1e-9)) "mean wait" 0.001
+    (Ispn_util.Stats.mean stats)
+
+let test_trace_clear () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1. "x";
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+
+let suite =
+  [
+    Alcotest.test_case "packet defaults" `Quick test_packet_defaults;
+    Alcotest.test_case "packet expected arrival" `Quick
+      test_packet_expected_arrival;
+    Alcotest.test_case "pool capacity" `Quick test_pool_capacity;
+    Alcotest.test_case "unbounded pool" `Quick test_unbounded_pool;
+    Alcotest.test_case "link serializes at rate" `Quick
+      test_link_serializes_at_rate;
+    Alcotest.test_case "link propagation delay" `Quick
+      test_link_propagation_delay;
+    Alcotest.test_case "link accumulates qdelay" `Quick
+      test_link_accumulates_qdelay;
+    Alcotest.test_case "link drops on full buffer" `Quick
+      test_link_drops_on_full_buffer;
+    Alcotest.test_case "link utilization" `Quick test_link_utilization;
+    Alcotest.test_case "link requires receiver" `Quick
+      test_link_requires_receiver;
+    Alcotest.test_case "node routes and counts" `Quick
+      test_node_routes_and_counts;
+    Alcotest.test_case "node unknown flow" `Quick test_node_unknown_flow;
+    Alcotest.test_case "network chain end to end" `Quick
+      test_network_chain_end_to_end;
+    Alcotest.test_case "network zero-length path" `Quick
+      test_network_zero_length_path;
+    Alcotest.test_case "network bad path rejected" `Quick
+      test_network_bad_path_rejected;
+    Alcotest.test_case "probe units" `Quick test_probe_units;
+    Alcotest.test_case "trace bounded" `Quick test_trace_bounded;
+    Alcotest.test_case "trace pp" `Quick test_trace_pp;
+    Alcotest.test_case "link wait stats" `Quick test_link_wait_stats;
+    Alcotest.test_case "trace clear" `Quick test_trace_clear;
+  ]

@@ -1,0 +1,86 @@
+open Ispn_util
+
+let feed xs =
+  let s = Stats.create () in
+  List.iter (Stats.add s) xs;
+  s
+
+let close = Alcotest.check (Alcotest.float 1e-9)
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  close "mean" 0. (Stats.mean s);
+  close "variance" 0. (Stats.variance s)
+
+let test_known_values () =
+  let s = feed [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  close "mean" 5.0 (Stats.mean s);
+  (* Sample (unbiased) variance of this classic set is 32/7. *)
+  close "variance" (32. /. 7.) (Stats.variance s);
+  close "min" 2. (Stats.min s);
+  close "max" 9. (Stats.max s);
+  close "total" 40. (Stats.total s)
+
+let test_single_observation () =
+  let s = feed [ 42. ] in
+  close "mean" 42. (Stats.mean s);
+  close "variance" 0. (Stats.variance s);
+  close "min" 42. (Stats.min s);
+  close "max" 42. (Stats.max s)
+
+let test_reset () =
+  let s = feed [ 1.; 2.; 3. ] in
+  Stats.reset s;
+  Alcotest.(check int) "count after reset" 0 (Stats.count s);
+  Stats.add s 10.;
+  close "mean after reset" 10. (Stats.mean s)
+
+let naive_variance xs =
+  let n = List.length xs in
+  if n < 2 then 0.
+  else begin
+    let mean = List.fold_left ( +. ) 0. xs /. float_of_int n in
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+    /. float_of_int (n - 1)
+  end
+
+let qcheck_welford_matches_naive =
+  QCheck.Test.make ~name:"welford variance matches naive" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = feed xs in
+      Float.abs (Stats.variance s -. naive_variance xs) < 1e-6)
+
+let qcheck_merge_equals_combined =
+  QCheck.Test.make ~name:"merge a b == feed (a @ b)" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 30) (float_range (-50.) 50.))
+        (list_of_size (Gen.int_range 0 30) (float_range (-50.) 50.)))
+    (fun (xs, ys) ->
+      let merged = Stats.merge (feed xs) (feed ys) in
+      let combined = feed (xs @ ys) in
+      Stats.count merged = Stats.count combined
+      && Float.abs (Stats.mean merged -. Stats.mean combined) < 1e-6
+      && Float.abs (Stats.variance merged -. Stats.variance combined) < 1e-6)
+
+let qcheck_min_max_bound_mean =
+  QCheck.Test.make ~name:"min <= mean <= max" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = feed xs in
+      Stats.min s <= Stats.mean s +. 1e-9
+      && Stats.mean s <= Stats.max s +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "single observation" `Quick test_single_observation;
+    Alcotest.test_case "reset" `Quick test_reset;
+    QCheck_alcotest.to_alcotest qcheck_welford_matches_naive;
+    QCheck_alcotest.to_alcotest qcheck_merge_equals_combined;
+    QCheck_alcotest.to_alcotest qcheck_min_max_bound_mean;
+  ]

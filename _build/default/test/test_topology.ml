@@ -1,0 +1,155 @@
+open Ispn_sim
+
+let fifo () = Ispn_sched.Fifo.create ~pool:(Qdisc.pool ~capacity:100) ()
+
+(* A diamond:  0 -> 1 -> 3  and  0 -> 2 -> 3, plus a long way 1 -> 2. *)
+let diamond engine =
+  let t = Topology.create ~engine () in
+  let ids = List.init 4 (fun i -> Topology.add_switch t ~name:(Printf.sprintf "N%d" i)) in
+  (match ids with [ 0; 1; 2; 3 ] -> () | _ -> Alcotest.fail "ids not dense");
+  let conn a b = Topology.connect t ~src:a ~dst:b ~rate_bps:1e6 ~qdisc:(fifo ()) () in
+  conn 0 1;
+  conn 1 3;
+  conn 0 2;
+  conn 2 3;
+  conn 1 2;
+  t
+
+let test_shortest_path_picks_fewest_hops () =
+  let engine = Engine.create () in
+  let t = diamond engine in
+  Alcotest.(check (option (list int))) "0->3 via lowest-id tie-break"
+    (Some [ 0; 1; 3 ])
+    (Topology.shortest_path t ~src:0 ~dst:3);
+  Alcotest.(check (option (list int))) "1->2 direct" (Some [ 1; 2 ])
+    (Topology.shortest_path t ~src:1 ~dst:2);
+  Alcotest.(check (option (list int))) "self" (Some [ 0 ])
+    (Topology.shortest_path t ~src:0 ~dst:0)
+
+let test_unreachable () =
+  let engine = Engine.create () in
+  let t = diamond engine in
+  (* Links are directed: nothing reaches 0. *)
+  Alcotest.(check (option (list int))) "3->0 unreachable" None
+    (Topology.shortest_path t ~src:3 ~dst:0);
+  try
+    ignore (Topology.install_flow t ~flow:1 ~src:3 ~dst:0 ~sink:(fun _ -> ()));
+    Alcotest.fail "expected Failure"
+  with Failure _ -> ()
+
+let test_end_to_end_delivery () =
+  let engine = Engine.create () in
+  let t = diamond engine in
+  let got = ref [] in
+  let path =
+    Topology.install_flow t ~flow:7 ~src:0 ~dst:3 ~sink:(fun p ->
+        got := (Engine.now engine, p.Packet.seq) :: !got)
+  in
+  Alcotest.(check (list int)) "installed along shortest path" [ 0; 1; 3 ] path;
+  for i = 0 to 2 do
+    Topology.inject t ~at_switch:0 (Packet.make ~flow:7 ~seq:i ~created:0. ())
+  done;
+  Engine.run engine ~until:1.;
+  let got = List.rev !got in
+  Alcotest.(check int) "all delivered" 3 (List.length got);
+  (* Two hops: first packet needs 2 transmission times. *)
+  (match got with
+  | (t0, seq0) :: _ ->
+      Alcotest.(check int) "in order" 0 seq0;
+      Alcotest.(check (float 1e-9)) "2 hops" 0.002 t0
+  | [] -> Alcotest.fail "no delivery")
+
+let test_duplex_and_reverse_traffic () =
+  let engine = Engine.create () in
+  let t = Topology.create ~engine () in
+  let a = Topology.add_switch t ~name:"A" in
+  let b = Topology.add_switch t ~name:"B" in
+  Topology.connect_duplex t ~a ~b ~rate_bps:1e6 ~qdisc_of:fifo ();
+  let fwd = ref 0 and rev = ref 0 in
+  ignore (Topology.install_flow t ~flow:1 ~src:a ~dst:b ~sink:(fun _ -> incr fwd));
+  ignore (Topology.install_flow t ~flow:2 ~src:b ~dst:a ~sink:(fun _ -> incr rev));
+  Topology.inject t ~at_switch:a (Packet.make ~flow:1 ~seq:0 ~created:0. ());
+  Topology.inject t ~at_switch:b (Packet.make ~flow:2 ~seq:0 ~created:0. ());
+  Engine.run engine ~until:1.;
+  Alcotest.(check int) "forward" 1 !fwd;
+  Alcotest.(check int) "reverse" 1 !rev
+
+let test_duplicate_link_rejected () =
+  let engine = Engine.create () in
+  let t = diamond engine in
+  try
+    Topology.connect t ~src:0 ~dst:1 ~rate_bps:1e6 ~qdisc:(fifo ()) ();
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_self_loop_rejected () =
+  let engine = Engine.create () in
+  let t = diamond engine in
+  try
+    Topology.connect t ~src:1 ~dst:1 ~rate_bps:1e6 ~qdisc:(fifo ()) ();
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_iter_links_and_drops () =
+  let engine = Engine.create () in
+  let t = diamond engine in
+  let count = ref 0 in
+  Topology.iter_links t (fun ~src:_ ~dst:_ _ -> incr count);
+  Alcotest.(check int) "five links" 5 !count;
+  Alcotest.(check int) "no drops yet" 0 (Topology.total_dropped t)
+
+let qcheck_random_graphs_route_or_fail_cleanly =
+  QCheck.Test.make ~name:"random graphs: BFS path is valid when present"
+    ~count:100
+    QCheck.(
+      pair (int_range 2 8)
+        (list_of_size (Gen.int_range 0 20) (pair (int_bound 7) (int_bound 7))))
+    (fun (n, edges) ->
+      let engine = Engine.create () in
+      let t = Topology.create ~engine () in
+      for i = 0 to n - 1 do
+        ignore (Topology.add_switch t ~name:(string_of_int i))
+      done;
+      List.iter
+        (fun (a, b) ->
+          let a = a mod n and b = b mod n in
+          if a <> b && Topology.link t ~src:a ~dst:b = None then
+            Topology.connect t ~src:a ~dst:b ~rate_bps:1e6 ~qdisc:(fifo ()) ())
+        edges;
+      (* Every reported path must start at src, end at dst, and use only
+         existing links. *)
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          match Topology.shortest_path t ~src ~dst with
+          | None -> ()
+          | Some [] -> ok := false
+          | Some (first :: _ as path) ->
+              if first <> src then ok := false;
+              let rec check = function
+                | [ last ] -> if last <> dst then ok := false
+                | a :: (b :: _ as rest) ->
+                    if a <> b && Topology.link t ~src:a ~dst:b = None then
+                      ok := false;
+                    check rest
+                | [] -> ()
+              in
+              check path
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "shortest path fewest hops" `Quick
+      test_shortest_path_picks_fewest_hops;
+    Alcotest.test_case "unreachable" `Quick test_unreachable;
+    Alcotest.test_case "end-to-end delivery" `Quick test_end_to_end_delivery;
+    Alcotest.test_case "duplex and reverse traffic" `Quick
+      test_duplex_and_reverse_traffic;
+    Alcotest.test_case "duplicate link rejected" `Quick
+      test_duplicate_link_rejected;
+    Alcotest.test_case "self loop rejected" `Quick test_self_loop_rejected;
+    Alcotest.test_case "iter links and drops" `Quick test_iter_links_and_drops;
+    QCheck_alcotest.to_alcotest qcheck_random_graphs_route_or_fail_cleanly;
+  ]

@@ -1,0 +1,181 @@
+(* Ewma, Fvec, Quantile, Units and Table in one suite: small modules, small
+   tests. *)
+open Ispn_util
+
+let close = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Ewma --- *)
+
+let test_ewma_first_observation_replaces_init () =
+  let e = Ewma.create ~init:99. ~gain:0.5 () in
+  close "before" 99. (Ewma.value e);
+  Ewma.update e 10.;
+  close "first obs wins" 10. (Ewma.value e)
+
+let test_ewma_gain_one_tracks_exactly () =
+  let e = Ewma.create ~gain:1.0 () in
+  List.iter (Ewma.update e) [ 1.; 5.; 3. ];
+  close "gain 1" 3. (Ewma.value e)
+
+let test_ewma_convergence () =
+  let e = Ewma.create ~gain:0.25 () in
+  Ewma.update e 0.;
+  for _ = 1 to 200 do
+    Ewma.update e 8.
+  done;
+  if Float.abs (Ewma.value e -. 8.) > 1e-6 then
+    Alcotest.failf "did not converge: %g" (Ewma.value e)
+
+let test_ewma_count () =
+  let e = Ewma.create ~gain:0.1 () in
+  List.iter (Ewma.update e) [ 1.; 2.; 3. ];
+  Alcotest.(check int) "count" 3 (Ewma.count e)
+
+(* --- Fvec --- *)
+
+let test_fvec_push_get_growth () =
+  let v = Fvec.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Fvec.push v (float_of_int i)
+  done;
+  Alcotest.(check int) "length" 100 (Fvec.length v);
+  close "get 0" 0. (Fvec.get v 0);
+  close "get 99" 99. (Fvec.get v 99);
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Fvec.get")
+    (fun () -> ignore (Fvec.get v 100))
+
+let test_fvec_fold_iter () =
+  let v = Fvec.create () in
+  List.iter (Fvec.push v) [ 1.; 2.; 3. ];
+  close "fold sum" 6. (Fvec.fold ( +. ) 0. v);
+  let count = ref 0 in
+  Fvec.iter (fun _ -> incr count) v;
+  Alcotest.(check int) "iter count" 3 !count
+
+let test_fvec_clear () =
+  let v = Fvec.create () in
+  Fvec.push v 1.;
+  Fvec.clear v;
+  Alcotest.(check int) "cleared" 0 (Fvec.length v)
+
+let qcheck_fvec_model =
+  QCheck.Test.make ~name:"fvec to_array equals pushed list" ~count:300
+    QCheck.(list (float_range (-10.) 10.))
+    (fun xs ->
+      let v = Fvec.create () in
+      List.iter (Fvec.push v) xs;
+      Array.to_list (Fvec.to_array v) = xs)
+
+let qcheck_fvec_sorted =
+  QCheck.Test.make ~name:"sorted_copy is sorted permutation" ~count:300
+    QCheck.(list (float_range (-10.) 10.))
+    (fun xs ->
+      let v = Fvec.create () in
+      List.iter (Fvec.push v) xs;
+      let sorted = Array.to_list (Fvec.sorted_copy v) in
+      sorted = List.sort compare xs)
+
+(* --- Quantile --- *)
+
+let test_quantile_known () =
+  let a = [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. |] in
+  close "median" 5. (Quantile.of_sorted a 0.5);
+  close "p90" 9. (Quantile.of_sorted a 0.9);
+  close "p100" 10. (Quantile.of_sorted a 1.0);
+  close "p0" 1. (Quantile.of_sorted a 0.)
+
+let test_quantile_singleton () =
+  close "single" 7. (Quantile.of_sorted [| 7. |] 0.999)
+
+let test_quantile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Quantile.of_sorted: empty")
+    (fun () -> ignore (Quantile.of_sorted [||] 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Quantile.of_sorted: q out of range") (fun () ->
+      ignore (Quantile.of_sorted [| 1. |] 1.5))
+
+let qcheck_quantile_membership =
+  QCheck.Test.make ~name:"quantile is an element of the sample" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 100) (float_range 0. 100.))
+        (float_range 0. 1.))
+    (fun (xs, q) ->
+      let a = Array.of_list (List.sort compare xs) in
+      List.mem (Quantile.of_sorted a q) xs)
+
+let qcheck_quantile_monotone =
+  QCheck.Test.make ~name:"quantile monotone in q" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_range 0. 100.))
+    (fun xs ->
+      let a = Array.of_list (List.sort compare xs) in
+      let qs = [ 0.; 0.25; 0.5; 0.75; 0.9; 0.999; 1.0 ] in
+      let vals = List.map (Quantile.of_sorted a) qs in
+      List.sort compare vals = vals)
+
+(* --- Units --- *)
+
+let test_units_transmission_time () =
+  close "1000 bits at 1Mbps = 1ms" 0.001
+    (Units.transmission_time ~link_rate_bps:1e6 ~packet_bits:1000)
+
+let test_units_roundtrip () =
+  let s = 0.042 in
+  let units = Units.packet_times ~link_rate_bps:1e6 ~packet_bits:1000 s in
+  close "42 packet times" 42. units;
+  close "roundtrip" s
+    (Units.seconds_of_packet_times ~link_rate_bps:1e6 ~packet_bits:1000 units)
+
+(* --- Table --- *)
+
+let test_table_layout () =
+  let out =
+    Table.render ~header:[ "name"; "x" ]
+      ~rows:[ [ "a"; "1.00" ]; [ "bb"; "10.00" ] ]
+      ()
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  (* All lines equal width. *)
+  match lines with
+  | first :: rest ->
+      List.iter
+        (fun l ->
+          Alcotest.(check int) "width" (String.length first) (String.length l))
+        rest
+  | [] -> Alcotest.fail "no output"
+
+let test_table_pads_short_rows () =
+  let out = Table.render ~header:[ "a"; "b"; "c" ] ~rows:[ [ "x" ] ] () in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_fmt_float () =
+  Alcotest.(check string) "two decimals" "3.14" (Table.fmt_float 3.14159);
+  Alcotest.(check string) "custom" "3.1416"
+    (Table.fmt_float ~decimals:4 3.14159)
+
+let suite =
+  [
+    Alcotest.test_case "ewma first observation" `Quick
+      test_ewma_first_observation_replaces_init;
+    Alcotest.test_case "ewma gain one" `Quick test_ewma_gain_one_tracks_exactly;
+    Alcotest.test_case "ewma convergence" `Quick test_ewma_convergence;
+    Alcotest.test_case "ewma count" `Quick test_ewma_count;
+    Alcotest.test_case "fvec push/get/growth" `Quick test_fvec_push_get_growth;
+    Alcotest.test_case "fvec fold/iter" `Quick test_fvec_fold_iter;
+    Alcotest.test_case "fvec clear" `Quick test_fvec_clear;
+    QCheck_alcotest.to_alcotest qcheck_fvec_model;
+    QCheck_alcotest.to_alcotest qcheck_fvec_sorted;
+    Alcotest.test_case "quantile known" `Quick test_quantile_known;
+    Alcotest.test_case "quantile singleton" `Quick test_quantile_singleton;
+    Alcotest.test_case "quantile errors" `Quick test_quantile_errors;
+    QCheck_alcotest.to_alcotest qcheck_quantile_membership;
+    QCheck_alcotest.to_alcotest qcheck_quantile_monotone;
+    Alcotest.test_case "units transmission time" `Quick
+      test_units_transmission_time;
+    Alcotest.test_case "units roundtrip" `Quick test_units_roundtrip;
+    Alcotest.test_case "table layout" `Quick test_table_layout;
+    Alcotest.test_case "table pads short rows" `Quick
+      test_table_pads_short_rows;
+    Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+  ]

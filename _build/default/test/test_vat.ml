@@ -1,0 +1,85 @@
+module Vat = Ispn_playback.Vat_estimator
+module Estimator = Ispn_playback.Estimator
+
+let test_empty () =
+  let v = Vat.create () in
+  Alcotest.(check (float 0.)) "zero before data" 0. (Vat.estimate v);
+  Alcotest.(check int) "count" 0 (Vat.count v)
+
+let test_constant_delays_converge () =
+  let v = Vat.create () in
+  for _ = 1 to 500 do
+    Vat.observe v 0.030
+  done;
+  (* Deviation decays to ~0, so the estimate approaches the constant. *)
+  let e = Vat.estimate v in
+  if e < 0.030 || e > 0.035 then
+    Alcotest.failf "estimate %.4f not near constant delay" e
+
+let test_estimate_covers_variation () =
+  let v = Vat.create () in
+  let prng = Ispn_util.Prng.create ~seed:1L in
+  for _ = 1 to 2000 do
+    Vat.observe v (0.02 +. Ispn_util.Dist.exponential prng ~mean:0.005)
+  done;
+  (* d + 4v should cover the vast majority of draws. *)
+  let e = Vat.estimate v in
+  let covered = ref 0 in
+  let prng2 = Ispn_util.Prng.create ~seed:2L in
+  for _ = 1 to 1000 do
+    if 0.02 +. Ispn_util.Dist.exponential prng2 ~mean:0.005 <= e then
+      incr covered
+  done;
+  if !covered < 950 then
+    Alcotest.failf "estimate %.4f covers only %d/1000" e !covered
+
+let test_spike_mode () =
+  let v = Vat.create () in
+  for _ = 1 to 200 do
+    Vat.observe v 0.010
+  done;
+  Alcotest.(check bool) "calm before spike" false (Vat.in_spike v);
+  Vat.observe v 0.200;
+  Alcotest.(check bool) "spike detected" true (Vat.in_spike v);
+  (* During the spike, the estimate follows the new level quickly. *)
+  Vat.observe v 0.200;
+  Alcotest.(check bool) "tracking the spike" true (Vat.estimate v > 0.15);
+  (* Delays settle back: spike mode exits and the estimate relaxes. *)
+  for _ = 1 to 400 do
+    Vat.observe v 0.010
+  done;
+  Alcotest.(check bool) "spike exited" false (Vat.in_spike v);
+  Alcotest.(check bool) "relaxed" true (Vat.estimate v < 0.08)
+
+let test_estimator_facade () =
+  let e = Estimator.of_vat (Vat.create ()) in
+  e.Estimator.observe 0.05;
+  Alcotest.(check int) "count through facade" 1 (e.Estimator.count ());
+  Alcotest.(check bool) "estimate through facade" true
+    (e.Estimator.estimate () > 0.);
+  let c = Estimator.constant 0.1 in
+  c.Estimator.observe 55.;
+  Alcotest.(check (float 0.)) "constant ignores data" 0.1
+    (c.Estimator.estimate ())
+
+let test_client_with_vat () =
+  let client = Ispn_playback.Client.adaptive_vat ~update_every:1 () in
+  for _ = 1 to 300 do
+    Ispn_playback.Client.receive client ~delay:0.02
+  done;
+  let p = Ispn_playback.Client.playback_point client in
+  if p < 0.02 || p > 0.03 then Alcotest.failf "vat client point %.4f" p;
+  Alcotest.(check bool) "low loss on steady delays" true
+    (Ispn_playback.Client.loss_rate client < 0.02)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "constant delays converge" `Quick
+      test_constant_delays_converge;
+    Alcotest.test_case "estimate covers variation" `Quick
+      test_estimate_covers_variation;
+    Alcotest.test_case "spike mode" `Quick test_spike_mode;
+    Alcotest.test_case "estimator facade" `Quick test_estimator_facade;
+    Alcotest.test_case "client with vat" `Quick test_client_with_vat;
+  ]

@@ -1,0 +1,91 @@
+module Vtime = Ispn_sched.Vtime
+
+let make ?(on_reset = fun () -> ()) () =
+  Vtime.create ~link_rate_bps:1e6 ~on_reset
+
+let close = Alcotest.check (Alcotest.float 1e-9)
+
+let test_idle_clock_frozen () =
+  let vt = make () in
+  Vtime.advance vt ~now:5.;
+  close "V stays 0 while idle" 0. (Vtime.v vt)
+
+let test_single_flow_full_rate () =
+  (* One active flow with weight = link rate: V advances at real time. *)
+  let vt = make () in
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.advance vt ~now:2.;
+  close "V = t" 2. (Vtime.v vt)
+
+let test_partial_weight_speeds_v () =
+  (* Active weight at half the link: V runs at twice real time (the active
+     flow receives service at twice its weight's worth). *)
+  let vt = make () in
+  Vtime.flow_activated vt ~weight:5e5;
+  Vtime.advance vt ~now:1.;
+  close "V = 2t" 2. (Vtime.v vt)
+
+let test_weight_changes_integrate_piecewise () =
+  let vt = make () in
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.advance vt ~now:1.;
+  (* Second flow joins: dV/dt halves. *)
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.advance vt ~now:3.;
+  close "1 + 2 * 0.5" 2. (Vtime.v vt)
+
+let test_busy_period_reset () =
+  let fired = ref 0 in
+  let vt = make ~on_reset:(fun () -> incr fired) () in
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.advance vt ~now:1.;
+  Vtime.flow_deactivated vt ~now:1. ~weight:1e6;
+  Alcotest.(check int) "reset fired" 1 !fired;
+  close "V back to zero" 0. (Vtime.v vt);
+  (* A later busy period starts fresh. *)
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.advance vt ~now:10.;
+  close "fresh integration" 9. (Vtime.v vt)
+
+let test_no_reset_while_others_active () =
+  let fired = ref 0 in
+  let vt = make ~on_reset:(fun () -> incr fired) () in
+  Vtime.flow_activated vt ~weight:4e5;
+  Vtime.flow_activated vt ~weight:6e5;
+  Vtime.flow_deactivated vt ~now:1. ~weight:4e5;
+  Alcotest.(check int) "no reset" 0 !fired;
+  close "weight shrank" 6e5 (Vtime.active_weight vt)
+
+let test_adjust_active () =
+  let vt = make () in
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.advance vt ~now:1.;
+  Vtime.adjust_active vt ~now:1. ~delta:(-5e5);
+  Vtime.advance vt ~now:2.;
+  (* First second at rate 1, second second at rate 2. *)
+  close "piecewise with adjustment" 3. (Vtime.v vt)
+
+let test_advance_monotone_guard () =
+  let vt = make () in
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.advance vt ~now:2.;
+  (* A stale timestamp must not rewind the integration. *)
+  Vtime.advance vt ~now:1.;
+  close "no rewind" 2. (Vtime.v vt)
+
+let suite =
+  [
+    Alcotest.test_case "idle clock frozen" `Quick test_idle_clock_frozen;
+    Alcotest.test_case "single flow full rate" `Quick
+      test_single_flow_full_rate;
+    Alcotest.test_case "partial weight speeds V" `Quick
+      test_partial_weight_speeds_v;
+    Alcotest.test_case "piecewise integration" `Quick
+      test_weight_changes_integrate_piecewise;
+    Alcotest.test_case "busy period reset" `Quick test_busy_period_reset;
+    Alcotest.test_case "no reset while others active" `Quick
+      test_no_reset_while_others_active;
+    Alcotest.test_case "adjust active" `Quick test_adjust_active;
+    Alcotest.test_case "advance monotone guard" `Quick
+      test_advance_monotone_guard;
+  ]

@@ -1,0 +1,143 @@
+open Ispn_sim
+open Helpers
+
+let make ?(capacity = 2000) ?(weight_of = fun _ -> 1.) () =
+  Ispn_sched.Wfq.create ~pool:(Qdisc.pool ~capacity) ~link_rate_bps:1e6
+    ~weight_of ()
+
+let count_flow records flow = List.length (flows_served records flow)
+
+let test_equal_weights_split_bandwidth () =
+  (* Two permanently backlogged flows with equal weights: service should
+     alternate within one packet. *)
+  let qdisc = make () in
+  let arrivals = burst ~flow:0 ~at:0. ~n:100 @ burst ~flow:1 ~at:0. ~n:100 in
+  let records = run_schedule ~qdisc ~arrivals ~until:0.1 () in
+  (* 0.1s at 1ms per packet = 100 served; each flow should get 50 +- 1. *)
+  let f0 = count_flow records 0 and f1 = count_flow records 1 in
+  if abs (f0 - f1) > 1 then Alcotest.failf "unfair split: %d vs %d" f0 f1
+
+let test_weighted_split () =
+  (* Weights 3:1 — the heavy flow gets three quarters of the link. *)
+  let weight_of = function 0 -> 3. | _ -> 1. in
+  let qdisc = make ~weight_of () in
+  let arrivals = burst ~flow:0 ~at:0. ~n:200 @ burst ~flow:1 ~at:0. ~n:200 in
+  let records = run_schedule ~qdisc ~arrivals ~until:0.1 () in
+  let f0 = count_flow records 0 and f1 = count_flow records 1 in
+  let share = float_of_int f0 /. float_of_int (f0 + f1) in
+  if Float.abs (share -. 0.75) > 0.03 then
+    Alcotest.failf "expected 75%% share, got %.1f%%" (100. *. share)
+
+let test_isolation_from_burst () =
+  (* The paper's Section 5 observation: under WFQ a burst hurts mostly the
+     burster.  A smooth flow sharing with a 100-packet burst must keep its
+     own waits to roughly the GPS share (about one extra packet time), while
+     the burster's tail is large. *)
+  let qdisc = make () in
+  let smooth = paced ~flow:0 ~at:0.0001 ~gap:0.002 ~n:40 in
+  let bursty = burst ~flow:1 ~at:0. ~n:100 in
+  let records = run_schedule ~qdisc ~arrivals:(smooth @ bursty) ~until:1. () in
+  let smooth_max = max_wait (flows_served records 0) in
+  let bursty_max = max_wait (flows_served records 1) in
+  if smooth_max > 0.003 then
+    Alcotest.failf "smooth flow dragged into the burst: %.6fs" smooth_max;
+  if bursty_max < 0.050 then
+    Alcotest.failf "burster unexpectedly unpunished: %.6fs" bursty_max
+
+let test_idle_flow_gains_no_credit () =
+  (* A flow that idles cannot bank service: after both flows go idle and
+     return, arbitration starts fresh. *)
+  let qdisc = make () in
+  let first = burst ~flow:0 ~at:0. ~n:5 in
+  let later = burst ~flow:1 ~at:0.5 ~n:5 @ burst ~flow:0 ~at:0.5 ~n:5 in
+  let records = run_schedule ~qdisc ~arrivals:(first @ later) ~until:1. () in
+  (* In the second busy period flows 0 and 1 must interleave evenly even
+     though flow 1 never sent before. *)
+  let second_period = List.filter (fun r -> r.r_done > 0.5) records in
+  let f1_waits = mean_wait (flows_served second_period 1) in
+  let f0_waits = mean_wait (flows_served second_period 0) in
+  (* Packet-granularity active tracking gives the first packet of the busy
+     period a one-packet head start, so allow a few transmission times of
+     asymmetry; banked credit would show up as several tens of ms. *)
+  if Float.abs (f1_waits -. f0_waits) > 0.0035 then
+    Alcotest.failf "stale credit: f0 %.6f vs f1 %.6f" f0_waits f1_waits
+
+let test_work_conserving () =
+  let qdisc = make () in
+  let arrivals = burst ~flow:0 ~at:0. ~n:10 in
+  let records = run_schedule ~qdisc ~arrivals ~until:1. () in
+  (* All ten go out in exactly ten transmission times. *)
+  let last = List.nth records 9 in
+  Alcotest.(check (float 1e-9)) "link never idles" 0.010 last.r_done
+
+let test_rejects_bad_weight () =
+  let q = make ~weight_of:(fun _ -> 0.) () in
+  try
+    ignore (q.Qdisc.enqueue ~now:0. (pkt ()));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let qcheck_conservation =
+  QCheck.Test.make ~name:"WFQ conserves packets across random bursts"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 30) (pair (int_bound 3) (int_range 1 5)))
+    (fun plan ->
+      let q = make () in
+      let n_in = ref 0 in
+      List.iteri
+        (fun i (flow, n) ->
+          for j = 0 to n - 1 do
+            if
+              q.Qdisc.enqueue ~now:(float_of_int i *. 0.001)
+                (pkt ~flow ~seq:((i * 10) + j) ())
+            then incr n_in
+          done)
+        plan;
+      let rec drain k =
+        match q.Qdisc.dequeue ~now:1. with
+        | None -> k
+        | Some _ -> drain (k + 1)
+      in
+      drain 0 = !n_in)
+
+let qcheck_within_flow_order =
+  QCheck.Test.make ~name:"WFQ preserves per-flow packet order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 40) (int_bound 2))
+    (fun flows ->
+      let q = make () in
+      let seqs = Hashtbl.create 4 in
+      List.iter
+        (fun f ->
+          let s = try Hashtbl.find seqs f with Not_found -> 0 in
+          Hashtbl.replace seqs f (s + 1);
+          ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:f ~seq:s ())))
+        flows;
+      let last_seen = Hashtbl.create 4 in
+      let ok = ref true in
+      let rec drain () =
+        match q.Qdisc.dequeue ~now:0. with
+        | None -> ()
+        | Some p ->
+            let prev =
+              try Hashtbl.find last_seen p.Packet.flow with Not_found -> -1
+            in
+            if p.Packet.seq <= prev then ok := false;
+            Hashtbl.replace last_seen p.Packet.flow p.Packet.seq;
+            drain ()
+      in
+      drain ();
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "equal weights split bandwidth" `Quick
+      test_equal_weights_split_bandwidth;
+    Alcotest.test_case "weighted split" `Quick test_weighted_split;
+    Alcotest.test_case "isolation from burst" `Quick test_isolation_from_burst;
+    Alcotest.test_case "idle flow gains no credit" `Quick
+      test_idle_flow_gains_no_credit;
+    Alcotest.test_case "work conserving" `Quick test_work_conserving;
+    Alcotest.test_case "rejects bad weight" `Quick test_rejects_bad_weight;
+    QCheck_alcotest.to_alcotest qcheck_conservation;
+    QCheck_alcotest.to_alcotest qcheck_within_flow_order;
+  ]

@@ -1,0 +1,74 @@
+open Ispn_sim
+
+let test_roundtrip_basics () =
+  let p = Packet.make ~flow:42 ~seq:1234 ~size_bits:1000 ~created:5. () in
+  p.Packet.offset <- 0.003125;
+  let q = Wire.decode ~created:5. (Wire.encode p) in
+  Alcotest.(check int) "flow" 42 q.Packet.flow;
+  Alcotest.(check int) "seq" 1234 q.Packet.seq;
+  Alcotest.(check int) "size" 1000 q.Packet.size_bits;
+  Alcotest.(check (float 1e-6)) "offset" 0.003125 q.Packet.offset;
+  Alcotest.(check (float 0.)) "created" 5. q.Packet.created
+
+let test_kind_roundtrip () =
+  let ack = Packet.make ~flow:1 ~seq:0 ~kind:Packet.Ack ~created:0. () in
+  let q = Wire.decode (Wire.encode ack) in
+  Alcotest.(check bool) "ack survives" true (q.Packet.kind = Packet.Ack)
+
+let test_negative_offset () =
+  let p = Packet.make ~flow:1 ~seq:0 ~created:0. () in
+  p.Packet.offset <- -0.012;
+  let q = Wire.decode (Wire.encode p) in
+  Alcotest.(check (float 1e-6)) "negative offset" (-0.012) q.Packet.offset
+
+let test_offset_saturates () =
+  let p = Packet.make ~flow:1 ~seq:0 ~created:0. () in
+  p.Packet.offset <- 1e9;
+  let q = Wire.decode (Wire.encode p) in
+  Alcotest.(check (float 1.)) "clamped to int32 max microseconds" 2147.483647
+    q.Packet.offset
+
+let test_malformed () =
+  Alcotest.check_raises "short" (Wire.Malformed "short header") (fun () ->
+      ignore (Wire.decode (Bytes.create 3)));
+  let b = Wire.encode (Packet.make ~flow:1 ~seq:0 ~created:0. ()) in
+  Bytes.set_uint8 b 0 9;
+  Alcotest.check_raises "version" (Wire.Malformed "version 9") (fun () ->
+      ignore (Wire.decode b));
+  Bytes.set_uint8 b 0 Wire.version;
+  Bytes.set_uint8 b 1 7;
+  Alcotest.check_raises "kind" (Wire.Malformed "kind 7") (fun () ->
+      ignore (Wire.decode b))
+
+let test_field_range_checks () =
+  let p = Packet.make ~flow:1 ~seq:0 ~size_bits:70_000 ~created:0. () in
+  try
+    ignore (Wire.encode p);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip preserves all header fields"
+    ~count:500
+    QCheck.(
+      quad (int_bound 1_000_000) (int_bound 1_000_000) (int_bound 0xFFFF)
+        (float_range (-100.) 100.))
+    (fun (flow, seq, size_bits, offset) ->
+      QCheck.assume (size_bits > 0);
+      let p = Packet.make ~flow ~seq ~size_bits ~created:0. () in
+      p.Packet.offset <- offset;
+      let q = Wire.decode (Wire.encode p) in
+      q.Packet.flow = flow && q.Packet.seq = seq
+      && q.Packet.size_bits = size_bits
+      && Float.abs (q.Packet.offset -. offset) <= Wire.offset_quantum)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip basics" `Quick test_roundtrip_basics;
+    Alcotest.test_case "kind roundtrip" `Quick test_kind_roundtrip;
+    Alcotest.test_case "negative offset" `Quick test_negative_offset;
+    Alcotest.test_case "offset saturates" `Quick test_offset_saturates;
+    Alcotest.test_case "malformed" `Quick test_malformed;
+    Alcotest.test_case "field range checks" `Quick test_field_range_checks;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]
