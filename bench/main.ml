@@ -5,16 +5,24 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table2     # one section
      dune exec bench/main.exe -- --fast  # 60 s runs instead of 600 s
+     dune exec bench/main.exe -- -j 4    # fan runs over 4 domains
 
    Absolute numbers need not match the paper (different simulator details);
    the shapes are what the harness demonstrates, and the paper's reference
-   values are printed alongside for comparison. *)
+   values are printed alongside for comparison.
+
+   Stdout is a function of (sections, duration, seed) only — timing goes to
+   stderr and the fan-out is deterministic, so `-j N` output is byte-
+   identical to `-j 1` for every N. *)
 
 module E = Csz.Experiment
 module X = Csz.Extensions
+module Pool = Ispn_exec.Pool
 module Table = Ispn_util.Table
 
 let duration = ref Ispn_util.Units.sim_duration_s
+let jobs = ref (Pool.default_jobs ())
+let json = ref false
 let seed = 42L
 
 let banner title =
@@ -22,15 +30,17 @@ let banner title =
 
 let section name f =
   banner name;
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   f ();
-  Printf.printf "[%s done in %.1fs of host time]\n" name (Sys.time () -. t0)
+  (* Host time is nondeterministic; stderr keeps stdout reproducible. *)
+  Printf.eprintf "[%s done in %.1fs of host time]\n%!" name
+    (Unix.gettimeofday () -. t0)
 
 (* ---- Table 1 ------------------------------------------------------------ *)
 
 let table1 () =
   let runs =
-    List.map
+    Pool.map ~j:!jobs
       (fun sched ->
         let results, info =
           E.run_single_link ~sched ~duration:!duration ~seed ()
@@ -52,7 +62,7 @@ let topology () = print_string (Csz.Report.figure1 ())
 
 let table2 () =
   let runs =
-    List.map
+    Pool.map ~j:!jobs
       (fun sched ->
         let results, _ = E.run_figure1 ~sched ~duration:!duration ~seed () in
         (sched, results))
@@ -85,7 +95,7 @@ let table3 () =
 (* ---- E1: bake-off ------------------------------------------------------- *)
 
 let bakeoff () =
-  let runs = X.run_bakeoff ~duration:!duration ~seed () in
+  let runs = X.run_bakeoff ~duration:!duration ~seed ~j:!jobs () in
   let f2 = Table.fmt_float ~decimals:2 in
   let sample = [ 18; 8; 2; 0 ] in
   let rows =
@@ -132,7 +142,7 @@ let admission () =
         (100. *. r.X.mean_utilization)
         (100. *. r.X.violation_rate)
         (100. *. r.X.net_drop_rate))
-    (X.run_admission ~duration:!duration ~seed ());
+    (X.run_admission ~duration:!duration ~seed ~j:!jobs ());
   print_endline
     "\nShape to check (the paper's Section 9/12 conjecture): the measured\n\
      policy admits more flows and runs the link hotter than worst-case\n\
@@ -238,7 +248,7 @@ let sweep () =
         (100. *. r.X.achieved_utilization)
         r.X.fifo_p999 r.X.wfq_p999
         (r.X.wfq_p999 /. r.X.fifo_p999))
-    (X.run_load_sweep ~duration:!duration ~seed ());
+    (X.run_load_sweep ~duration:!duration ~seed ~j:!jobs ());
   print_endline
     "\nShape to check (Section 12): sharing and isolation coincide when\n\
      bandwidth is plentiful; the sharing advantage (WFQ/FIFO tail ratio)\n\
@@ -268,7 +278,7 @@ let ablation () =
     (fun (gain, (r : E.flow_result)) ->
       Printf.printf "gain 1/%-6.0f 4-hop mean %5.2f, 99.9%%ile %6.2f\n"
         (1. /. gain) r.E.mean r.E.p999)
-    (X.run_gain_ablation ~duration:!duration ~seed ());
+    (X.run_gain_ablation ~duration:!duration ~seed ~j:!jobs ());
   print_endline
     "\nShape to check (DESIGN.md): a fast class average (1/16) mutes the \
      jitter\noffsets and FIFO+ degenerates toward FIFO; the slow default \
@@ -291,7 +301,9 @@ let importance () =
 (* ---- Seed robustness ------------------------------------------------------ *)
 
 let seeds () =
-  let rows = X.run_seed_robustness ~duration:(Stdlib.min !duration 300.) () in
+  let rows =
+    X.run_seed_robustness ~duration:(Stdlib.min !duration 300.) ~j:!jobs ()
+  in
   List.iter
     (fun (r : X.seeds_row) ->
       Printf.printf
@@ -382,13 +394,59 @@ let micro () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
-  |> List.sort compare
-  |> List.iter (fun (name, v) ->
-         match Analyze.OLS.estimates v with
-         | Some [ ns ] ->
-             Printf.printf "%-22s %8.1f ns per enqueue+dequeue\n" name ns
-         | Some _ | None -> Printf.printf "%-22s (no estimate)\n" name);
+  let entries =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort compare
+    |> List.filter_map (fun (name, v) ->
+           match Analyze.OLS.estimates v with
+           | Some [ ns ] ->
+               Printf.printf "%-22s %8.1f ns per enqueue+dequeue\n" name ns;
+               Some (name, ns)
+           | Some _ | None ->
+               Printf.printf "%-22s (no estimate)\n" name;
+               None)
+  in
+  (* Engine event-loop cost, via the Engine.stats counters: a chain of
+     self-rescheduling events, each also scheduling-then-cancelling a decoy
+     so the lazy-deletion skip path is priced too. *)
+  let engine_entry =
+    let e = Ispn_sim.Engine.create () in
+    let n = 200_000 in
+    let count = ref 0 in
+    let rec act () =
+      incr count;
+      if !count < n then begin
+        ignore (Ispn_sim.Engine.schedule_after e ~delay:1e-6 act);
+        let h = Ispn_sim.Engine.schedule_after e ~delay:2e-6 (fun () -> ()) in
+        Ispn_sim.Engine.cancel e h
+      end
+    in
+    ignore (Ispn_sim.Engine.schedule_after e ~delay:1e-6 act);
+    let t0 = Unix.gettimeofday () in
+    Ispn_sim.Engine.run e ~until:1.0;
+    let dt = Unix.gettimeofday () -. t0 in
+    let st = Ispn_sim.Engine.stats e in
+    let total = st.Ispn_sim.Engine.events_fired
+                + st.Ispn_sim.Engine.cancels_skipped in
+    let ns = 1e9 *. dt /. float_of_int total in
+    Printf.printf "%-22s %8.1f ns per event (%d fired, %d cancels skipped)\n"
+      "engine/drain" ns st.Ispn_sim.Engine.events_fired
+      st.Ispn_sim.Engine.cancels_skipped;
+    ("engine/drain", ns)
+  in
+  let entries = entries @ [ engine_entry ] in
+  if !json then begin
+    let oc = open_out "BENCH_micro.json" in
+    output_string oc "{\n";
+    let last = List.length entries - 1 in
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "  %S: %.1f%s\n" name ns (if i = last then "" else ","))
+      entries;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.eprintf "wrote BENCH_micro.json\n%!"
+  end;
   print_endline
     "\nShape to check: every scheduler's per-packet cost is far below a\n\
      1 ms packet transmission time — cheap enough to run at every switch\n\
@@ -420,9 +478,29 @@ let sections =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let fast = List.mem "--fast" args in
-  if fast then duration := 60.;
-  let wanted = List.filter (fun a -> a <> "--fast") args in
+  let rec parse args acc =
+    match args with
+    | [] -> List.rev acc
+    | "--fast" :: rest ->
+        duration := 60.;
+        parse rest acc
+    | "--json" :: rest ->
+        json := true;
+        parse rest acc
+    | ("-j" | "--jobs") :: n :: rest when int_of_string_opt n <> None ->
+        let n = Option.get (int_of_string_opt n) in
+        if n < 1 then begin
+          Printf.eprintf "-j expects a positive integer\n";
+          exit 2
+        end;
+        jobs := n;
+        parse rest acc
+    | ("-j" | "--jobs") :: _ ->
+        Printf.eprintf "-j expects a positive integer argument\n";
+        exit 2
+    | name :: rest -> parse rest (name :: acc)
+  in
+  let wanted = parse args [] in
   let to_run =
     if wanted = [] then sections
     else

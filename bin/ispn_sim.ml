@@ -15,6 +15,26 @@ let avg_rate =
   let doc = "Per-flow average packet rate A (packets/second)." in
   Arg.(value & opt float 85. & info [ "a"; "avg-rate" ] ~docv:"PPS" ~doc)
 
+let jobs =
+  let doc =
+    "Domains to fan independent simulation runs over (Ispn_exec.Pool). \
+     Results are bit-identical for any value; defaults to the host's \
+     recommended domain count."
+  in
+  let positive =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n > 0 -> Ok n
+      | Ok _ -> Error (`Msg "expected a positive integer")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt positive (Ispn_exec.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let verbose =
   let doc = "Also print per-flow statistics." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
@@ -43,9 +63,9 @@ let print_info (info : Csz.Experiment.run_info) =
     info.Csz.Experiment.net_dropped
 
 let table1_cmd =
-  let run duration seed avg_rate verbose =
+  let run duration seed avg_rate verbose j =
     let runs =
-      List.map
+      Ispn_exec.Pool.map ~j
         (fun sched ->
           let results, info =
             Csz.Experiment.run_single_link ~sched ~avg_rate_pps:avg_rate
@@ -66,12 +86,12 @@ let table1_cmd =
   in
   let doc = "Reproduce Table 1: WFQ vs FIFO on a single shared link." in
   Cmd.v (Cmd.info "table1" ~doc)
-    Term.(const run $ duration $ seed $ avg_rate $ verbose)
+    Term.(const run $ duration $ seed $ avg_rate $ verbose $ jobs)
 
 let table2_cmd =
-  let run duration seed avg_rate verbose =
+  let run duration seed avg_rate verbose j =
     let runs =
-      List.map
+      Ispn_exec.Pool.map ~j
         (fun sched ->
           ( sched,
             Csz.Experiment.run_figure1 ~sched ~avg_rate_pps:avg_rate ~duration
@@ -93,7 +113,7 @@ let table2_cmd =
     "Reproduce Table 2: WFQ vs FIFO vs FIFO+ on the Figure-1 multihop chain."
   in
   Cmd.v (Cmd.info "table2" ~doc)
-    Term.(const run $ duration $ seed $ avg_rate $ verbose)
+    Term.(const run $ duration $ seed $ avg_rate $ verbose $ jobs)
 
 let table3_cmd =
   let run duration seed avg_rate verbose debug =
@@ -118,8 +138,8 @@ let topology_cmd =
   Cmd.v (Cmd.info "topology" ~doc) Term.(const run $ const ())
 
 let bakeoff_cmd =
-  let run duration seed =
-    let runs = Csz.Extensions.run_bakeoff ~duration ~seed () in
+  let run duration seed j =
+    let runs = Csz.Extensions.run_bakeoff ~duration ~seed ~j () in
     let f2 = Ispn_util.Table.fmt_float ~decimals:2 in
     let rows =
       List.map
@@ -150,10 +170,10 @@ let bakeoff_cmd =
     "E1: related-work scheduler bake-off (VirtualClock, EDF, DRR, RR-groups) \
      on the Table-2 workload."
   in
-  Cmd.v (Cmd.info "bakeoff" ~doc) Term.(const run $ duration $ seed)
+  Cmd.v (Cmd.info "bakeoff" ~doc) Term.(const run $ duration $ seed $ jobs)
 
 let admission_cmd =
-  let run duration seed debug =
+  let run duration seed debug j =
     with_logging debug ();
     List.iter
       (fun (r : Csz.Extensions.admission_result) ->
@@ -165,10 +185,11 @@ let admission_cmd =
           (100. *. r.Csz.Extensions.mean_utilization)
           (100. *. r.Csz.Extensions.violation_rate)
           (100. *. r.Csz.Extensions.net_drop_rate))
-      (Csz.Extensions.run_admission ~duration ~seed ())
+      (Csz.Extensions.run_admission ~duration ~seed ~j ())
   in
   let doc = "E2: admission-control policies under dynamic flow arrivals." in
-  Cmd.v (Cmd.info "admission" ~doc) Term.(const run $ duration $ seed $ debug)
+  Cmd.v (Cmd.info "admission" ~doc)
+    Term.(const run $ duration $ seed $ debug $ jobs)
 
 let playback_cmd =
   let run duration seed =
@@ -228,15 +249,15 @@ let discard_cmd =
   Cmd.v (Cmd.info "discard" ~doc) Term.(const run $ duration $ seed)
 
 let ablation_cmd =
-  let run duration seed =
+  let run duration seed j =
     List.iter
       (fun (gain, (r : Csz.Experiment.flow_result)) ->
         Printf.printf "gain 1/%-6.0f 4-hop mean %5.2f, p999 %6.2f\n"
           (1. /. gain) r.Csz.Experiment.mean r.Csz.Experiment.p999)
-      (Csz.Extensions.run_gain_ablation ~duration ~seed ())
+      (Csz.Extensions.run_gain_ablation ~duration ~seed ~j ())
   in
   let doc = "Ablation: FIFO+ class-average gain vs multi-hop jitter." in
-  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ duration $ seed)
+  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ duration $ seed $ jobs)
 
 let service_cmd =
   let run duration seed =
@@ -260,17 +281,17 @@ let service_cmd =
   Cmd.v (Cmd.info "service" ~doc) Term.(const run $ duration $ seed)
 
 let sweep_cmd =
-  let run duration seed =
+  let run duration seed j =
     List.iter
       (fun (r : Csz.Extensions.sweep_row) ->
         Printf.printf
           "utilization %5.1f%%  FIFO 99.9%%ile %6.2f  WFQ 99.9%%ile %6.2f\n"
           (100. *. r.Csz.Extensions.achieved_utilization)
           r.Csz.Extensions.fifo_p999 r.Csz.Extensions.wfq_p999)
-      (Csz.Extensions.run_load_sweep ~duration ~seed ())
+      (Csz.Extensions.run_load_sweep ~duration ~seed ~j ())
   in
   let doc = "E8: sharing's tail advantage as a function of load." in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ duration $ seed)
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ duration $ seed $ jobs)
 
 let signaling_cmd =
   let run duration seed =

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Advisory perf gate for the per-packet scheduler hot path (the paper's
+# "must not be so complex" constraint): rerun the micro section in --json
+# mode and compare each per-scheduler ns/packet figure against the
+# committed baseline.  Exits 1 if any entry regressed by more than 25%.
+#
+# The baseline (ci/bench_baseline.json) is host-dependent, which is why the
+# workflow runs this step as advisory (non-blocking).  Refresh it after an
+# intentional hot-path change with:
+#   dune exec bench/main.exe -- micro --fast --json && cp BENCH_micro.json ci/bench_baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=ci/bench_baseline.json
+CURRENT=BENCH_micro.json
+TOLERANCE=1.25
+
+dune exec bench/main.exe -- micro --fast --json >/dev/null
+
+if [ ! -f "$BASELINE" ]; then
+    echo "no baseline at $BASELINE; nothing to compare" >&2
+    exit 0
+fi
+
+# Both files are one `"name": ns,` entry per line; mawk-compatible parsing.
+awk -v tol="$TOLERANCE" '
+BEGIN { FS = "\""; bad = 0 }
+{
+    if (NF < 3) next
+    name = $2
+    val = $3
+    gsub(/[:, \t]/, "", val)
+    if (val == "") next
+    if (FNR == NR) { base[name] = val; next }
+    if (name in base) {
+        if (val + 0 > base[name] * tol)
+            { printf "REGRESSION  %-22s %8.1f ns vs baseline %8.1f ns (+%.0f%%)\n", name, val, base[name], 100 * (val / base[name] - 1); bad = 1 }
+        else
+            printf "ok          %-22s %8.1f ns vs baseline %8.1f ns\n", name, val, base[name]
+    } else
+        printf "new         %-22s %8.1f ns (no baseline entry)\n", name, val
+}
+END { exit bad }
+' "$BASELINE" "$CURRENT"

@@ -71,8 +71,8 @@ let bakeoff_qdisc sched engine _link =
       Ispn_sched.Jitter_edd.create ~engine ~budget_of:(fun _ -> 0.020) ~pool
         ()
 
-let run_bakeoff ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
-  List.map
+let run_bakeoff ?(duration = Units.sim_duration_s) ?(seed = 42L) ?(j = 1) () =
+  Ispn_exec.Pool.map ~j
     (fun sched ->
       let results, _ =
         Experiment.run_figure1_custom
@@ -266,11 +266,13 @@ let run_admission_policy ~policy ~offered ~duration =
   }
 
 let run_admission ?(duration = 300.) ?(seed = 42L) ?(arrival_rate = 0.5)
-    ?(mean_holding = 60.) () =
+    ?(mean_holding = 60.) ?(j = 1) () =
+  (* Drawn once and shared read-only: the three policies face an identical
+     offered load. *)
   let offered =
     draw_offered_load ~seed ~duration ~arrival_rate ~mean_holding
   in
-  List.map
+  Ispn_exec.Pool.map ~j
     (fun policy -> run_admission_policy ~policy ~offered ~duration)
     [ Measured; Worst_case; Open_door ]
 
@@ -736,33 +738,44 @@ type sweep_row = {
 }
 
 let run_load_sweep ?(duration = Units.sim_duration_s) ?(seed = 42L)
-    ?(points = [ 0.5; 0.65; 0.8; 0.9 ]) () =
-  List.map
-    (fun target ->
-      (* Ten flows on a 1000 pkt/s link; ~2% of the offered load dies at the
-         edge policer, so aim slightly high. *)
-      let avg_rate_pps = target *. 1000. /. 10. /. 0.98 in
-      let sample results =
-        (List.find
-           (fun (r : Experiment.flow_result) -> r.Experiment.flow = 0)
-           results)
-          .Experiment.p999
-      in
-      let fifo, info =
-        Experiment.run_single_link ~sched:Experiment.Fifo ~avg_rate_pps
-          ~duration ~seed ()
-      in
-      let wfq, _ =
-        Experiment.run_single_link ~sched:Experiment.Wfq ~avg_rate_pps
-          ~duration ~seed ()
-      in
-      {
-        target_utilization = target;
-        achieved_utilization = info.Experiment.utilization.(0);
-        fifo_p999 = sample fifo;
-        wfq_p999 = sample wfq;
-      })
-    points
+    ?(points = [ 0.5; 0.65; 0.8; 0.9 ]) ?(j = 1) () =
+  let sample results =
+    (List.find
+       (fun (r : Experiment.flow_result) -> r.Experiment.flow = 0)
+       results)
+      .Experiment.p999
+  in
+  let jobs =
+    List.concat_map
+      (fun target -> [ (target, Experiment.Fifo); (target, Experiment.Wfq) ])
+      points
+  in
+  let runs =
+    Ispn_exec.Pool.map ~j
+      (fun (target, sched) ->
+        (* Ten flows on a 1000 pkt/s link; ~2% of the offered load dies at
+           the edge policer, so aim slightly high. *)
+        let avg_rate_pps = target *. 1000. /. 10. /. 0.98 in
+        let results, info =
+          Experiment.run_single_link ~sched ~avg_rate_pps ~duration ~seed ()
+        in
+        (sample results, info))
+      jobs
+  in
+  let rec regroup points runs =
+    match (points, runs) with
+    | [], [] -> []
+    | target :: ps, (fifo_p999, info) :: (wfq_p999, _) :: rs ->
+        {
+          target_utilization = target;
+          achieved_utilization = info.Experiment.utilization.(0);
+          fifo_p999;
+          wfq_p999;
+        }
+        :: regroup ps rs
+    | _ -> assert false
+  in
+  regroup points runs
 
 (* --- E9: in-band signaling latency ---------------------------------------- *)
 
@@ -919,18 +932,28 @@ type seeds_row = {
 }
 
 let run_seed_robustness ?(duration = 300.)
-    ?(seeds = [ 1L; 2L; 3L; 4L; 5L ]) () =
-  List.map
-    (fun sched ->
+    ?(seeds = [ 1L; 2L; 3L; 4L; 5L ]) ?(j = 1) () =
+  let scheds = [ Experiment.Wfq; Experiment.Fifo; Experiment.Fifo_plus ] in
+  (* One job per (scheduler, seed) pair — 15 independent simulations. *)
+  let tails =
+    Ispn_exec.Pool.map ~j
+      (fun (sched, seed) ->
+        let results, _ = Experiment.run_figure1 ~sched ~duration ~seed () in
+        (List.find
+           (fun (r : Experiment.flow_result) -> r.Experiment.flow = 0)
+           results)
+          .Experiment.p999)
+      (List.concat_map
+         (fun sched -> List.map (fun seed -> (sched, seed)) seeds)
+         scheds)
+  in
+  let per_sched = List.length seeds in
+  List.mapi
+    (fun i sched ->
       let tails =
-        List.map
-          (fun seed ->
-            let results, _ = Experiment.run_figure1 ~sched ~duration ~seed () in
-            (List.find
-               (fun (r : Experiment.flow_result) -> r.Experiment.flow = 0)
-               results)
-              .Experiment.p999)
-          seeds
+        List.filteri
+          (fun k _ -> k >= i * per_sched && k < (i + 1) * per_sched)
+          tails
       in
       let n = float_of_int (List.length tails) in
       {
@@ -939,13 +962,13 @@ let run_seed_robustness ?(duration = 300.)
         p999_min = List.fold_left Stdlib.min infinity tails;
         p999_max = List.fold_left Stdlib.max neg_infinity tails;
       })
-    [ Experiment.Wfq; Experiment.Fifo; Experiment.Fifo_plus ]
+    scheds
 
 (* --- Ablation: FIFO+ averaging gain -------------------------------------- *)
 
 let run_gain_ablation ?(duration = Units.sim_duration_s) ?(seed = 42L)
-    ?(gains = [ 1. /. 16.; 1. /. 256.; 1. /. 4096. ]) () =
-  List.map
+    ?(gains = [ 1. /. 16.; 1. /. 256.; 1. /. 4096. ]) ?(j = 1) () =
+  Ispn_exec.Pool.map ~j
     (fun gain ->
       let qdisc_of _engine _link =
         snd

@@ -5,7 +5,13 @@
     measurement-based admission control conjecture, the adaptive-vs-rigid
     play-back conjecture of Section 12, the isolation/sharing argument with
     a misbehaving source, the Section 10 late-discard option, and the
-    FIFO+ averaging-gain ablation this reproduction's DESIGN.md calls out. *)
+    FIFO+ averaging-gain ablation this reproduction's DESIGN.md calls out.
+
+    Runners that fan out independent simulations ({!run_bakeoff},
+    {!run_admission}, {!run_load_sweep}, {!run_seed_robustness},
+    {!run_gain_ablation}) take [?j] (default 1), the number of domains to
+    spread the jobs over via {!Ispn_exec.Pool} — results are bit-identical
+    for every [j]. *)
 
 (** {2 E1: scheduler bake-off on the Table-2 workload} *)
 
@@ -24,7 +30,7 @@ type bakeoff_sched =
 val bakeoff_name : bakeoff_sched -> string
 
 val run_bakeoff :
-  ?duration:float -> ?seed:int64 -> unit ->
+  ?duration:float -> ?seed:int64 -> ?j:int -> unit ->
   (bakeoff_sched * Experiment.flow_result list) list
 (** Figure-1 workload under each scheduler; results per flow as in
     {!Experiment.run_figure1}. *)
@@ -51,7 +57,7 @@ type admission_result = {
 
 val run_admission :
   ?duration:float -> ?seed:int64 -> ?arrival_rate:float ->
-  ?mean_holding:float -> unit -> admission_result list
+  ?mean_holding:float -> ?j:int -> unit -> admission_result list
 (** Single 1 Mbit/s link; predicted-service flows arrive Poisson
     ([arrival_rate] per second, default 0.5), hold for an exponential time
     (default 60 s) and depart.  Each run uses identical arrival/holding
@@ -164,7 +170,7 @@ type sweep_row = {
 }
 
 val run_load_sweep :
-  ?duration:float -> ?seed:int64 -> ?points:float list -> unit ->
+  ?duration:float -> ?seed:int64 -> ?points:float list -> ?j:int -> unit ->
   sweep_row list
 (** Table 1's single-link setup at several utilizations (default 0.5, 0.65,
     0.8, 0.9): the sharing advantage (WFQ tail / FIFO tail) is negligible
@@ -219,7 +225,7 @@ type seeds_row = {
 }
 
 val run_seed_robustness :
-  ?duration:float -> ?seeds:int64 list -> unit -> seeds_row list
+  ?duration:float -> ?seeds:int64 list -> ?j:int -> unit -> seeds_row list
 (** Table 2's 4-hop tail statistic across independent seeds (default five):
     the scheduler ordering (FIFO+ < FIFO < WFQ) must hold for {e every}
     seed, not just the headline one, or the reproduction is luck. *)
@@ -227,7 +233,7 @@ val run_seed_robustness :
 (** {2 Ablation: FIFO+ averaging gain} *)
 
 val run_gain_ablation :
-  ?duration:float -> ?seed:int64 -> ?gains:float list -> unit ->
+  ?duration:float -> ?seed:int64 -> ?gains:float list -> ?j:int -> unit ->
   (float * Experiment.flow_result) list
 (** 4-hop tail delay of the Figure-1 workload under FIFO+ for each EWMA
     gain (default [1/16; 1/256; 1/4096]), demonstrating why the slow

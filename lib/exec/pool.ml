@@ -1,0 +1,43 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Domain [d] of [j] owns the strided slice [d, d+j, ...]: a fixed partition
+   decided before any domain starts, so which domain runs which job never
+   depends on timing.  Each worker buffers [(index, result)] pairs locally;
+   the only cross-domain communication is [Domain.join] returning the
+   buffer, whose happens-before edge also publishes the jobs' writes. *)
+let worker f jobs ~d ~j =
+  let n = Array.length jobs in
+  let buf = ref [] in
+  let i = ref d in
+  while !i < n do
+    let r = try Ok (f jobs.(!i)) with e -> Error e in
+    buf := (!i, r) :: !buf;
+    i := !i + j
+  done;
+  !buf
+
+let try_map ?j f xs =
+  let jobs = Array.of_list xs in
+  let n = Array.length jobs in
+  let j = match j with None -> default_jobs () | Some j -> j in
+  let j = Stdlib.max 1 (Stdlib.min j n) in
+  if n = 0 then []
+  else if j = 1 then
+    List.map (fun x -> try Ok (f x) with e -> Error e) xs
+  else begin
+    let spawned =
+      Array.init (j - 1) (fun d ->
+          Domain.spawn (fun () -> worker f jobs ~d:(d + 1) ~j))
+    in
+    let own = worker f jobs ~d:0 ~j in
+    let out = Array.make n None in
+    let place = List.iter (fun (i, r) -> out.(i) <- Some r) in
+    place own;
+    Array.iter (fun dom -> place (Domain.join dom)) spawned;
+    Array.to_list out
+    |> List.map (function Some r -> r | None -> assert false)
+  end
+
+let map ?j f xs =
+  try_map ?j f xs
+  |> List.map (function Ok v -> v | Error e -> raise e)

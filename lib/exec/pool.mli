@@ -1,0 +1,32 @@
+(** Deterministic domain-parallel run fabric.
+
+    Every multi-run experiment in this repository (the paper tables, the
+    bake-off, seed sweeps, load sweeps) is an embarrassingly parallel
+    fan-out of independent simulations: each job builds its own
+    {!Ispn_sim.Engine.t} and draws from its own {!Ispn_util.Prng} seed, so
+    no mutable state crosses jobs.  This module fans such jobs across
+    OCaml 5 [Domain]s with a {e fixed partition} (no work stealing): domain
+    [d] of [j] owns jobs [d, d+j, d+2j, ...], buffers its results locally,
+    and the buffers are merged back into canonical job order after all
+    domains join.  Output is therefore bit-identical for every [j],
+    including [j = 1] (which runs in the calling domain, spawning
+    nothing).
+
+    Jobs must not share mutable state and must derive all randomness from
+    per-job {!Ispn_util.Prng} seeds — the repository-wide rule anyway. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the [-j] default of the bench
+    harness and CLI. *)
+
+val try_map : ?j:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [try_map ~j f xs] applies [f] to every element of [xs] across at most
+    [j] domains (clamped to [max 1 (min j (length xs))]; default
+    {!default_jobs}) and returns the results in the order of [xs].  A
+    raising job yields [Error exn] in its slot and does not disturb the
+    others — crash containment is per job, not per pool. *)
+
+val map : ?j:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~j f xs] is {!try_map} with failures re-raised: once every job
+    has finished, the first exception in canonical job order (not wall-clock
+    order, so the raise is deterministic too) is re-raised. *)

@@ -7,10 +7,14 @@ type event = {
 
 type handle = event
 
+type stats = { events_fired : int; cancels_skipped : int }
+
 type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable live : int;
+  mutable fired : int;
+  mutable skipped : int;
   heap : event Ispn_util.Heap.t;
 }
 
@@ -22,8 +26,12 @@ let create () =
     clock = 0.;
     next_seq = 0;
     live = 0;
+    fired = 0;
+    skipped = 0;
     heap = Ispn_util.Heap.create ~cmp:compare_event ();
   }
+
+let stats t = { events_fired = t.fired; cancels_skipped = t.skipped }
 
 let now t = t.clock
 
@@ -49,25 +57,36 @@ let cancel t ev =
 
 let pending t = t.live
 
-let step t =
-  match Ispn_util.Heap.pop t.heap with
-  | None -> false
-  | Some ev ->
-      if ev.cancelled then true
-      else begin
-        t.live <- t.live - 1;
-        t.clock <- ev.time;
-        ev.action ();
-        true
-      end
+let fire t ev =
+  if ev.cancelled then t.skipped <- t.skipped + 1
+  else begin
+    t.live <- t.live - 1;
+    t.clock <- ev.time;
+    t.fired <- t.fired + 1;
+    ev.action ()
+  end
 
+let step t =
+  if Ispn_util.Heap.is_empty t.heap then false
+  else begin
+    fire t (Ispn_util.Heap.pop_exn t.heap);
+    true
+  end
+
+(* The per-event hot path: drain via the exception-free-on-success
+   [peek_exn]/[pop_exn] pair so the loop allocates nothing per event
+   (the option-returning [peek]/[pop] box every element in a [Some]). *)
 let run t ~until =
+  let heap = t.heap in
   let rec loop () =
-    match Ispn_util.Heap.peek t.heap with
-    | Some ev when ev.time <= until ->
-        ignore (step t);
+    if not (Ispn_util.Heap.is_empty heap) then begin
+      let ev = Ispn_util.Heap.peek_exn heap in
+      if ev.time <= until then begin
+        ignore (Ispn_util.Heap.pop_exn heap : event);
+        fire t ev;
         loop ()
-    | Some _ | None -> ()
+      end
+    end
   in
   loop ();
   t.clock <- Stdlib.max t.clock until

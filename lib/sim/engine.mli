@@ -31,6 +31,17 @@ val cancel : t -> handle -> unit
 val pending : t -> int
 (** Number of live (non-cancelled) events still queued. *)
 
+type stats = {
+  events_fired : int;  (** Actions executed since {!create}. *)
+  cancels_skipped : int;
+      (** Cancelled events lazily discarded when they surfaced. *)
+}
+
+val stats : t -> stats
+(** Cumulative event-loop counters, for the [micro] bench and CI to watch
+    cost-per-event (a high skip share means cancellation churn is eating
+    heap bandwidth). *)
+
 val run : t -> until:float -> unit
 (** Execute events in time order until the clock would pass [until], then set
     the clock to [until].  Events scheduled during the run are honoured. *)

@@ -53,22 +53,23 @@ let push t x =
 
 let peek t = if t.len = 0 then None else Some t.data.(0)
 
-let pop t =
-  if t.len = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
-      sift_down t 0
-    end;
-    Some top
-  end
+let peek_exn t =
+  if t.len = 0 then invalid_arg "Heap.peek_exn: empty";
+  t.data.(0)
 
+(* The engine drains millions of events per run through this path, so it
+   must not allocate: no [Some] per element, in contrast to [pop]. *)
 let pop_exn t =
-  match pop t with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty"
+  if t.len = 0 then invalid_arg "Heap.pop_exn: empty";
+  let top = t.data.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.data.(0) <- t.data.(t.len);
+    sift_down t 0
+  end;
+  top
+
+let pop t = if t.len = 0 then None else Some (pop_exn t)
 
 let clear t = t.len <- 0
 

@@ -13,9 +13,16 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
+
+val peek_exn : 'a t -> 'a
+(** Non-allocating {!peek}; raises [Invalid_argument] when empty.  Guard
+    with {!is_empty} on hot paths. *)
+
 val pop : 'a t -> 'a option
+
 val pop_exn : 'a t -> 'a
-(** Raises [Invalid_argument] when empty. *)
+(** Non-allocating {!pop}; raises [Invalid_argument] when empty.  Guard
+    with {!is_empty} on hot paths. *)
 
 val clear : 'a t -> unit
 val iter : ('a -> unit) -> 'a t -> unit

@@ -44,6 +44,47 @@ let test_schedule_during_run () =
   Engine.run e ~until:3.;
   Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
 
+let test_stats_counters () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~at:1. (fun () -> ()));
+  let h = Engine.schedule e ~at:2. (fun () -> ()) in
+  Engine.cancel e h;
+  ignore (Engine.schedule e ~at:3. (fun () -> ()));
+  Engine.run e ~until:10.;
+  let st = Engine.stats e in
+  Alcotest.(check int) "events fired" 2 st.Engine.events_fired;
+  Alcotest.(check int) "cancels skipped" 1 st.Engine.cancels_skipped
+
+(* The hot-path regression guard: draining the engine must cost a small
+   constant number of minor words per event (the event record itself plus
+   heap bookkeeping), not grow with an option box per pop/peek.  A chain of
+   1e6 self-rescheduling events, half with a cancelled decoy, stays under
+   64 words/event with room to spare. *)
+let test_run_alloc_per_event () =
+  let e = Engine.create () in
+  let n = 1_000_000 in
+  let count = ref 0 in
+  let rec act () =
+    incr count;
+    if !count < n then begin
+      ignore (Engine.schedule_after e ~delay:1e-6 act);
+      if !count land 1 = 0 then
+        Engine.cancel e (Engine.schedule_after e ~delay:2e-6 (fun () -> ()))
+    end
+  in
+  ignore (Engine.schedule_after e ~delay:1e-6 act);
+  let before = Gc.minor_words () in
+  Engine.run e ~until:10.;
+  let words = Gc.minor_words () -. before in
+  let st = Engine.stats e in
+  Alcotest.(check int) "all fired" n st.Engine.events_fired;
+  let per_event =
+    words /. float_of_int (st.Engine.events_fired + st.Engine.cancels_skipped)
+  in
+  if per_event > 64. then
+    Alcotest.failf "%.1f minor words per event (expected O(1), <= 64)"
+      per_event
+
 let test_cancel () =
   let e = Engine.create () in
   let fired = ref false in
@@ -117,6 +158,9 @@ let suite =
       test_events_after_until_stay;
     Alcotest.test_case "schedule during run" `Quick test_schedule_during_run;
     Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "O(1) minor words per event" `Quick
+      test_run_alloc_per_event;
     Alcotest.test_case "schedule in past rejected" `Quick
       test_schedule_in_past_rejected;
     Alcotest.test_case "schedule_after" `Quick test_schedule_after;

@@ -8,7 +8,17 @@ let test_empty () =
   Alcotest.(check (option int)) "peek" None (Heap.peek h);
   Alcotest.(check (option int)) "pop" None (Heap.pop h);
   Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty")
-    (fun () -> ignore (Heap.pop_exn h))
+    (fun () -> ignore (Heap.pop_exn h));
+  Alcotest.check_raises "peek_exn" (Invalid_argument "Heap.peek_exn: empty")
+    (fun () -> ignore (Heap.peek_exn h))
+
+let test_exn_fast_paths_agree () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 4; 2; 7; 1 ];
+  Alcotest.(check int) "peek_exn" 1 (Heap.peek_exn h);
+  Alcotest.(check int) "length after peek_exn" 4 (Heap.length h);
+  Alcotest.(check int) "pop_exn" 1 (Heap.pop_exn h);
+  Alcotest.(check (option int)) "pop agrees" (Some 2) (Heap.pop h)
 
 let test_ordering () =
   let h = int_heap () in
@@ -88,6 +98,7 @@ let qcheck_heap_length =
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "exn fast paths agree" `Quick test_exn_fast_paths_agree;
     Alcotest.test_case "ordering" `Quick test_ordering;
     Alcotest.test_case "peek does not remove" `Quick test_peek_does_not_remove;
     Alcotest.test_case "clear" `Quick test_clear;
