@@ -307,6 +307,33 @@ let signaling_cmd =
   let doc = "E9: in-band hop-by-hop establishment latency vs load." in
   Cmd.v (Cmd.info "signaling" ~doc) Term.(const run $ duration $ seed)
 
+let faults_cmd =
+  let run duration seed j =
+    List.iter
+      (fun (r : Csz.Extensions.failover_row) ->
+        Printf.printf
+          "%-12s violations %5.2f%%  lost %6d  retries %3d (abandoned %d)  \
+           reestablished %d in %4.1f ms  degraded %d\n"
+          (Csz.Extensions.failover_name r.Csz.Extensions.fo_schedule)
+          (100. *. r.Csz.Extensions.fo_violation_rate)
+          r.Csz.Extensions.fo_lost r.Csz.Extensions.fo_retries
+          r.Csz.Extensions.fo_abandoned r.Csz.Extensions.fo_reestablished
+          r.Csz.Extensions.fo_reestablish_ms r.Csz.Extensions.fo_degraded;
+        List.iter
+          (fun (f : Csz.Extensions.failover_flow) ->
+            Printf.printf "    flow %d: requested %s, ended %s\n"
+              f.Csz.Extensions.ff_flow f.Csz.Extensions.ff_requested
+              f.Csz.Extensions.ff_final)
+          r.Csz.Extensions.fo_flows)
+      (Csz.Extensions.run_failover ~duration ~seed ~j ())
+  in
+  let doc =
+    "E11: inject link outages, header corruption and agent crashes; watch \
+     setup retries, re-establishment and the guaranteed -> predicted -> \
+     datagram degradation ladder."
+  in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ duration $ seed $ jobs)
+
 let importance_cmd =
   let run duration seed =
     List.iter
@@ -447,8 +474,8 @@ let default =
     [
       table1_cmd; table2_cmd; table3_cmd; topology_cmd; bakeoff_cmd;
       admission_cmd; playback_cmd; cascade_cmd; isolation_cmd; discard_cmd;
-      ablation_cmd; service_cmd; sweep_cmd; signaling_cmd; importance_cmd;
-      profile_cmd; backlog_cmd;
+      ablation_cmd; service_cmd; sweep_cmd; signaling_cmd; faults_cmd;
+      importance_cmd; profile_cmd; backlog_cmd;
     ]
 
 let () = exit (Cmd.eval default)

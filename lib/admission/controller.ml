@@ -181,6 +181,16 @@ let release t ~flow =
           | Spec.Predicted _ | Spec.Datagram -> ())
         path
 
+let mem t ~flow = Hashtbl.mem t.flows flow
+
+let reset t =
+  Hashtbl.reset t.flows;
+  Array.iter
+    (fun ls ->
+      ls.guaranteed_bps <- 0.;
+      Hashtbl.reset ls.unmeasured)
+    t.links
+
 let guaranteed_reserved_bps t ~link = t.links.(link).guaranteed_bps
 
 let admitted t =

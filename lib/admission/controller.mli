@@ -56,6 +56,19 @@ val request : t -> flow:int -> path:int list -> Spec.request -> decision
 val release : t -> flow:int -> unit
 (** Tear down a flow's reservation; unknown flows are ignored. *)
 
+val mem : t -> flow:int -> bool
+(** Whether [flow] is currently admitted — lets a signaling agent re-assert
+    reservations idempotently after a failure (skip hops that survived,
+    re-request only at hops that forgot). *)
+
+val reset : t -> unit
+(** Release-on-failure: forget every admitted flow and zero the guaranteed
+    reservations, as a crashed switch agent losing its soft state would.
+    The meters are deliberately kept — they belong to the forwarding plane,
+    which keeps running — so post-crash admission decisions immediately
+    re-converge on measured load rather than restarting from an empty
+    window. *)
+
 val guaranteed_reserved_bps : t -> link:int -> float
 val admitted : t -> int
 (** Real-time flows currently admitted. *)

@@ -982,3 +982,205 @@ let run_gain_ablation ?(duration = Units.sim_duration_s) ?(seed = 42L)
       in
       (gain, four_hop))
     gains
+
+(* --- E11: failover under injected faults ---------------------------------- *)
+
+type failover_schedule = F_baseline | F_link_flap | F_control_loss | F_agent_crash
+
+let failover_name = function
+  | F_baseline -> "baseline"
+  | F_link_flap -> "link-flap"
+  | F_control_loss -> "control-loss"
+  | F_agent_crash -> "agent-crash"
+
+type failover_flow = { ff_flow : int; ff_requested : string; ff_final : string }
+
+type failover_row = {
+  fo_schedule : failover_schedule;
+  fo_violation_rate : float;
+  fo_lost : int;
+  fo_retries : int;
+  fo_abandoned : int;
+  fo_crashes : int;
+  fo_degraded : int;
+  fo_reestablished : int;
+  fo_reestablish_ms : float;
+  fo_flows : failover_flow list;
+}
+
+let run_failover ?(duration = 120.) ?(seed = 42L) ?(j = 1) () =
+  let schedules = [ F_baseline; F_link_flap; F_control_loss; F_agent_crash ] in
+  let class_targets = [| 0.008; 0.064 |] in
+  let run_one schedule =
+    let engine = Engine.create () in
+    let prng = Prng.create ~seed in
+    let fab = Fabric.chain ~engine ~n_switches:5 () in
+    let n_links = Fabric.n_links fab in
+    let sg =
+      Signaling.deploy ~fabric:fab ~class_targets ~setup_timeout:0.02
+        ~max_retries:6 ()
+    in
+    (* Delay hooks double as violation probes; they must keep feeding each
+       agent's meter, which deploy wired to the same (single) hook slot. *)
+    let rt_packets = ref 0 and violations = ref 0 in
+    for link = 0 to n_links - 1 do
+      let meter = Controller.meter (Signaling.controller sg ~link) ~link:0 in
+      Csz_sched.set_delay_hook (Fabric.sched fab ~link) (fun ~cls delay ->
+          if cls >= 0 && cls < Array.length class_targets then begin
+            Meter.note_delay meter ~cls delay;
+            incr rt_packets;
+            if delay > class_targets.(cls) then incr violations
+          end)
+    done;
+    (* Two watched end-to-end real-time flows over the whole chain... *)
+    let watched = [ (0, "guaranteed"); (1, "predicted") ] in
+    Signaling.setup sg ~flow:0 ~ingress:0 ~egress:4
+      ~own_bucket:{ Spec.rate_bps = 100_000.; depth_bits = 5_000. }
+      (Spec.Guaranteed { clock_rate_bps = 300_000. })
+      ~sink:(fun _ -> ())
+      ~on_result:(function
+        | Error _ -> ()
+        | Ok est ->
+            let src =
+              Ispn_traffic.Cbr.create ~engine ~flow:0 ~rate_pps:100.
+                ~emit:est.Signaling.emit ()
+            in
+            src.Ispn_traffic.Source.start ());
+    Signaling.setup sg ~flow:1 ~ingress:0 ~egress:4
+      (Spec.Predicted
+         {
+           bucket = { Spec.rate_bps = 85_000.; depth_bits = 20_000. };
+           target_delay = 0.256;
+           target_loss = 0.01;
+         })
+      ~sink:(fun _ -> ())
+      ~on_result:(function
+        | Error _ -> ()
+        | Ok est ->
+            let src =
+              Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng)
+                ~flow:1 ~avg_rate_pps:85. ~emit:est.Signaling.emit ()
+            in
+            src.Ispn_traffic.Source.start ());
+    (* ... one single-hop predicted flow per link, and datagram background
+       load, so every link carries all three service tiers. *)
+    for link = 0 to n_links - 1 do
+      Signaling.setup sg ~flow:(10 + link) ~ingress:link ~egress:(link + 1)
+        (Spec.Predicted
+           {
+             bucket = { Spec.rate_bps = 85_000.; depth_bits = 20_000. };
+             target_delay = 0.064;
+             target_loss = 0.01;
+           })
+        ~sink:(fun _ -> ())
+        ~on_result:(function
+          | Error _ -> ()
+          | Ok est ->
+              let src =
+                Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng)
+                  ~flow:(10 + link) ~avg_rate_pps:85.
+                  ~emit:est.Signaling.emit ()
+              in
+              src.Ispn_traffic.Source.start ());
+      let flow = 700 + link in
+      Fabric.install_flow fab ~flow ~ingress:link ~egress:(link + 1)
+        ~sink:(fun _ -> ());
+      let src =
+        Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng) ~flow
+          ~avg_rate_pps:350.
+          ~emit:(fun p -> Fabric.inject fab ~at_switch:link p)
+          ()
+      in
+      src.Ispn_traffic.Source.start ()
+    done;
+    (* Short-lived probe setups across the chain keep the control plane
+       exercised, so outages hit setups in flight (timeout -> retry). *)
+    let next_probe = ref 1000 in
+    let rec probe () =
+      let flow = !next_probe in
+      incr next_probe;
+      Signaling.setup sg ~flow ~ingress:0 ~egress:4
+        (Spec.Guaranteed { clock_rate_bps = 10_000. })
+        ~sink:(fun _ -> ())
+        ~on_result:(function
+          | Ok _ -> Signaling.teardown sg ~flow
+          | Error _ -> ());
+      if Engine.now engine +. 2. < duration then
+        ignore (Engine.schedule_after engine ~delay:2. probe)
+    in
+    probe ();
+    (* The fault plan, scaled to the run length; all four schedules target
+       mid-path link 1 / switch 1. *)
+    let plan =
+      match schedule with
+      | F_baseline -> Ispn_faults.Plan.none
+      | F_link_flap ->
+          [
+            Ispn_faults.Plan.Link_down
+              { link = 1; at = 0.3 *. duration; duration = 3. };
+            Ispn_faults.Plan.Link_down
+              { link = 1; at = 0.6 *. duration; duration = 1. };
+          ]
+      | F_control_loss ->
+          [
+            Ispn_faults.Plan.Corrupt
+              {
+                link = 1;
+                from_ = 0.2 *. duration;
+                until = 0.8 *. duration;
+                per_packet = 0.35;
+              };
+          ]
+      | F_agent_crash ->
+          [ Ispn_faults.Plan.Agent_crash { switch = 1; at = 0.4 *. duration } ]
+    in
+    let links = Array.init n_links (Fabric.link fab) in
+    let _stats =
+      Ispn_faults.Inject.apply ~engine ~links
+        ~on_agent_crash:(fun ~switch -> Signaling.crash_agent sg ~switch)
+        ~corrupt_seed:(Int64.add seed 77L) plan
+    in
+    (* After the crash wiped switch 1's book, a newcomer grabs most of the
+       freed capacity before the victims' re-setup lands — forcing the
+       degradation ladder to actually engage on re-admission. *)
+    (match schedule with
+    | F_agent_crash ->
+        ignore
+          (Engine.schedule engine ~at:((0.4 *. duration) +. 0.001) (fun () ->
+               Signaling.setup sg ~flow:90 ~ingress:1 ~egress:2
+                 (Spec.Guaranteed { clock_rate_bps = 500_000. })
+                 ~sink:(fun _ -> ())
+                 ~on_result:(fun _ -> ())))
+    | F_baseline | F_link_flap | F_control_loss -> ());
+    Engine.run engine ~until:duration;
+    let lost = ref 0 in
+    for link = 0 to n_links - 1 do
+      lost := !lost + Link.dropped (Fabric.link fab link)
+    done;
+    {
+      fo_schedule = schedule;
+      fo_violation_rate =
+        (if !rt_packets = 0 then 0.
+         else float_of_int !violations /. float_of_int !rt_packets);
+      fo_lost = !lost;
+      fo_retries = Signaling.retries sg;
+      fo_abandoned = Signaling.abandoned_count sg;
+      fo_crashes = Signaling.crash_count sg;
+      fo_degraded = Signaling.degraded_count sg;
+      fo_reestablished = Signaling.reestablished_count sg;
+      fo_reestablish_ms = 1000. *. Signaling.mean_reestablish_latency sg;
+      fo_flows =
+        List.map
+          (fun (flow, requested) ->
+            {
+              ff_flow = flow;
+              ff_requested = requested;
+              ff_final =
+                (match Signaling.service_level sg ~flow with
+                | Some l -> Signaling.level_name l
+                | None -> "gone");
+            })
+          watched;
+    }
+  in
+  Ispn_exec.Pool.map ~j run_one schedules

@@ -238,3 +238,50 @@ val run_gain_ablation :
 (** 4-hop tail delay of the Figure-1 workload under FIFO+ for each EWMA
     gain (default [1/16; 1/256; 1/4096]), demonstrating why the slow
     default matters. *)
+
+(** {2 E11: failover under injected faults} *)
+
+type failover_schedule =
+  | F_baseline  (** No faults — the reference run. *)
+  | F_link_flap  (** Mid-path link down twice (3 s and 1 s outages). *)
+  | F_control_loss
+      (** Header corruption on a mid-path link for 60% of the run. *)
+  | F_agent_crash
+      (** Switch agent crash, with a newcomer usurping the freed capacity
+          before the victims re-assert — forcing degradation. *)
+
+val failover_name : failover_schedule -> string
+
+type failover_flow = {
+  ff_flow : int;
+  ff_requested : string;  (** Service level asked for at setup. *)
+  ff_final : string;  (** Level actually held at the end of the run. *)
+}
+
+type failover_row = {
+  fo_schedule : failover_schedule;
+  fo_violation_rate : float;
+      (** Fraction of predicted-class packets over their per-hop class
+          target, across all links. *)
+  fo_lost : int;  (** Packets lost on any link: overflow, outage, corruption. *)
+  fo_retries : int;  (** Setup messages retransmitted after timeouts. *)
+  fo_abandoned : int;  (** Setups that exhausted their retry budget. *)
+  fo_crashes : int;
+  fo_degraded : int;  (** Ladder rungs descended across all flows. *)
+  fo_reestablished : int;  (** Post-crash re-assertion passes completed. *)
+  fo_reestablish_ms : float;  (** Mean crash-to-recovery latency. *)
+  fo_flows : failover_flow list;  (** The two watched end-to-end flows. *)
+}
+
+val run_failover :
+  ?duration:float -> ?seed:int64 -> ?j:int -> unit -> failover_row list
+(** The architecture under fire, one row per {!failover_schedule} on the
+    5-switch chain carrying guaranteed + predicted + datagram traffic with
+    periodic probe setups.  Faults come from {!Ispn_faults} plans; the
+    signaling layer answers with retransmission, re-setup and the
+    degradation ladder.  Shapes to expect: the baseline row is clean (no
+    retries, nothing lost beyond policing); link-flap and control-loss lose
+    packets and force setup retries; agent-crash re-establishes every flow
+    through the dead switch and degrades the watched flows whose
+    re-admission the usurper defeats.  Deterministic for a given [seed] at
+    every [j]. *)

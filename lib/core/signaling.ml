@@ -16,9 +16,22 @@ type established = {
   emit : Packet.t -> unit;
 }
 
+type level = Guaranteed | Predicted | Datagram
+
+let level_name = function
+  | Guaranteed -> "guaranteed"
+  | Predicted -> "predicted"
+  | Datagram -> "datagram"
+
+let level_of = function
+  | Spec.Guaranteed _ -> Guaranteed
+  | Spec.Predicted _ -> Predicted
+  | Spec.Datagram -> Datagram
+
 (* A setup in flight.  [granted] records, per completed hop, the link index
    and the class granted there (None = guaranteed), newest first — exactly
-   what a rollback must undo. *)
+   what a rollback must undo.  [attempts] counts retransmissions of the
+   message currently on the wire (reset when a hop answers). *)
 type setup_ctx = {
   ctx_flow : int;
   ingress : int;
@@ -31,14 +44,27 @@ type setup_ctx = {
   path : int list;
   mutable granted : (int * int option) list;
   mutable bound_acc : float;  (* summed class targets along the path *)
+  mutable attempts : int;
+  mutable timeout_h : Engine.handle option;
 }
 
-type flow_record = { fr_granted : (int * int option) list }
+(* Established flows keep everything a post-crash re-setup needs: the path,
+   the original request and the rung of the degradation ladder currently in
+   force. *)
+type flow_record = {
+  mutable fr_granted : (int * int option) list;
+  fr_path : int list;
+  fr_own_bucket : Spec.bucket option;
+  fr_requested : Spec.request;
+  mutable fr_current : Spec.request;
+}
 
 type t = {
   fab : Fabric.t;
   class_targets : float array;
   reverse_hop_delay : float;
+  setup_timeout : float;
+  max_retries : int;
   (* One single-link controller per link, owned by that link's upstream
      agent. *)
   ctrls : Controller.t array;
@@ -49,21 +75,61 @@ type t = {
   mutable established_count : int;
   mutable refused_count : int;
   mutable control_packets : int;
+  mutable retries : int;
+  mutable abandoned : int;
+  mutable crashes : int;
+  mutable degraded : int;
+  mutable reestablished : int;
+  mutable reestablish_total : float;
 }
 
 let fabric t = t.fab
 let established_count t = t.established_count
 let refused_count t = t.refused_count
 let control_packets_sent t = t.control_packets
+let retries t = t.retries
+let abandoned_count t = t.abandoned
+let crash_count t = t.crashes
+let degraded_count t = t.degraded
+let reestablished_count t = t.reestablished
+
+let mean_reestablish_latency t =
+  if t.reestablished = 0 then 0.
+  else t.reestablish_total /. float_of_int t.reestablished
+
+let controller t ~link = t.ctrls.(link)
+
+let service_level t ~flow =
+  Option.map (fun fr -> level_of fr.fr_current) (Hashtbl.find_opt t.flows flow)
 
 let engine t = Fabric.engine t.fab
+
+(* The per-hop admission request: the end-to-end delay target is split
+   evenly over the hops so each local controller can pick a class for its
+   own switch (the paper allows different levels per switch). *)
+let local_of spec ~hops =
+  match spec with
+  | Spec.Predicted { bucket; target_delay; target_loss } ->
+      Spec.Predicted
+        {
+          bucket;
+          target_delay = target_delay /. float_of_int hops;
+          target_loss;
+        }
+  | (Spec.Guaranteed _ | Spec.Datagram) as s -> s
 
 (* Forward declaration dance: agents need [process] which needs [t]. *)
 let rec process t token =
   match Hashtbl.find_opt t.pending_msgs token with
-  | None -> ()  (* stale or duplicated control packet; ignore *)
+  | None -> ()  (* stale, duplicated or retransmitted-over control packet *)
   | Some (ctx, hop) ->
       Hashtbl.remove t.pending_msgs token;
+      (match ctx.timeout_h with
+      | Some h ->
+          Engine.cancel (engine t) h;
+          ctx.timeout_h <- None
+      | None -> ());
+      ctx.attempts <- 0;
       advance t ctx hop
 
 (* Try to reserve at [hop] (an index into ctx.path); on success forward the
@@ -73,7 +139,10 @@ and advance t ctx hop =
   else begin
     let link = List.nth ctx.path hop in
     let ctrl = t.ctrls.(link) in
-    match Controller.request ctrl ~flow:ctx.ctx_flow ~path:[ 0 ] (local_spec t ctx) with
+    match
+      Controller.request ctrl ~flow:ctx.ctx_flow ~path:[ 0 ]
+        (local_of ctx.spec ~hops:(List.length ctx.path))
+    with
     | Controller.Rejected reason -> refuse t ctx hop reason
     | Controller.Admitted { cls } ->
         let sched = Fabric.sched t.fab ~link in
@@ -88,25 +157,9 @@ and advance t ctx hop =
         forward t ctx (hop + 1)
   end
 
-(* The per-hop admission request: the end-to-end delay target is split
-   evenly over the remaining hops so each local controller can pick a class
-   for its own switch (the paper allows different levels per switch). *)
-and local_spec t ctx =
-  ignore t;
-  match ctx.spec with
-  | Spec.Predicted { bucket; target_delay; target_loss } ->
-      let hops = List.length ctx.path in
-      Spec.Predicted
-        {
-          bucket;
-          target_delay = target_delay /. float_of_int hops;
-          target_loss;
-        }
-  | (Spec.Guaranteed _ | Spec.Datagram) as s -> s
-
-(* Put the setup message on the wire toward the next agent.  [hop] is the
-   next hop to reserve; the message travels the link just reserved (the
-   last element of ctx.granted). *)
+(* Put the setup message on the wire toward the next agent and arm its
+   retransmission timer.  [hop] is the next hop to reserve; the message
+   travels the link just reserved (the last element of ctx.granted). *)
 and forward t ctx hop =
   let sent_over =
     match ctx.granted with
@@ -126,7 +179,32 @@ and forward t ctx hop =
   in
   (* Inject at the upstream switch of that link; the pre-installed control
      route carries it across exactly one hop, through the datagram class. *)
-  Fabric.inject t.fab ~at_switch:(ctx.ingress + List.length ctx.granted - 1) pkt
+  Fabric.inject t.fab ~at_switch:(ctx.ingress + List.length ctx.granted - 1) pkt;
+  let delay = t.setup_timeout *. (2. ** float_of_int ctx.attempts) in
+  ctx.timeout_h <-
+    Some
+      (Engine.schedule_after (engine t) ~delay (fun () ->
+           on_timeout t ctx ~token ~hop))
+
+(* The message (or the wire under it) was lost: retransmit with exponential
+   backoff, invalidating the old token first so a copy that was merely
+   delayed cannot double-reserve when it finally lands. *)
+and on_timeout t ctx ~token ~hop =
+  if Hashtbl.mem t.pending_msgs token then begin
+    Hashtbl.remove t.pending_msgs token;
+    ctx.timeout_h <- None;
+    if ctx.attempts >= t.max_retries then begin
+      t.abandoned <- t.abandoned + 1;
+      fail t ctx ~failed_hop:(hop - 1)
+        (Printf.sprintf "setup timed out at hop %d after %d attempts" hop
+           (ctx.attempts + 1))
+    end
+    else begin
+      ctx.attempts <- ctx.attempts + 1;
+      t.retries <- t.retries + 1;
+      forward t ctx hop
+    end
+  end
 
 and confirm t ctx =
   let hops = List.length ctx.path in
@@ -134,7 +212,14 @@ and confirm t ctx =
   ignore
     (Engine.schedule_after (engine t) ~delay (fun () ->
          Hashtbl.remove t.in_flight ctx.ctx_flow;
-         Hashtbl.replace t.flows ctx.ctx_flow { fr_granted = ctx.granted };
+         Hashtbl.replace t.flows ctx.ctx_flow
+           {
+             fr_granted = ctx.granted;
+             fr_path = ctx.path;
+             fr_own_bucket = ctx.own_bucket;
+             fr_requested = ctx.spec;
+             fr_current = ctx.spec;
+           };
          t.established_count <- t.established_count + 1;
          Fabric.install_flow t.fab ~flow:ctx.ctx_flow ~ingress:ctx.ingress
            ~egress:ctx.egress ~sink:ctx.sink;
@@ -179,17 +264,20 @@ and confirm t ctx =
               })))
 
 and refuse t ctx failed_hop reason =
-  (* Roll back every reservation made so far, then report after the
-     reverse trip. *)
+  fail t ctx ~failed_hop
+    (Printf.sprintf "refused at hop %d: %s" (failed_hop + 1) reason)
+
+(* Roll back every reservation made so far, then report after the reverse
+   trip. *)
+and fail t ctx ~failed_hop msg =
   release_granted t ~flow:ctx.ctx_flow ctx.granted;
+  ctx.granted <- [];
   let delay = t.reverse_hop_delay *. float_of_int (failed_hop + 1) in
   ignore
     (Engine.schedule_after (engine t) ~delay (fun () ->
          Hashtbl.remove t.in_flight ctx.ctx_flow;
          t.refused_count <- t.refused_count + 1;
-         ctx.on_result
-           (Error
-              (Printf.sprintf "refused at hop %d: %s" (failed_hop + 1) reason))))
+         ctx.on_result (Error msg)))
 
 and release_granted t ~flow granted =
   List.iter
@@ -206,7 +294,20 @@ and release_granted t ~flow granted =
     granted
 
 let deploy ~fabric:fab ?(class_targets = [| 0.008; 0.064 |])
-    ?(epoch_interval = 1.0) ?(reverse_hop_delay = 1e-3) () =
+    ?(epoch_interval = 1.0) ?(reverse_hop_delay = 1e-3)
+    ?(setup_timeout = 0.05) ?(max_retries = 4) () =
+  let k = Array.length class_targets in
+  if k = 0 then invalid_arg "Signaling.deploy: class_targets must be non-empty";
+  if class_targets.(0) <= 0. then
+    invalid_arg "Signaling.deploy: class_targets must be positive";
+  for i = 1 to k - 1 do
+    if class_targets.(i) <= class_targets.(i - 1) then
+      invalid_arg "Signaling.deploy: class_targets must be strictly increasing"
+  done;
+  if setup_timeout <= 0. then
+    invalid_arg "Signaling.deploy: setup_timeout must be positive";
+  if max_retries < 0 then
+    invalid_arg "Signaling.deploy: max_retries must be non-negative";
   let n_links = Fabric.n_links fab in
   (* Chain check: link i must be the one-hop path from switch i to i+1. *)
   for i = 0 to n_links - 1 do
@@ -223,6 +324,8 @@ let deploy ~fabric:fab ?(class_targets = [| 0.008; 0.064 |])
       fab;
       class_targets;
       reverse_hop_delay;
+      setup_timeout;
+      max_retries;
       ctrls;
       pending_msgs = Hashtbl.create 64;
       next_token = 0;
@@ -231,6 +334,12 @@ let deploy ~fabric:fab ?(class_targets = [| 0.008; 0.064 |])
       established_count = 0;
       refused_count = 0;
       control_packets = 0;
+      retries = 0;
+      abandoned = 0;
+      crashes = 0;
+      degraded = 0;
+      reestablished = 0;
+      reestablish_total = 0.;
     }
   in
   (* Control channels: one flow per link, delivered to the downstream
@@ -258,7 +367,6 @@ let deploy ~fabric:fab ?(class_targets = [| 0.008; 0.064 |])
   (* Per-class delay measurements feed each link's own controller. *)
   for i = 0 to n_links - 1 do
     let meter = Controller.meter ctrls.(i) ~link:0 in
-    let k = Array.length class_targets in
     Csz_sched.set_delay_hook (Fabric.sched fab ~link:i) (fun ~cls delay ->
         if cls >= 0 && cls < k then Meter.note_delay meter ~cls delay)
   done;
@@ -285,6 +393,8 @@ let setup t ~flow ~ingress ~egress ?own_bucket spec ~sink ~on_result =
           path;
           granted = [];
           bound_acc = 0.;
+          attempts = 0;
+          timeout_h = None;
         }
       in
       (* The ingress agent processes hop 0 locally, with no wire delay. *)
@@ -293,7 +403,153 @@ let setup t ~flow ~ingress ~egress ?own_bucket spec ~sink ~on_result =
 let teardown t ~flow =
   match Hashtbl.find_opt t.flows flow with
   | None -> ()
-  | Some { fr_granted } ->
+  | Some { fr_granted; _ } ->
       Hashtbl.remove t.flows flow;
       t.established_count <- t.established_count - 1;
       release_granted t ~flow fr_granted
+
+(* {2 Crash recovery} *)
+
+(* Drop every trace of [flow] along its whole path — admission records and
+   scheduler registrations alike.  Unconditional and idempotent, so it is
+   safe whatever mix of surviving and freshly re-acquired state the flow
+   has when a re-assertion pass fails halfway. *)
+let release_everywhere t ~flow fr =
+  List.iter
+    (fun link ->
+      Controller.release t.ctrls.(link) ~flow;
+      let sched = Fabric.sched t.fab ~link in
+      Csz_sched.clear_predicted sched ~flow;
+      try Csz_sched.remove_guaranteed sched ~flow
+      with Invalid_argument _ -> ())
+    fr.fr_path
+
+let note_reestablished t ~crashed_at =
+  t.reestablished <- t.reestablished + 1;
+  t.reestablish_total <-
+    t.reestablish_total +. (Engine.now (engine t) -. crashed_at)
+
+(* Re-assert [spec] for an established flow hop by hop.  Idempotent: a hop
+   whose controller still knows the flow keeps its existing grant; only
+   hops that forgot are re-requested.  If any hop refuses, the flow slides
+   one rung down the degradation ladder (guaranteed -> predicted ->
+   datagram, Section 2's adaptive client accepting a looser commitment) and
+   the pass restarts with the weaker spec. *)
+let rec reassert t ~flow ~crashed_at fr spec =
+  let hops = List.length fr.fr_path in
+  match spec with
+  | Spec.Datagram ->
+      (* Bottom rung: datagram needs no per-hop state, it always succeeds. *)
+      release_everywhere t ~flow fr;
+      fr.fr_granted <- [];
+      fr.fr_current <- Spec.Datagram;
+      note_reestablished t ~crashed_at
+  | _ -> (
+      let local = local_of spec ~hops in
+      let rec go path acc =
+        match path with
+        | [] -> Some (List.rev acc)
+        | link :: rest ->
+            let ctrl = t.ctrls.(link) in
+            if Controller.mem ctrl ~flow then
+              let prev =
+                Option.value ~default:None (List.assoc_opt link fr.fr_granted)
+              in
+              go rest ((link, prev) :: acc)
+            else (
+              match Controller.request ctrl ~flow ~path:[ 0 ] local with
+              | Controller.Rejected _ -> None
+              | Controller.Admitted { cls } ->
+                  let sched = Fabric.sched t.fab ~link in
+                  (match (spec, cls) with
+                  | Spec.Guaranteed { clock_rate_bps }, _ -> (
+                      try Csz_sched.add_guaranteed sched ~flow ~clock_rate_bps
+                      with Invalid_argument _ -> ())
+                  | Spec.Predicted _, Some c ->
+                      Csz_sched.set_predicted sched ~flow ~cls:c
+                  | Spec.Predicted _, None | Spec.Datagram, _ -> ());
+                  go rest ((link, cls) :: acc))
+      in
+      match go fr.fr_path [] with
+      | Some granted ->
+          fr.fr_granted <- granted;
+          fr.fr_current <- spec;
+          note_reestablished t ~crashed_at
+      | None ->
+          t.degraded <- t.degraded + 1;
+          release_everywhere t ~flow fr;
+          fr.fr_granted <- [];
+          reassert t ~flow ~crashed_at fr (degrade t fr spec ~hops))
+
+and degrade t fr spec ~hops =
+  match spec with
+  | Spec.Guaranteed { clock_rate_bps } ->
+      (* Ask for predicted service shaped like the old commitment: the
+         flow's declared bucket if it gave one, else a bucket at the old
+         clock rate; the delay target is the loosest class end to end. *)
+      let bucket =
+        match fr.fr_own_bucket with
+        | Some b -> b
+        | None ->
+            {
+              Spec.rate_bps = clock_rate_bps;
+              depth_bits = 5. *. float_of_int Units.packet_bits;
+            }
+      in
+      let loosest = t.class_targets.(Array.length t.class_targets - 1) in
+      Spec.Predicted
+        {
+          bucket;
+          target_delay = loosest *. float_of_int hops;
+          target_loss = 0.01;
+        }
+  | Spec.Predicted _ | Spec.Datagram -> Spec.Datagram
+
+let resetup t ~flow ~crashed_at =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> ()  (* torn down while the refresh was in flight *)
+  | Some fr -> reassert t ~flow ~crashed_at fr fr.fr_current
+
+let crash_agent t ~switch =
+  let n_links = Array.length t.ctrls in
+  if switch < 0 || switch >= n_links then
+    invalid_arg
+      (Printf.sprintf "Signaling.crash_agent: switch %d owns no outgoing link"
+         switch);
+  let link = switch in
+  t.crashes <- t.crashes + 1;
+  (* The agent's soft state dies with it: scheduler registrations on its
+     outgoing link and its admission book.  The forwarding plane — qdisc,
+     buffered packets, meters — keeps running, so admission decisions after
+     the crash still see measured load. *)
+  let sched = Fabric.sched t.fab ~link in
+  let affected = ref [] in
+  Hashtbl.iter
+    (fun flow fr ->
+      List.iter
+        (fun (l, cls) ->
+          if l = link then
+            match cls with
+            | Some _ -> Csz_sched.clear_predicted sched ~flow
+            | None -> (
+                try Csz_sched.remove_guaranteed sched ~flow
+                with Invalid_argument _ -> ()))
+        fr.fr_granted;
+      if List.mem link fr.fr_path && fr.fr_current <> Spec.Datagram then
+        affected := flow :: !affected)
+    t.flows;
+  Controller.reset t.ctrls.(link);
+  (* Soft-state recovery: every established flow through the dead agent
+     re-asserts its reservation after one refresh round trip over its path
+     (flows in a fixed order, for determinism). *)
+  let crashed_at = Engine.now (engine t) in
+  List.iter
+    (fun flow ->
+      let fr = Hashtbl.find t.flows flow in
+      let delay =
+        t.reverse_hop_delay *. float_of_int (List.length fr.fr_path)
+      in
+      ignore
+        (Engine.schedule_after (engine t) ~delay (fun () ->
+             resetup t ~flow ~crashed_at)))
+    (List.sort compare !affected)

@@ -20,7 +20,23 @@
 
     Control packets are 500 bits and travel in-band; confirmations and
     teardowns return on the uncongested reverse path (fixed per-hop delay),
-    consistent with the paper's one-directional data plane. *)
+    consistent with the paper's one-directional data plane.
+
+    {b Robustness.}  The control plane assumes nothing about the wire.
+    Every setup message carries a retransmission timer: if neither grant
+    nor refusal comes back before [setup_timeout], the message is resent
+    over the hops already reserved with exponential backoff (the old
+    message's token is invalidated first, so a copy that was merely delayed
+    cannot double-reserve), and after [max_retries] retransmissions the
+    setup is abandoned with a full rollback.  Agents themselves can crash
+    ({!crash_agent}): the crash wipes the agent's soft reservation state,
+    and every established flow through it re-asserts its reservation
+    idempotently — hops that survived keep their grant, hops that forgot
+    are re-requested.  If re-admission fails (the capacity went to someone
+    else meanwhile), the flow degrades one service rung at a time,
+    guaranteed -> predicted -> datagram, per Section 2's tolerant adaptive
+    clients, rather than being cut off.  A degraded flow keeps its original
+    ingress policer; only its scheduling class and reservations weaken. *)
 
 type t
 (** A fabric with a signaling agent deployed at every switch. *)
@@ -30,12 +46,18 @@ val deploy :
   ?class_targets:float array ->
   ?epoch_interval:float ->
   ?reverse_hop_delay:float ->
+  ?setup_timeout:float ->
+  ?max_retries:int ->
   unit ->
   t
 (** Attach agents to every switch of [fabric] (each owns the admission
     state of its outgoing links) and start their measurement pumps.
-    [class_targets] defaults to [| 0.008; 0.064 |];
-    [reverse_hop_delay] to 1 ms. *)
+    [class_targets] defaults to [| 0.008; 0.064 |]; [reverse_hop_delay] to
+    1 ms; [setup_timeout] (the base retransmission timeout, doubled per
+    attempt) to 50 ms; [max_retries] to 4.  Raises [Invalid_argument]
+    immediately if [class_targets] is empty, non-positive or not strictly
+    increasing — rather than failing deep inside [Controller.create] on the
+    first setup. *)
 
 val fabric : t -> Fabric.t
 
@@ -61,16 +83,66 @@ val setup :
   unit
 (** Launch the setup message; [on_result] fires when the confirmation (or
     the refusal) arrives back at the ingress, which takes at least one
-    control-packet transmission per hop.  Raises [Invalid_argument] when a
-    setup for [flow] is already in flight. *)
+    control-packet transmission per hop.  A lost or corrupted setup message
+    is retransmitted with backoff; if the path stays dark past the retry
+    budget, [on_result] gets [Error "setup timed out at hop ..."] and every
+    reservation made so far is rolled back.  Raises [Invalid_argument] when
+    a setup for [flow] is already in flight. *)
 
 val teardown : t -> flow:int -> unit
 (** Release an established flow's reservations at every hop (immediate;
     teardown signaling latency is not modelled on the release side). *)
 
+(** {2 Failures and recovery} *)
+
+val crash_agent : t -> switch:int -> unit
+(** Crash the reservation agent at [switch] (which owns outgoing link
+    [switch] on a chain): its admission book is {!Ispn_admission.Controller.reset}
+    and its link's scheduler registrations are wiped — the forwarding plane
+    and its meters keep running.  Every established flow routed through the
+    dead agent schedules an idempotent re-setup one refresh round trip
+    later; flows that no longer pass re-admission degrade (guaranteed ->
+    predicted -> datagram) instead of dying.  Raises [Invalid_argument] if
+    [switch] owns no outgoing link. *)
+
+type level = Guaranteed | Predicted | Datagram
+(** A rung of the degradation ladder. *)
+
+val level_name : level -> string
+(** ["guaranteed"], ["predicted"], ["datagram"]. *)
+
+val service_level : t -> flow:int -> level option
+(** The rung an established flow currently occupies ([None] if the flow is
+    not established); starts at the rung of its original request and only
+    moves down, via failed re-admission after a crash. *)
+
 (** {2 Introspection} *)
 
 val established_count : t -> int
 val refused_count : t -> int
+(** Setups that came back negative — admission refusals and abandoned
+    (timed-out) setups alike. *)
+
 val control_packets_sent : t -> int
-(** Setup messages put on the wire (per hop). *)
+(** Setup messages put on the wire (per hop, including retransmissions). *)
+
+val retries : t -> int
+(** Setup messages retransmitted after a timeout. *)
+
+val abandoned_count : t -> int
+(** Setups given up after exhausting [max_retries]. *)
+
+val crash_count : t -> int
+val degraded_count : t -> int
+(** Rungs descended across all flows (a guaranteed flow falling to datagram
+    counts twice). *)
+
+val reestablished_count : t -> int
+(** Post-crash re-assertion passes completed (at any rung). *)
+
+val mean_reestablish_latency : t -> float
+(** Mean seconds from crash to completed re-assertion; 0 if none yet. *)
+
+val controller : t -> link:int -> Ispn_admission.Controller.t
+(** The admission controller owned by [link]'s upstream agent, for tests
+    and experiments to inspect (e.g. to verify rollback left no residue). *)

@@ -1,5 +1,14 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+type error = { job : int; exn : exn; backtrace : string }
+
+let capture job exn =
+  (* Must run before anything else raises: the raw backtrace is a global. *)
+  let backtrace =
+    Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+  in
+  { job; exn; backtrace }
+
 (* Domain [d] of [j] owns the strided slice [d, d+j, ...]: a fixed partition
    decided before any domain starts, so which domain runs which job never
    depends on timing.  Each worker buffers [(index, result)] pairs locally;
@@ -10,7 +19,7 @@ let worker f jobs ~d ~j =
   let buf = ref [] in
   let i = ref d in
   while !i < n do
-    let r = try Ok (f jobs.(!i)) with e -> Error e in
+    let r = try Ok (f jobs.(!i)) with e -> Error (capture !i e) in
     buf := (!i, r) :: !buf;
     i := !i + j
   done;
@@ -23,7 +32,7 @@ let try_map ?j f xs =
   let j = Stdlib.max 1 (Stdlib.min j n) in
   if n = 0 then []
   else if j = 1 then
-    List.map (fun x -> try Ok (f x) with e -> Error e) xs
+    List.mapi (fun i x -> try Ok (f x) with e -> Error (capture i e)) xs
   else begin
     let spawned =
       Array.init (j - 1) (fun d ->
@@ -40,4 +49,4 @@ let try_map ?j f xs =
 
 let map ?j f xs =
   try_map ?j f xs
-  |> List.map (function Ok v -> v | Error e -> raise e)
+  |> List.map (function Ok v -> v | Error e -> raise e.exn)

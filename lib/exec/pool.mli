@@ -19,12 +19,22 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the [-j] default of the bench
     harness and CLI. *)
 
-val try_map : ?j:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+type error = {
+  job : int;  (** Index of the crashed job in the input list. *)
+  exn : exn;
+  backtrace : string;
+      (** [Printexc] backtrace captured at the raise, in the crashing
+          domain — without it a fanned-out crash points nowhere.  Empty
+          when backtrace recording is off. *)
+}
+
+val try_map : ?j:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
 (** [try_map ~j f xs] applies [f] to every element of [xs] across at most
     [j] domains (clamped to [max 1 (min j (length xs))]; default
     {!default_jobs}) and returns the results in the order of [xs].  A
-    raising job yields [Error exn] in its slot and does not disturb the
-    others — crash containment is per job, not per pool. *)
+    raising job yields [Error] in its slot — carrying which job crashed,
+    the exception and its backtrace — and does not disturb the others:
+    crash containment is per job, not per pool. *)
 
 val map : ?j:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~j f xs] is {!try_map} with failures re-raised: once every job

@@ -1,0 +1,47 @@
+(** Fault injector: schedule a {!Plan.t} against a live topology.
+
+    The injector owns the mechanics every fault shares — stopping and
+    restarting link transmitters, corrupting headers on the wire — and
+    reports agent crashes to a callback so the control plane above (which
+    this library deliberately does not depend on) can wipe its own soft
+    state.  All injection randomness (which bit a corruption flips, whether
+    a given packet is hit) flows from [corrupt_seed] through per-link
+    {!Ispn_util.Prng} streams, so runs are deterministic and independent of
+    domain parallelism. *)
+
+type stats = {
+  mutable downs : int;  (** Link-down events fired. *)
+  mutable repairs : int;  (** Links brought back up. *)
+  mutable corrupted : int;  (** Packets whose header was bit-flipped. *)
+  mutable malformed : int;
+      (** Corrupted packets [Wire.decode] rejected ([Malformed]) — dropped. *)
+  mutable mangled : int;
+      (** Corrupted packets that decoded but with a changed flow, sequence,
+          size or kind; undeliverable, so dropped. *)
+  mutable crashes : int;  (** Agent crashes reported to the callback. *)
+}
+
+val apply :
+  engine:Ispn_sim.Engine.t ->
+  links:Ispn_sim.Link.t array ->
+  ?on_agent_crash:(switch:int -> unit) ->
+  ?corrupt_seed:int64 ->
+  Plan.t ->
+  stats
+(** [apply ~engine ~links plan] schedules every event of [plan] on [engine]
+    (events whose time already passed fire immediately) and returns the
+    live counter record, updated as the simulation runs.
+
+    Corruption runs each selected packet through {!Ispn_sim.Wire.encode},
+    flips one uniformly random header bit, and re-decodes: a [Malformed]
+    header or one whose identifying fields changed is dropped through the
+    link's drop accounting; a survivor (only its jitter-offset field was
+    perturbed) is delivered with the decoded offset, so FIFO+ sees the
+    corrupted value.  Packets too large for the wire format pass through
+    unharmed.  [apply] installs a wire filter on every link named by a
+    [Corrupt] event — it must not already have one.
+
+    [Agent_crash] events call [on_agent_crash ~switch] (default: count
+    only).  Raises [Invalid_argument] if an event names a link outside
+    [links] ([Agent_crash] switches are checked by the callback, since the
+    injector does not know the topology's switch count). *)

@@ -6,6 +6,8 @@ type t = {
   link_name : string;
   mutable receiver : (Packet.t -> unit) option;
   mutable drop_hook : (Packet.t -> unit) option;
+  mutable wire_filter : (Packet.t -> Packet.t option) option;
+  mutable up : bool;
   mutable busy : bool;
   mutable sent : int;
   mutable dropped : int;
@@ -17,36 +19,62 @@ let set_receiver t f = t.receiver <- Some f
 let name t = t.link_name
 let qdisc t = t.qdisc
 let set_drop_hook t f = t.drop_hook <- Some f
+let set_wire_filter t f = t.wire_filter <- Some f
+let is_up t = t.up
+
+let drop t pkt =
+  t.dropped <- t.dropped + 1;
+  match t.drop_hook with Some f -> f pkt | None -> ()
 
 let deliver t pkt =
-  match t.receiver with
-  | Some f -> f pkt
-  | None -> failwith ("Link " ^ t.link_name ^ ": no receiver attached")
+  let filtered =
+    match t.wire_filter with None -> Some pkt | Some f -> f pkt
+  in
+  match filtered with
+  | None -> drop t pkt
+  | Some pkt -> (
+      match t.receiver with
+      | Some f -> f pkt
+      | None -> failwith ("Link " ^ t.link_name ^ ": no receiver attached"))
 
 let rec start_transmission t =
-  let now = Engine.now t.engine in
-  match t.qdisc.Qdisc.dequeue ~now with
-  | None -> t.busy <- false
-  | Some pkt ->
-      t.busy <- true;
-      let wait = now -. pkt.Packet.enqueued_at in
-      (* A scheduler may not dequeue a packet before it arrived. *)
-      assert (wait >= -1e-9);
-      let wait = Stdlib.max 0. wait in
-      pkt.Packet.qdelay_total <- pkt.Packet.qdelay_total +. wait;
-      Ispn_util.Stats.add t.waits wait;
-      let tx_time = float_of_int pkt.Packet.size_bits /. t.rate_bps in
-      t.busy_time <- t.busy_time +. tx_time;
-      let finish () =
-        t.sent <- t.sent + 1;
-        if t.prop_delay = 0. then deliver t pkt
-        else
-          ignore
-            (Engine.schedule_after t.engine ~delay:t.prop_delay (fun () ->
-                 deliver t pkt));
-        start_transmission t
-      in
-      ignore (Engine.schedule_after t.engine ~delay:tx_time finish)
+  if not t.up then t.busy <- false
+  else
+    let now = Engine.now t.engine in
+    match t.qdisc.Qdisc.dequeue ~now with
+    | None -> t.busy <- false
+    | Some pkt ->
+        t.busy <- true;
+        let wait = now -. pkt.Packet.enqueued_at in
+        (* A scheduler may not dequeue a packet before it arrived. *)
+        assert (wait >= -1e-9);
+        let wait = Stdlib.max 0. wait in
+        pkt.Packet.qdelay_total <- pkt.Packet.qdelay_total +. wait;
+        Ispn_util.Stats.add t.waits wait;
+        let tx_time = float_of_int pkt.Packet.size_bits /. t.rate_bps in
+        t.busy_time <- t.busy_time +. tx_time;
+        let finish () =
+          if t.up then begin
+            t.sent <- t.sent + 1;
+            if t.prop_delay = 0. then deliver t pkt
+            else
+              ignore
+                (Engine.schedule_after t.engine ~delay:t.prop_delay (fun () ->
+                     deliver t pkt))
+          end
+          else
+            (* The link failed mid-transmission: the frame is lost. *)
+            drop t pkt;
+          start_transmission t
+        in
+        ignore (Engine.schedule_after t.engine ~delay:tx_time finish)
+
+let set_up t up =
+  if up && not t.up then begin
+    t.up <- true;
+    if not t.busy then start_transmission t
+  end
+  else if (not up) && t.up then t.up <- false
 
 let create ~engine ~rate_bps ?(prop_delay = 0.) ~qdisc ~name () =
   assert (rate_bps > 0. && prop_delay >= 0.);
@@ -59,6 +87,8 @@ let create ~engine ~rate_bps ?(prop_delay = 0.) ~qdisc ~name () =
       link_name = name;
       receiver = None;
       drop_hook = None;
+      wire_filter = None;
+      up = true;
       busy = false;
       sent = 0;
       dropped = 0;
@@ -78,11 +108,10 @@ let send t pkt =
     if not t.busy then start_transmission t
   end
   else begin
-    t.dropped <- t.dropped + 1;
     Logs.debug ~src:Ispn_util.Log.link (fun m ->
         m "%s: buffer full, dropping flow %d seq %d at t=%.6f" t.link_name
           pkt.Packet.flow pkt.Packet.seq now);
-    match t.drop_hook with Some f -> f pkt | None -> ()
+    drop t pkt
   end
 
 let sent t = t.sent

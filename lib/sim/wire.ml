@@ -38,7 +38,9 @@ let decode ?(created = 0.) b =
   in
   let size_bits = Bytes.get_uint16_be b 2 in
   let flow = Int32.to_int (Bytes.get_int32_be b 4) in
+  if flow < 0 then raise (Malformed (Printf.sprintf "negative flow %d" flow));
   let seq = Int32.to_int (Bytes.get_int32_be b 8) in
+  if seq < 0 then raise (Malformed (Printf.sprintf "negative seq %d" seq));
   let offset = Int32.to_float (Bytes.get_int32_be b 12) *. offset_quantum in
   let p = Packet.make ~flow ~seq ~size_bits ~kind ~created () in
   p.Packet.offset <- offset;

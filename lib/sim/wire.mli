@@ -34,7 +34,9 @@ val encode : Packet.t -> bytes
 val decode : ?created:float -> bytes -> Packet.t
 (** Parse a header back into a packet ([created] defaults to 0; transit
     bookkeeping fields start fresh).  Raises {!Malformed} on short input,
-    bad version or unknown kind. *)
+    bad version, unknown kind, or a negative flow/sequence field (a flipped
+    sign bit on the wire); every field of a successfully decoded packet is
+    back in {!encode}'s accepted range. *)
 
 val offset_quantum : float
 (** 1e-6 s: the precision the offset field survives a round trip with. *)

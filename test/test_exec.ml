@@ -51,9 +51,16 @@ let test_engine_jobs_deterministic () =
     (Pool.map ~j:3 sim seeds)
 
 let test_crash_containment () =
+  Printexc.record_backtrace true;
   let f x = if x = 3 then failwith "boom" else x * 10 in
   (match Pool.try_map ~j:2 f [ 1; 2; 3; 4; 5 ] with
-  | [ Ok 10; Ok 20; Error e; Ok 40; Ok 50 ] when e = Failure "boom" -> ()
+  | [ Ok 10; Ok 20; Error e; Ok 40; Ok 50 ] when e.Pool.exn = Failure "boom" ->
+      (* The error names the job that crashed and carries the raise's
+         backtrace, so a fanned-out crash is diagnosable. *)
+      Alcotest.(check int) "job index" 2 e.Pool.job;
+      Alcotest.(check bool)
+        "backtrace captured" true
+        (String.length e.Pool.backtrace > 0)
   | _ -> Alcotest.fail "expected Ok/Ok/Error(boom)/Ok/Ok");
   (* map re-raises the first failure in canonical order, after the rest of
      the pool has completed. *)

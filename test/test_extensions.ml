@@ -176,8 +176,47 @@ let test_importance_differentiation () =
         (important.X.imp_p999 < 0.2 *. less.X.imp_p999)
   | _ -> Alcotest.fail "expected two rows"
 
+let test_failover_deterministic_and_shaped () =
+  (* The rows are plain data, so structural equality across [-j] is the
+     determinism contract verbatim. *)
+  let r1 = X.run_failover ~duration:30. ~seed:42L ~j:1 () in
+  let r2 = X.run_failover ~duration:30. ~seed:42L ~j:2 () in
+  Alcotest.(check bool) "rows identical at every -j" true (r1 = r2);
+  match r1 with
+  | [ base; flap; loss; crash ] ->
+      let final flow r =
+        (List.find (fun f -> f.X.ff_flow = flow) r.X.fo_flows).X.ff_final
+      in
+      (* Fault-free reference: nothing lost, retried or degraded. *)
+      Alcotest.(check int) "baseline: no retries" 0 base.X.fo_retries;
+      Alcotest.(check int) "baseline: no loss" 0 base.X.fo_lost;
+      Alcotest.(check int) "baseline: no degradation" 0 base.X.fo_degraded;
+      Alcotest.(check string) "baseline keeps guaranteed" "guaranteed"
+        (final 0 base);
+      (* Outages and corruption lose data and force setup retries. *)
+      Alcotest.(check bool) "flap loses packets" true
+        (flap.X.fo_lost > base.X.fo_lost);
+      Alcotest.(check bool) "flap forces retries" true (flap.X.fo_retries > 0);
+      Alcotest.(check bool) "corruption loses packets" true
+        (loss.X.fo_lost > 0);
+      Alcotest.(check bool) "corruption forces retries" true
+        (loss.X.fo_retries > 0);
+      (* The crash recovers every flow through the dead switch, and the
+         usurper pushes the watched flows down the ladder. *)
+      Alcotest.(check int) "one crash" 1 crash.X.fo_crashes;
+      Alcotest.(check bool) "crash re-establishes" true
+        (crash.X.fo_reestablished >= 1);
+      Alcotest.(check bool) "crash degrades" true (crash.X.fo_degraded >= 1);
+      Alcotest.(check string) "guaranteed victim lands on predicted"
+        "predicted" (final 0 crash);
+      Alcotest.(check string) "predicted victim lands on datagram" "datagram"
+        (final 1 crash)
+  | _ -> Alcotest.fail "expected four schedules"
+
 let suite =
   [
+    Alcotest.test_case "failover deterministic and shaped" `Slow
+      test_failover_deterministic_and_shaped;
     Alcotest.test_case "importance differentiation" `Slow
       test_importance_differentiation;
     Alcotest.test_case "signaling latency grows with load" `Slow

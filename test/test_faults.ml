@@ -1,0 +1,219 @@
+(* Fault plans and the injector: link outages, wire corruption, crash
+   reporting — and the Link failure model they drive. *)
+open Ispn_sim
+module Plan = Ispn_faults.Plan
+module Inject = Ispn_faults.Inject
+
+let mk_packet ?(flow = 0) ?(seq = 0) ?(created = 0.) () =
+  Packet.make ~flow ~seq ~created ()
+
+let make_link engine ?(capacity = 10) () =
+  let pool = Qdisc.pool ~capacity in
+  let qdisc = Ispn_sched.Fifo.create ~pool () in
+  Link.create ~engine ~rate_bps:1e6 ~qdisc ~name:"faulty" ()
+
+(* --- Link failure model --- *)
+
+let test_down_loses_in_flight_repair_restarts () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  let arrivals = ref [] in
+  Link.set_receiver link (fun p ->
+      arrivals := (p.Packet.seq, Engine.now engine) :: !arrivals);
+  let lost = ref [] in
+  Link.set_drop_hook link (fun p -> lost := p.Packet.seq :: !lost);
+  for seq = 0 to 2 do
+    Link.send link (mk_packet ~seq ())
+  done;
+  (* Packet 1 is on the wire at 1.5 ms: the outage loses exactly it. *)
+  ignore
+    (Engine.schedule engine ~at:0.0015 (fun () -> Link.set_up link false));
+  ignore (Engine.schedule engine ~at:0.01 (fun () -> Link.set_up link true));
+  Engine.run engine ~until:0.1;
+  Alcotest.(check bool) "up again" true (Link.is_up link);
+  Alcotest.(check (list int)) "in-flight frame lost" [ 1 ] !lost;
+  Alcotest.(check int) "dropped counted" 1 (Link.dropped link);
+  (match List.rev !arrivals with
+  | [ (0, t0); (2, t2) ] ->
+      Alcotest.(check (float 1e-9)) "pre-outage delivery" 0.001 t0;
+      (* Repair restarts the transmitter from the backlog immediately. *)
+      Alcotest.(check (float 1e-9)) "post-repair delivery" 0.011 t2
+  | _ -> Alcotest.fail "expected packets 0 and 2 only");
+  Alcotest.(check int) "sent counts deliveries only" 2 (Link.sent link)
+
+let test_down_queues_and_overflows () =
+  let engine = Engine.create () in
+  let link = make_link engine ~capacity:10 () in
+  let got = ref 0 in
+  Link.set_receiver link (fun _ -> incr got);
+  Link.set_up link false;
+  (* 15 sends against a 10-packet buffer: 10 queue behind the dead
+     transmitter, 5 overflow. *)
+  for seq = 0 to 14 do
+    Link.send link (mk_packet ~seq ())
+  done;
+  Engine.run engine ~until:0.005;
+  Alcotest.(check int) "nothing delivered while down" 0 !got;
+  Alcotest.(check int) "overflow drops while down" 5 (Link.dropped link);
+  Link.set_up link true;
+  Engine.run engine ~until:0.1;
+  Alcotest.(check int) "backlog drains after repair" 10 !got
+
+let test_redundant_transitions_are_noops () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  let got = ref 0 in
+  Link.set_receiver link (fun _ -> incr got);
+  Link.set_up link true;
+  (* Already up: must not double-start the transmitter. *)
+  Link.send link (mk_packet ());
+  Link.set_up link true;
+  Engine.run engine ~until:0.01;
+  Alcotest.(check int) "delivered once" 1 !got;
+  Link.set_up link false;
+  Link.set_up link false;
+  Alcotest.(check bool) "down" false (Link.is_up link)
+
+(* --- Injector: link events from a plan --- *)
+
+let test_inject_link_down_event () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  let got = ref 0 in
+  Link.set_receiver link (fun _ -> incr got);
+  let stats =
+    Inject.apply ~engine ~links:[| link |]
+      [ Plan.Link_down { link = 0; at = 0.0015; duration = 0.004 } ]
+  in
+  for seq = 0 to 4 do
+    Link.send link (mk_packet ~seq ())
+  done;
+  Engine.run engine ~until:0.1;
+  Alcotest.(check int) "downs" 1 stats.Inject.downs;
+  Alcotest.(check int) "repairs" 1 stats.Inject.repairs;
+  Alcotest.(check int) "in-flight frame lost" 1 (Link.dropped link);
+  Alcotest.(check int) "rest delivered" 4 !got
+
+let test_inject_rejects_unknown_link () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  Alcotest.check_raises "out-of-range link"
+    (Invalid_argument "Inject.apply: link 3 out of range")
+    (fun () ->
+      ignore
+        (Inject.apply ~engine ~links:[| link |]
+           [ Plan.Link_down { link = 3; at = 0.; duration = 1. } ]))
+
+let test_agent_crash_reported () =
+  let engine = Engine.create () in
+  let link = make_link engine () in
+  let crashed = ref [] in
+  let stats =
+    Inject.apply ~engine ~links:[| link |]
+      ~on_agent_crash:(fun ~switch ->
+        crashed := (switch, Engine.now engine) :: !crashed)
+      [ Plan.Agent_crash { switch = 2; at = 0.5 } ]
+  in
+  Engine.run engine ~until:1.;
+  Alcotest.(check int) "crashes counted" 1 stats.Inject.crashes;
+  match !crashed with
+  | [ (2, t) ] -> Alcotest.(check (float 1e-9)) "at plan time" 0.5 t
+  | _ -> Alcotest.fail "expected one crash at switch 2"
+
+(* --- Injector: wire corruption --- *)
+
+let test_corruption_stats_account_for_every_packet () =
+  let engine = Engine.create () in
+  let link = make_link engine ~capacity:300 () in
+  let got = ref 0 in
+  Link.set_receiver link (fun _ -> incr got);
+  let n = 200 in
+  let stats =
+    Inject.apply ~engine ~links:[| link |]
+      [ Plan.Corrupt { link = 0; from_ = 0.; until = 10.; per_packet = 1.0 } ]
+  in
+  for seq = 0 to n - 1 do
+    Link.send link (mk_packet ~flow:3 ~seq ())
+  done;
+  Engine.run engine ~until:10.;
+  Alcotest.(check int) "every packet hit" n stats.Inject.corrupted;
+  (* One flipped header bit either malforms the header, mangles an
+     identifying field, or only perturbs the offset: the three outcomes
+     partition the corrupted packets. *)
+  Alcotest.(check int) "drops = malformed + mangled"
+    (stats.Inject.malformed + stats.Inject.mangled)
+    (Link.dropped link);
+  Alcotest.(check int) "delivered the rest" (n - Link.dropped link) !got;
+  Alcotest.(check bool) "some malformed" true (stats.Inject.malformed > 0);
+  Alcotest.(check bool) "some mangled" true (stats.Inject.mangled > 0);
+  Alcotest.(check bool) "some survive with a bent offset" true (!got > 0)
+
+let test_corruption_window_closes () =
+  let engine = Engine.create () in
+  let link = make_link engine ~capacity:300 () in
+  let got = ref 0 in
+  Link.set_receiver link (fun _ -> incr got);
+  let stats =
+    Inject.apply ~engine ~links:[| link |]
+      [
+        Plan.Corrupt { link = 0; from_ = 1.; until = 2.; per_packet = 1.0 };
+      ]
+  in
+  (* All traffic before the window opens: nothing may be touched. *)
+  for seq = 0 to 49 do
+    Link.send link (mk_packet ~seq ())
+  done;
+  Engine.run engine ~until:0.5;
+  Alcotest.(check int) "untouched outside window" 0 stats.Inject.corrupted;
+  Alcotest.(check int) "all delivered" 50 !got
+
+(* --- Plans --- *)
+
+let test_random_plan_deterministic () =
+  let draw seed =
+    Plan.random ~seed ~n_links:4 ~duration:100. ~mtbf:80. ~mttr:2.
+      ~corrupt_windows:2 ~crashes:2 ()
+  in
+  Alcotest.(check bool) "same seed, same plan" true (draw 7L = draw 7L);
+  Alcotest.(check bool) "different seed, different plan" true
+    (draw 7L <> draw 8L);
+  let plan = draw 7L in
+  Alcotest.(check bool) "has events" true (List.length plan >= 4);
+  let sorted = List.sort (fun a b -> compare (Plan.time_of a) (Plan.time_of b)) in
+  Alcotest.(check bool) "sorted by start time" true (sorted plan = plan);
+  List.iter
+    (fun ev ->
+      match ev with
+      | Plan.Link_down { link; at; duration } ->
+          Alcotest.(check bool) "link in range" true (link >= 0 && link < 4);
+          Alcotest.(check bool) "down inside run" true
+            (at >= 0. && at <= 100. && duration > 0.)
+      | Plan.Corrupt { link; from_; until; per_packet } ->
+          Alcotest.(check bool) "corrupt in range" true
+            (link >= 0 && link < 4 && from_ >= 0. && until > from_
+           && per_packet = 0.1)
+      | Plan.Agent_crash { switch; at } ->
+          Alcotest.(check bool) "crash in range" true
+            (switch >= 0 && switch < 4 && at >= 0. && at <= 100.))
+    plan
+
+let suite =
+  [
+    Alcotest.test_case "down loses in-flight, repair restarts" `Quick
+      test_down_loses_in_flight_repair_restarts;
+    Alcotest.test_case "down queues and overflows" `Quick
+      test_down_queues_and_overflows;
+    Alcotest.test_case "redundant transitions are no-ops" `Quick
+      test_redundant_transitions_are_noops;
+    Alcotest.test_case "inject link-down event" `Quick
+      test_inject_link_down_event;
+    Alcotest.test_case "inject rejects unknown link" `Quick
+      test_inject_rejects_unknown_link;
+    Alcotest.test_case "agent crash reported" `Quick test_agent_crash_reported;
+    Alcotest.test_case "corruption stats account for every packet" `Quick
+      test_corruption_stats_account_for_every_packet;
+    Alcotest.test_case "corruption window closes" `Quick
+      test_corruption_window_closes;
+    Alcotest.test_case "random plan deterministic" `Quick
+      test_random_plan_deterministic;
+  ]

@@ -188,6 +188,149 @@ let test_setup_queues_behind_data () =
         true (time > 0.006)
   | None -> Alcotest.fail "setup did not complete"
 
+(* --- Robustness: timeouts, retries, crashes, degradation --- *)
+
+let make_robust ?(n_switches = 3) ?(setup_timeout = 0.02) ?(max_retries = 6) ()
+    =
+  let engine = Engine.create () in
+  let fab = Fabric.chain ~engine ~n_switches () in
+  let s = Signaling.deploy ~fabric:fab ~setup_timeout ~max_retries () in
+  (engine, fab, s)
+
+let test_dark_link_retries_until_repair () =
+  (* The acceptance scenario: a mid-path link is dark when the setup
+     launches; the message times out, is retransmitted with backoff, and
+     the attempt in flight when the link is repaired establishes the
+     flow. *)
+  let engine, fab, s = make_robust () in
+  Link.set_up (Fabric.link fab 1) false;
+  let result = ref None in
+  Signaling.setup s ~flow:1 ~ingress:0 ~egress:2 (guaranteed 100_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r -> result := Some r);
+  ignore
+    (Engine.schedule engine ~at:0.1 (fun () ->
+         Link.set_up (Fabric.link fab 1) true));
+  Engine.run engine ~until:2.;
+  (match !result with
+  | Some (Ok _) -> ()
+  | Some (Error e) -> Alcotest.failf "refused: %s" e
+  | None -> Alcotest.fail "no result");
+  Alcotest.(check bool) "retried while dark" true (Signaling.retries s > 0);
+  Alcotest.(check int) "established" 1 (Signaling.established_count s);
+  Alcotest.(check int) "nothing abandoned" 0 (Signaling.abandoned_count s)
+
+let test_abandoned_setup_leaves_no_residue () =
+  let engine, fab, s = make_robust ~setup_timeout:0.01 ~max_retries:2 () in
+  Link.set_up (Fabric.link fab 1) false;
+  let result = ref None in
+  Signaling.setup s ~flow:7 ~ingress:0 ~egress:2 (guaranteed 200_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r -> result := Some r);
+  Engine.run engine ~until:5.;
+  (match !result with
+  | Some (Error msg) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "timeout error (%s)" msg)
+        true
+        (String.length msg >= 15 && String.sub msg 0 15 = "setup timed out")
+  | Some (Ok _) -> Alcotest.fail "should not establish over a dead link"
+  | None -> Alcotest.fail "no result");
+  Alcotest.(check int) "abandoned" 1 (Signaling.abandoned_count s);
+  Alcotest.(check int) "counted as a refusal" 1 (Signaling.refused_count s);
+  Alcotest.(check int) "used the whole retry budget" 2 (Signaling.retries s);
+  (* Links 0 and 1 were reserved before the setup went dark at hop 2; the
+     rollback must leave no residue at either. *)
+  for link = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "controller %d clean" link)
+      false
+      (Ispn_admission.Controller.mem (Signaling.controller s ~link) ~flow:7);
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "sched %d clean" link)
+      0.
+      (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link))
+  done
+
+let test_deploy_validates_parameters () =
+  let engine = Engine.create () in
+  let fab = Fabric.chain ~engine ~n_switches:3 () in
+  let expect msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  expect "Signaling.deploy: class_targets must be non-empty" (fun () ->
+      ignore (Signaling.deploy ~fabric:fab ~class_targets:[||] ()));
+  expect "Signaling.deploy: class_targets must be positive" (fun () ->
+      ignore (Signaling.deploy ~fabric:fab ~class_targets:[| 0.; 0.01 |] ()));
+  expect "Signaling.deploy: class_targets must be strictly increasing"
+    (fun () ->
+      ignore
+        (Signaling.deploy ~fabric:fab ~class_targets:[| 0.064; 0.008 |] ()));
+  expect "Signaling.deploy: setup_timeout must be positive" (fun () ->
+      ignore (Signaling.deploy ~fabric:fab ~setup_timeout:0. ()));
+  expect "Signaling.deploy: max_retries must be non-negative" (fun () ->
+      ignore (Signaling.deploy ~fabric:fab ~max_retries:(-1) ()))
+
+let test_crash_reestablishes_same_level () =
+  let engine, fab, s = make_robust () in
+  let ok = ref false in
+  Signaling.setup s ~flow:1 ~ingress:0 ~egress:2
+    ~own_bucket:(Spec.bucket ~rate_pps:100. ~depth_packets:10. ())
+    (guaranteed 300_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r -> ok := Result.is_ok r);
+  Engine.run engine ~until:0.1;
+  Alcotest.(check bool) "established" true !ok;
+  Signaling.crash_agent s ~switch:1;
+  Alcotest.(check (float 1e-6)) "crash wiped link 1" 0.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:1));
+  Engine.run engine ~until:0.2;
+  Alcotest.(check int) "crash counted" 1 (Signaling.crash_count s);
+  Alcotest.(check int) "reestablished" 1 (Signaling.reestablished_count s);
+  Alcotest.(check int) "no degradation needed" 0 (Signaling.degraded_count s);
+  (match Signaling.service_level s ~flow:1 with
+  | Some Signaling.Guaranteed -> ()
+  | Some l -> Alcotest.failf "degraded to %s" (Signaling.level_name l)
+  | None -> Alcotest.fail "flow gone");
+  (* The forgotten hop was re-reserved; the surviving hop kept its grant. *)
+  Alcotest.(check (float 1e-6)) "link 1 re-reserved" 300_000.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:1));
+  Alcotest.(check (float 1e-6)) "link 0 undisturbed" 300_000.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:0));
+  Alcotest.(check bool) "recovery latency recorded" true
+    (Signaling.mean_reestablish_latency s > 0.)
+
+let test_crash_degrades_when_capacity_usurped () =
+  let engine, fab, s = make_robust () in
+  let ok = ref false in
+  Signaling.setup s ~flow:1 ~ingress:0 ~egress:2
+    ~own_bucket:(Spec.bucket ~rate_pps:100. ~depth_packets:5. ())
+    (guaranteed 300_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r -> ok := Result.is_ok r);
+  Engine.run engine ~until:0.1;
+  Alcotest.(check bool) "established" true !ok;
+  Signaling.crash_agent s ~switch:1;
+  (* A newcomer grabs the freed capacity before the victim's re-assertion
+     fires: re-admission at the guaranteed rung must now fail. *)
+  let usurper_ok = ref false in
+  Signaling.setup s ~flow:2 ~ingress:1 ~egress:2 (guaranteed 650_000.)
+    ~sink:(fun _ -> ())
+    ~on_result:(fun r -> usurper_ok := Result.is_ok r);
+  Engine.run engine ~until:0.5;
+  Alcotest.(check bool) "usurper admitted" true !usurper_ok;
+  (match Signaling.service_level s ~flow:1 with
+  | Some Signaling.Predicted -> ()
+  | Some l ->
+      Alcotest.failf "expected predicted, got %s" (Signaling.level_name l)
+  | None -> Alcotest.fail "victim lost entirely");
+  Alcotest.(check bool) "degradation counted" true
+    (Signaling.degraded_count s >= 1);
+  Alcotest.(check int) "reestablished one rung down" 1
+    (Signaling.reestablished_count s);
+  (* The victim's guaranteed reservation is gone; only the usurper's
+     remains on the contested link. *)
+  Alcotest.(check (float 1e-6)) "link 1 guaranteed = usurper only" 650_000.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:1))
+
 let suite =
   [
     Alcotest.test_case "setup takes network time" `Quick
@@ -207,4 +350,14 @@ let suite =
     Alcotest.test_case "no route" `Quick test_no_route;
     Alcotest.test_case "setup queues behind data" `Quick
       test_setup_queues_behind_data;
+    Alcotest.test_case "dark link: retries until repair" `Quick
+      test_dark_link_retries_until_repair;
+    Alcotest.test_case "abandoned setup leaves no residue" `Quick
+      test_abandoned_setup_leaves_no_residue;
+    Alcotest.test_case "deploy validates parameters" `Quick
+      test_deploy_validates_parameters;
+    Alcotest.test_case "crash re-establishes same level" `Quick
+      test_crash_reestablishes_same_level;
+    Alcotest.test_case "crash degrades when capacity usurped" `Quick
+      test_crash_degrades_when_capacity_usurped;
   ]

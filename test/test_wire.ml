@@ -62,6 +62,61 @@ let qcheck_roundtrip =
       && q.Packet.size_bits = size_bits
       && Float.abs (q.Packet.offset -. offset) <= Wire.offset_quantum)
 
+(* Fuzz satellite: a decoded header is either rejected with [Malformed] or
+   every field is back inside [encode]'s accepted range — a corrupted wire
+   must never crash a switch or smuggle an out-of-range packet past it. *)
+let decode_rejects_or_in_range b =
+  match Wire.decode b with
+  | exception Wire.Malformed _ -> true
+  | q ->
+      q.Packet.flow >= 0
+      && q.Packet.flow <= 0x7FFFFFFF
+      && q.Packet.seq >= 0
+      && q.Packet.seq <= 0x7FFFFFFF
+      && q.Packet.size_bits >= 0
+      && q.Packet.size_bits <= 0xFFFF
+      && (q.Packet.kind = Packet.Data || q.Packet.kind = Packet.Ack)
+
+let qcheck_truncated =
+  QCheck.Test.make ~name:"wire decode rejects truncated headers" ~count:200
+    QCheck.(int_bound (Wire.header_bytes - 1))
+    (fun len ->
+      match Wire.decode (Bytes.create len) with
+      | exception Wire.Malformed _ -> true
+      | _ -> false)
+
+let qcheck_bit_flips =
+  (* Start from a valid header, flip 1-4 random bits: decode must raise
+     [Malformed] or produce an in-range packet, never crash. *)
+  QCheck.Test.make ~name:"wire decode survives bit-flipped headers"
+    ~count:1000
+    QCheck.(
+      pair
+        (quad (int_bound 1_000_000) (int_bound 1_000_000)
+           (int_range 1 0xFFFF)
+           (float_range (-100.) 100.))
+        (list_of_size (QCheck.Gen.int_range 1 4)
+           (int_bound ((8 * Wire.header_bytes) - 1))))
+    (fun ((flow, seq, size_bits, offset), bits) ->
+      let p = Packet.make ~flow ~seq ~size_bits ~created:0. () in
+      p.Packet.offset <- offset;
+      let b = Wire.encode p in
+      List.iter
+        (fun bit ->
+          let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+          Bytes.set_uint8 b byte (Bytes.get_uint8 b byte lxor mask))
+        bits;
+      decode_rejects_or_in_range b)
+
+let qcheck_random_bytes =
+  QCheck.Test.make ~name:"wire decode survives random 16-byte headers"
+    ~count:1000
+    QCheck.(list_of_size (QCheck.Gen.return Wire.header_bytes) (int_bound 255))
+    (fun bytes ->
+      let b = Bytes.create Wire.header_bytes in
+      List.iteri (fun i v -> Bytes.set_uint8 b i v) bytes;
+      decode_rejects_or_in_range b)
+
 let suite =
   [
     Alcotest.test_case "roundtrip basics" `Quick test_roundtrip_basics;
@@ -71,4 +126,7 @@ let suite =
     Alcotest.test_case "malformed" `Quick test_malformed;
     Alcotest.test_case "field range checks" `Quick test_field_range_checks;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_truncated;
+    QCheck_alcotest.to_alcotest qcheck_bit_flips;
+    QCheck_alcotest.to_alcotest qcheck_random_bytes;
   ]
