@@ -23,7 +23,28 @@ module Table = Ispn_util.Table
 let duration = ref Ispn_util.Units.sim_duration_s
 let jobs = ref (Pool.default_jobs ())
 let json = ref false
+let metrics_file : string option ref = ref None
+let debug = ref false
 let seed = 42L
+
+(* Per-run metrics snapshots accumulate here (in canonical section/job
+   order) and are written once at exit when --metrics FILE was given. *)
+let collected : (string * Ispn_obs.Metrics.snapshot) list ref = ref []
+let obs_on () = !metrics_file <> None || !debug
+
+(* A job running under Pool.map builds its own registry so domains never
+   share one; snapshots are merged here in canonical job order, keeping
+   stdout byte-identical for every -j. *)
+let obs_registry () = if obs_on () then Some (Ispn_obs.Metrics.create ()) else None
+
+let obs_snapshot ~label m =
+  Option.map (fun m -> (label, Ispn_obs.Metrics.snapshot m)) m
+
+let emit_obs labeled =
+  if labeled <> [] then begin
+    print_string (Csz.Report.obs_footer labeled);
+    collected := !collected @ labeled
+  end
 
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -42,13 +63,19 @@ let table1 () =
   let runs =
     Pool.map ~j:!jobs
       (fun sched ->
+        let m = obs_registry () in
         let results, info =
-          E.run_single_link ~sched ~duration:!duration ~seed ()
+          E.run_single_link ~sched ?metrics:m ~duration:!duration ~seed ()
         in
-        (sched, results, info))
+        let label = "table1." ^ E.sched_name sched in
+        (sched, results, info, obs_snapshot ~label m))
       [ E.Wfq; E.Fifo ]
   in
-  print_endline (Csz.Report.table1 runs ~sample_flow:0);
+  print_endline
+    (Csz.Report.table1
+       (List.map (fun (s, r, i, _) -> (s, r, i)) runs)
+       ~sample_flow:0);
+  emit_obs (List.filter_map (fun (_, _, _, snap) -> snap) runs);
   print_endline
     "\nPaper (Table 1):  WFQ mean 3.16, 99.9%ile 53.86;  FIFO mean 3.17, \
      99.9%ile 34.72\nShape to check: equal means; FIFO tail well below WFQ \
@@ -64,11 +91,19 @@ let table2 () =
   let runs =
     Pool.map ~j:!jobs
       (fun sched ->
-        let results, _ = E.run_figure1 ~sched ~duration:!duration ~seed () in
-        (sched, results))
+        let m = obs_registry () in
+        let results, _ =
+          E.run_figure1 ~sched ?metrics:m ~duration:!duration ~seed ()
+        in
+        let label = "table2." ^ E.sched_name sched in
+        (sched, results, obs_snapshot ~label m))
       [ E.Wfq; E.Fifo; E.Fifo_plus ]
   in
-  print_endline (Csz.Report.table2 runs ~sample_flows:[ 18; 8; 2; 0 ]);
+  print_endline
+    (Csz.Report.table2
+       (List.map (fun (s, r, _) -> (s, r)) runs)
+       ~sample_flows:[ 18; 8; 2; 0 ]);
+  emit_obs (List.filter_map (fun (_, _, snap) -> snap) runs);
   print_endline
     "\nPaper (Table 2), 99.9%ile by path length 1/2/3/4:\n\
     \  WFQ   45.31  60.31  65.86  80.59\n\
@@ -80,8 +115,10 @@ let table2 () =
 (* ---- Table 3 ------------------------------------------------------------ *)
 
 let table3 () =
-  let res = E.run_table3 ~duration:!duration ~seed () in
+  let m = obs_registry () in
+  let res = E.run_table3 ?metrics:m ~duration:!duration ~seed () in
   print_endline (Csz.Report.table3 res);
+  emit_obs (Option.to_list (obs_snapshot ~label:"table3" m));
   print_endline
     "\nPaper (Table 3): Peak/4 max 15.99 vs bound 23.53; Peak/2 8.79 vs \
      11.76;\n\
@@ -460,9 +497,22 @@ let micro () =
     Printf.printf "%-22s %8.1f ns per event (%d fired, %d cancels skipped)\n"
       "engine/drain" ns st.Ispn_sim.Engine.events_fired
       st.Ispn_sim.Engine.cancels_skipped;
-    ("engine/drain", ns)
+    (("engine/drain", ns), (1e9 /. ns, Ispn_sim.Engine.heap_depth_hwm e))
   in
-  let entries = entries @ [ engine_entry ] in
+  let (engine_name_ns, (events_per_s, heap_hwm)) = engine_entry in
+  Printf.printf "%-22s %8.0f events/s, heap depth hwm %d\n" "engine/info"
+    events_per_s heap_hwm;
+  (* The info.* entries are informational throughput/shape numbers; the CI
+     perf gate (ci/check_bench.sh) skips them when looking for ns/packet
+     regressions. *)
+  let entries =
+    entries
+    @ [
+        engine_name_ns;
+        ("info.engine_events_per_s", events_per_s);
+        ("info.engine_heap_depth_hwm", float_of_int heap_hwm);
+      ]
+  in
   if !json then begin
     let oc = open_out "BENCH_micro.json" in
     output_string oc "{\n";
@@ -480,6 +530,22 @@ let micro () =
      1 ms packet transmission time — cheap enough to run at every switch\n\
      for every packet (the Section 1 constraint); the time-stamp schedulers\n\
      cost a small multiple of FIFO."
+
+(* ---- E12: flight-recorder trace ------------------------------------------ *)
+
+let trace () =
+  List.iter
+    (fun experiment ->
+      let res =
+        X.run_trace ~experiment ~duration:(Stdlib.min !duration 120.) ~seed ()
+      in
+      print_endline (Csz.Report.trace res))
+    [ X.T_table2; X.T_table3 ];
+  print_endline
+    "\nShape to check: each packet's per-hop queueing sums to the\n\
+     end-to-end delay its egress probe reported; under FIFO+ the worst\n\
+     packets' delay is spread across the path rather than concentrated at\n\
+     one hop, and under CSZ the predicted classes dominate the tail."
 
 (* ---- main ---------------------------------------------------------------- *)
 
@@ -502,6 +568,7 @@ let sections =
     ("importance", importance);
     ("ablation", ablation);
     ("seeds", seeds);
+    ("trace", trace);
     ("micro", micro);
   ]
 
@@ -515,6 +582,15 @@ let () =
         parse rest acc
     | "--json" :: rest ->
         json := true;
+        parse rest acc
+    | "--metrics" :: file :: rest ->
+        metrics_file := Some file;
+        parse rest acc
+    | [ "--metrics" ] ->
+        Printf.eprintf "--metrics expects a file argument\n";
+        exit 2
+    | "--debug" :: rest ->
+        debug := true;
         parse rest acc
     | ("-j" | "--jobs") :: n :: rest when int_of_string_opt n <> None ->
         let n = Option.get (int_of_string_opt n) in
@@ -543,8 +619,14 @@ let () =
               exit 2)
         wanted
   in
+  if !debug then Ispn_util.Log.setup ~level:Logs.Debug ();
   Printf.printf
     "CSZ SIGCOMM'92 reproduction benches — %.0f s simulated per run, seed \
      %Ld\n"
     !duration seed;
-  List.iter (fun (name, f) -> section name f) to_run
+  List.iter (fun (name, f) -> section name f) to_run;
+  match !metrics_file with
+  | None -> ()
+  | Some path ->
+      Ispn_obs.Metrics.write_file path !collected;
+      Printf.eprintf "wrote %s\n%!" path

@@ -50,6 +50,25 @@ let with_logging debug f = begin
     f
   end
 
+let metrics_arg =
+  let doc =
+    "Print deterministic [obs] footer lines (engine counters, per-link \
+     drops/pool/wait) and write the full metrics snapshots to $(docv) — \
+     CSV if it ends in .csv, JSON otherwise.  Snapshots are merged in \
+     canonical job order, so the file is byte-identical for every -j."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Shared tail for the table commands: footer to stdout, snapshots to the
+   requested file. *)
+let finish_metrics file labeled =
+  if labeled <> [] then print_string (Csz.Report.obs_footer labeled);
+  match file with
+  | None -> ()
+  | Some path ->
+      Ispn_obs.Metrics.write_file path labeled;
+      Printf.eprintf "wrote %s\n%!" path
+
 let print_info (info : Csz.Experiment.run_info) =
   Printf.printf "\nLinks at ";
   Array.iteri
@@ -63,74 +82,108 @@ let print_info (info : Csz.Experiment.run_info) =
     info.Csz.Experiment.net_dropped
 
 let table1_cmd =
-  let run duration seed avg_rate verbose j =
+  let run duration seed avg_rate verbose j metrics =
+    let obs = metrics <> None in
     let runs =
       Ispn_exec.Pool.map ~j
         (fun sched ->
+          let m = if obs then Some (Ispn_obs.Metrics.create ()) else None in
           let results, info =
             Csz.Experiment.run_single_link ~sched ~avg_rate_pps:avg_rate
-              ~duration ~seed ()
+              ~duration ~seed ?metrics:m ()
           in
-          (sched, results, info))
+          let snap =
+            Option.map
+              (fun m ->
+                ( "table1." ^ Csz.Experiment.sched_name sched,
+                  Ispn_obs.Metrics.snapshot m ))
+              m
+          in
+          (sched, results, info, snap))
         [ Csz.Experiment.Wfq; Csz.Experiment.Fifo ]
     in
-    print_endline (Csz.Report.table1 runs ~sample_flow:0);
+    print_endline
+      (Csz.Report.table1
+         (List.map (fun (s, r, i, _) -> (s, r, i)) runs)
+         ~sample_flow:0);
     if verbose then
       List.iter
-        (fun (sched, results, info) ->
+        (fun (sched, results, info, _) ->
           Printf.printf "\n%s per-flow:\n%s\n"
             (Csz.Experiment.sched_name sched)
             (Csz.Report.flow_results results);
           print_info info)
-        runs
+        runs;
+    finish_metrics metrics (List.filter_map (fun (_, _, _, s) -> s) runs)
   in
   let doc = "Reproduce Table 1: WFQ vs FIFO on a single shared link." in
   Cmd.v (Cmd.info "table1" ~doc)
-    Term.(const run $ duration $ seed $ avg_rate $ verbose $ jobs)
+    Term.(const run $ duration $ seed $ avg_rate $ verbose $ jobs $ metrics_arg)
 
 let table2_cmd =
-  let run duration seed avg_rate verbose j =
+  let run duration seed avg_rate verbose j metrics =
+    let obs = metrics <> None in
     let runs =
       Ispn_exec.Pool.map ~j
         (fun sched ->
-          ( sched,
+          let m = if obs then Some (Ispn_obs.Metrics.create ()) else None in
+          let r =
             Csz.Experiment.run_figure1 ~sched ~avg_rate_pps:avg_rate ~duration
-              ~seed () ))
+              ~seed ?metrics:m ()
+          in
+          let snap =
+            Option.map
+              (fun m ->
+                ( "table2." ^ Csz.Experiment.sched_name sched,
+                  Ispn_obs.Metrics.snapshot m ))
+              m
+          in
+          (sched, r, snap))
         [ Csz.Experiment.Wfq; Csz.Experiment.Fifo; Csz.Experiment.Fifo_plus ]
     in
-    let table_runs = List.map (fun (s, (r, _)) -> (s, r)) runs in
+    let table_runs = List.map (fun (s, (r, _), _) -> (s, r)) runs in
     print_endline (Csz.Report.table2 table_runs ~sample_flows:[ 18; 8; 2; 0 ]);
     if verbose then
       List.iter
-        (fun (sched, (results, info)) ->
+        (fun (sched, (results, info), _) ->
           Printf.printf "\n%s per-flow:\n%s\n"
             (Csz.Experiment.sched_name sched)
             (Csz.Report.flow_results results);
           print_info info)
-        runs
+        runs;
+    finish_metrics metrics (List.filter_map (fun (_, _, s) -> s) runs)
   in
   let doc =
     "Reproduce Table 2: WFQ vs FIFO vs FIFO+ on the Figure-1 multihop chain."
   in
   Cmd.v (Cmd.info "table2" ~doc)
-    Term.(const run $ duration $ seed $ avg_rate $ verbose $ jobs)
+    Term.(const run $ duration $ seed $ avg_rate $ verbose $ jobs $ metrics_arg)
 
 let table3_cmd =
-  let run duration seed avg_rate verbose debug =
+  let run duration seed avg_rate verbose debug metrics =
     with_logging debug ();
+    let m =
+      if metrics <> None then Some (Ispn_obs.Metrics.create ()) else None
+    in
     let res =
-      Csz.Experiment.run_table3 ~avg_rate_pps:avg_rate ~duration ~seed ()
+      Csz.Experiment.run_table3 ~avg_rate_pps:avg_rate ~duration ~seed
+        ?metrics:m ()
     in
     print_endline (Csz.Report.table3 res);
     if verbose then begin
       Printf.printf "\nAll real-time flows:\n%s\n"
         (Csz.Report.flow_results res.Csz.Experiment.all_flows);
       print_info res.Csz.Experiment.info
-    end
+    end;
+    finish_metrics metrics
+      (Option.to_list
+         (Option.map
+            (fun m -> ("table3", Ispn_obs.Metrics.snapshot m))
+            m))
   in
   let doc = "Reproduce Table 3: the unified CSZ scheduling algorithm." in
   Cmd.v (Cmd.info "table3" ~doc)
-    Term.(const run $ duration $ seed $ avg_rate $ verbose $ debug)
+    Term.(const run $ duration $ seed $ avg_rate $ verbose $ debug $ metrics_arg)
 
 let topology_cmd =
   let run () = print_string (Csz.Report.figure1 ()) in
@@ -464,6 +517,54 @@ let backlog_cmd =
   in
   Cmd.v (Cmd.info "backlog" ~doc) Term.(const run $ duration $ seed $ avg_rate)
 
+let trace_cmd =
+  let experiment =
+    let doc =
+      "Experiment to record: $(b,table1) (single FIFO link), $(b,table2) \
+       (FIFO+ Figure-1 chain) or $(b,table3) (unified CSZ scheduler)."
+    in
+    Arg.(
+      value
+      & pos 0
+          (Arg.enum
+             [
+               ("table1", Csz.Extensions.T_table1);
+               ("table2", Csz.Extensions.T_table2);
+               ("table3", Csz.Extensions.T_table3);
+             ])
+          Csz.Extensions.T_table2
+      & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let worst =
+    let doc = "Number of worst-delay packets to break down." in
+    Arg.(value & opt int 5 & info [ "worst" ] ~docv:"N" ~doc)
+  in
+  let events =
+    let doc =
+      "Flight-recorder ring capacity in events; the ring keeps the newest."
+    in
+    Arg.(value & opt int (1 lsl 20) & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let fast =
+    let doc = "Simulate 60 s regardless of --duration (CI smoke)." in
+    Arg.(value & flag & info [ "fast" ] ~doc)
+  in
+  let run duration seed experiment worst events fast =
+    let duration = if fast then 60. else duration in
+    let res =
+      Csz.Extensions.run_trace ~experiment ~worst ~capacity:events ~duration
+        ~seed ()
+    in
+    print_string (Csz.Report.trace res)
+  in
+  let doc =
+    "E12: run an experiment with the flight recorder attached and print the \
+     worst packets' per-hop delay decomposition (queueing + transmission per \
+     link, summing to the end-to-end delay the probe saw)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ duration $ seed $ experiment $ worst $ events $ fast)
+
 let default =
   let doc =
     "Reproduction of Clark, Shenker & Zhang, \"Supporting Real-Time \
@@ -475,7 +576,7 @@ let default =
       table1_cmd; table2_cmd; table3_cmd; topology_cmd; bakeoff_cmd;
       admission_cmd; playback_cmd; cascade_cmd; isolation_cmd; discard_cmd;
       ablation_cmd; service_cmd; sweep_cmd; signaling_cmd; faults_cmd;
-      importance_cmd; profile_cmd; backlog_cmd;
+      importance_cmd; profile_cmd; backlog_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval default)

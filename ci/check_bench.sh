@@ -32,6 +32,9 @@ BEGIN { FS = "\""; bad = 0 }
     gsub(/[:, \t]/, "", val)
     if (val == "") next
     if (FNR == NR) { base[name] = val; next }
+    # info.* lines (events/s, heap depth hwm) are context, not ns/packet
+    # figures: report them but never gate on them.
+    if (name ~ /^info\./) { printf "info        %-22s %14.1f\n", name, val; next }
     if (name in base) {
         if (val + 0 > base[name] * tol)
             { printf "REGRESSION  %-22s %8.1f ns vs baseline %8.1f ns (+%.0f%%)\n", name, val, base[name], 100 * (val / base[name] - 1); bad = 1 }

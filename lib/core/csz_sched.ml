@@ -51,6 +51,8 @@ type t = {
   mutable datagram_bits : int;
   mutable delay_hook : (cls:int -> float -> unit) option;
   mutable last_now : float;  (* latest clock seen; for weight adjustments *)
+  offset_dists : Ispn_util.Stats.t option array;
+      (* per predicted class; Some only when metrics are attached *)
 }
 
 let compare_g a b =
@@ -131,6 +133,9 @@ let serve_flow0 t ~now entry =
     let st = t.classes.(cls) in
     pkt.Packet.offset <- pkt.Packet.offset +. (delay -. Ewma.value st.avg);
     Ewma.update st.avg delay;
+    (match t.offset_dists.(cls) with
+    | None -> ()
+    | Some d -> Ispn_util.Stats.add d pkt.Packet.offset);
     t.realtime_bits <- t.realtime_bits + pkt.Packet.size_bits
   end
   else t.datagram_bits <- t.datagram_bits + pkt.Packet.size_bits;
@@ -221,7 +226,7 @@ let dequeue t ~now =
 
 let length t = t.g_count + t.f0_backlog
 
-let create ?(config = default_config) ~pool () =
+let create ?(config = default_config) ?metrics ?(label = "0") ~pool () =
   assert (config.link_rate_bps > 0. && config.n_predicted_classes >= 1);
   let n = config.n_predicted_classes + 1 in
   let t_ref = ref None in
@@ -258,9 +263,36 @@ let create ?(config = default_config) ~pool () =
       datagram_bits = 0;
       delay_hook = None;
       last_now = 0.;
+      offset_dists =
+        Array.init config.n_predicted_classes (fun c ->
+            match metrics with
+            | None -> None
+            | Some m ->
+                Some
+                  (Ispn_obs.Metrics.dist m
+                     (Printf.sprintf "csz.%s.class.%d.offset" label c)));
     }
   in
   t_ref := Some t;
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let module M = Ispn_obs.Metrics in
+      let p = "csz." ^ label in
+      M.register_float m (p ^ ".vtime") (fun () -> Vtime.v t.vt);
+      M.register_float m (p ^ ".reserved_bps") (fun () -> t.g_weight_sum);
+      M.register_float m (p ^ ".flow0_rate_bps") (fun () -> flow0_rate_bps t);
+      M.register_int m (p ^ ".late_discards") (fun () -> t.late_discards);
+      M.register_int m (p ^ ".realtime_bits") (fun () -> t.realtime_bits);
+      M.register_int m (p ^ ".datagram_bits") (fun () -> t.datagram_bits);
+      M.register_int m (p ^ ".g_backlog") (fun () -> t.g_count);
+      M.register_int m (p ^ ".f0_backlog") (fun () -> t.f0_backlog);
+      Array.iteri
+        (fun c st ->
+          let cp = Printf.sprintf "%s.class.%d" p c in
+          M.register_float m (cp ^ ".avg_delay") (fun () -> Ewma.value st.avg);
+          M.register_int m (cp ^ ".len") (fun () -> Heap.length st.heap))
+        t.classes);
   let qdisc =
     Qdisc.make
       ~enqueue:(fun ~now pkt -> enqueue t ~now pkt)

@@ -41,8 +41,20 @@ type t
     flow management. *)
 
 val create :
-  ?config:config -> pool:Ispn_sim.Qdisc.pool -> unit ->
+  ?config:config ->
+  ?metrics:Ispn_obs.Metrics.t ->
+  ?label:string ->
+  pool:Ispn_sim.Qdisc.pool ->
+  unit ->
   t * Ispn_sim.Qdisc.t
+(** [metrics], when given, registers this scheduler's instruments under
+    [csz.<label>] (label defaults to ["0"], conventionally the link index):
+    pull gauges [.vtime], [.reserved_bps], [.flow0_rate_bps],
+    [.late_discards], [.realtime_bits], [.datagram_bits], [.g_backlog],
+    [.f0_backlog], per-class [.class.<c>.avg_delay] and [.class.<c>.len],
+    plus a push distribution [.class.<c>.offset.*] of the jitter offset
+    each departing predicted-class packet carries (one [Stats.add] per
+    dequeue; a single [option] branch when metrics are off). *)
 
 (** {2 Flow management}
 

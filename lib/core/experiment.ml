@@ -26,11 +26,18 @@ type run_info = {
   net_dropped : int;
 }
 
-let qdisc_for sched ~pool ~link_rate_bps =
+let qdisc_for ?metrics ?label sched ~pool ~link_rate_bps =
   match sched with
   | Fifo -> Ispn_sched.Fifo.create ~pool ()
-  | Wfq -> Ispn_sched.Wfq.create_equal ~pool ~link_rate_bps ()
-  | Fifo_plus -> snd (Ispn_sched.Fifo_plus.create ~pool ())
+  | Wfq -> Ispn_sched.Wfq.create_equal ?metrics ?label ~pool ~link_rate_bps ()
+  | Fifo_plus -> snd (Ispn_sched.Fifo_plus.create ?metrics ?label ~pool ())
+
+let register_pool_metrics m ~link pool =
+  let module M = Ispn_obs.Metrics in
+  let p = Printf.sprintf "link.%d.pool" link in
+  M.register_int m (p ^ ".in_use") (fun () -> Qdisc.pool_in_use pool);
+  M.register_int m (p ^ ".in_use_hwm") (fun () -> Qdisc.pool_hwm pool);
+  M.register_int m (p ^ ".capacity") (fun () -> Qdisc.pool_capacity pool)
 
 (* One real-time flow: on/off source -> (A, 50) policer -> ingress switch,
    probe at the egress switch. *)
@@ -98,14 +105,19 @@ let info_of_run net rt_flows ~duration =
     net_dropped = Network.total_dropped net;
   }
 
-let run_chain_custom ~qdisc_of ~n_switches ~specs ~avg_rate_pps ~duration ~seed
-    =
+let run_chain_custom ?metrics ?recorder ~qdisc_of ~n_switches ~specs
+    ~avg_rate_pps ~duration ~seed () =
   let engine = Engine.create () in
   let prng = Prng.create ~seed in
   let net =
-    Network.chain ~engine ~n_switches ~rate_bps:Units.link_rate_bps
+    Network.chain ~engine ~n_switches ~rate_bps:Units.link_rate_bps ?recorder
       ~qdisc_of:(qdisc_of engine) ()
   in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Engine.register_metrics engine m;
+      Network.register_metrics net m);
   let rt_flows =
     List.map (fun spec -> attach_rt_flow net prng ~spec ~avg_rate_pps) specs
   in
@@ -113,31 +125,38 @@ let run_chain_custom ~qdisc_of ~n_switches ~specs ~avg_rate_pps ~duration ~seed
   Engine.run engine ~until:duration;
   (List.map result_of_rt_flow rt_flows, info_of_run net rt_flows ~duration)
 
-let run_chain ~sched ~n_switches ~specs ~avg_rate_pps ~duration ~seed =
+let run_chain ?metrics ?recorder ~sched ~n_switches ~specs ~avg_rate_pps
+    ~duration ~seed () =
   let link_rate_bps = Units.link_rate_bps in
-  let qdisc_of _engine _link =
+  let qdisc_of _engine link =
     let pool = Qdisc.pool ~capacity:Units.buffer_packets in
-    qdisc_for sched ~pool ~link_rate_bps
+    (match metrics with
+    | None -> ()
+    | Some m -> register_pool_metrics m ~link pool);
+    qdisc_for ?metrics ~label:(string_of_int link) sched ~pool ~link_rate_bps
   in
-  run_chain_custom ~qdisc_of ~n_switches ~specs ~avg_rate_pps ~duration ~seed
+  run_chain_custom ?metrics ?recorder ~qdisc_of ~n_switches ~specs
+    ~avg_rate_pps ~duration ~seed ()
 
 let run_figure1_custom ~qdisc_of ?(avg_rate_pps = Scenario.default_avg_rate_pps)
-    ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
-  run_chain_custom ~qdisc_of ~n_switches:Scenario.figure1_n_switches
-    ~specs:Scenario.figure1_flows ~avg_rate_pps ~duration ~seed
+    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder () =
+  run_chain_custom ?metrics ?recorder ~qdisc_of
+    ~n_switches:Scenario.figure1_n_switches ~specs:Scenario.figure1_flows
+    ~avg_rate_pps ~duration ~seed ()
 
 let run_single_link ~sched ?(n_flows = 10)
     ?(avg_rate_pps = Scenario.default_avg_rate_pps)
-    ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
+    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder () =
   let specs =
     List.init n_flows (fun i -> { Scenario.flow = i; ingress = 0; egress = 1 })
   in
-  run_chain ~sched ~n_switches:2 ~specs ~avg_rate_pps ~duration ~seed
+  run_chain ?metrics ?recorder ~sched ~n_switches:2 ~specs ~avg_rate_pps
+    ~duration ~seed ()
 
 let run_figure1 ~sched ?(avg_rate_pps = Scenario.default_avg_rate_pps)
-    ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
-  run_chain ~sched ~n_switches:Scenario.figure1_n_switches
-    ~specs:Scenario.figure1_flows ~avg_rate_pps ~duration ~seed
+    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder () =
+  run_chain ?metrics ?recorder ~sched ~n_switches:Scenario.figure1_n_switches
+    ~specs:Scenario.figure1_flows ~avg_rate_pps ~duration ~seed ()
 
 (* --- Table 3 ------------------------------------------------------------ *)
 
@@ -169,7 +188,8 @@ type t3_result = {
 }
 
 let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
-    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?discard_late_above () =
+    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?discard_late_above
+    ?metrics ?recorder () =
   let open Scenario in
   let engine = Engine.create () in
   let prng = Prng.create ~seed in
@@ -182,16 +202,27 @@ let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
   let states = Array.make (figure1_n_switches - 1) None in
   let net =
     Network.chain ~engine ~n_switches:figure1_n_switches ~rate_bps:link_rate_bps
+      ?recorder
       ~qdisc_of:(fun i ->
         let pool = Qdisc.pool ~capacity:Units.buffer_packets in
+        (match metrics with
+        | None -> ()
+        | Some m -> register_pool_metrics m ~link:i pool);
         let config =
           { Csz_sched.default_config with link_rate_bps; discard_late_above }
         in
-        let st, qdisc = Csz_sched.create ~config ~pool () in
+        let st, qdisc =
+          Csz_sched.create ~config ?metrics ~label:(string_of_int i) ~pool ()
+        in
         states.(i) <- Some st;
         qdisc)
       ()
   in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Engine.register_metrics engine m;
+      Network.register_metrics net m);
   let state i = Option.get states.(i) in
   (* Register every real-time flow at each link on its path. *)
   List.iter

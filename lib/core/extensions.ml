@@ -1184,3 +1184,87 @@ let run_failover ?(duration = 120.) ?(seed = 42L) ?(j = 1) () =
     }
   in
   Ispn_exec.Pool.map ~j run_one schedules
+
+(* --- E12: flight-recorder trace / per-hop attribution -------------------- *)
+
+type trace_experiment = T_table1 | T_table2 | T_table3
+
+let trace_experiment_name = function
+  | T_table1 -> "table1"
+  | T_table2 -> "table2"
+  | T_table3 -> "table3"
+
+type trace_hop = { th_link : int; th_queueing : float; th_transmission : float }
+
+type trace_row = {
+  tr_flow : int;
+  tr_seq : int;
+  tr_hops : trace_hop list;
+  tr_queueing : float;
+  tr_reported : float;
+}
+
+type trace_result = {
+  tre_experiment : trace_experiment;
+  tre_events : int;
+  tre_capacity : int;
+  tre_delivered : int;
+  tre_complete : int;
+  tre_rows : trace_row list;
+}
+
+let run_trace ?(experiment = T_table2) ?(worst = 5) ?(capacity = 1 lsl 20)
+    ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
+  let recorder = Ispn_obs.Recorder.create ~capacity () in
+  (match experiment with
+  | T_table1 ->
+      ignore
+        (Experiment.run_single_link ~sched:Experiment.Fifo ~duration ~seed
+           ~recorder ()
+          : Experiment.flow_result list * Experiment.run_info)
+  | T_table2 ->
+      ignore
+        (Experiment.run_figure1 ~sched:Experiment.Fifo_plus ~duration ~seed
+           ~recorder ()
+          : Experiment.flow_result list * Experiment.run_info)
+  | T_table3 ->
+      ignore
+        (Experiment.run_table3 ~duration ~seed ~recorder ()
+          : Experiment.t3_result));
+  let pt =
+    Units.packet_times ~link_rate_bps:Units.link_rate_bps
+      ~packet_bits:Units.packet_bits
+  in
+  let bds = Ispn_obs.Attrib.breakdowns recorder in
+  let complete =
+    List.filter (fun b -> b.Ispn_obs.Attrib.bd_complete) bds
+  in
+  let rows =
+    List.map
+      (fun b ->
+        let open Ispn_obs.Attrib in
+        {
+          tr_flow = b.bd_flow;
+          tr_seq = b.bd_seq;
+          tr_hops =
+            List.map
+              (fun h ->
+                {
+                  th_link = h.hop_link;
+                  th_queueing = pt h.queueing;
+                  th_transmission = pt h.transmission;
+                })
+              b.bd_hops;
+          tr_queueing = pt b.bd_queueing;
+          tr_reported = pt b.bd_reported;
+        })
+      (Ispn_obs.Attrib.worst ~n:worst recorder)
+  in
+  {
+    tre_experiment = experiment;
+    tre_events = Ispn_obs.Recorder.length recorder;
+    tre_capacity = capacity;
+    tre_delivered = List.length bds;
+    tre_complete = List.length complete;
+    tre_rows = rows;
+  }

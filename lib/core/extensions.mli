@@ -285,3 +285,53 @@ val run_failover :
     through the dead switch and degrades the watched flows whose
     re-admission the usurper defeats.  Deterministic for a given [seed] at
     every [j]. *)
+
+(** {2 E12: flight-recorder trace and per-hop delay attribution} *)
+
+type trace_experiment = T_table1 | T_table2 | T_table3
+(** Which paper workload to run with the recorder attached: Table 1's
+    single FIFO link, Table 2's FIFO+ Figure-1 chain, or Table 3's unified
+    CSZ scheduler. *)
+
+val trace_experiment_name : trace_experiment -> string
+
+type trace_hop = {
+  th_link : int;  (** 0-based link (hop) index on the path. *)
+  th_queueing : float;  (** Packet-transmission times. *)
+  th_transmission : float;  (** Packet-transmission times. *)
+}
+
+type trace_row = {
+  tr_flow : int;
+  tr_seq : int;
+  tr_hops : trace_hop list;  (** In path order. *)
+  tr_queueing : float;  (** Sum of per-hop queueing, packet times. *)
+  tr_reported : float;
+      (** End-to-end queueing delay the egress probe saw, packet times;
+          equals [tr_queueing] up to float noise (the attribution test
+          checks this). *)
+}
+
+type trace_result = {
+  tre_experiment : trace_experiment;
+  tre_events : int;  (** Events surviving in the ring at the end. *)
+  tre_capacity : int;
+  tre_delivered : int;  (** Packets reconstructed from the window. *)
+  tre_complete : int;  (** Of those, observed from their first hop. *)
+  tre_rows : trace_row list;  (** Worst-delay packets, worst first. *)
+}
+
+val run_trace :
+  ?experiment:trace_experiment ->
+  ?worst:int ->
+  ?capacity:int ->
+  ?duration:float ->
+  ?seed:int64 ->
+  unit ->
+  trace_result
+(** Run [experiment] (default [T_table2]) with an {!Ispn_obs.Recorder} of
+    [capacity] (default [2^20]) events attached to every link, then
+    decompose the [worst] (default 5) packets' end-to-end delay into
+    per-hop queueing and transmission via {!Ispn_obs.Attrib}.
+    Deterministic in [seed]; the recorder does not perturb the
+    simulation. *)

@@ -165,3 +165,75 @@ let flow_results results =
   Table.render
     ~header:[ "flow"; "hops"; "received"; "mean"; "99.9 %ile"; "max" ]
     ~rows ()
+
+(* --- Observability ------------------------------------------------------- *)
+
+let obs_footer labeled =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, snap) ->
+      let get name = List.assoc_opt name snap in
+      let str = function
+        | Some (Ispn_obs.Metrics.Int i) -> string_of_int i
+        | Some (Ispn_obs.Metrics.Float f) -> Printf.sprintf "%.9g" f
+        | None -> "-"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "[obs] %s: events=%s cancels_skipped=%s heap_hwm=%s\n"
+           label
+           (str (get "engine.events_fired"))
+           (str (get "engine.cancels_skipped"))
+           (str (get "engine.heap_depth_hwm")));
+      let link = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let p = Printf.sprintf "link.%d" !link in
+        match get (p ^ ".sent") with
+        | None -> continue := false
+        | Some _ ->
+            let ms name =
+              match get name with
+              | Some (Ispn_obs.Metrics.Float f) ->
+                  Printf.sprintf "%.3f" (1000. *. f)
+              | _ -> "-"
+            in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "[obs] %s: %s sent=%s drops(buf/down/wire)=%s/%s/%s \
+                  pool_hwm=%s wait(mean/max)=%s/%s ms\n"
+                 label p
+                 (str (get (p ^ ".sent")))
+                 (str (get (p ^ ".drops.buffer")))
+                 (str (get (p ^ ".drops.down")))
+                 (str (get (p ^ ".drops.wire")))
+                 (str (get (p ^ ".pool.in_use_hwm")))
+                 (ms (p ^ ".wait.mean"))
+                 (ms (p ^ ".wait.max")));
+            incr link
+      done)
+    labeled;
+  Buffer.contents buf
+
+let trace (res : Extensions.trace_result) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Flight recorder over %s: %d events retained (capacity %d), %d \
+        packets reconstructed, %d complete.\n\
+        Worst packets by end-to-end queueing delay (packet times):\n"
+       (Extensions.trace_experiment_name res.Extensions.tre_experiment)
+       res.Extensions.tre_events res.Extensions.tre_capacity
+       res.Extensions.tre_delivered res.Extensions.tre_complete);
+  List.iter
+    (fun (r : Extensions.trace_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "flow %d seq %d: e2e %s (probe %s)\n" r.tr_flow
+           r.tr_seq (f2 r.tr_queueing) (f2 r.tr_reported));
+      List.iter
+        (fun (h : Extensions.trace_hop) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  hop L-%d: queue %s + tx %s\n" (h.th_link + 1)
+               (f2 h.th_queueing) (f2 h.th_transmission)))
+        r.tr_hops)
+    res.Extensions.tre_rows;
+  Buffer.contents buf

@@ -25,3 +25,16 @@ val figure1 : unit -> string
 
 val flow_results : Experiment.flow_result list -> string
 (** Generic per-flow dump used by the CLI. *)
+
+val obs_footer : (string * Ispn_obs.Metrics.snapshot) list -> string
+(** Deterministic per-run summary lines (prefixed ["[obs] "]) from labeled
+    metrics snapshots: engine counters, then per-link sent / cause-split
+    drops / buffer-pool high-water / wait mean+max (ms) for every
+    consecutive [link.<i>] present in the snapshot.  Printed by the bench
+    sections only when [--metrics] or [--debug] is given, so default
+    stdout is unchanged. *)
+
+val trace : Extensions.trace_result -> string
+(** Render {!Extensions.run_trace}'s worst-packet hop breakdowns — one
+    block per packet, one line per hop, delays in packet-transmission
+    times. *)

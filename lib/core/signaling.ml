@@ -99,6 +99,19 @@ let mean_reestablish_latency t =
 
 let controller t ~link = t.ctrls.(link)
 
+let register_metrics t m ?(prefix = "signaling") () =
+  let module M = Ispn_obs.Metrics in
+  M.register_int m (prefix ^ ".established") (fun () -> t.established_count);
+  M.register_int m (prefix ^ ".refused") (fun () -> t.refused_count);
+  M.register_int m (prefix ^ ".control_packets") (fun () -> t.control_packets);
+  M.register_int m (prefix ^ ".retries") (fun () -> t.retries);
+  M.register_int m (prefix ^ ".abandoned") (fun () -> t.abandoned);
+  M.register_int m (prefix ^ ".crashes") (fun () -> t.crashes);
+  M.register_int m (prefix ^ ".degraded") (fun () -> t.degraded);
+  M.register_int m (prefix ^ ".reestablished") (fun () -> t.reestablished);
+  M.register_float m (prefix ^ ".reestablish_latency_mean") (fun () ->
+      mean_reestablish_latency t)
+
 let service_level t ~flow =
   Option.map (fun fr -> level_of fr.fr_current) (Hashtbl.find_opt t.flows flow)
 

@@ -146,3 +146,10 @@ val mean_reestablish_latency : t -> float
 val controller : t -> link:int -> Ispn_admission.Controller.t
 (** The admission controller owned by [link]'s upstream agent, for tests
     and experiments to inspect (e.g. to verify rollback left no residue). *)
+
+val register_metrics :
+  t -> Ispn_obs.Metrics.t -> ?prefix:string -> unit -> unit
+(** Register every introspection counter above as a pull gauge under
+    [<prefix>.] (default ["signaling"]): [.established], [.refused],
+    [.control_packets], [.retries], [.abandoned], [.crashes], [.degraded],
+    [.reestablished], [.reestablish_latency_mean]. *)

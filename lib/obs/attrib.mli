@@ -1,0 +1,47 @@
+(** Per-hop delay attribution from a flight-recorder trace.
+
+    FIFO+'s whole argument (paper Sections 6-7) is about {e where} along the
+    path queueing delay and jitter accumulate; this module reconstructs that
+    decomposition from recorder events.  For every packet whose final
+    [Deliver] survives in the ring, the end-to-end delay splits into
+    per-hop queueing (the scheduling-dependent part) and transmission
+    terms:
+
+    [latency = sum_hops (queueing + transmission) + propagation]
+
+    and the queueing sum equals the [Packet.qdelay_total] the egress probe
+    reports — {!breakdown}[.bd_reported] carries the probe-side value so
+    consumers (and tests) can check the attribution closes to within float
+    noise.
+
+    A breakdown is [bd_complete] when the packet's first hop was observed
+    from its [Enqueue] with zero accumulated delay; packets whose early
+    events were evicted by the ring are kept but flagged, with only the
+    surviving suffix of their path attributed. *)
+
+type hop = {
+  hop_link : int;  (** Link index as stamped by the emitter. *)
+  enqueued_at : float;  (** Arrival time at this hop's qdisc. *)
+  queueing : float;  (** Seconds waiting for the transmitter. *)
+  transmission : float;  (** Serialization seconds at this hop. *)
+}
+
+type breakdown = {
+  bd_flow : int;
+  bd_seq : int;
+  bd_hops : hop list;  (** In path order. *)
+  bd_queueing : float;  (** Sum of [queueing] over {!bd_hops}. *)
+  bd_reported : float;
+      (** The packet's accumulated queueing delay as carried by its final
+          [Deliver] event — what the egress probe records. *)
+  bd_delivered_at : float;
+  bd_complete : bool;
+}
+
+val breakdowns : Recorder.t -> breakdown list
+(** Every packet delivered (not dropped, not still queued) within the
+    recorded window, ordered by delivery time (ties by flow then seq). *)
+
+val worst : ?n:int -> Recorder.t -> breakdown list
+(** The [n] (default 5) complete breakdowns with the largest end-to-end
+    queueing delay, worst first. *)

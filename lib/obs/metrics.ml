@@ -1,0 +1,81 @@
+module Stats = Ispn_util.Stats
+
+type value = Int of int | Float of float
+
+type t = { mutable samplers : (string * (unit -> value)) list }
+
+let create () = { samplers = [] }
+
+let register t name sample =
+  if List.mem_assoc name t.samplers then
+    invalid_arg (Printf.sprintf "Metrics.register: duplicate name %S" name);
+  t.samplers <- (name, sample) :: t.samplers
+
+let register_int t name f = register t name (fun () -> Int (f ()))
+let register_float t name f = register t name (fun () -> Float (f ()))
+
+let finite_or_zero x = if Float.is_finite x then x else 0.
+
+let register_stats t name st =
+  register_int t (name ^ ".count") (fun () -> Stats.count st);
+  register_float t (name ^ ".mean") (fun () -> Stats.mean st);
+  register_float t (name ^ ".min") (fun () -> finite_or_zero (Stats.min st));
+  register_float t (name ^ ".max") (fun () -> finite_or_zero (Stats.max st))
+
+let dist t name =
+  let st = Stats.create () in
+  register_stats t name st;
+  st
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  List.map (fun (name, sample) -> (name, sample ())) t.samplers
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let size t = List.length t.samplers
+
+let value_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.9g" f
+
+let flatten labeled =
+  List.concat_map
+    (fun (label, snap) ->
+      List.map
+        (fun (name, v) ->
+          ((if label = "" then name else label ^ "." ^ name), v))
+        snap)
+    labeled
+
+let render_json labeled =
+  let entries = flatten labeled in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S: %s%s\n" name (value_string v)
+           (if i = last then "" else ",")))
+    entries;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let render_csv labeled =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "name,value\n";
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "%s,%s\n" name (value_string v)))
+    (flatten labeled);
+  Buffer.contents buf
+
+let write_file path labeled =
+  let rendered =
+    if Filename.check_suffix path ".csv" then render_csv labeled
+    else render_json labeled
+  in
+  let oc = open_out path in
+  output_string oc rendered;
+  close_out oc

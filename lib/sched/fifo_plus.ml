@@ -15,8 +15,20 @@ let compare_entry a b =
   | 0 -> compare a.arrival_seq b.arrival_seq
   | c -> c
 
-let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ~pool () =
+let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ?metrics
+    ?(label = "0") ~pool () =
   let st = { avg = Ispn_util.Ewma.create ~gain:ewma_gain (); discarded = 0 } in
+  let offsets =
+    match metrics with
+    | None -> None
+    | Some m ->
+        let p = "qdisc.fifo_plus." ^ label in
+        Ispn_obs.Metrics.register_float m (p ^ ".avg_delay") (fun () ->
+            Ispn_util.Ewma.value st.avg);
+        Ispn_obs.Metrics.register_int m (p ^ ".discarded") (fun () ->
+            st.discarded);
+        Some (Ispn_obs.Metrics.dist m (p ^ ".offset"))
+  in
   let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
   let next_seq = ref 0 in
   let enqueue ~now pkt =
@@ -49,6 +61,9 @@ let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ~pool () =
         pkt.Packet.offset <-
           pkt.Packet.offset +. (delay -. Ispn_util.Ewma.value st.avg);
         Ispn_util.Ewma.update st.avg delay;
+        (match offsets with
+        | None -> ()
+        | Some d -> Ispn_util.Stats.add d pkt.Packet.offset);
         Some pkt
   in
   ( st,

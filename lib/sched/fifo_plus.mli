@@ -35,8 +35,15 @@ val discarded : state -> int
 val create :
   ?ewma_gain:float ->
   ?discard_late_above:float ->
+  ?metrics:Ispn_obs.Metrics.t ->
+  ?label:string ->
   pool:Ispn_sim.Qdisc.pool ->
   unit ->
   state * Ispn_sim.Qdisc.t
 (** [discard_late_above] is an offset threshold in seconds; omitted means
-    never discard. *)
+    never discard.  [metrics] registers, under [qdisc.fifo_plus.<label>]
+    (label defaults to ["0"]): pull gauges [.avg_delay] and [.discarded],
+    plus a push distribution [.offset.{count,mean,min,max}] of the
+    jitter-offset each departing packet carries away.  The offset push is
+    one [Stats.add] per dequeue, skipped by a single branch when metrics
+    are off. *)

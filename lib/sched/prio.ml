@@ -1,8 +1,17 @@
 open Ispn_sim
 
-let create ~classes ~classify () =
+let create ?metrics ?(label = "0") ~classes ~classify () =
   assert (Array.length classes > 0);
   let n = Array.length classes in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Array.iteri
+        (fun c q ->
+          Ispn_obs.Metrics.register_int m
+            (Printf.sprintf "qdisc.prio.%s.class.%d.len" label c)
+            (fun () -> q.Qdisc.length ()))
+        classes);
   let enqueue ~now pkt =
     let c = classify pkt in
     if c < 0 || c >= n then

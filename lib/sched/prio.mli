@@ -9,9 +9,13 @@
     and a plain {!Fifo} for datagram traffic at the bottom. *)
 
 val create :
+  ?metrics:Ispn_obs.Metrics.t ->
+  ?label:string ->
   classes:Ispn_sim.Qdisc.t array ->
   classify:(Ispn_sim.Packet.t -> int) ->
   unit ->
   Ispn_sim.Qdisc.t
 (** [classify pkt] must return an index into [classes].  Raises
-    [Invalid_argument] on an out-of-range class at enqueue time. *)
+    [Invalid_argument] on an out-of-range class at enqueue time.
+    [metrics] registers a pull gauge [qdisc.prio.<label>.class.<c>.len]
+    per sub-scheduler (label defaults to ["0"]). *)

@@ -13,7 +13,7 @@ let compare_entry a b =
   | 0 -> compare a.arrival_seq b.arrival_seq
   | c -> c
 
-let create ~pool ~link_rate_bps ~weight_of () =
+let create ?metrics ?(label = "0") ~pool ~link_rate_bps ~weight_of () =
   let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
   let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
   let next_seq = ref 0 in
@@ -21,6 +21,13 @@ let create ~pool ~link_rate_bps ~weight_of () =
     Vtime.create ~link_rate_bps ~on_reset:(fun () ->
         Hashtbl.iter (fun _ fs -> fs.last_finish <- 0.) flows)
   in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let p = "qdisc.wfq." ^ label in
+      Ispn_obs.Metrics.register_float m (p ^ ".vtime") (fun () -> Vtime.v vt);
+      Ispn_obs.Metrics.register_int m (p ^ ".flows") (fun () ->
+          Hashtbl.length flows));
   let flow_state flow =
     match Hashtbl.find_opt flows flow with
     | Some fs -> fs
@@ -64,5 +71,5 @@ let create ~pool ~link_rate_bps ~weight_of () =
     ~length:(fun () -> Ispn_util.Heap.length heap)
     ~name:"WFQ" ()
 
-let create_equal ~pool ~link_rate_bps () =
-  create ~pool ~link_rate_bps ~weight_of:(fun _ -> 1.) ()
+let create_equal ?metrics ?label ~pool ~link_rate_bps () =
+  create ?metrics ?label ~pool ~link_rate_bps ~weight_of:(fun _ -> 1.) ()

@@ -13,14 +13,25 @@
     Shenker used in Tables 1 and 2. *)
 
 val create :
+  ?metrics:Ispn_obs.Metrics.t ->
+  ?label:string ->
   pool:Ispn_sim.Qdisc.pool ->
   link_rate_bps:float ->
   weight_of:(int -> float) ->
   unit ->
   Ispn_sim.Qdisc.t
 (** [weight_of flow] gives the clock rate (bits/s) of [flow]; it is consulted
-    once, when the flow's first packet arrives, and must be positive. *)
+    once, when the flow's first packet arrives, and must be positive.
+    [metrics], when given, registers pull gauges under
+    [qdisc.wfq.<label>] (label defaults to ["0"], conventionally the link
+    index): [.vtime] — the current virtual time — and [.flows] — flows
+    ever seen. *)
 
 val create_equal :
-  pool:Ispn_sim.Qdisc.pool -> link_rate_bps:float -> unit -> Ispn_sim.Qdisc.t
+  ?metrics:Ispn_obs.Metrics.t ->
+  ?label:string ->
+  pool:Ispn_sim.Qdisc.pool ->
+  link_rate_bps:float ->
+  unit ->
+  Ispn_sim.Qdisc.t
 (** Unweighted Fair Queueing: every flow gets the same share. *)

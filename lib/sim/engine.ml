@@ -13,6 +13,7 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable live : int;
+  mutable live_hwm : int;
   mutable fired : int;
   mutable skipped : int;
   heap : event Ispn_util.Heap.t;
@@ -26,6 +27,7 @@ let create () =
     clock = 0.;
     next_seq = 0;
     live = 0;
+    live_hwm = 0;
     fired = 0;
     skipped = 0;
     heap = Ispn_util.Heap.create ~cmp:compare_event ();
@@ -42,6 +44,7 @@ let schedule t ~at action =
   let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
+  if t.live > t.live_hwm then t.live_hwm <- t.live;
   Ispn_util.Heap.push t.heap ev;
   ev
 
@@ -56,6 +59,14 @@ let cancel t ev =
   end
 
 let pending t = t.live
+let heap_depth_hwm t = t.live_hwm
+
+let register_metrics t m =
+  let module M = Ispn_obs.Metrics in
+  M.register_int m "engine.events_fired" (fun () -> t.fired);
+  M.register_int m "engine.cancels_skipped" (fun () -> t.skipped);
+  M.register_int m "engine.heap_depth_hwm" (fun () -> t.live_hwm);
+  M.register_int m "engine.pending" (fun () -> t.live)
 
 let fire t ev =
   if ev.cancelled then t.skipped <- t.skipped + 1

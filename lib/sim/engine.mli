@@ -31,6 +31,11 @@ val cancel : t -> handle -> unit
 val pending : t -> int
 (** Number of live (non-cancelled) events still queued. *)
 
+val heap_depth_hwm : t -> int
+(** High-water mark of {!pending} since {!create} — how deep the event heap
+    ever got.  Tracked unconditionally (one compare per schedule, no
+    allocation); exported as the [engine.heap_depth_hwm] metric. *)
+
 type stats = {
   events_fired : int;  (** Actions executed since {!create}. *)
   cancels_skipped : int;
@@ -41,6 +46,10 @@ val stats : t -> stats
 (** Cumulative event-loop counters, for the [micro] bench and CI to watch
     cost-per-event (a high skip share means cancellation churn is eating
     heap bandwidth). *)
+
+val register_metrics : t -> Ispn_obs.Metrics.t -> unit
+(** Register the event-loop counters as pull gauges: [engine.events_fired],
+    [engine.cancels_skipped], [engine.heap_depth_hwm], [engine.pending]. *)
 
 val run : t -> until:float -> unit
 (** Execute events in time order until the clock would pass [until], then set

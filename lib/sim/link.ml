@@ -1,9 +1,13 @@
+module Recorder = Ispn_obs.Recorder
+
 type t = {
   engine : Engine.t;
   rate_bps : float;
   prop_delay : float;
   qdisc : Qdisc.t;
   link_name : string;
+  id : int;
+  recorder : Recorder.t option;
   mutable receiver : (Packet.t -> unit) option;
   mutable drop_hook : (Packet.t -> unit) option;
   mutable wire_filter : (Packet.t -> Packet.t option) option;
@@ -11,19 +15,37 @@ type t = {
   mutable busy : bool;
   mutable sent : int;
   mutable dropped : int;
+  mutable drops_buffer : int;
+  mutable drops_down : int;
+  mutable drops_wire : int;
   mutable busy_time : float;
   waits : Ispn_util.Stats.t;
 }
 
 let set_receiver t f = t.receiver <- Some f
 let name t = t.link_name
+let id t = t.id
 let qdisc t = t.qdisc
 let set_drop_hook t f = t.drop_hook <- Some f
 let set_wire_filter t f = t.wire_filter <- Some f
 let is_up t = t.up
 
-let drop t pkt =
+let record t pkt ~kind ~value ~cause =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+      Recorder.record r ~time:(Engine.now t.engine) ~kind ~link:t.id
+        ~flow:pkt.Packet.flow ~seq:pkt.Packet.seq ~cls:(-1)
+        ~offset:pkt.Packet.offset ~value ~cause
+
+let drop t pkt ~cause =
   t.dropped <- t.dropped + 1;
+  (match cause with
+  | Recorder.Buffer -> t.drops_buffer <- t.drops_buffer + 1
+  | Recorder.Down -> t.drops_down <- t.drops_down + 1
+  | Recorder.Wire -> t.drops_wire <- t.drops_wire + 1
+  | Recorder.No_cause -> ());
+  record t pkt ~kind:Recorder.Drop ~value:0. ~cause;
   match t.drop_hook with Some f -> f pkt | None -> ()
 
 let deliver t pkt =
@@ -31,8 +53,10 @@ let deliver t pkt =
     match t.wire_filter with None -> Some pkt | Some f -> f pkt
   in
   match filtered with
-  | None -> drop t pkt
+  | None -> drop t pkt ~cause:Recorder.Wire
   | Some pkt -> (
+      record t pkt ~kind:Recorder.Deliver ~value:pkt.Packet.qdelay_total
+        ~cause:Recorder.No_cause;
       match t.receiver with
       | Some f -> f pkt
       | None -> failwith ("Link " ^ t.link_name ^ ": no receiver attached"))
@@ -53,6 +77,10 @@ let rec start_transmission t =
         Ispn_util.Stats.add t.waits wait;
         let tx_time = float_of_int pkt.Packet.size_bits /. t.rate_bps in
         t.busy_time <- t.busy_time +. tx_time;
+        record t pkt ~kind:Recorder.Dequeue ~value:wait
+          ~cause:Recorder.No_cause;
+        record t pkt ~kind:Recorder.Tx_start ~value:tx_time
+          ~cause:Recorder.No_cause;
         let finish () =
           if t.up then begin
             t.sent <- t.sent + 1;
@@ -64,7 +92,7 @@ let rec start_transmission t =
           end
           else
             (* The link failed mid-transmission: the frame is lost. *)
-            drop t pkt;
+            drop t pkt ~cause:Recorder.Down;
           start_transmission t
         in
         ignore (Engine.schedule_after t.engine ~delay:tx_time finish)
@@ -76,7 +104,8 @@ let set_up t up =
   end
   else if (not up) && t.up then t.up <- false
 
-let create ~engine ~rate_bps ?(prop_delay = 0.) ~qdisc ~name () =
+let create ~engine ~rate_bps ?(prop_delay = 0.) ?(id = 0) ?recorder ~qdisc
+    ~name () =
   assert (rate_bps > 0. && prop_delay >= 0.);
   let t =
     {
@@ -85,6 +114,8 @@ let create ~engine ~rate_bps ?(prop_delay = 0.) ~qdisc ~name () =
       prop_delay;
       qdisc;
       link_name = name;
+      id;
+      recorder;
       receiver = None;
       drop_hook = None;
       wire_filter = None;
@@ -92,6 +123,9 @@ let create ~engine ~rate_bps ?(prop_delay = 0.) ~qdisc ~name () =
       busy = false;
       sent = 0;
       dropped = 0;
+      drops_buffer = 0;
+      drops_down = 0;
+      drops_wire = 0;
       busy_time = 0.;
       waits = Ispn_util.Stats.create ();
     }
@@ -103,19 +137,35 @@ let create ~engine ~rate_bps ?(prop_delay = 0.) ~qdisc ~name () =
 
 let send t pkt =
   let now = Engine.now t.engine in
+  let qdelay_before = pkt.Packet.qdelay_total in
   pkt.Packet.enqueued_at <- now;
   if t.qdisc.Qdisc.enqueue ~now pkt then begin
+    record t pkt ~kind:Recorder.Enqueue ~value:qdelay_before
+      ~cause:Recorder.No_cause;
     if not t.busy then start_transmission t
   end
   else begin
     Logs.debug ~src:Ispn_util.Log.link (fun m ->
         m "%s: buffer full, dropping flow %d seq %d at t=%.6f" t.link_name
           pkt.Packet.flow pkt.Packet.seq now);
-    drop t pkt
+    drop t pkt ~cause:Recorder.Buffer
   end
 
 let sent t = t.sent
 let dropped t = t.dropped
+let drops_buffer t = t.drops_buffer
+let drops_down t = t.drops_down
+let drops_wire t = t.drops_wire
 let busy_time t = t.busy_time
 let utilization t ~elapsed = if elapsed <= 0. then 0. else t.busy_time /. elapsed
 let wait_stats t = t.waits
+
+let register_metrics t m ~prefix =
+  let module M = Ispn_obs.Metrics in
+  M.register_int m (prefix ^ ".sent") (fun () -> t.sent);
+  M.register_int m (prefix ^ ".drops.buffer") (fun () -> t.drops_buffer);
+  M.register_int m (prefix ^ ".drops.down") (fun () -> t.drops_down);
+  M.register_int m (prefix ^ ".drops.wire") (fun () -> t.drops_wire);
+  M.register_float m (prefix ^ ".busy_time") (fun () -> t.busy_time);
+  M.register_int m (prefix ^ ".qdisc.len") (fun () -> t.qdisc.Qdisc.length ());
+  M.register_stats m (prefix ^ ".wait") t.waits

@@ -8,7 +8,14 @@
     Per-hop queueing delay is defined as the time from arrival at the qdisc
     to the start of transmission (the scheduling-dependent part of the
     delay); the link accumulates it into [Packet.qdelay_total], which is the
-    quantity the paper's tables report summed over a path. *)
+    quantity the paper's tables report summed over a path.
+
+    When a flight recorder is attached the link emits the structured event
+    stream documented in {!Ispn_obs.Recorder}: [Enqueue] on qdisc accept
+    (value = accumulated queueing delay before this hop), [Drop] with a
+    cause on every loss path, [Dequeue] (value = this hop's wait) and
+    [Tx_start] (value = transmission time) when serialization begins, and
+    [Deliver] (value = cumulative queueing delay) at the receiver. *)
 
 type t
 
@@ -16,15 +23,24 @@ val create :
   engine:Engine.t ->
   rate_bps:float ->
   ?prop_delay:float ->
+  ?id:int ->
+  ?recorder:Ispn_obs.Recorder.t ->
   qdisc:Qdisc.t ->
   name:string ->
   unit ->
   t
 (** The receiver is attached afterwards with {!set_receiver} so that
-    topologies with cycles of references can be wired up. *)
+    topologies with cycles of references can be wired up.  [id] (default 0)
+    is the hop index stamped on recorder events and used in metric names;
+    {!Network.chain} numbers its links 0..n-1.  Without [recorder] the link
+    records nothing and the event paths stay allocation-free. *)
 
 val set_receiver : t -> (Packet.t -> unit) -> unit
 val name : t -> string
+
+val id : t -> int
+(** The hop index given at {!create}. *)
+
 val qdisc : t -> Qdisc.t
 
 val send : t -> Packet.t -> unit
@@ -60,7 +76,19 @@ val set_wire_filter : t -> (Packet.t -> Packet.t option) -> unit
 (** {2 Accounting} *)
 
 val sent : t -> int
+
 val dropped : t -> int
+(** Total losses; {!drops_buffer} + {!drops_down} + {!drops_wire}. *)
+
+val drops_buffer : t -> int
+(** Qdisc rejections (buffer pool exhausted or late-discard policy). *)
+
+val drops_down : t -> int
+(** Frames in flight when the link went down. *)
+
+val drops_wire : t -> int
+(** Packets discarded by the wire filter at delivery time. *)
+
 val busy_time : t -> float
 (** Total seconds spent transmitting. *)
 
@@ -69,3 +97,9 @@ val utilization : t -> elapsed:float -> float
 
 val wait_stats : t -> Ispn_util.Stats.t
 (** Per-hop queueing (waiting) delays of all packets sent on this link. *)
+
+val register_metrics : t -> Ispn_obs.Metrics.t -> prefix:string -> unit
+(** Register this link's counters under [prefix]: [.sent],
+    [.drops.buffer|down|wire], [.busy_time], [.qdisc.len] and the
+    [.wait.*] summary of {!wait_stats}.  Pull-based: nothing is touched on
+    the packet path. *)

@@ -4,7 +4,8 @@ type t = {
   links : Link.t array;
 }
 
-let chain ~engine ~n_switches ~rate_bps ?(prop_delay = 0.) ~qdisc_of () =
+let chain ~engine ~n_switches ~rate_bps ?(prop_delay = 0.) ?recorder ~qdisc_of
+    () =
   assert (n_switches >= 1);
   let switches =
     Array.init n_switches (fun i ->
@@ -12,7 +13,8 @@ let chain ~engine ~n_switches ~rate_bps ?(prop_delay = 0.) ~qdisc_of () =
   in
   let links =
     Array.init (n_switches - 1) (fun i ->
-        Link.create ~engine ~rate_bps ~prop_delay ~qdisc:(qdisc_of i)
+        Link.create ~engine ~rate_bps ~prop_delay ~id:i ?recorder
+          ~qdisc:(qdisc_of i)
           ~name:(Printf.sprintf "L-%d" (i + 1))
           ())
   in
@@ -43,3 +45,8 @@ let total_dropped t =
   Array.fold_left (fun acc l -> acc + Link.dropped l) 0 t.links
 
 let utilization t ~link ~elapsed = Link.utilization t.links.(link) ~elapsed
+
+let register_metrics t m =
+  Array.iteri
+    (fun i l -> Link.register_metrics l m ~prefix:(Printf.sprintf "link.%d" i))
+    t.links

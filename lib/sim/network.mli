@@ -13,12 +13,15 @@ val chain :
   n_switches:int ->
   rate_bps:float ->
   ?prop_delay:float ->
+  ?recorder:Ispn_obs.Recorder.t ->
   qdisc_of:(int -> Qdisc.t) ->
   unit ->
   t
 (** [chain ~n_switches ~qdisc_of ()] creates switches [0 .. n-1] and links
     [0 .. n-2], where link [i] carries traffic from switch [i] to switch
-    [i+1] through [qdisc_of i]. *)
+    [i+1] through [qdisc_of i].  [recorder], when given, is shared by every
+    link, which stamps events with its index [i] — the per-hop attribution
+    in [Ispn_obs.Attrib] relies on this numbering. *)
 
 val engine : t -> Engine.t
 val n_switches : t -> int
@@ -42,3 +45,7 @@ val total_dropped : t -> int
 (** Sum of buffer drops over all links. *)
 
 val utilization : t -> link:int -> elapsed:float -> float
+
+val register_metrics : t -> Ispn_obs.Metrics.t -> unit
+(** Register every link's counters under [link.<i>] (0-based link index);
+    see {!Link.register_metrics}. *)

@@ -1,13 +1,14 @@
-type pool = { capacity : int; mutable in_use : int }
+type pool = { capacity : int; mutable in_use : int; mutable hwm : int }
 
 let pool ~capacity =
   assert (capacity > 0);
-  { capacity; in_use = 0 }
+  { capacity; in_use = 0; hwm = 0 }
 
 let pool_take p =
   if p.in_use >= p.capacity then false
   else begin
     p.in_use <- p.in_use + 1;
+    if p.in_use > p.hwm then p.hwm <- p.in_use;
     true
   end
 
@@ -16,8 +17,9 @@ let pool_release p =
   p.in_use <- p.in_use - 1
 
 let pool_in_use p = p.in_use
+let pool_hwm p = p.hwm
 let pool_capacity p = p.capacity
-let unbounded_pool () = { capacity = max_int; in_use = 0 }
+let unbounded_pool () = { capacity = max_int; in_use = 0; hwm = 0 }
 
 type t = {
   enqueue : now:float -> Packet.t -> bool;

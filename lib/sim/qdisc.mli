@@ -19,6 +19,12 @@ val pool_take : pool -> bool
 
 val pool_release : pool -> unit
 val pool_in_use : pool -> int
+
+val pool_hwm : pool -> int
+(** High-water mark of {!pool_in_use} since creation — how close the link's
+    buffer budget came to exhaustion.  Tracked unconditionally (one compare
+    per take); exported as the [link.<i>.pool.in_use_hwm] metric. *)
+
 val pool_capacity : pool -> int
 
 val unbounded_pool : unit -> pool

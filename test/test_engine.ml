@@ -57,9 +57,12 @@ let test_stats_counters () =
 
 (* The hot-path regression guard: draining the engine must cost a small
    constant number of minor words per event (the event record itself plus
-   heap bookkeeping), not grow with an option box per pop/peek.  A chain of
-   1e6 self-rescheduling events, half with a cancelled decoy, stays under
-   64 words/event with room to spare. *)
+   heap bookkeeping), not grow with an option box per pop/peek.  This also
+   pins the observability contract: the unconditional [heap_depth_hwm]
+   tracking (and the disabled-metrics path generally) must stay a bare
+   compare, never an allocation.  A chain of 1e6 self-rescheduling events,
+   half with a cancelled decoy, stays under 64 words/event with room to
+   spare. *)
 let test_run_alloc_per_event () =
   let e = Engine.create () in
   let n = 1_000_000 in
@@ -83,7 +86,11 @@ let test_run_alloc_per_event () =
   in
   if per_event > 64. then
     Alcotest.failf "%.1f minor words per event (expected O(1), <= 64)"
-      per_event
+      per_event;
+  let hwm = Engine.heap_depth_hwm e in
+  if hwm < 1 || hwm > 4 then
+    Alcotest.failf "heap hwm %d (expected the 1-2 live events of the chain)"
+      hwm
 
 let test_cancel () =
   let e = Engine.create () in

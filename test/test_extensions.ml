@@ -213,8 +213,40 @@ let test_failover_deterministic_and_shaped () =
         (final 1 crash)
   | _ -> Alcotest.fail "expected four schedules"
 
+(* E12: the flight-recorder trace runner returns complete worst-case rows
+   whose per-hop decomposition reproduces the probe's end-to-end delay
+   (both sides already converted to packet-transmission times). *)
+let test_trace_rows_shape () =
+  List.iter
+    (fun experiment ->
+      let res = X.run_trace ~experiment ~worst:3 ~duration:20. () in
+      Alcotest.(check string) "experiment echoed"
+        (X.trace_experiment_name experiment)
+        (X.trace_experiment_name res.X.tre_experiment);
+      Alcotest.(check bool) "delivered some packets" true
+        (res.X.tre_delivered > 0);
+      Alcotest.(check bool) "complete reconstructions" true
+        (res.X.tre_complete > 0);
+      Alcotest.(check int) "asked for three rows" 3
+        (List.length res.X.tre_rows);
+      List.iter
+        (fun row ->
+          Alcotest.(check bool) "has hops" true (row.X.tr_hops <> []);
+          let sum =
+            List.fold_left
+              (fun acc h -> acc +. h.X.th_queueing)
+              0. row.X.tr_hops
+          in
+          Alcotest.(check (float 1e-6)) "hop queueing sums to probe delay"
+            row.X.tr_reported sum;
+          Alcotest.(check (float 1e-6)) "tr_queueing consistent"
+            row.X.tr_queueing sum)
+        res.X.tre_rows)
+    [ X.T_table1; X.T_table2; X.T_table3 ]
+
 let suite =
   [
+    Alcotest.test_case "trace rows shape" `Slow test_trace_rows_shape;
     Alcotest.test_case "failover deterministic and shaped" `Slow
       test_failover_deterministic_and_shaped;
     Alcotest.test_case "importance differentiation" `Slow

@@ -1,4 +1,5 @@
-(* Packet, Qdisc pools, Link, Node, Network, Probe and Trace. *)
+(* Packet, Qdisc pools, Link, Node, Network, Probe and the link's
+   flight-recorder event stream. *)
 open Ispn_sim
 
 let mk_packet ?(flow = 0) ?(seq = 0) ?(created = 0.) () =
@@ -206,29 +207,72 @@ let test_probe_units () =
   Alcotest.(check (float 1e-9)) "mean in units" 4. (Probe.mean_qdelay probe);
   Alcotest.(check (float 1e-9)) "max in units" 4. (Probe.max_qdelay probe)
 
-(* --- Trace --- *)
+(* --- Flight recorder events from the link --- *)
 
-let test_trace_bounded () =
-  let tr = Trace.create ~capacity:3 () in
-  for i = 1 to 5 do
-    Trace.record tr ~time:(float_of_int i) (string_of_int i)
+module Recorder = Ispn_obs.Recorder
+
+let make_recorded_link engine recorder ~pool_capacity =
+  let pool = Qdisc.pool ~capacity:pool_capacity in
+  let qdisc = Ispn_sched.Fifo.create ~pool () in
+  Link.create ~engine ~rate_bps:1e6 ~id:3 ~recorder ~qdisc ~name:"rec" ()
+
+let test_recorder_link_events () =
+  let engine = Engine.create () in
+  let r = Recorder.create ~capacity:16 () in
+  let link = make_recorded_link engine r ~pool_capacity:10 in
+  Link.set_receiver link (fun _ -> ());
+  let p = mk_packet ~flow:7 ~seq:9 () in
+  (* Pretend an upstream hop already queued it for 2 ms. *)
+  p.Packet.qdelay_total <- 0.002;
+  Link.send link p;
+  Engine.run engine ~until:1.;
+  let evs = Recorder.events r in
+  Alcotest.(check (list string)) "lifecycle"
+    [ "enqueue"; "dequeue"; "tx-start"; "deliver" ]
+    (List.map (fun (e : Recorder.event) -> Recorder.kind_name e.kind) evs);
+  List.iter
+    (fun (e : Recorder.event) ->
+      Alcotest.(check int) "hop id" 3 e.link;
+      Alcotest.(check int) "flow" 7 e.flow;
+      Alcotest.(check int) "seq" 9 e.seq)
+    evs;
+  match evs with
+  | [ enq; deq; tx; dlv ] ->
+      Alcotest.(check (float 1e-12)) "enqueue carries upstream qdelay" 0.002
+        enq.Recorder.value;
+      Alcotest.(check (float 1e-12)) "idle link: zero wait" 0.
+        deq.Recorder.value;
+      Alcotest.(check (float 1e-12)) "tx time" 0.001 tx.Recorder.value;
+      Alcotest.(check (float 1e-12)) "deliver carries cumulative qdelay"
+        0.002 dlv.Recorder.value
+  | _ -> Alcotest.fail "expected exactly four events"
+
+let test_recorder_drop_causes () =
+  let engine = Engine.create () in
+  let r = Recorder.create ~capacity:32 () in
+  let link = make_recorded_link engine r ~pool_capacity:2 in
+  Link.set_receiver link (fun _ -> ());
+  (* seq 0 starts transmitting (releasing its buffer), 1 and 2 queue,
+     3 overflows the 2-packet pool. *)
+  for i = 0 to 3 do
+    Link.send link (mk_packet ~seq:i ())
   done;
-  Alcotest.(check int) "length capped" 3 (Trace.length tr);
-  let entries = List.map snd (Trace.entries tr) in
-  Alcotest.(check (list string)) "keeps most recent" [ "3"; "4"; "5" ] entries
-
-let test_trace_pp () =
-  let tr = Trace.create () in
-  Trace.record tr ~time:1.5 "hello";
-  let out = Format.asprintf "%a" Trace.pp tr in
-  Alcotest.(check bool) "renders entries" true
-    (String.length out > 0
-    &&
-    let rec contains i =
-      i + 5 <= String.length out
-      && (String.sub out i 5 = "hello" || contains (i + 1))
-    in
-    contains 0)
+  Engine.run engine ~until:0.0005;
+  (* seq 0 is mid-flight: taking the link down loses it. *)
+  Link.set_up link false;
+  Engine.run engine ~until:0.01;
+  let drops =
+    List.filter (fun (e : Recorder.event) -> e.kind = Recorder.Drop)
+      (Recorder.events r)
+  in
+  Alcotest.(check (list string)) "drop causes in time order"
+    [ "buffer"; "down" ]
+    (List.map (fun (e : Recorder.event) -> Recorder.cause_name e.cause) drops);
+  Alcotest.(check (list int)) "dropped seqs" [ 3; 0 ]
+    (List.map (fun (e : Recorder.event) -> e.seq) drops);
+  Alcotest.(check int) "buffer counter" 1 (Link.drops_buffer link);
+  Alcotest.(check int) "down counter" 1 (Link.drops_down link);
+  Alcotest.(check int) "total" 2 (Link.dropped link)
 
 let test_link_wait_stats () =
   let engine = Engine.create () in
@@ -245,11 +289,17 @@ let test_link_wait_stats () =
   Alcotest.(check (float 1e-9)) "mean wait" 0.001
     (Ispn_util.Stats.mean stats)
 
-let test_trace_clear () =
-  let tr = Trace.create () in
-  Trace.record tr ~time:1. "x";
-  Trace.clear tr;
-  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+let test_recorder_clear () =
+  let engine = Engine.create () in
+  let r = Recorder.create ~capacity:16 () in
+  let link = make_recorded_link engine r ~pool_capacity:10 in
+  Link.set_receiver link (fun _ -> ());
+  Link.send link (mk_packet ());
+  Engine.run engine ~until:1.;
+  Alcotest.(check bool) "recorded something" true (Recorder.length r > 0);
+  Recorder.clear r;
+  Alcotest.(check int) "cleared" 0 (Recorder.length r);
+  Alcotest.(check int) "capacity unchanged" 16 (Recorder.capacity r)
 
 let suite =
   [
@@ -279,8 +329,10 @@ let suite =
     Alcotest.test_case "network bad path rejected" `Quick
       test_network_bad_path_rejected;
     Alcotest.test_case "probe units" `Quick test_probe_units;
-    Alcotest.test_case "trace bounded" `Quick test_trace_bounded;
-    Alcotest.test_case "trace pp" `Quick test_trace_pp;
+    Alcotest.test_case "recorder link events" `Quick
+      test_recorder_link_events;
+    Alcotest.test_case "recorder drop causes" `Quick
+      test_recorder_drop_causes;
     Alcotest.test_case "link wait stats" `Quick test_link_wait_stats;
-    Alcotest.test_case "trace clear" `Quick test_trace_clear;
+    Alcotest.test_case "recorder clear" `Quick test_recorder_clear;
   ]
