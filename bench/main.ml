@@ -407,6 +407,33 @@ let micro () =
         Ispn_sched.Drr.create
           ~pool:(Ispn_sim.Qdisc.unbounded_pool ())
           ~quantum_bits:1000 ()
+    | "EDF" ->
+        Ispn_sched.Edf.create
+          ~pool:(Ispn_sim.Qdisc.unbounded_pool ())
+          ~deadline_of:(fun _ -> 0.01)
+          ()
+    | "Jitter-EDD" ->
+        (* Bench packets carry no upstream earliness (offset 0), so every
+           packet is immediately eligible and the engine stays idle — the
+           measured cost is the two-heap ranked path. *)
+        Ispn_sched.Jitter_edd.create ~engine:(Ispn_sim.Engine.create ())
+          ~budget_of:(fun _ -> 0.02)
+          ~pool:(Ispn_sim.Qdisc.unbounded_pool ())
+          ()
+    | "HRR" ->
+        (* Slots far beyond the iteration count: the first frame's credit
+           never runs out, so the round-robin scan path is what's timed. *)
+        Ispn_sched.Hrr.create ~engine:(Ispn_sim.Engine.create ()) ~frame:0.02
+          ~slots_of:(fun _ -> 1 lsl 30)
+          ~pool:(Ispn_sim.Qdisc.unbounded_pool ())
+          ()
+    | "Stop-and-Go" ->
+        (* One frame per bench tick: the 32-deep standing queue keeps the
+           head a full frame old, so dequeues always find it eligible. *)
+        Ispn_sched.Stop_and_go.create ~engine:(Ispn_sim.Engine.create ())
+          ~frame:1e-4
+          ~pool:(Ispn_sim.Qdisc.unbounded_pool ())
+          ()
     | "CSZ" ->
         let st, q =
           Csz.Csz_sched.create ~pool:(Ispn_sim.Qdisc.unbounded_pool ()) ()
@@ -448,7 +475,8 @@ let micro () =
     Test.make_grouped ~name:"sched"
       [
         test "FIFO"; test "FIFO+"; test "WFQ"; test "VirtualClock";
-        test "DRR"; test "CSZ";
+        test "DRR"; test "EDF"; test "Jitter-EDD"; test "HRR";
+        test "Stop-and-Go"; test "CSZ";
       ]
   in
   let cfg =

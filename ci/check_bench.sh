@@ -39,7 +39,7 @@ BEGIN { FS = "\""; bad = 0 }
         if (val + 0 > base[name] * tol)
             { printf "REGRESSION  %-22s %8.1f ns vs baseline %8.1f ns (+%.0f%%)\n", name, val, base[name], 100 * (val / base[name] - 1); bad = 1 }
         else
-            printf "ok          %-22s %8.1f ns vs baseline %8.1f ns\n", name, val, base[name]
+            printf "ok          %-22s %8.1f ns vs baseline %8.1f ns (%+.0f%%)\n", name, val, base[name], 100 * (val / base[name] - 1)
     } else
         printf "new         %-22s %8.1f ns (no baseline entry)\n", name, val
 }

@@ -1,7 +1,9 @@
 open Ispn_sim
-module Heap = Ispn_util.Heap
+module Kheap = Ispn_util.Kheap
 module Ewma = Ispn_util.Ewma
 module Vtime = Ispn_sched.Vtime
+
+let fmax (a : float) b = if a >= b then a else b
 
 type config = {
   link_rate_bps : float;
@@ -18,34 +20,42 @@ let default_config =
     discard_late_above = None;
   }
 
-type g_state = {
-  weight : float;
-  mutable last_finish : float;
-  mutable qlen : int;
-  mutable retiring : bool;  (* reservation released; unregister when drained *)
+(* Guaranteed-flow state is structure-of-arrays indexed by the flow id
+   (hot-path discipline, DESIGN.md): every packet consults
+   [g_weight.(flow)] to classify itself, so that lookup must be a bare
+   array load, not a Hashtbl probe.  [g_weight.(f) = 0.] marks a flow with
+   no reservation; a retiring flow (reservation released, packets still
+   queued) keeps its weight until it drains. *)
+type g_flows = {
+  mutable g_weight : float array;
+  mutable g_fin : float array;  (* last virtual finish tag *)
+  mutable g_qlen : int array;
+  mutable g_retiring : bool array;
 }
 
-type g_entry = { tag : float; g_seq : int; g_pkt : Packet.t }
-
-type c_entry = { deadline : float; c_seq : int; c_pkt : Packet.t; cls : int }
-
-type class_state = { heap : c_entry Heap.t; avg : Ewma.t }
+type class_state = { heap : Packet.t Kheap.t; avg : Ewma.t }
 
 type t = {
   cfg : config;
   pool : Qdisc.pool;
-  g_flows : (int, g_state) Hashtbl.t;
-  g_heap : g_entry Heap.t;
+  gf : g_flows;
+  g_heap : Packet.t Kheap.t;
   mutable g_count : int;  (* guaranteed packets queued *)
   mutable g_weight_sum : float;
   classes : class_state array;  (* K predicted + 1 datagram *)
-  flow_cls : (int, int) Hashtbl.t;
-  mutable head : c_entry option;  (* flow 0's committed next packet *)
+  mutable flow_cls : int array;  (* predicted class per flow; -1 = none *)
+  dummy : Packet.t;  (* fills vacated slots; never transmitted *)
+  (* Flow 0's committed next packet, unpacked into flat fields so
+     re-examining the commitment on every dequeue allocates nothing. *)
+  mutable head_valid : bool;
+  mutable head_pkt : Packet.t;  (* dummy when not valid *)
+  mutable head_deadline : float;
+  mutable head_seq : int;  (* tie-break rank in its class heap *)
+  mutable head_cls : int;
   mutable head_start : float;  (* virtual start of flow 0's service slot *)
   mutable f0_last : float;
   mutable f0_backlog : int;  (* flow-0 packets queued, head included *)
   vt : Vtime.t;
-  mutable seq : int;
   mutable late_discards : int;
   mutable realtime_bits : int;
   mutable datagram_bits : int;
@@ -54,14 +64,6 @@ type t = {
   offset_dists : Ispn_util.Stats.t option array;
       (* per predicted class; Some only when metrics are attached *)
 }
-
-let compare_g a b =
-  match compare a.tag b.tag with 0 -> compare a.g_seq b.g_seq | c -> c
-
-let compare_c a b =
-  match compare a.deadline b.deadline with
-  | 0 -> compare a.c_seq b.c_seq
-  | c -> c
 
 let datagram_class t = t.cfg.n_predicted_classes
 let flow0_rate_bps t = t.cfg.link_rate_bps -. t.g_weight_sum
@@ -76,10 +78,41 @@ let class_avg_delay t ~cls =
     invalid_arg "Csz_sched.class_avg_delay";
   Ewma.value t.classes.(cls).avg
 
-let next_seq t =
-  let s = t.seq in
-  t.seq <- t.seq + 1;
-  s
+(* Guaranteed lookup: a flow beyond the array has never held a
+   reservation. *)
+let g_weight_of t flow =
+  if flow < Array.length t.gf.g_weight then t.gf.g_weight.(flow) else 0.
+
+let grow_g t n =
+  let gf = t.gf in
+  let old = Array.length gf.g_weight in
+  if n > old then begin
+    let n = Stdlib.max n (2 * old) in
+    let weight = Array.make n 0. in
+    let fin = Array.make n 0. in
+    let qlen = Array.make n 0 in
+    let retiring = Array.make n false in
+    Array.blit gf.g_weight 0 weight 0 old;
+    Array.blit gf.g_fin 0 fin 0 old;
+    Array.blit gf.g_qlen 0 qlen 0 old;
+    Array.blit gf.g_retiring 0 retiring 0 old;
+    gf.g_weight <- weight;
+    gf.g_fin <- fin;
+    gf.g_qlen <- qlen;
+    gf.g_retiring <- retiring
+  end
+
+let cls_of t flow =
+  if flow < Array.length t.flow_cls then t.flow_cls.(flow) else -1
+
+let grow_cls t n =
+  let old = Array.length t.flow_cls in
+  if n > old then begin
+    let n = Stdlib.max n (2 * old) in
+    let bigger = Array.make n (-1) in
+    Array.blit t.flow_cls 0 bigger 0 old;
+    t.flow_cls <- bigger
+  end
 
 let f0_active t = t.f0_backlog > 0
 
@@ -88,45 +121,51 @@ let f0_active t = t.f0_backlog > 0
    dequeue because a higher-priority packet may have arrived since the last
    promotion; the virtual service slot (head_start) survives such a swap —
    it belongs to flow 0, not to the particular packet. *)
+let commit_head t c =
+  let heap = t.classes.(c).heap in
+  t.head_deadline <- Kheap.min_key_exn heap;
+  t.head_seq <- Kheap.min_seq_exn heap;
+  t.head_pkt <- Kheap.pop_exn heap;
+  t.head_cls <- c;
+  t.head_valid <- true
+
 let refresh_head t ~now =
   let best =
     let rec find c =
-      if c > t.cfg.n_predicted_classes then None
-      else if Heap.length t.classes.(c).heap > 0 then Some c
+      if c > t.cfg.n_predicted_classes then -1
+      else if Kheap.length t.classes.(c).heap > 0 then c
       else find (c + 1)
     in
     find 0
   in
-  match (t.head, best) with
-  | None, None -> ()
-  | Some _, None -> ()
-  | None, Some c ->
-      let entry = Heap.pop_exn t.classes.(c).heap in
-      t.head <- Some entry;
+  if best >= 0 then
+    if not t.head_valid then begin
+      commit_head t best;
       Vtime.advance t.vt ~now;
-      t.head_start <- Stdlib.max (Vtime.v t.vt) t.f0_last
-  | Some h, Some c ->
-      if c < h.cls then begin
-        (* Demote the committed packet; promote the higher-priority one. *)
-        Heap.push t.classes.(h.cls).heap h;
-        let entry = Heap.pop_exn t.classes.(c).heap in
-        t.head <- Some entry
-      end
+      t.head_start <- fmax (Vtime.v t.vt) t.f0_last
+    end
+    else if best < t.head_cls then begin
+      (* Demote the committed packet; promote the higher-priority one. *)
+      Kheap.push_pinned t.classes.(t.head_cls).heap ~key:t.head_deadline
+        ~seq:t.head_seq t.head_pkt;
+      commit_head t best
+    end
 
-let head_tag t entry =
+let head_tag t =
   t.head_start
-  +. (float_of_int entry.c_pkt.Packet.size_bits /. flow0_rate_bps t)
+  +. (float_of_int t.head_pkt.Packet.size_bits /. flow0_rate_bps t)
 
-let serve_flow0 t ~now entry =
-  t.head <- None;
-  t.f0_last <- head_tag t entry;
+let serve_flow0 t ~now =
+  let pkt = t.head_pkt in
+  let cls = t.head_cls in
+  t.f0_last <- head_tag t;
+  t.head_valid <- false;
+  t.head_pkt <- t.dummy;
   t.f0_backlog <- t.f0_backlog - 1;
   if t.f0_backlog = 0 then
     Vtime.flow_deactivated t.vt ~now ~weight:(flow0_rate_bps t);
   Qdisc.pool_release t.pool;
-  let pkt = entry.c_pkt in
   let delay = now -. pkt.Packet.enqueued_at in
-  let cls = entry.cls in
   if cls < t.cfg.n_predicted_classes then begin
     (* FIFO+ bookkeeping: export this hop's deviation from the class
        average in the packet header, then update the average. *)
@@ -143,18 +182,21 @@ let serve_flow0 t ~now entry =
   Some pkt
 
 let serve_guaranteed t ~now =
-  let entry = Heap.pop_exn t.g_heap in
-  let pkt = entry.g_pkt in
-  let gs = Hashtbl.find t.g_flows pkt.Packet.flow in
-  gs.qlen <- gs.qlen - 1;
+  let pkt = Kheap.pop_exn t.g_heap in
+  let flow = pkt.Packet.flow in
+  let gf = t.gf in
+  let q = gf.g_qlen.(flow) - 1 in
+  gf.g_qlen.(flow) <- q;
   t.g_count <- t.g_count - 1;
-  if gs.qlen = 0 then begin
-    Vtime.flow_deactivated t.vt ~now ~weight:gs.weight;
-    if gs.retiring then begin
-      Hashtbl.remove t.g_flows pkt.Packet.flow;
-      t.g_weight_sum <- t.g_weight_sum -. gs.weight;
-      if f0_active t then
-        Vtime.adjust_active t.vt ~now ~delta:gs.weight
+  if q = 0 then begin
+    let weight = gf.g_weight.(flow) in
+    Vtime.flow_deactivated t.vt ~now ~weight;
+    if gf.g_retiring.(flow) then begin
+      gf.g_weight.(flow) <- 0.;
+      gf.g_retiring.(flow) <- false;
+      gf.g_fin.(flow) <- 0.;
+      t.g_weight_sum <- t.g_weight_sum -. weight;
+      if f0_active t then Vtime.adjust_active t.vt ~now ~delta:weight
     end
   end;
   Qdisc.pool_release t.pool;
@@ -165,99 +207,110 @@ let serve_guaranteed t ~now =
   Some pkt
 
 let enqueue t ~now pkt =
-  t.last_now <- Stdlib.max t.last_now now;
+  t.last_now <- fmax t.last_now now;
   pkt.Packet.enqueued_at <- now;
-  match Hashtbl.find_opt t.g_flows pkt.Packet.flow with
-  | Some gs ->
-      if Qdisc.pool_take t.pool then begin
-        Vtime.advance t.vt ~now;
-        if gs.qlen = 0 then Vtime.flow_activated t.vt ~weight:gs.weight;
-        let tag =
-          Stdlib.max (Vtime.v t.vt) gs.last_finish
-          +. (float_of_int pkt.Packet.size_bits /. gs.weight)
-        in
-        gs.last_finish <- tag;
-        gs.qlen <- gs.qlen + 1;
-        t.g_count <- t.g_count + 1;
-        Heap.push t.g_heap { tag; g_seq = next_seq t; g_pkt = pkt };
-        true
-      end
-      else false
-  | None ->
-      let cls =
-        match Hashtbl.find_opt t.flow_cls pkt.Packet.flow with
-        | Some c -> c
-        | None -> datagram_class t
+  let flow = pkt.Packet.flow in
+  let gw = g_weight_of t flow in
+  if gw > 0. then begin
+    if Qdisc.pool_take t.pool then begin
+      Vtime.advance t.vt ~now;
+      let gf = t.gf in
+      if gf.g_qlen.(flow) = 0 then Vtime.flow_activated t.vt ~weight:gw;
+      let tag =
+        fmax (Vtime.v t.vt) gf.g_fin.(flow)
+        +. (float_of_int pkt.Packet.size_bits /. gw)
       in
-      let late =
-        cls < t.cfg.n_predicted_classes
-        &&
-        match t.cfg.discard_late_above with
-        | Some threshold -> pkt.Packet.offset > threshold
-        | None -> false
-      in
-      if late then begin
-        t.late_discards <- t.late_discards + 1;
-        false
-      end
-      else if Qdisc.pool_take t.pool then begin
-        Vtime.advance t.vt ~now;
-        if not (f0_active t) then
-          Vtime.flow_activated t.vt ~weight:(flow0_rate_bps t);
-        let deadline = Packet.expected_arrival pkt in
-        Heap.push t.classes.(cls).heap
-          { deadline; c_seq = next_seq t; c_pkt = pkt; cls };
-        t.f0_backlog <- t.f0_backlog + 1;
-        true
-      end
-      else false
+      gf.g_fin.(flow) <- tag;
+      gf.g_qlen.(flow) <- gf.g_qlen.(flow) + 1;
+      t.g_count <- t.g_count + 1;
+      Kheap.push t.g_heap ~key:tag pkt;
+      true
+    end
+    else false
+  end
+  else begin
+    let cls =
+      let c = cls_of t flow in
+      if c >= 0 then c else datagram_class t
+    in
+    let late =
+      cls < t.cfg.n_predicted_classes
+      &&
+      match t.cfg.discard_late_above with
+      | Some threshold -> pkt.Packet.offset > threshold
+      | None -> false
+    in
+    if late then begin
+      t.late_discards <- t.late_discards + 1;
+      false
+    end
+    else if Qdisc.pool_take t.pool then begin
+      Vtime.advance t.vt ~now;
+      if not (f0_active t) then
+        Vtime.flow_activated t.vt ~weight:(flow0_rate_bps t);
+      Kheap.push t.classes.(cls).heap ~key:(Packet.expected_arrival pkt) pkt;
+      t.f0_backlog <- t.f0_backlog + 1;
+      true
+    end
+    else false
+  end
 
 let dequeue t ~now =
-  t.last_now <- Stdlib.max t.last_now now;
+  t.last_now <- fmax t.last_now now;
   Vtime.advance t.vt ~now;
   refresh_head t ~now;
-  match (t.head, Heap.peek t.g_heap) with
-  | None, None -> None
-  | Some h, None -> serve_flow0 t ~now h
-  | None, Some _ -> serve_guaranteed t ~now
-  | Some h, Some g ->
-      if g.tag <= head_tag t h then serve_guaranteed t ~now
-      else serve_flow0 t ~now h
+  if not t.head_valid then
+    if Kheap.is_empty t.g_heap then None else serve_guaranteed t ~now
+  else if Kheap.is_empty t.g_heap then serve_flow0 t ~now
+  else if Kheap.min_key_exn t.g_heap <= head_tag t then
+    serve_guaranteed t ~now
+  else serve_flow0 t ~now
 
 let length t = t.g_count + t.f0_backlog
 
 let create ?(config = default_config) ?metrics ?(label = "0") ~pool () =
   assert (config.link_rate_bps > 0. && config.n_predicted_classes >= 1);
   let n = config.n_predicted_classes + 1 in
+  let dummy = Packet.dummy () in
   let t_ref = ref None in
   let on_reset () =
     match !t_ref with
     | None -> ()
     | Some t ->
-        Hashtbl.iter (fun _ gs -> gs.last_finish <- 0.) t.g_flows;
+        Array.fill t.gf.g_fin 0 (Array.length t.gf.g_fin) 0.;
         t.f0_last <- 0.
   in
   let t =
     {
       cfg = config;
       pool;
-      g_flows = Hashtbl.create 16;
-      g_heap = Heap.create ~cmp:compare_g ();
+      gf =
+        {
+          g_weight = Array.make 64 0.;
+          g_fin = Array.make 64 0.;
+          g_qlen = Array.make 64 0;
+          g_retiring = Array.make 64 false;
+        };
+      g_heap = Kheap.create ~capacity:64 ~dummy ();
       g_count = 0;
       g_weight_sum = 0.;
       classes =
         Array.init n (fun _ ->
             {
-              heap = Heap.create ~cmp:compare_c ();
+              heap = Kheap.create ~capacity:64 ~dummy ();
               avg = Ewma.create ~gain:config.ewma_gain ();
             });
-      flow_cls = Hashtbl.create 32;
-      head = None;
+      flow_cls = Array.make 64 (-1);
+      dummy;
+      head_valid = false;
+      head_pkt = dummy;
+      head_deadline = 0.;
+      head_seq = 0;
+      head_cls = 0;
       head_start = 0.;
       f0_last = 0.;
       f0_backlog = 0;
       vt = Vtime.create ~link_rate_bps:config.link_rate_bps ~on_reset;
-      seq = 0;
       late_discards = 0;
       realtime_bits = 0;
       datagram_bits = 0;
@@ -291,7 +344,7 @@ let create ?(config = default_config) ?metrics ?(label = "0") ~pool () =
         (fun c st ->
           let cp = Printf.sprintf "%s.class.%d" p c in
           M.register_float m (cp ^ ".avg_delay") (fun () -> Ewma.value st.avg);
-          M.register_int m (cp ^ ".len") (fun () -> Heap.length st.heap))
+          M.register_int m (cp ^ ".len") (fun () -> Kheap.length st.heap))
         t.classes);
   let qdisc =
     Qdisc.make
@@ -315,35 +368,41 @@ let resize_flow0 t ~delta_reserved =
 let add_guaranteed t ~flow ~clock_rate_bps =
   if clock_rate_bps <= 0. then
     invalid_arg "Csz_sched.add_guaranteed: non-positive clock rate";
-  if Hashtbl.mem t.g_flows flow then
+  if g_weight_of t flow > 0. then
     invalid_arg
       (Printf.sprintf "Csz_sched.add_guaranteed: flow %d already guaranteed"
          flow);
   if t.g_weight_sum +. clock_rate_bps >= t.cfg.link_rate_bps then
     invalid_arg "Csz_sched.add_guaranteed: flow 0 would have no bandwidth";
-  Hashtbl.remove t.flow_cls flow;
+  if flow < Array.length t.flow_cls then t.flow_cls.(flow) <- -1;
   resize_flow0 t ~delta_reserved:clock_rate_bps;
-  Hashtbl.replace t.g_flows flow
-    { weight = clock_rate_bps; last_finish = 0.; qlen = 0; retiring = false }
+  grow_g t (flow + 1);
+  let gf = t.gf in
+  gf.g_weight.(flow) <- clock_rate_bps;
+  gf.g_fin.(flow) <- 0.;
+  gf.g_qlen.(flow) <- 0;
+  gf.g_retiring.(flow) <- false
 
 let remove_guaranteed t ~flow =
-  match Hashtbl.find_opt t.g_flows flow with
-  | None -> invalid_arg "Csz_sched.remove_guaranteed: unknown flow"
-  | Some gs ->
-      if gs.qlen > 0 then
-        (* Queued packets keep their reservation until they drain; the flow
-           is unregistered by the dequeue path at that point. *)
-        gs.retiring <- true
-      else begin
-        Hashtbl.remove t.g_flows flow;
-        resize_flow0 t ~delta_reserved:(-.gs.weight)
-      end
+  let w = g_weight_of t flow in
+  if w <= 0. then invalid_arg "Csz_sched.remove_guaranteed: unknown flow"
+  else if t.gf.g_qlen.(flow) > 0 then
+    (* Queued packets keep their reservation until they drain; the flow
+       is unregistered by the dequeue path at that point. *)
+    t.gf.g_retiring.(flow) <- true
+  else begin
+    t.gf.g_weight.(flow) <- 0.;
+    t.gf.g_fin.(flow) <- 0.;
+    resize_flow0 t ~delta_reserved:(-.w)
+  end
 
 let set_predicted t ~flow ~cls =
   if cls < 0 || cls >= t.cfg.n_predicted_classes then
     invalid_arg "Csz_sched.set_predicted: class out of range";
-  if Hashtbl.mem t.g_flows flow then
+  if g_weight_of t flow > 0. then
     invalid_arg "Csz_sched.set_predicted: flow is guaranteed";
-  Hashtbl.replace t.flow_cls flow cls
+  grow_cls t (flow + 1);
+  t.flow_cls.(flow) <- cls
 
-let clear_predicted t ~flow = Hashtbl.remove t.flow_cls flow
+let clear_predicted t ~flow =
+  if flow < Array.length t.flow_cls then t.flow_cls.(flow) <- -1

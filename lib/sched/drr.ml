@@ -1,7 +1,8 @@
 open Ispn_sim
+module Ring = Ispn_util.Ring
 
 type flow_state = {
-  queue : Packet.t Queue.t;
+  queue : Packet.t Ring.t;
   mutable deficit : int;
   mutable in_round : bool;
 }
@@ -13,31 +14,51 @@ type flow_state = {
    [current] remembers the flow whose service opportunity is still open, so
    the quantum is granted once per round — not once per packet.  (An
    earlier version re-credited on every visit, which over-served
-   large-packet flows; the mixed-size fairness test pinned this down.) *)
+   large-packet flows; the mixed-size fairness test pinned this down.)
+
+   Per-flow state is a dense flow-indexed array ([absent] marks unseen
+   flows) and the queues are rings, so the per-packet path does no
+   hashing and no cons-cell allocation. *)
 let create ~pool ~quantum_bits () =
   if quantum_bits <= 0 then invalid_arg "Drr: quantum must be positive";
-  let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
-  let active : int Queue.t = Queue.create () in
-  let current : int option ref = ref None in
+  let absent =
+    { queue = Ring.create ~capacity:1 ~dummy:(Packet.dummy ()) ();
+      deficit = 0; in_round = false }
+  in
+  let flows = ref (Array.make 64 absent) in
+  let active : int Ring.t = Ring.create ~capacity:64 ~dummy:(-1) () in
+  let current = ref (-1) in
+  (* -1: no open opportunity *)
   let total = ref 0 in
   let flow_state flow =
-    match Hashtbl.find_opt flows flow with
-    | Some fs -> fs
-    | None ->
-        let fs = { queue = Queue.create (); deficit = 0; in_round = false } in
-        Hashtbl.add flows flow fs;
-        fs
+    let fs = !flows in
+    if flow >= Array.length fs then begin
+      let n = Stdlib.max (flow + 1) (2 * Array.length fs) in
+      let bigger = Array.make n absent in
+      Array.blit fs 0 bigger 0 (Array.length fs);
+      flows := bigger
+    end;
+    let fs = !flows.(flow) in
+    if fs != absent then fs
+    else begin
+      let fs =
+        { queue = Ring.create ~capacity:64 ~dummy:(Packet.dummy ()) ();
+          deficit = 0; in_round = false }
+      in
+      !flows.(flow) <- fs;
+      fs
+    end
   in
   let enqueue ~now pkt =
     pkt.Packet.enqueued_at <- now;
     if Qdisc.pool_take pool then begin
       let fs = flow_state pkt.Packet.flow in
-      Queue.push pkt fs.queue;
+      Ring.push fs.queue pkt;
       incr total;
-      if (not fs.in_round) && !current <> Some pkt.Packet.flow then begin
+      if (not fs.in_round) && !current <> pkt.Packet.flow then begin
         fs.in_round <- true;
         fs.deficit <- 0;
-        Queue.push pkt.Packet.flow active
+        Ring.push active pkt.Packet.flow
       end;
       true
     end
@@ -46,53 +67,51 @@ let create ~pool ~quantum_bits () =
   (* Serve one packet from [flow] and update its service-opportunity
      state. *)
   let serve flow fs =
-    let pkt = Queue.pop fs.queue in
+    let pkt = Ring.pop_exn fs.queue in
     fs.deficit <- fs.deficit - pkt.Packet.size_bits;
     decr total;
     Qdisc.pool_release pool;
-    if Queue.is_empty fs.queue then begin
+    if Ring.is_empty fs.queue then begin
       (* Drained: leave the round entirely and forfeit leftover credit. *)
       fs.deficit <- 0;
       fs.in_round <- false;
-      current := None
+      current := -1
     end
-    else if fs.deficit < (Queue.peek fs.queue).Packet.size_bits then begin
+    else if fs.deficit < (Ring.peek_exn fs.queue).Packet.size_bits then begin
       (* Opportunity exhausted: back to the tail, keep the remainder. *)
       fs.in_round <- true;
-      Queue.push flow active;
-      current := None
+      Ring.push active flow;
+      current := -1
     end;
     Some pkt
   in
   let rec dequeue ~now =
-    match !current with
-    | Some flow ->
-        let fs = Hashtbl.find flows flow in
-        (* The open opportunity always covers the head packet (checked when
-           it was opened or after the previous send). *)
-        serve flow fs
-    | None -> (
-        match Queue.take_opt active with
-        | None -> None
-        | Some flow ->
-            let fs = Hashtbl.find flows flow in
-            if Queue.is_empty fs.queue then begin
-              (* Flow drained while waiting its turn. *)
-              fs.in_round <- false;
-              dequeue ~now
-            end
-            else begin
-              fs.deficit <- fs.deficit + quantum_bits;
-              if fs.deficit >= (Queue.peek fs.queue).Packet.size_bits then begin
-                fs.in_round <- false;
-                current := Some flow;
-                dequeue ~now
-              end
-              else begin
-                (* Not yet affordable: keep saving, go to the tail. *)
-                Queue.push flow active;
-                dequeue ~now
-              end
-            end)
+    if !current >= 0 then
+      (* The open opportunity always covers the head packet (checked when
+         it was opened or after the previous send). *)
+      serve !current !flows.(!current)
+    else if Ring.is_empty active then None
+    else begin
+      let flow = Ring.pop_exn active in
+      let fs = !flows.(flow) in
+      if Ring.is_empty fs.queue then begin
+        (* Flow drained while waiting its turn. *)
+        fs.in_round <- false;
+        dequeue ~now
+      end
+      else begin
+        fs.deficit <- fs.deficit + quantum_bits;
+        if fs.deficit >= (Ring.peek_exn fs.queue).Packet.size_bits then begin
+          fs.in_round <- false;
+          current := flow;
+          dequeue ~now
+        end
+        else begin
+          (* Not yet affordable: keep saving, go to the tail. *)
+          Ring.push active flow;
+          dequeue ~now
+        end
+      end
+    end
   in
   Qdisc.make ~enqueue ~dequeue ~length:(fun () -> !total) ~name:"DRR" ()

@@ -1,43 +1,46 @@
 open Ispn_sim
+module Kheap = Ispn_util.Kheap
 
-type entry = { deadline : float; arrival_seq : int; pkt : Packet.t }
-
-let compare_entry a b =
-  match compare a.deadline b.deadline with
-  | 0 -> compare a.arrival_seq b.arrival_seq
-  | c -> c
+(* Per-flow budgets as a flat array indexed by flow id; budgets are
+   non-negative, so -1. marks a flow not yet seen. *)
+let absent = -1.
 
 let create ~pool ~deadline_of () =
-  let budgets : (int, float) Hashtbl.t = Hashtbl.create 32 in
-  let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
-  let next_seq = ref 0 in
-  let budget flow =
-    match Hashtbl.find_opt budgets flow with
-    | Some d -> d
-    | None ->
-        let d = deadline_of flow in
-        if d < 0. then
-          invalid_arg (Printf.sprintf "Edf: flow %d has budget %g" flow d);
-        Hashtbl.add budgets flow d;
-        d
+  let budgets = ref (Array.make 64 absent) in
+  let heap = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
+  let register flow =
+    let d = deadline_of flow in
+    if d < 0. then
+      invalid_arg (Printf.sprintf "Edf: flow %d has budget %g" flow d);
+    !budgets.(flow) <- d;
+    d
   in
   let enqueue ~now pkt =
     pkt.Packet.enqueued_at <- now;
     if Qdisc.pool_take pool then begin
-      let deadline = now +. budget pkt.Packet.flow in
-      Ispn_util.Heap.push heap { deadline; arrival_seq = !next_seq; pkt };
-      incr next_seq;
+      let flow = pkt.Packet.flow in
+      let b = !budgets in
+      if flow >= Array.length b then begin
+        let n = Stdlib.max (flow + 1) (2 * Array.length b) in
+        let bigger = Array.make n absent in
+        Array.blit b 0 bigger 0 (Array.length b);
+        budgets := bigger
+      end;
+      let d = !budgets.(flow) in
+      let d = if d >= 0. then d else register flow in
+      Kheap.push heap ~key:(now +. d) pkt;
       true
     end
     else false
   in
   let dequeue ~now:_ =
-    match Ispn_util.Heap.pop heap with
-    | None -> None
-    | Some { pkt; _ } ->
-        Qdisc.pool_release pool;
-        Some pkt
+    if Kheap.is_empty heap then None
+    else begin
+      let pkt = Kheap.pop_exn heap in
+      Qdisc.pool_release pool;
+      Some pkt
+    end
   in
   Qdisc.make ~enqueue ~dequeue
-    ~length:(fun () -> Ispn_util.Heap.length heap)
+    ~length:(fun () -> Kheap.length heap)
     ~name:"EDF" ()

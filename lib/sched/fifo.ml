@@ -1,20 +1,23 @@
 open Ispn_sim
 
 let create ~pool () =
-  let q : Packet.t Queue.t = Queue.create () in
+  let q = Ispn_util.Ring.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let enqueue ~now pkt =
     pkt.Packet.enqueued_at <- now;
     if Qdisc.pool_take pool then begin
-      Queue.push pkt q;
+      Ispn_util.Ring.push q pkt;
       true
     end
     else false
   in
   let dequeue ~now:_ =
-    match Queue.take_opt q with
-    | None -> None
-    | Some pkt ->
-        Qdisc.pool_release pool;
-        Some pkt
+    if Ispn_util.Ring.is_empty q then None
+    else begin
+      let pkt = Ispn_util.Ring.pop_exn q in
+      Qdisc.pool_release pool;
+      Some pkt
+    end
   in
-  Qdisc.make ~enqueue ~dequeue ~length:(fun () -> Queue.length q) ~name:"FIFO" ()
+  Qdisc.make ~enqueue ~dequeue
+    ~length:(fun () -> Ispn_util.Ring.length q)
+    ~name:"FIFO" ()

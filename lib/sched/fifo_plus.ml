@@ -1,6 +1,5 @@
 open Ispn_sim
-
-type entry = { deadline : float; arrival_seq : int; pkt : Packet.t }
+module Kheap = Ispn_util.Kheap
 
 type state = {
   avg : Ispn_util.Ewma.t;
@@ -9,11 +8,6 @@ type state = {
 
 let avg_delay st = Ispn_util.Ewma.value st.avg
 let discarded st = st.discarded
-
-let compare_entry a b =
-  match compare a.deadline b.deadline with
-  | 0 -> compare a.arrival_seq b.arrival_seq
-  | c -> c
 
 let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ?metrics
     ?(label = "0") ~pool () =
@@ -29,8 +23,8 @@ let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ?metrics
             st.discarded);
         Some (Ispn_obs.Metrics.dist m (p ^ ".offset"))
   in
-  let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
-  let next_seq = ref 0 in
+  (* Ranked by expected arrival time; FIFO on ties (Kheap's stamp). *)
+  let heap = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let enqueue ~now pkt =
     pkt.Packet.enqueued_at <- now;
     let late =
@@ -43,30 +37,29 @@ let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ?metrics
       false
     end
     else if Qdisc.pool_take pool then begin
-      let deadline = Packet.expected_arrival pkt in
-      Ispn_util.Heap.push heap { deadline; arrival_seq = !next_seq; pkt };
-      incr next_seq;
+      Kheap.push heap ~key:(Packet.expected_arrival pkt) pkt;
       true
     end
     else false
   in
   let dequeue ~now =
-    match Ispn_util.Heap.pop heap with
-    | None -> None
-    | Some { pkt; _ } ->
-        Qdisc.pool_release pool;
-        let delay = now -. pkt.Packet.enqueued_at in
-        (* Accumulate this hop's deviation from the class average into the
-           header field, then fold the observation into the average. *)
-        pkt.Packet.offset <-
-          pkt.Packet.offset +. (delay -. Ispn_util.Ewma.value st.avg);
-        Ispn_util.Ewma.update st.avg delay;
-        (match offsets with
-        | None -> ()
-        | Some d -> Ispn_util.Stats.add d pkt.Packet.offset);
-        Some pkt
+    if Kheap.is_empty heap then None
+    else begin
+      let pkt = Kheap.pop_exn heap in
+      Qdisc.pool_release pool;
+      let delay = now -. pkt.Packet.enqueued_at in
+      (* Accumulate this hop's deviation from the class average into the
+         header field, then fold the observation into the average. *)
+      pkt.Packet.offset <-
+        pkt.Packet.offset +. (delay -. Ispn_util.Ewma.value st.avg);
+      Ispn_util.Ewma.update st.avg delay;
+      (match offsets with
+      | None -> ()
+      | Some d -> Ispn_util.Stats.add d pkt.Packet.offset);
+      Some pkt
+    end
   in
   ( st,
     Qdisc.make ~enqueue ~dequeue
-      ~length:(fun () -> Ispn_util.Heap.length heap)
+      ~length:(fun () -> Kheap.length heap)
       ~name:"FIFO+" () )

@@ -1,31 +1,48 @@
 open Ispn_sim
+module Ring = Ispn_util.Ring
 
 type flow_state = {
-  queue : Packet.t Queue.t;
+  queue : Packet.t Ring.t;
   slots : int;  (* allocation per frame *)
   mutable credit : int;  (* slots left in the current frame *)
 }
 
 let create ~engine ~frame ~slots_of ~pool () =
   assert (frame > 0.);
-  let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
-  let order : int Queue.t = Queue.create () in
-  (* Round-robin visiting order; rebuilt lazily. *)
+  let absent =
+    { queue = Ring.create ~capacity:1 ~dummy:(Packet.dummy ()) ();
+      slots = 0; credit = 0 }
+  in
+  (* Dense flow-indexed state ([absent] marks unseen flows); [order] is
+     the round-robin visiting ring. *)
+  let flows = ref (Array.make 64 absent) in
+  let order : int Ring.t = Ring.create ~capacity:64 ~dummy:(-1) () in
   let total = ref 0 in
   let waker = ref (fun () -> ()) in
   let frame_start = ref 0. in
   let boundary_armed = ref false in
   let flow_state flow =
-    match Hashtbl.find_opt flows flow with
-    | Some fs -> fs
-    | None ->
-        let slots = slots_of flow in
-        if slots <= 0 then
-          invalid_arg (Printf.sprintf "Hrr: flow %d has %d slots" flow slots);
-        let fs = { queue = Queue.create (); slots; credit = slots } in
-        Hashtbl.add flows flow fs;
-        Queue.push flow order;
-        fs
+    let fs = !flows in
+    if flow >= Array.length fs then begin
+      let n = Stdlib.max (flow + 1) (2 * Array.length fs) in
+      let bigger = Array.make n absent in
+      Array.blit fs 0 bigger 0 (Array.length fs);
+      flows := bigger
+    end;
+    let fs = !flows.(flow) in
+    if fs != absent then fs
+    else begin
+      let slots = slots_of flow in
+      if slots <= 0 then
+        invalid_arg (Printf.sprintf "Hrr: flow %d has %d slots" flow slots);
+      let fs =
+        { queue = Ring.create ~capacity:64 ~dummy:(Packet.dummy ()) ();
+          slots; credit = slots }
+      in
+      !flows.(flow) <- fs;
+      Ring.push order flow;
+      fs
+    end
   in
   let rec arm_boundary ~now =
     if not !boundary_armed then begin
@@ -36,7 +53,9 @@ let create ~engine ~frame ~slots_of ~pool () =
         (Engine.schedule engine ~at:next (fun () ->
              boundary_armed := false;
              frame_start := next;
-             Hashtbl.iter (fun _ fs -> fs.credit <- fs.slots) flows;
+             Array.iter
+               (fun fs -> if fs != absent then fs.credit <- fs.slots)
+               !flows;
              if !total > 0 then begin
                (* More frames will be needed while backlog remains. *)
                arm_boundary ~now:next;
@@ -48,7 +67,7 @@ let create ~engine ~frame ~slots_of ~pool () =
     pkt.Packet.enqueued_at <- now;
     if Qdisc.pool_take pool then begin
       let fs = flow_state pkt.Packet.flow in
-      Queue.push pkt fs.queue;
+      Ring.push fs.queue pkt;
       incr total;
       arm_boundary ~now;
       true
@@ -59,18 +78,18 @@ let create ~engine ~frame ~slots_of ~pool () =
     if !total = 0 then None
     else begin
       (* Visit each flow at most once looking for queued work + credit. *)
-      let n = Queue.length order in
+      let n = Ring.length order in
       let rec visit k =
         if k >= n then None
         else begin
-          let flow = Queue.pop order in
-          Queue.push flow order;
-          let fs = Hashtbl.find flows flow in
-          if fs.credit > 0 && not (Queue.is_empty fs.queue) then begin
+          let flow = Ring.pop_exn order in
+          Ring.push order flow;
+          let fs = !flows.(flow) in
+          if fs.credit > 0 && not (Ring.is_empty fs.queue) then begin
             fs.credit <- fs.credit - 1;
             decr total;
             Qdisc.pool_release pool;
-            Some (Queue.pop fs.queue)
+            Some (Ring.pop_exn fs.queue)
           end
           else visit (k + 1)
         end

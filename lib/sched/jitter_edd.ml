@@ -1,82 +1,93 @@
 open Ispn_sim
+module Kheap = Ispn_util.Kheap
 
-type entry = {
-  eligible : float;
-  deadline : float;
-  arrival_seq : int;
-  pkt : Packet.t;
-}
-
-let compare_deadline a b =
-  match compare a.deadline b.deadline with
-  | 0 -> compare a.arrival_seq b.arrival_seq
-  | c -> c
-
-let compare_eligible a b =
-  match compare a.eligible b.eligible with
-  | 0 -> compare a.arrival_seq b.arrival_seq
-  | c -> c
+let fmax (a : float) b = if a >= b then a else b
 
 let create ~engine ~budget_of ~pool () =
-  let budgets : (int, float) Hashtbl.t = Hashtbl.create 32 in
-  (* Packets still being held back wait in [holding]; eligible packets sit
-     in [ready], ordered by deadline. *)
-  let holding = Ispn_util.Heap.create ~cmp:compare_eligible () in
-  let ready = Ispn_util.Heap.create ~cmp:compare_deadline () in
+  (* Per-flow budgets as a flat array (budgets are positive, so 0. marks a
+     flow not yet seen). *)
+  let budgets = ref (Array.make 64 0.) in
+  (* Packets still being held back wait in [holding], keyed by eligibility
+     time; eligible packets sit in [ready], keyed by deadline.  One shared
+     arrival counter pins the tie-break rank across both heaps, so a
+     packet promoted from [holding] keeps its arrival-order rank among
+     equal deadlines in [ready]. *)
+  let holding = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
+  let ready = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let next_seq = ref 0 in
   let waker = ref (fun () -> ()) in
-  let budget flow =
-    match Hashtbl.find_opt budgets flow with
-    | Some d -> d
-    | None ->
-        let d = budget_of flow in
-        if d <= 0. then
-          invalid_arg (Printf.sprintf "Jitter_edd: flow %d has budget %g" flow d);
-        Hashtbl.add budgets flow d;
-        d
+  let register flow =
+    let d = budget_of flow in
+    if d <= 0. then
+      invalid_arg (Printf.sprintf "Jitter_edd: flow %d has budget %g" flow d);
+    !budgets.(flow) <- d;
+    d
   in
-  (* Move everything whose holding time has expired into the ready heap. *)
+  let budget flow =
+    let b = !budgets in
+    if flow >= Array.length b then begin
+      let n = Stdlib.max (flow + 1) (2 * Array.length b) in
+      let bigger = Array.make n 0. in
+      Array.blit b 0 bigger 0 (Array.length b);
+      budgets := bigger
+    end;
+    let d = !budgets.(flow) in
+    if d > 0. then d else register flow
+  in
+  (* Move everything whose holding time has expired into the ready heap.
+     A held packet's deadline is recomputed from its (exact) eligibility
+     key, [eligible + budget], the same expression used at enqueue. *)
   let promote ~now =
-    let rec go () =
-      match Ispn_util.Heap.peek holding with
-      | Some e when e.eligible <= now +. 1e-12 ->
-          ignore (Ispn_util.Heap.pop holding);
-          Ispn_util.Heap.push ready e;
-          go ()
-      | Some _ | None -> ()
-    in
-    go ()
+    let continue_ = ref true in
+    while !continue_ do
+      if Kheap.is_empty holding then continue_ := false
+      else begin
+        let eligible = Kheap.min_key_exn holding in
+        if eligible <= now +. 1e-12 then begin
+          let seq = Kheap.min_seq_exn holding in
+          let pkt = Kheap.pop_exn holding in
+          Kheap.push_pinned ready
+            ~key:(eligible +. budget pkt.Packet.flow)
+            ~seq pkt
+        end
+        else continue_ := false
+      end
+    done
   in
   let enqueue ~now pkt =
     pkt.Packet.enqueued_at <- now;
     if Qdisc.pool_take pool then begin
       (* The header carries the earliness accumulated at the previous hop;
          the packet is held for exactly that long here. *)
-      let hold = Stdlib.max 0. pkt.Packet.offset in
+      let hold = fmax 0. pkt.Packet.offset in
       let eligible = now +. hold in
-      let deadline = eligible +. budget pkt.Packet.flow in
-      let e = { eligible; deadline; arrival_seq = !next_seq; pkt } in
+      let seq = !next_seq in
       incr next_seq;
       if hold > 0. then begin
-        Ispn_util.Heap.push holding e;
+        Kheap.push_pinned holding ~key:eligible ~seq pkt;
         ignore (Engine.schedule engine ~at:eligible (fun () -> !waker ()))
       end
-      else Ispn_util.Heap.push ready e;
+      else
+        Kheap.push_pinned ready
+          ~key:(eligible +. budget pkt.Packet.flow)
+          ~seq pkt;
       true
     end
     else false
   in
   let dequeue ~now =
     promote ~now;
-    match Ispn_util.Heap.pop ready with
-    | Some e ->
-        Qdisc.pool_release pool;
-        (* Export this hop's earliness for the next hop to cancel. *)
-        e.pkt.Packet.offset <- Stdlib.max 0. (e.deadline -. now);
-        Some e.pkt
-    | None -> None
+    if Kheap.is_empty ready then None
+    else begin
+      let deadline = Kheap.min_key_exn ready in
+      let pkt = Kheap.pop_exn ready in
+      Qdisc.pool_release pool;
+      (* Export this hop's earliness for the next hop to cancel. *)
+      pkt.Packet.offset <- fmax 0. (deadline -. now);
+      Some pkt
+    end
   in
-  let length () = Ispn_util.Heap.length holding + Ispn_util.Heap.length ready in
+  let length () = Kheap.length holding + Kheap.length ready in
   Qdisc.make
     ~attach_waker:(fun w -> waker := w)
     ~enqueue ~dequeue ~length ~name:"Jitter-EDD" ()

@@ -1,39 +1,41 @@
 open Ispn_sim
 
-type entry = { eligible : float; pkt : Packet.t }
-
 let create ~engine ~frame ~pool () =
   assert (frame > 0.);
-  let q : entry Queue.t = Queue.create () in
+  (* Eligibility is FIFO in arrival order, so a flat ring suffices; a
+     packet's eligibility time is recomputed from its (exact) arrival
+     stamp rather than stored alongside it. *)
+  let q = Ispn_util.Ring.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let waker = ref (fun () -> ()) in
   let next_boundary t = (Float.of_int (int_of_float (t /. frame)) +. 1.) *. frame in
   let enqueue ~now pkt =
     pkt.Packet.enqueued_at <- now;
     if Qdisc.pool_take pool then begin
-      Queue.push { eligible = next_boundary now; pkt } q;
+      Ispn_util.Ring.push q pkt;
       true
     end
     else false
   in
   let dequeue ~now =
-    match Queue.peek_opt q with
-    | None -> None
-    | Some { eligible; pkt } ->
-        if eligible <= now +. 1e-12 then begin
-          ignore (Queue.pop q);
-          Qdisc.pool_release pool;
-          Some pkt
-        end
-        else begin
-          (* Head not yet eligible: hold the line idle and call the link
-             back at the frame boundary. *)
-          ignore
-            (Engine.schedule engine ~at:eligible (fun () -> !waker ()));
-          None
-        end
+    if Ispn_util.Ring.is_empty q then None
+    else begin
+      let pkt = Ispn_util.Ring.peek_exn q in
+      let eligible = next_boundary pkt.Packet.enqueued_at in
+      if eligible <= now +. 1e-12 then begin
+        ignore (Ispn_util.Ring.pop_exn q);
+        Qdisc.pool_release pool;
+        Some pkt
+      end
+      else begin
+        (* Head not yet eligible: hold the line idle and call the link
+           back at the frame boundary. *)
+        ignore (Engine.schedule engine ~at:eligible (fun () -> !waker ()));
+        None
+      end
+    end
   in
   Qdisc.make
     ~attach_waker:(fun w -> waker := w)
     ~enqueue ~dequeue
-    ~length:(fun () -> Queue.length q)
+    ~length:(fun () -> Ispn_util.Ring.length q)
     ~name:"Stop-and-Go" ()

@@ -1,50 +1,60 @@
 open Ispn_sim
+module Kheap = Ispn_util.Kheap
 
-type flow_state = { rate : float; mutable vc : float }
-type entry = { tag : float; arrival_seq : int; pkt : Packet.t }
+(* Per-flow state as flat arrays indexed by flow id (hot-path discipline,
+   DESIGN.md): [rate.(f)] is the reserved rate (0. = flow not yet seen)
+   and [vc.(f)] the flow's virtual clock. *)
+type flows = {
+  mutable rate : float array;
+  mutable vc : float array;
+}
 
-let compare_entry a b =
-  match compare a.tag b.tag with
-  | 0 -> compare a.arrival_seq b.arrival_seq
-  | c -> c
+let fmax (a : float) b = if a >= b then a else b
+
+let grow fl n =
+  let old = Array.length fl.rate in
+  let n = Stdlib.max n (2 * old) in
+  let rate = Array.make n 0. in
+  let vc = Array.make n 0. in
+  Array.blit fl.rate 0 rate 0 old;
+  Array.blit fl.vc 0 vc 0 old;
+  fl.rate <- rate;
+  fl.vc <- vc
 
 let create ~pool ~rate_of () =
-  let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
-  let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
-  let next_seq = ref 0 in
-  let flow_state flow =
-    match Hashtbl.find_opt flows flow with
-    | Some fs -> fs
-    | None ->
-        let rate = rate_of flow in
-        if rate <= 0. then
-          invalid_arg
-            (Printf.sprintf "Virtual_clock: flow %d has rate %g" flow rate);
-        let fs = { rate; vc = 0. } in
-        Hashtbl.add flows flow fs;
-        fs
+  let fl = { rate = Array.make 64 0.; vc = Array.make 64 0. } in
+  let heap = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
+  let register flow =
+    let r = rate_of flow in
+    if r <= 0. then
+      invalid_arg (Printf.sprintf "Virtual_clock: flow %d has rate %g" flow r);
+    fl.rate.(flow) <- r;
+    r
   in
   let enqueue ~now pkt =
     pkt.Packet.enqueued_at <- now;
     if Qdisc.pool_take pool then begin
-      let fs = flow_state pkt.Packet.flow in
+      let flow = pkt.Packet.flow in
+      if flow >= Array.length fl.rate then grow fl (flow + 1);
+      let r = fl.rate.(flow) in
+      let r = if r > 0. then r else register flow in
       let tag =
-        Stdlib.max now fs.vc +. (float_of_int pkt.Packet.size_bits /. fs.rate)
+        fmax now fl.vc.(flow) +. (float_of_int pkt.Packet.size_bits /. r)
       in
-      fs.vc <- tag;
-      Ispn_util.Heap.push heap { tag; arrival_seq = !next_seq; pkt };
-      incr next_seq;
+      fl.vc.(flow) <- tag;
+      Kheap.push heap ~key:tag pkt;
       true
     end
     else false
   in
   let dequeue ~now:_ =
-    match Ispn_util.Heap.pop heap with
-    | None -> None
-    | Some { pkt; _ } ->
-        Qdisc.pool_release pool;
-        Some pkt
+    if Kheap.is_empty heap then None
+    else begin
+      let pkt = Kheap.pop_exn heap in
+      Qdisc.pool_release pool;
+      Some pkt
+    end
   in
   Qdisc.make ~enqueue ~dequeue
-    ~length:(fun () -> Ispn_util.Heap.length heap)
+    ~length:(fun () -> Kheap.length heap)
     ~name:"VirtualClock" ()

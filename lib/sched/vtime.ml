@@ -1,9 +1,16 @@
-type t = {
-  link_rate_bps : float;
-  on_reset : unit -> unit;
+(* The float state lives in its own all-float record so [advance] — run on
+   every enqueue and dequeue of WFQ and CSZ — updates it in place without
+   boxing (a mixed record would allocate a float box per store). *)
+type state = {
   mutable v : float;
   mutable last_update : float;
   mutable active_weight : float;
+}
+
+type t = {
+  link_rate_bps : float;
+  on_reset : unit -> unit;
+  s : state;
   mutable active_count : int;
 }
 
@@ -12,41 +19,40 @@ let create ~link_rate_bps ~on_reset =
   {
     link_rate_bps;
     on_reset;
-    v = 0.;
-    last_update = 0.;
-    active_weight = 0.;
+    s = { v = 0.; last_update = 0.; active_weight = 0. };
     active_count = 0;
   }
 
 let advance t ~now =
-  if now > t.last_update then begin
-    if t.active_weight > 0. then
-      t.v <- t.v +. ((now -. t.last_update) *. t.link_rate_bps /. t.active_weight);
-    t.last_update <- now
+  let s = t.s in
+  if now > s.last_update then begin
+    if s.active_weight > 0. then
+      s.v <- s.v +. ((now -. s.last_update) *. t.link_rate_bps /. s.active_weight);
+    s.last_update <- now
   end
 
-let v t = t.v
+let v t = t.s.v
 
 let flow_activated t ~weight =
   assert (weight > 0.);
-  t.active_weight <- t.active_weight +. weight;
+  t.s.active_weight <- t.s.active_weight +. weight;
   t.active_count <- t.active_count + 1
 
 let flow_deactivated t ~now ~weight =
   advance t ~now;
-  t.active_weight <- t.active_weight -. weight;
+  t.s.active_weight <- t.s.active_weight -. weight;
   t.active_count <- t.active_count - 1;
   assert (t.active_count >= 0);
   if t.active_count = 0 then begin
     (* End of the busy period: restart the virtual clock. *)
-    t.v <- 0.;
-    t.active_weight <- 0.;
+    t.s.v <- 0.;
+    t.s.active_weight <- 0.;
     t.on_reset ()
   end
 
 let adjust_active t ~now ~delta =
   advance t ~now;
-  t.active_weight <- t.active_weight +. delta;
-  assert (t.active_weight > 0.)
+  t.s.active_weight <- t.s.active_weight +. delta;
+  assert (t.s.active_weight > 0.)
 
-let active_weight t = t.active_weight
+let active_weight t = t.s.active_weight

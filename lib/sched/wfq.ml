@@ -1,74 +1,96 @@
 open Ispn_sim
+module Kheap = Ispn_util.Kheap
 
-type flow_state = {
-  weight : float;
-  mutable last_finish : float;
-  mutable qlen : int;
+(* Hot-path discipline (DESIGN.md): per-flow state is structure-of-arrays
+   indexed by the small-int flow id — [weight.(f)], [last_finish.(f)],
+   [qlen.(f)] — so an enqueue touches flat float/int arrays (no Hashtbl
+   hashing, no boxed stores), and the ranked queue is a [Kheap] keyed by
+   the virtual finish tag (no boxed entry, no polymorphic compare). *)
+type flows = {
+  mutable weight : float array;  (* 0. marks a flow not yet seen *)
+  mutable last_finish : float array;
+  mutable qlen : int array;
+  mutable seen : int;  (* flows ever registered, for the metric *)
 }
 
-type entry = { tag : float; arrival_seq : int; pkt : Packet.t }
+let fmax (a : float) b = if a >= b then a else b
 
-let compare_entry a b =
-  match compare a.tag b.tag with
-  | 0 -> compare a.arrival_seq b.arrival_seq
-  | c -> c
+let grow fl n =
+  let old = Array.length fl.weight in
+  let n = Stdlib.max n (2 * old) in
+  let weight = Array.make n 0. in
+  let last_finish = Array.make n 0. in
+  let qlen = Array.make n 0 in
+  Array.blit fl.weight 0 weight 0 old;
+  Array.blit fl.last_finish 0 last_finish 0 old;
+  Array.blit fl.qlen 0 qlen 0 old;
+  fl.weight <- weight;
+  fl.last_finish <- last_finish;
+  fl.qlen <- qlen
 
 let create ?metrics ?(label = "0") ~pool ~link_rate_bps ~weight_of () =
-  let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
-  let heap = Ispn_util.Heap.create ~cmp:compare_entry () in
-  let next_seq = ref 0 in
+  let fl =
+    {
+      weight = Array.make 64 0.;
+      last_finish = Array.make 64 0.;
+      qlen = Array.make 64 0;
+      seen = 0;
+    }
+  in
+  let heap = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let vt =
     Vtime.create ~link_rate_bps ~on_reset:(fun () ->
-        Hashtbl.iter (fun _ fs -> fs.last_finish <- 0.) flows)
+        Array.fill fl.last_finish 0 (Array.length fl.last_finish) 0.)
   in
   (match metrics with
   | None -> ()
   | Some m ->
       let p = "qdisc.wfq." ^ label in
       Ispn_obs.Metrics.register_float m (p ^ ".vtime") (fun () -> Vtime.v vt);
-      Ispn_obs.Metrics.register_int m (p ^ ".flows") (fun () ->
-          Hashtbl.length flows));
-  let flow_state flow =
-    match Hashtbl.find_opt flows flow with
-    | Some fs -> fs
-    | None ->
-        let weight = weight_of flow in
-        if weight <= 0. then
-          invalid_arg (Printf.sprintf "Wfq: flow %d has weight %g" flow weight);
-        let fs = { weight; last_finish = 0.; qlen = 0 } in
-        Hashtbl.add flows flow fs;
-        fs
+      Ispn_obs.Metrics.register_int m (p ^ ".flows") (fun () -> fl.seen));
+  (* Cold path: consult [weight_of] the first time a flow appears. *)
+  let register flow =
+    let w = weight_of flow in
+    if w <= 0. then
+      invalid_arg (Printf.sprintf "Wfq: flow %d has weight %g" flow w);
+    fl.weight.(flow) <- w;
+    fl.seen <- fl.seen + 1;
+    w
   in
   let enqueue ~now pkt =
     pkt.Packet.enqueued_at <- now;
     if Qdisc.pool_take pool then begin
       Vtime.advance vt ~now;
-      let fs = flow_state pkt.Packet.flow in
-      if fs.qlen = 0 then Vtime.flow_activated vt ~weight:fs.weight;
+      let flow = pkt.Packet.flow in
+      if flow >= Array.length fl.weight then grow fl (flow + 1);
+      let w = fl.weight.(flow) in
+      let w = if w > 0. then w else register flow in
+      if fl.qlen.(flow) = 0 then Vtime.flow_activated vt ~weight:w;
       let tag =
-        Stdlib.max (Vtime.v vt) fs.last_finish
-        +. (float_of_int pkt.Packet.size_bits /. fs.weight)
+        fmax (Vtime.v vt) fl.last_finish.(flow)
+        +. (float_of_int pkt.Packet.size_bits /. w)
       in
-      fs.last_finish <- tag;
-      fs.qlen <- fs.qlen + 1;
-      Ispn_util.Heap.push heap { tag; arrival_seq = !next_seq; pkt };
-      incr next_seq;
+      fl.last_finish.(flow) <- tag;
+      fl.qlen.(flow) <- fl.qlen.(flow) + 1;
+      Kheap.push heap ~key:tag pkt;
       true
     end
     else false
   in
   let dequeue ~now =
-    match Ispn_util.Heap.pop heap with
-    | None -> None
-    | Some { pkt; _ } ->
-        Qdisc.pool_release pool;
-        let fs = Hashtbl.find flows pkt.Packet.flow in
-        fs.qlen <- fs.qlen - 1;
-        if fs.qlen = 0 then Vtime.flow_deactivated vt ~now ~weight:fs.weight;
-        Some pkt
+    if Kheap.is_empty heap then None
+    else begin
+      let pkt = Kheap.pop_exn heap in
+      Qdisc.pool_release pool;
+      let flow = pkt.Packet.flow in
+      let q = fl.qlen.(flow) - 1 in
+      fl.qlen.(flow) <- q;
+      if q = 0 then Vtime.flow_deactivated vt ~now ~weight:fl.weight.(flow);
+      Some pkt
+    end
   in
   Qdisc.make ~enqueue ~dequeue
-    ~length:(fun () -> Ispn_util.Heap.length heap)
+    ~length:(fun () -> Kheap.length heap)
     ~name:"WFQ" ()
 
 let create_equal ?metrics ?label ~pool ~link_rate_bps () =

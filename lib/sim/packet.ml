@@ -33,3 +33,5 @@ let pp ppf p =
     p.seq
     (match p.kind with Data -> "data" | Ack -> "ack")
     p.created p.offset
+
+let dummy () = make ~flow:(-1) ~seq:(-1) ~created:0. ()

@@ -32,6 +32,11 @@ val make :
   unit -> t
 (** [size_bits] defaults to {!Ispn_util.Units.packet_bits}. *)
 
+val dummy : unit -> t
+(** A fresh throwaway packet for filling the payload slots of a
+    preallocated container ([Ispn_util.Kheap] / [Ispn_util.Ring]); it is
+    never enqueued or transmitted. *)
+
 val expected_arrival : t -> float
 (** [enqueued_at - offset]: when the packet would have arrived at the current
     hop had it received average service upstream.  FIFO+ orders its queue by

@@ -2,13 +2,14 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable len : int;
+  capacity : int;
 }
 
 (* The array is allocated lazily on first push because we have no dummy 'a
-   value; [capacity] is kept for API symmetry. *)
+   value; that first allocation honors [capacity], so a correctly-sized
+   heap never reallocates afterwards. *)
 let create ?(capacity = 16) ~cmp () =
-  ignore capacity;
-  { cmp; data = [||]; len = 0 }
+  { cmp; data = [||]; len = 0; capacity = Stdlib.max capacity 1 }
 
 let length t = t.len
 let is_empty t = t.len = 0
@@ -42,7 +43,7 @@ let rec sift_down t i =
 
 let push t x =
   if t.len = Array.length t.data then begin
-    let cap = Stdlib.max 16 (2 * t.len) in
+    let cap = if t.len = 0 then t.capacity else 2 * t.len in
     let bigger = Array.make cap x in
     Array.blit t.data 0 bigger 0 t.len;
     t.data <- bigger
@@ -79,7 +80,10 @@ let iter f t =
   done
 
 let to_sorted_list t =
-  let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.len; len = t.len } in
+  let copy =
+    { cmp = t.cmp; data = Array.sub t.data 0 t.len; len = t.len;
+      capacity = t.capacity }
+  in
   let rec drain acc =
     match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
   in

@@ -7,7 +7,12 @@
 type 'a t
 
 val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
-(** Min-heap under [cmp]: {!pop} returns the smallest element. *)
+(** Min-heap under [cmp]: {!pop} returns the smallest element.
+    [capacity] (default 16) sizes the backing array on the first {!push}
+    (allocation is deferred until then because there is no dummy ['a]);
+    a heap that never exceeds it never reallocates.  For float-ranked,
+    FIFO-tie-broken queues — every packet scheduler — use {!Kheap}
+    instead. *)
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

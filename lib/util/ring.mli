@@ -1,0 +1,28 @@
+(** Growable circular FIFO buffer.
+
+    A drop-in for [Stdlib.Queue] on packet hot paths: one flat payload
+    array instead of a cons cell per element, so the steady-state
+    push→pop cycle allocates nothing.  Used by the strictly-FIFO
+    schedulers (FIFO, the per-flow queues of DRR and HRR, Stop-and-Go's
+    frame queue); ranked queues use {!Kheap}. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [capacity] (default 16) is allocated up front.  [dummy] fills vacated
+    slots so popped elements are not kept live by the buffer. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+(** Append at the tail. *)
+
+val peek_exn : 'a t -> 'a
+(** Head element without removing it; raises [Invalid_argument] when
+    empty. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the head; raises when empty.  Guard with
+    {!is_empty}: the drain path allocates nothing. *)
+
+val clear : 'a t -> unit

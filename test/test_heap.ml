@@ -72,6 +72,21 @@ let test_stability_with_seq () =
   let order = List.init 4 (fun _ -> let _, _, v = Heap.pop_exn h in v) in
   Alcotest.(check (list string)) "fifo on ties" [ "a"; "b"; "c"; "d" ] order
 
+let test_capacity_preallocates () =
+  (* [~capacity] is honored: the first push sizes the backing array to it,
+     so pushes within capacity never reallocate.  Int payloads allocate
+     nothing themselves, so any minor words here would be growth. *)
+  let h = Heap.create ~cmp:(fun (a : int) b -> compare a b) ~capacity:512 () in
+  Heap.push h 0;
+  let before = Gc.minor_words () in
+  for i = 1 to 511 do
+    Heap.push h i
+  done;
+  let words = Gc.minor_words () -. before in
+  if words > 16. then
+    Alcotest.failf "%.0f minor words growing within capacity (expected 0)"
+      words
+
 let qcheck_heap_sorts =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:500
     QCheck.(list int)
@@ -107,6 +122,8 @@ let suite =
       test_to_sorted_list_nondestructive;
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
     Alcotest.test_case "tie-break stability" `Quick test_stability_with_seq;
+    Alcotest.test_case "capacity preallocates" `Quick
+      test_capacity_preallocates;
     QCheck_alcotest.to_alcotest qcheck_heap_sorts;
     QCheck_alcotest.to_alcotest qcheck_heap_length;
   ]
