@@ -46,6 +46,23 @@ let emit_obs labeled =
     collected := !collected @ labeled
   end
 
+(* --check: each pool job owns a private audit context and finalizes it
+   in-job (summaries are plain data); footers print in canonical job order,
+   so output is -j-independent, and stdout is untouched when off. *)
+let check_on = ref false
+let check_violations = ref 0
+let audit_ctx () = if !check_on then Some (Ispn_check.Audit.create ()) else None
+
+let audit_summary ~label a =
+  Option.map (fun a -> (label, Ispn_check.Audit.finalize a)) a
+
+let emit_check labeled =
+  List.iter
+    (fun (label, s) ->
+      check_violations := !check_violations + s.Ispn_check.Audit.violations;
+      List.iter print_endline (Ispn_check.Audit.footer_lines ~label s))
+    labeled
+
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -64,18 +81,21 @@ let table1 () =
     Pool.map ~j:!jobs
       (fun sched ->
         let m = obs_registry () in
+        let a = audit_ctx () in
         let results, info =
-          E.run_single_link ~sched ?metrics:m ~duration:!duration ~seed ()
+          E.run_single_link ~sched ?metrics:m ?audit:a ~duration:!duration
+            ~seed ()
         in
         let label = "table1." ^ E.sched_name sched in
-        (sched, results, info, obs_snapshot ~label m))
+        (sched, results, info, obs_snapshot ~label m, audit_summary ~label a))
       [ E.Wfq; E.Fifo ]
   in
   print_endline
     (Csz.Report.table1
-       (List.map (fun (s, r, i, _) -> (s, r, i)) runs)
+       (List.map (fun (s, r, i, _, _) -> (s, r, i)) runs)
        ~sample_flow:0);
-  emit_obs (List.filter_map (fun (_, _, _, snap) -> snap) runs);
+  emit_obs (List.filter_map (fun (_, _, _, snap, _) -> snap) runs);
+  emit_check (List.filter_map (fun (_, _, _, _, chk) -> chk) runs);
   print_endline
     "\nPaper (Table 1):  WFQ mean 3.16, 99.9%ile 53.86;  FIFO mean 3.17, \
      99.9%ile 34.72\nShape to check: equal means; FIFO tail well below WFQ \
@@ -92,18 +112,20 @@ let table2 () =
     Pool.map ~j:!jobs
       (fun sched ->
         let m = obs_registry () in
+        let a = audit_ctx () in
         let results, _ =
-          E.run_figure1 ~sched ?metrics:m ~duration:!duration ~seed ()
+          E.run_figure1 ~sched ?metrics:m ?audit:a ~duration:!duration ~seed ()
         in
         let label = "table2." ^ E.sched_name sched in
-        (sched, results, obs_snapshot ~label m))
+        (sched, results, obs_snapshot ~label m, audit_summary ~label a))
       [ E.Wfq; E.Fifo; E.Fifo_plus ]
   in
   print_endline
     (Csz.Report.table2
-       (List.map (fun (s, r, _) -> (s, r)) runs)
+       (List.map (fun (s, r, _, _) -> (s, r)) runs)
        ~sample_flows:[ 18; 8; 2; 0 ]);
-  emit_obs (List.filter_map (fun (_, _, snap) -> snap) runs);
+  emit_obs (List.filter_map (fun (_, _, snap, _) -> snap) runs);
+  emit_check (List.filter_map (fun (_, _, _, chk) -> chk) runs);
   print_endline
     "\nPaper (Table 2), 99.9%ile by path length 1/2/3/4:\n\
     \  WFQ   45.31  60.31  65.86  80.59\n\
@@ -116,9 +138,11 @@ let table2 () =
 
 let table3 () =
   let m = obs_registry () in
-  let res = E.run_table3 ?metrics:m ~duration:!duration ~seed () in
+  let a = audit_ctx () in
+  let res = E.run_table3 ?metrics:m ?audit:a ~duration:!duration ~seed () in
   print_endline (Csz.Report.table3 res);
   emit_obs (Option.to_list (obs_snapshot ~label:"table3" m));
+  emit_check (Option.to_list (audit_summary ~label:"table3" a));
   print_endline
     "\nPaper (Table 3): Peak/4 max 15.99 vs bound 23.53; Peak/2 8.79 vs \
      11.76;\n\
@@ -620,6 +644,9 @@ let () =
     | "--debug" :: rest ->
         debug := true;
         parse rest acc
+    | "--check" :: rest ->
+        check_on := true;
+        parse rest acc
     | ("-j" | "--jobs") :: n :: rest when int_of_string_opt n <> None ->
         let n = Option.get (int_of_string_opt n) in
         if n < 1 then begin
@@ -653,8 +680,13 @@ let () =
      %Ld\n"
     !duration seed;
   List.iter (fun (name, f) -> section name f) to_run;
-  match !metrics_file with
+  (match !metrics_file with
   | None -> ()
   | Some path ->
       Ispn_obs.Metrics.write_file path !collected;
-      Printf.eprintf "wrote %s\n%!" path
+      Printf.eprintf "wrote %s\n%!" path);
+  if !check_violations > 0 then begin
+    Printf.eprintf "--check found %d invariant violation(s)\n%!"
+      !check_violations;
+    exit 1
+  end

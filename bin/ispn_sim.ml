@@ -69,6 +69,36 @@ let finish_metrics file labeled =
       Ispn_obs.Metrics.write_file path labeled;
       Printf.eprintf "wrote %s\n%!" path
 
+let check_arg =
+  let doc =
+    "Attach the $(b,ispn_check) conformance auditor to every link (packet \
+     conservation, pool accounting, work-conservation, delay monotonicity, \
+     token-bucket conformance, PG bounds) and print deterministic [check] \
+     footer lines.  Exits 1 if any invariant is violated.  Stdout is \
+     byte-identical to a run without the flag, minus the footers, and \
+     -j-independent with it."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let audit_ctx check = if check then Some (Ispn_check.Audit.create ()) else None
+
+let audit_summary ~label a =
+  Option.map (fun a -> (label, Ispn_check.Audit.finalize a)) a
+
+(* Print the [check] footers in canonical job order; exit 1 on violations. *)
+let finish_check labeled =
+  let violations =
+    List.fold_left
+      (fun acc (label, s) ->
+        List.iter print_endline (Ispn_check.Audit.footer_lines ~label s);
+        acc + s.Ispn_check.Audit.violations)
+      0 labeled
+  in
+  if violations > 0 then begin
+    Printf.eprintf "--check found %d invariant violation(s)\n%!" violations;
+    exit 1
+  end
+
 let print_info (info : Csz.Experiment.run_info) =
   Printf.printf "\nLinks at ";
   Array.iteri
@@ -82,92 +112,95 @@ let print_info (info : Csz.Experiment.run_info) =
     info.Csz.Experiment.net_dropped
 
 let table1_cmd =
-  let run duration seed avg_rate verbose j metrics =
+  let run duration seed avg_rate verbose j metrics check =
     let obs = metrics <> None in
     let runs =
       Ispn_exec.Pool.map ~j
         (fun sched ->
           let m = if obs then Some (Ispn_obs.Metrics.create ()) else None in
+          let a = audit_ctx check in
           let results, info =
             Csz.Experiment.run_single_link ~sched ~avg_rate_pps:avg_rate
-              ~duration ~seed ?metrics:m ()
+              ~duration ~seed ?metrics:m ?audit:a ()
           in
+          let label = "table1." ^ Csz.Experiment.sched_name sched in
           let snap =
-            Option.map
-              (fun m ->
-                ( "table1." ^ Csz.Experiment.sched_name sched,
-                  Ispn_obs.Metrics.snapshot m ))
-              m
+            Option.map (fun m -> (label, Ispn_obs.Metrics.snapshot m)) m
           in
-          (sched, results, info, snap))
+          (sched, results, info, snap, audit_summary ~label a))
         [ Csz.Experiment.Wfq; Csz.Experiment.Fifo ]
     in
     print_endline
       (Csz.Report.table1
-         (List.map (fun (s, r, i, _) -> (s, r, i)) runs)
+         (List.map (fun (s, r, i, _, _) -> (s, r, i)) runs)
          ~sample_flow:0);
     if verbose then
       List.iter
-        (fun (sched, results, info, _) ->
+        (fun (sched, results, info, _, _) ->
           Printf.printf "\n%s per-flow:\n%s\n"
             (Csz.Experiment.sched_name sched)
             (Csz.Report.flow_results results);
           print_info info)
         runs;
-    finish_metrics metrics (List.filter_map (fun (_, _, _, s) -> s) runs)
+    finish_metrics metrics (List.filter_map (fun (_, _, _, s, _) -> s) runs);
+    finish_check (List.filter_map (fun (_, _, _, _, c) -> c) runs)
   in
   let doc = "Reproduce Table 1: WFQ vs FIFO on a single shared link." in
   Cmd.v (Cmd.info "table1" ~doc)
-    Term.(const run $ duration $ seed $ avg_rate $ verbose $ jobs $ metrics_arg)
+    Term.(
+      const run $ duration $ seed $ avg_rate $ verbose $ jobs $ metrics_arg
+      $ check_arg)
 
 let table2_cmd =
-  let run duration seed avg_rate verbose j metrics =
+  let run duration seed avg_rate verbose j metrics check =
     let obs = metrics <> None in
     let runs =
       Ispn_exec.Pool.map ~j
         (fun sched ->
           let m = if obs then Some (Ispn_obs.Metrics.create ()) else None in
+          let a = audit_ctx check in
           let r =
             Csz.Experiment.run_figure1 ~sched ~avg_rate_pps:avg_rate ~duration
-              ~seed ?metrics:m ()
+              ~seed ?metrics:m ?audit:a ()
           in
+          let label = "table2." ^ Csz.Experiment.sched_name sched in
           let snap =
-            Option.map
-              (fun m ->
-                ( "table2." ^ Csz.Experiment.sched_name sched,
-                  Ispn_obs.Metrics.snapshot m ))
-              m
+            Option.map (fun m -> (label, Ispn_obs.Metrics.snapshot m)) m
           in
-          (sched, r, snap))
+          (sched, r, snap, audit_summary ~label a))
         [ Csz.Experiment.Wfq; Csz.Experiment.Fifo; Csz.Experiment.Fifo_plus ]
     in
-    let table_runs = List.map (fun (s, (r, _), _) -> (s, r)) runs in
+    let table_runs = List.map (fun (s, (r, _), _, _) -> (s, r)) runs in
     print_endline (Csz.Report.table2 table_runs ~sample_flows:[ 18; 8; 2; 0 ]);
     if verbose then
       List.iter
-        (fun (sched, (results, info), _) ->
+        (fun (sched, (results, info), _, _) ->
           Printf.printf "\n%s per-flow:\n%s\n"
             (Csz.Experiment.sched_name sched)
             (Csz.Report.flow_results results);
           print_info info)
         runs;
-    finish_metrics metrics (List.filter_map (fun (_, _, s) -> s) runs)
+    finish_metrics metrics (List.filter_map (fun (_, _, s, _) -> s) runs);
+    finish_check (List.filter_map (fun (_, _, _, c) -> c) runs)
   in
   let doc =
     "Reproduce Table 2: WFQ vs FIFO vs FIFO+ on the Figure-1 multihop chain."
   in
   Cmd.v (Cmd.info "table2" ~doc)
-    Term.(const run $ duration $ seed $ avg_rate $ verbose $ jobs $ metrics_arg)
+    Term.(
+      const run $ duration $ seed $ avg_rate $ verbose $ jobs $ metrics_arg
+      $ check_arg)
 
 let table3_cmd =
-  let run duration seed avg_rate verbose debug metrics =
+  let run duration seed avg_rate verbose debug metrics check =
     with_logging debug ();
     let m =
       if metrics <> None then Some (Ispn_obs.Metrics.create ()) else None
     in
+    let a = audit_ctx check in
     let res =
       Csz.Experiment.run_table3 ~avg_rate_pps:avg_rate ~duration ~seed
-        ?metrics:m ()
+        ?metrics:m ?audit:a ()
     in
     print_endline (Csz.Report.table3 res);
     if verbose then begin
@@ -179,11 +212,14 @@ let table3_cmd =
       (Option.to_list
          (Option.map
             (fun m -> ("table3", Ispn_obs.Metrics.snapshot m))
-            m))
+            m));
+    finish_check (Option.to_list (audit_summary ~label:"table3" a))
   in
   let doc = "Reproduce Table 3: the unified CSZ scheduling algorithm." in
   Cmd.v (Cmd.info "table3" ~doc)
-    Term.(const run $ duration $ seed $ avg_rate $ verbose $ debug $ metrics_arg)
+    Term.(
+      const run $ duration $ seed $ avg_rate $ verbose $ debug $ metrics_arg
+      $ check_arg)
 
 let topology_cmd =
   let run () = print_string (Csz.Report.figure1 ()) in

@@ -1,0 +1,374 @@
+module Qdisc = Ispn_sim.Qdisc
+module Packet = Ispn_sim.Packet
+module Tap = Ispn_sim.Tap
+module Recorder = Ispn_obs.Recorder
+
+let delay_eps = 1e-9
+let bucket_eps = 1e-6
+let bound_eps = 1e-9
+let max_samples = 8
+
+let non_work_conserving_names = [ "Stop-and-Go"; "HRR"; "Jitter-EDD" ]
+let work_conserving_name n = not (List.mem n non_work_conserving_names)
+
+type counter = { inv : string; mutable checks : int; mutable violations : int }
+
+type lstate = {
+  l_id : int;
+  l_name : string;
+  l_qdisc : Qdisc.t;
+  wc : bool;
+  mutable accepted : int;
+  mutable dequeued : int;
+  mutable delivered : int;
+  mutable drops_buffer : int;
+  mutable drops_down : int;
+  mutable drops_wire : int;
+}
+
+(* Replays the policer's exact refill/debit arithmetic (same float
+   operations in the same order as [Ispn_traffic.Token_bucket]), so a
+   conforming trace matches to the last bit. *)
+type bucket = {
+  b_link : int;
+  rate_bps : float;
+  depth_bits : float;
+  mutable tokens : float;
+  mutable last_refill : float;
+}
+
+type gbound = { g_link : int; bound_s : float }
+
+type t = {
+  mutable links : lstate option array;
+  mutable pools : (int * Qdisc.pool) list;  (* newest first *)
+  mutable buckets : bucket option array;
+  mutable bounds : gbound option array;
+  conservation : counter;
+  pool : counter;
+  work_conservation : counter;
+  delay : counter;
+  token_bucket : counter;
+  pg_bound : counter;
+  mutable events : int;
+  mutable samples : string list;  (* newest first *)
+  mutable n_samples : int;
+}
+
+let counters t =
+  [
+    t.conservation;
+    t.pool;
+    t.work_conservation;
+    t.delay;
+    t.token_bucket;
+    t.pg_bound;
+  ]
+
+let create () =
+  {
+    links = Array.make 8 None;
+    pools = [];
+    buckets = Array.make 32 None;
+    bounds = Array.make 32 None;
+    conservation = { inv = "conservation"; checks = 0; violations = 0 };
+    pool = { inv = "pool"; checks = 0; violations = 0 };
+    work_conservation =
+      { inv = "work-conservation"; checks = 0; violations = 0 };
+    delay = { inv = "delay"; checks = 0; violations = 0 };
+    token_bucket = { inv = "token-bucket"; checks = 0; violations = 0 };
+    pg_bound = { inv = "pg-bound"; checks = 0; violations = 0 };
+    events = 0;
+    samples = [];
+    n_samples = 0;
+  }
+
+let violate t c msg =
+  c.violations <- c.violations + 1;
+  if t.n_samples < max_samples then begin
+    t.samples <- Printf.sprintf "%s: %s" c.inv msg :: t.samples;
+    t.n_samples <- t.n_samples + 1
+  end
+
+let check t c cond msg =
+  c.checks <- c.checks + 1;
+  if not cond then violate t c (msg ())
+
+let grow (type a) (arr : a option array ref) i =
+  if i >= Array.length !arr then begin
+    let n = Stdlib.max (i + 1) (2 * Array.length !arr) in
+    let bigger = Array.make n None in
+    Array.blit !arr 0 bigger 0 (Array.length !arr);
+    arr := bigger
+  end
+
+let set_slot t get set i v =
+  let arr = ref (get t) in
+  grow arr i;
+  set t !arr;
+  !arr.(i) <- Some v
+
+let link_state t i =
+  if i < Array.length t.links then t.links.(i) else None
+
+let register_qdisc t ~link ?work_conserving (q : Qdisc.t) =
+  let wc =
+    match work_conserving with
+    | Some wc -> wc
+    | None -> work_conserving_name q.Qdisc.name
+  in
+  set_slot t (fun t -> t.links) (fun t a -> t.links <- a) link
+    {
+      l_id = link;
+      l_name = q.Qdisc.name;
+      l_qdisc = q;
+      wc;
+      accepted = 0;
+      dequeued = 0;
+      delivered = 0;
+      drops_buffer = 0;
+      drops_down = 0;
+      drops_wire = 0;
+    }
+
+let register_pool t ~link pool = t.pools <- (link, pool) :: t.pools
+
+let register_policed_flow t ~flow ~link ~rate_bps ~depth_bits =
+  set_slot t (fun t -> t.buckets) (fun t a -> t.buckets <- a) flow
+    { b_link = link; rate_bps; depth_bits; tokens = depth_bits;
+      last_refill = 0. }
+
+let register_pg_bound t ~flow ~link ~bound_s =
+  set_slot t (fun t -> t.bounds) (fun t a -> t.bounds <- a) flow
+    { g_link = link; bound_s }
+
+let debit_bucket t b ~now ~flow (pkt : Packet.t) =
+  (* Mirror of [Token_bucket.refill] + the conforming debit. *)
+  if now > b.last_refill then begin
+    b.tokens <-
+      Stdlib.min b.depth_bits
+        (b.tokens +. ((now -. b.last_refill) *. b.rate_bps));
+    b.last_refill <- now
+  end;
+  let need = float_of_int pkt.Packet.size_bits in
+  check t t.token_bucket
+    (b.tokens >= need -. bucket_eps)
+    (fun () ->
+      Printf.sprintf
+        "flow %d seq %d at t=%.6f: %d bits offered with only %.3f tokens \
+         (rate %.0f bps, depth %.0f bits)"
+        flow pkt.Packet.seq now pkt.Packet.size_bits b.tokens b.rate_bps
+        b.depth_bits);
+  b.tokens <- b.tokens -. need
+
+let bucket_for t ~flow ~link =
+  if flow < Array.length t.buckets then
+    match t.buckets.(flow) with
+    | Some b when b.b_link = link -> Some b
+    | _ -> None
+  else None
+
+let on_arrival t ~link ~now (pkt : Packet.t) =
+  match bucket_for t ~flow:pkt.Packet.flow ~link with
+  | None -> ()
+  | Some b -> debit_bucket t b ~now ~flow:pkt.Packet.flow pkt
+
+let tap t =
+  let on_enqueue ~link ~now (pkt : Packet.t) =
+    t.events <- t.events + 1;
+    (match link_state t link with
+    | None -> ()
+    | Some ls -> ls.accepted <- ls.accepted + 1);
+    check t t.delay
+      (pkt.Packet.qdelay_total >= -.delay_eps)
+      (fun () ->
+        Printf.sprintf
+          "flow %d seq %d at t=%.6f: negative accumulated delay %.9f on \
+           enqueue at link %d"
+          pkt.Packet.flow pkt.Packet.seq now pkt.Packet.qdelay_total link);
+    on_arrival t ~link ~now pkt
+  in
+  let on_dequeue ~link ~now ~wait (pkt : Packet.t) =
+    t.events <- t.events + 1;
+    (match link_state t link with
+    | None -> ()
+    | Some ls -> ls.dequeued <- ls.dequeued + 1);
+    check t t.delay
+      (wait >= -.delay_eps)
+      (fun () ->
+        Printf.sprintf
+          "flow %d seq %d at t=%.6f: dequeued %.9fs before it arrived at \
+           link %d"
+          pkt.Packet.flow pkt.Packet.seq now (-.wait) link)
+  in
+  let on_idle ~link ~now ~qlen =
+    t.events <- t.events + 1;
+    match link_state t link with
+    | Some ls when ls.wc ->
+        check t t.work_conservation (qlen = 0) (fun () ->
+            Printf.sprintf
+              "link %d (%s) went idle at t=%.6f with %d packets queued" link
+              ls.l_name now qlen)
+    | _ -> ()
+  in
+  let on_deliver ~link ~now (pkt : Packet.t) =
+    t.events <- t.events + 1;
+    (match link_state t link with
+    | None -> ()
+    | Some ls -> ls.delivered <- ls.delivered + 1);
+    check t t.delay
+      (pkt.Packet.qdelay_total >= -.delay_eps)
+      (fun () ->
+        Printf.sprintf
+          "flow %d seq %d at t=%.6f: delivered with negative accumulated \
+           delay %.9f"
+          pkt.Packet.flow pkt.Packet.seq now pkt.Packet.qdelay_total);
+    if pkt.Packet.flow < Array.length t.bounds then
+      match t.bounds.(pkt.Packet.flow) with
+      | Some g when g.g_link = link ->
+          check t t.pg_bound
+            (pkt.Packet.qdelay_total <= g.bound_s +. bound_eps)
+            (fun () ->
+              Printf.sprintf
+                "flow %d seq %d at t=%.6f: queueing delay %.6fs exceeds the \
+                 PG bound %.6fs"
+                pkt.Packet.flow pkt.Packet.seq now pkt.Packet.qdelay_total
+                g.bound_s)
+      | _ -> ()
+  in
+  let on_drop ~link ~now ~cause (pkt : Packet.t) =
+    t.events <- t.events + 1;
+    (match link_state t link with
+    | None -> ()
+    | Some ls -> (
+        match (cause : Recorder.cause) with
+        | Recorder.Buffer -> ls.drops_buffer <- ls.drops_buffer + 1
+        | Recorder.Down -> ls.drops_down <- ls.drops_down + 1
+        | Recorder.Wire -> ls.drops_wire <- ls.drops_wire + 1
+        | Recorder.No_cause -> ()));
+    (* A buffer rejection still passed the edge policer, so it consumed
+       tokens; debit the model on this path too. *)
+    if cause = Recorder.Buffer then on_arrival t ~link ~now pkt
+  in
+  Tap.make ~on_enqueue ~on_dequeue ~on_idle ~on_deliver ~on_drop ()
+
+let attach_link t ?work_conserving link =
+  register_qdisc t ~link:(Ispn_sim.Link.id link) ?work_conserving
+    (Ispn_sim.Link.qdisc link);
+  Ispn_sim.Link.set_tap link (tap t)
+
+let attach_network t net =
+  for i = 0 to Ispn_sim.Network.n_links net - 1 do
+    attach_link t (Ispn_sim.Network.link net i)
+  done
+
+(* {2 Report-time checks and the summary} *)
+
+type inv_summary = { inv_name : string; inv_checks : int; inv_violations : int }
+
+type summary = {
+  events : int;
+  checks : int;
+  violations : int;
+  invariants : inv_summary list;
+  samples : string list;  (* oldest first *)
+}
+
+let final_link_checks t ls =
+  let backlog = ls.l_qdisc.Qdisc.length () in
+  check t t.conservation
+    (ls.accepted - ls.dequeued = backlog)
+    (fun () ->
+      Printf.sprintf
+        "link %d (%s): accepted %d - dequeued %d <> %d still queued" ls.l_id
+        ls.l_name ls.accepted ls.dequeued backlog);
+  let in_flight = ls.dequeued - ls.delivered - ls.drops_down - ls.drops_wire in
+  check t t.conservation (in_flight >= 0) (fun () ->
+      Printf.sprintf
+        "link %d (%s): dequeued %d < delivered %d + dropped %d after dequeue"
+        ls.l_id ls.l_name ls.dequeued ls.delivered
+        (ls.drops_down + ls.drops_wire))
+
+let final_pool_checks t (link, p) =
+  let in_use = Qdisc.pool_in_use p in
+  check t t.pool
+    (Qdisc.pool_takes p = Qdisc.pool_releases p + in_use)
+    (fun () ->
+      Printf.sprintf "link %d: %d takes <> %d releases + %d in use" link
+        (Qdisc.pool_takes p) (Qdisc.pool_releases p) in_use);
+  check t t.pool (in_use >= 0) (fun () ->
+      Printf.sprintf "link %d: pool in_use %d negative" link in_use);
+  check t t.pool
+    (Qdisc.pool_hwm p <= Qdisc.pool_capacity p)
+    (fun () ->
+      Printf.sprintf "link %d: pool high-water %d above capacity %d" link
+        (Qdisc.pool_hwm p) (Qdisc.pool_capacity p));
+  match link_state t link with
+  | None -> ()
+  | Some ls ->
+      check t t.pool
+        (in_use = ls.l_qdisc.Qdisc.length ())
+        (fun () ->
+          Printf.sprintf
+            "link %d (%s): pool holds %d buffers but the qdisc reports %d \
+             packets (leak)"
+            link ls.l_name in_use
+            (ls.l_qdisc.Qdisc.length ()))
+
+let finalize t =
+  let total_accepted = ref 0 and total_dequeued = ref 0 in
+  let total_backlog = ref 0 and n_links = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some ls ->
+          incr n_links;
+          total_accepted := !total_accepted + ls.accepted;
+          total_dequeued := !total_dequeued + ls.dequeued;
+          total_backlog := !total_backlog + ls.l_qdisc.Qdisc.length ();
+          final_link_checks t ls)
+    t.links;
+  List.iter (final_pool_checks t) (List.rev t.pools);
+  if !n_links > 0 then
+    check t t.conservation
+      (!total_accepted = !total_dequeued + !total_backlog)
+      (fun () ->
+        Printf.sprintf
+          "network: %d accepted <> %d dequeued + %d queued across %d links"
+          !total_accepted !total_dequeued !total_backlog !n_links);
+  let invariants =
+    List.map
+      (fun c ->
+        { inv_name = c.inv; inv_checks = c.checks; inv_violations = c.violations })
+      (counters t)
+  in
+  let checks = List.fold_left (fun a i -> a + i.inv_checks) 0 invariants in
+  let violations =
+    List.fold_left (fun a i -> a + i.inv_violations) 0 invariants
+  in
+  {
+    events = t.events;
+    checks;
+    violations;
+    invariants;
+    samples = List.rev t.samples;
+  }
+
+let footer_lines ~label s =
+  let head =
+    Printf.sprintf "[check] %s: %d events, %d checks, %d violations" label
+      s.events s.checks s.violations
+  in
+  if s.violations = 0 then [ head ]
+  else
+    head
+    :: List.filter_map
+         (fun i ->
+           if i.inv_violations = 0 then None
+           else
+             Some
+               (Printf.sprintf "[check] %s:   %s: %d/%d checks violated" label
+                  i.inv_name i.inv_violations i.inv_checks))
+         s.invariants
+    @ List.map (fun m -> Printf.sprintf "[check] %s:   !! %s" label m)
+        s.samples

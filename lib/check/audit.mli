@@ -1,0 +1,84 @@
+(** Runtime conformance auditor for the invariants the paper relies on.
+
+    An audit context consumes the {!Ispn_sim.Tap} event stream of one run
+    and checks, continuously and at report time:
+
+    - {b conservation} — per link and network-wide, every accepted packet
+      is either still queued, in flight, delivered, or accounted to a
+      drop cause; nothing is created or silently lost.
+    - {b pool} — buffer-pool accounting: takes = releases + in-use, never
+      negative, high-water never above capacity, and the pool's in-use
+      count equals the qdisc's reported backlog (no leaked buffers).
+    - {b work-conservation} — a work-conserving scheduler may not leave
+      the transmitter idle while packets are queued (Stop-and-Go, HRR and
+      Jitter-EDD are exempt by design).
+    - {b delay} — per-hop waits and accumulated queueing delays are
+      monotone non-negative.
+    - {b token-bucket} — traffic observed at a policed flow's ingress
+      link conforms to its [(r, b)] envelope; the model replays the edge
+      policer's exact arithmetic.
+    - {b pg-bound} — a guaranteed WFQ flow's end-to-end queueing delay
+      never exceeds its Parekh–Gallager bound (checked per delivered
+      packet at the flow's egress link).
+
+    Like [Ispn_obs], auditing is opt-in and free when off: without an
+    attached context the packet path pays one [match] per event, and
+    stdout is untouched.  Each parallel experiment job owns its private
+    context ({!summary} values are plain data merged in job order), so
+    [--check] output is [-j]-independent. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Attachment} *)
+
+val attach_link : t -> ?work_conserving:bool -> Ispn_sim.Link.t -> unit
+(** Install this context's tap on the link and register its qdisc for the
+    report-time checks.  [work_conserving] overrides the classification
+    by scheduler name (see {!work_conserving_name}). *)
+
+val attach_network : t -> Ispn_sim.Network.t -> unit
+(** {!attach_link} on every link of the chain. *)
+
+val register_pool : t -> link:int -> Ispn_sim.Qdisc.pool -> unit
+(** Enable the buffer-accounting checks for a link's pool; may be called
+    before {!attach_link} (pools are built inside qdisc factories).  The
+    in-use-equals-backlog cross-check needs the link attached too. *)
+
+val register_policed_flow :
+  t -> flow:int -> link:int -> rate_bps:float -> depth_bits:float -> unit
+(** Check every packet of [flow] arriving at [link] (its first hop)
+    against a token bucket [(rate_bps, depth_bits)] that starts full. *)
+
+val register_pg_bound : t -> flow:int -> link:int -> bound_s:float -> unit
+(** Check every packet of [flow] delivered by [link] (its egress hop)
+    against the end-to-end queueing-delay bound [bound_s] (seconds). *)
+
+val work_conserving_name : string -> bool
+(** Classification used by {!attach_link}: every scheduler name except
+    Stop-and-Go, HRR and Jitter-EDD is treated as work-conserving. *)
+
+val tap : t -> Ispn_sim.Tap.t
+(** The raw tap, for driving the auditor without a link (tests). *)
+
+(** {2 Results} *)
+
+type inv_summary = { inv_name : string; inv_checks : int; inv_violations : int }
+
+type summary = {
+  events : int;  (** Tap events consumed. *)
+  checks : int;  (** Individual invariant evaluations, incl. report-time. *)
+  violations : int;
+  invariants : inv_summary list;  (** Fixed catalogue order. *)
+  samples : string list;  (** First few violation messages, oldest first. *)
+}
+
+val finalize : t -> summary
+(** Run the report-time checks (conservation totals, pool accounting
+    against current backlogs) and snapshot the counters.  Call once, when
+    the run's engine has drained. *)
+
+val footer_lines : label:string -> summary -> string list
+(** Render as [\[check\]]-prefixed report lines: one summary line, plus
+    per-invariant counts and violation samples when anything failed. *)

@@ -48,20 +48,25 @@ type rt_flow = {
   probe : Probe.t;
 }
 
-let attach_rt_flow net prng ~spec ~avg_rate_pps =
+let attach_rt_flow ?audit net prng ~spec ~avg_rate_pps =
   let open Scenario in
   let engine = Network.engine net in
   let probe = Probe.create () in
   Network.install_flow net ~flow:spec.flow ~ingress:spec.ingress
     ~egress:spec.egress
     ~sink:(fun pkt -> Probe.sink probe ~engine pkt);
-  let bucket =
-    Ispn_traffic.Token_bucket.create
-      ~rate_bps:(avg_rate_pps *. float_of_int Units.packet_bits)
-      ~depth_bits:
-        (Scenario.token_bucket_depth_packets *. float_of_int Units.packet_bits)
-      ()
+  let rate_bps = avg_rate_pps *. float_of_int Units.packet_bits in
+  let depth_bits =
+    Scenario.token_bucket_depth_packets *. float_of_int Units.packet_bits
   in
+  (match audit with
+  | Some a when spec.ingress < spec.egress ->
+      (* The policed stream first queues on link [ingress]; audit its
+         conformance there. *)
+      Ispn_check.Audit.register_policed_flow a ~flow:spec.flow
+        ~link:spec.ingress ~rate_bps ~depth_bits
+  | _ -> ());
+  let bucket = Ispn_traffic.Token_bucket.create ~rate_bps ~depth_bits () in
   let policer =
     Ispn_traffic.Token_bucket.policer ~engine ~bucket
       ~mode:Ispn_traffic.Token_bucket.Drop
@@ -105,7 +110,7 @@ let info_of_run net rt_flows ~duration =
     net_dropped = Network.total_dropped net;
   }
 
-let run_chain_custom ?metrics ?recorder ~qdisc_of ~n_switches ~specs
+let run_chain_custom ?metrics ?recorder ?audit ~qdisc_of ~n_switches ~specs
     ~avg_rate_pps ~duration ~seed () =
   let engine = Engine.create () in
   let prng = Prng.create ~seed in
@@ -118,45 +123,57 @@ let run_chain_custom ?metrics ?recorder ~qdisc_of ~n_switches ~specs
   | Some m ->
       Engine.register_metrics engine m;
       Network.register_metrics net m);
+  (match audit with
+  | None -> ()
+  | Some a -> Ispn_check.Audit.attach_network a net);
   let rt_flows =
-    List.map (fun spec -> attach_rt_flow net prng ~spec ~avg_rate_pps) specs
+    List.map
+      (fun spec -> attach_rt_flow ?audit net prng ~spec ~avg_rate_pps)
+      specs
   in
   List.iter (fun rt -> rt.source.Ispn_traffic.Source.start ()) rt_flows;
   Engine.run engine ~until:duration;
   (List.map result_of_rt_flow rt_flows, info_of_run net rt_flows ~duration)
 
-let run_chain ?metrics ?recorder ~sched ~n_switches ~specs ~avg_rate_pps
-    ~duration ~seed () =
+let run_chain ?metrics ?recorder ?audit ~sched ~n_switches ~specs
+    ~avg_rate_pps ~duration ~seed () =
   let link_rate_bps = Units.link_rate_bps in
   let qdisc_of _engine link =
     let pool = Qdisc.pool ~capacity:Units.buffer_packets in
     (match metrics with
     | None -> ()
     | Some m -> register_pool_metrics m ~link pool);
+    (match audit with
+    | None -> ()
+    | Some a -> Ispn_check.Audit.register_pool a ~link pool);
     qdisc_for ?metrics ~label:(string_of_int link) sched ~pool ~link_rate_bps
   in
-  run_chain_custom ?metrics ?recorder ~qdisc_of ~n_switches ~specs
+  run_chain_custom ?metrics ?recorder ?audit ~qdisc_of ~n_switches ~specs
     ~avg_rate_pps ~duration ~seed ()
 
 let run_figure1_custom ~qdisc_of ?(avg_rate_pps = Scenario.default_avg_rate_pps)
-    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder () =
-  run_chain_custom ?metrics ?recorder ~qdisc_of
+    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder ?audit
+    () =
+  run_chain_custom ?metrics ?recorder ?audit ~qdisc_of
     ~n_switches:Scenario.figure1_n_switches ~specs:Scenario.figure1_flows
     ~avg_rate_pps ~duration ~seed ()
 
 let run_single_link ~sched ?(n_flows = 10)
     ?(avg_rate_pps = Scenario.default_avg_rate_pps)
-    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder () =
+    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder ?audit
+    () =
   let specs =
     List.init n_flows (fun i -> { Scenario.flow = i; ingress = 0; egress = 1 })
   in
-  run_chain ?metrics ?recorder ~sched ~n_switches:2 ~specs ~avg_rate_pps
-    ~duration ~seed ()
+  run_chain ?metrics ?recorder ?audit ~sched ~n_switches:2 ~specs
+    ~avg_rate_pps ~duration ~seed ()
 
 let run_figure1 ~sched ?(avg_rate_pps = Scenario.default_avg_rate_pps)
-    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder () =
-  run_chain ?metrics ?recorder ~sched ~n_switches:Scenario.figure1_n_switches
-    ~specs:Scenario.figure1_flows ~avg_rate_pps ~duration ~seed ()
+    ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder ?audit
+    () =
+  run_chain ?metrics ?recorder ?audit ~sched
+    ~n_switches:Scenario.figure1_n_switches ~specs:Scenario.figure1_flows
+    ~avg_rate_pps ~duration ~seed ()
 
 (* --- Table 3 ------------------------------------------------------------ *)
 
@@ -189,7 +206,7 @@ type t3_result = {
 
 let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
     ?(duration = Units.sim_duration_s) ?(seed = 42L) ?discard_late_above
-    ?metrics ?recorder () =
+    ?metrics ?recorder ?audit () =
   let open Scenario in
   let engine = Engine.create () in
   let prng = Prng.create ~seed in
@@ -208,6 +225,9 @@ let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
         (match metrics with
         | None -> ()
         | Some m -> register_pool_metrics m ~link:i pool);
+        (match audit with
+        | None -> ()
+        | Some a -> Ispn_check.Audit.register_pool a ~link:i pool);
         let config =
           { Csz_sched.default_config with link_rate_bps; discard_late_above }
         in
@@ -223,6 +243,34 @@ let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
   | Some m ->
       Engine.register_metrics engine m;
       Network.register_metrics net m);
+  (match audit with
+  | None -> ()
+  | Some a ->
+      Ispn_check.Audit.attach_network a net;
+      (* Per-packet PG-bound detection for every guaranteed flow, checked
+         on delivery at its egress link (bound in seconds, as measured). *)
+      List.iter
+        (fun spec ->
+          let hops = Scenario.hops spec in
+          let register ~clock_rate_bps ~depth_bits =
+            let bucket =
+              { Ispn_admission.Spec.rate_bps = clock_rate_bps; depth_bits }
+            in
+            Ispn_check.Audit.register_pg_bound a ~flow:spec.flow
+              ~link:(spec.egress - 1)
+              ~bound_s:
+                (Ispn_admission.Bounds.pg_bound ~bucket ~clock_rate_bps ~hops
+                   ())
+          in
+          match table3_class_of spec.flow with
+          | Guaranteed_peak ->
+              register ~clock_rate_bps:peak_rate_bps ~depth_bits:packet_bits_f
+          | Guaranteed_avg ->
+              register ~clock_rate_bps:avg_rate_bps
+                ~depth_bits:
+                  (Scenario.token_bucket_depth_packets *. packet_bits_f)
+          | Predicted_high | Predicted_low -> ())
+        figure1_flows);
   let state i = Option.get states.(i) in
   (* Register every real-time flow at each link on its path. *)
   List.iter
@@ -241,7 +289,7 @@ let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
     figure1_flows;
   let rt_flows =
     List.map
-      (fun spec -> attach_rt_flow net prng ~spec ~avg_rate_pps)
+      (fun spec -> attach_rt_flow ?audit net prng ~spec ~avg_rate_pps)
       figure1_flows
   in
   (* The two TCP connections, one per half of the chain; unregistered flows

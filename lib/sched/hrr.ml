@@ -48,7 +48,14 @@ let create ~engine ~frame ~slots_of ~pool () =
     if not !boundary_armed then begin
       boundary_armed := true;
       let next = !frame_start +. frame in
-      let next = if next <= now then now +. frame else next in
+      (* After an idle gap [frame_start] is stale; re-anchor to the fixed
+         frame grid (the boundary ceiling of [now]), not [now +. frame] —
+         frame phase must not drift with arrival times. *)
+      let next =
+        if next <= now then
+          (Float.of_int (int_of_float (now /. frame)) +. 1.) *. frame
+        else next
+      in
       ignore
         (Engine.schedule engine ~at:next (fun () ->
              boundary_armed := false;

@@ -7,6 +7,7 @@ let create ~engine ~frame ~pool () =
      stamp rather than stored alongside it. *)
   let q = Ispn_util.Ring.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let waker = ref (fun () -> ()) in
+  let wake_armed = ref false in
   let next_boundary t = (Float.of_int (int_of_float (t /. frame)) +. 1.) *. frame in
   let enqueue ~now pkt =
     pkt.Packet.enqueued_at <- now;
@@ -28,8 +29,18 @@ let create ~engine ~frame ~pool () =
       end
       else begin
         (* Head not yet eligible: hold the line idle and call the link
-           back at the frame boundary. *)
-        ignore (Engine.schedule engine ~at:eligible (fun () -> !waker ()));
+           back at the frame boundary.  The latch keeps at most one
+           wakeup pending however often the link polls an ineligible
+           head; the event re-opens it, so a still-ineligible head
+           (e.g. the wakeup raced a fresher arrival) arms the next
+           boundary on the following poll. *)
+        if not !wake_armed then begin
+          wake_armed := true;
+          ignore
+            (Engine.schedule engine ~at:eligible (fun () ->
+                 wake_armed := false;
+                 !waker ()))
+        end;
         None
       end
     end

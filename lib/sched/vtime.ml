@@ -50,9 +50,22 @@ let flow_deactivated t ~now ~weight =
     t.on_reset ()
   end
 
+(* Weights are clock rates in bits/s (>= 1 in every configuration), so
+   anything this small is float drift, not a real remaining reservation. *)
+let weight_epsilon = 1e-6
+
 let adjust_active t ~now ~delta =
   advance t ~now;
-  t.s.active_weight <- t.s.active_weight +. delta;
-  assert (t.s.active_weight > 0.)
+  let w = t.s.active_weight +. delta in
+  if w > weight_epsilon then t.s.active_weight <- w
+  else begin
+    (* Renegotiation removed the last active weight (or drift left a
+       sub-epsilon residue): end the busy period exactly as
+       [flow_deactivated] does, but keep [active_count] — the flows
+       themselves are still queued and will deactivate normally. *)
+    t.s.v <- 0.;
+    t.s.active_weight <- 0.;
+    t.on_reset ()
+  end
 
 let active_weight t = t.s.active_weight

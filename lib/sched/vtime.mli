@@ -33,6 +33,12 @@ val flow_deactivated : t -> now:float -> weight:float -> unit
 val adjust_active : t -> now:float -> delta:float -> unit
 (** Change the weight of a currently-active flow in place (the unified
     scheduler re-sizes pseudo-flow 0 when guaranteed reservations change).
-    Advances [V] first so past service is accounted at the old weight. *)
+    Advances [V] first so past service is accounted at the old weight.
+
+    If the adjustment leaves the summed active weight at (or, through
+    float drift, within an epsilon of) zero, the busy period ends exactly
+    as in {!flow_deactivated} — [V] resets to 0 and [on_reset] fires —
+    but the active {e count} is kept: the flows are still backlogged and
+    will deactivate through {!flow_deactivated} as they drain. *)
 
 val active_weight : t -> float

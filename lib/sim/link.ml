@@ -8,6 +8,7 @@ type t = {
   link_name : string;
   id : int;
   recorder : Recorder.t option;
+  mutable tap : Tap.t option;
   mutable receiver : (Packet.t -> unit) option;
   mutable drop_hook : (Packet.t -> unit) option;
   mutable wire_filter : (Packet.t -> Packet.t option) option;
@@ -27,6 +28,7 @@ let name t = t.link_name
 let id t = t.id
 let qdisc t = t.qdisc
 let set_drop_hook t f = t.drop_hook <- Some f
+let set_tap t tap = t.tap <- Some tap
 let set_wire_filter t f = t.wire_filter <- Some f
 let is_up t = t.up
 
@@ -46,6 +48,9 @@ let drop t pkt ~cause =
   | Recorder.Wire -> t.drops_wire <- t.drops_wire + 1
   | Recorder.No_cause -> ());
   record t pkt ~kind:Recorder.Drop ~value:0. ~cause;
+  (match t.tap with
+  | None -> ()
+  | Some tp -> tp.Tap.on_drop ~link:t.id ~now:(Engine.now t.engine) ~cause pkt);
   match t.drop_hook with Some f -> f pkt | None -> ()
 
 let deliver t pkt =
@@ -57,6 +62,10 @@ let deliver t pkt =
   | Some pkt -> (
       record t pkt ~kind:Recorder.Deliver ~value:pkt.Packet.qdelay_total
         ~cause:Recorder.No_cause;
+      (match t.tap with
+      | None -> ()
+      | Some tp ->
+          tp.Tap.on_deliver ~link:t.id ~now:(Engine.now t.engine) pkt);
       match t.receiver with
       | Some f -> f pkt
       | None -> failwith ("Link " ^ t.link_name ^ ": no receiver attached"))
@@ -66,7 +75,12 @@ let rec start_transmission t =
   else
     let now = Engine.now t.engine in
     match t.qdisc.Qdisc.dequeue ~now with
-    | None -> t.busy <- false
+    | None ->
+        t.busy <- false;
+        (match t.tap with
+        | None -> ()
+        | Some tp ->
+            tp.Tap.on_idle ~link:t.id ~now ~qlen:(t.qdisc.Qdisc.length ()))
     | Some pkt ->
         t.busy <- true;
         let wait = now -. pkt.Packet.enqueued_at in
@@ -81,6 +95,9 @@ let rec start_transmission t =
           ~cause:Recorder.No_cause;
         record t pkt ~kind:Recorder.Tx_start ~value:tx_time
           ~cause:Recorder.No_cause;
+        (match t.tap with
+        | None -> ()
+        | Some tp -> tp.Tap.on_dequeue ~link:t.id ~now ~wait pkt);
         let finish () =
           if t.up then begin
             t.sent <- t.sent + 1;
@@ -116,6 +133,7 @@ let create ~engine ~rate_bps ?(prop_delay = 0.) ?(id = 0) ?recorder ~qdisc
       link_name = name;
       id;
       recorder;
+      tap = None;
       receiver = None;
       drop_hook = None;
       wire_filter = None;
@@ -142,6 +160,9 @@ let send t pkt =
   if t.qdisc.Qdisc.enqueue ~now pkt then begin
     record t pkt ~kind:Recorder.Enqueue ~value:qdelay_before
       ~cause:Recorder.No_cause;
+    (match t.tap with
+    | None -> ()
+    | Some tp -> tp.Tap.on_enqueue ~link:t.id ~now pkt);
     if not t.busy then start_transmission t
   end
   else begin

@@ -47,6 +47,12 @@ val send : t -> Packet.t -> unit
 (** Enqueue a packet for transmission; starts the transmitter if idle.
     Raises [Failure] if no receiver has been attached. *)
 
+val set_tap : t -> Tap.t -> unit
+(** Attach a {!Tap} monitor; its callbacks fire on qdisc accept, dequeue
+    (with this hop's wait), transmitter-idle (with the qdisc's backlog),
+    delivery and every drop.  Like the recorder this never changes the
+    simulation — links without a tap pay one [match] per event. *)
+
 val set_drop_hook : t -> (Packet.t -> unit) -> unit
 (** Called for every packet the link loses: qdisc rejection (buffer
     overflow), a frame in flight when the link goes down, or a packet

@@ -1,25 +1,37 @@
-type pool = { capacity : int; mutable in_use : int; mutable hwm : int }
+type pool = {
+  capacity : int;
+  mutable in_use : int;
+  mutable hwm : int;
+  mutable takes : int;
+  mutable releases : int;
+}
 
 let pool ~capacity =
   assert (capacity > 0);
-  { capacity; in_use = 0; hwm = 0 }
+  { capacity; in_use = 0; hwm = 0; takes = 0; releases = 0 }
 
 let pool_take p =
   if p.in_use >= p.capacity then false
   else begin
     p.in_use <- p.in_use + 1;
+    p.takes <- p.takes + 1;
     if p.in_use > p.hwm then p.hwm <- p.in_use;
     true
   end
 
 let pool_release p =
   assert (p.in_use > 0);
-  p.in_use <- p.in_use - 1
+  p.in_use <- p.in_use - 1;
+  p.releases <- p.releases + 1
 
 let pool_in_use p = p.in_use
 let pool_hwm p = p.hwm
 let pool_capacity p = p.capacity
-let unbounded_pool () = { capacity = max_int; in_use = 0; hwm = 0 }
+let pool_takes p = p.takes
+let pool_releases p = p.releases
+
+let unbounded_pool () =
+  { capacity = max_int; in_use = 0; hwm = 0; takes = 0; releases = 0 }
 
 type t = {
   enqueue : now:float -> Packet.t -> bool;

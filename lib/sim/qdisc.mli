@@ -27,6 +27,13 @@ val pool_hwm : pool -> int
 
 val pool_capacity : pool -> int
 
+val pool_takes : pool -> int
+(** Successful {!pool_take}s since creation (rejected takes don't count). *)
+
+val pool_releases : pool -> int
+(** {!pool_release}s since creation.  The accounting invariant checked by
+    [Ispn_check.Audit] is [takes = releases + in_use] at all times. *)
+
 val unbounded_pool : unit -> pool
 (** A pool that never rejects; for analytic tests. *)
 

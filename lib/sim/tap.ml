@@ -1,0 +1,22 @@
+type t = {
+  on_enqueue : link:int -> now:float -> Packet.t -> unit;
+  on_dequeue : link:int -> now:float -> wait:float -> Packet.t -> unit;
+  on_idle : link:int -> now:float -> qlen:int -> unit;
+  on_deliver : link:int -> now:float -> Packet.t -> unit;
+  on_drop :
+    link:int -> now:float -> cause:Ispn_obs.Recorder.cause -> Packet.t -> unit;
+}
+
+let nop =
+  {
+    on_enqueue = (fun ~link:_ ~now:_ _ -> ());
+    on_dequeue = (fun ~link:_ ~now:_ ~wait:_ _ -> ());
+    on_idle = (fun ~link:_ ~now:_ ~qlen:_ -> ());
+    on_deliver = (fun ~link:_ ~now:_ _ -> ());
+    on_drop = (fun ~link:_ ~now:_ ~cause:_ _ -> ());
+  }
+
+let make ?(on_enqueue = nop.on_enqueue) ?(on_dequeue = nop.on_dequeue)
+    ?(on_idle = nop.on_idle) ?(on_deliver = nop.on_deliver)
+    ?(on_drop = nop.on_drop) () =
+  { on_enqueue; on_dequeue; on_idle; on_deliver; on_drop }

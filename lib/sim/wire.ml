@@ -5,7 +5,7 @@ let offset_quantum = 1e-6
 exception Malformed of string
 
 let encode (p : Packet.t) =
-  if p.Packet.size_bits < 0 || p.Packet.size_bits > 0xFFFF then
+  if p.Packet.size_bits <= 0 || p.Packet.size_bits > 0xFFFF then
     invalid_arg "Wire.encode: size_bits out of range";
   if p.Packet.flow < 0 || p.Packet.flow > 0x7FFFFFFF then
     invalid_arg "Wire.encode: flow out of range";
@@ -37,6 +37,9 @@ let decode ?(created = 0.) b =
     | k -> raise (Malformed (Printf.sprintf "kind %d" k))
   in
   let size_bits = Bytes.get_uint16_be b 2 in
+  (* A zero-size packet would transmit in zero time downstream; a
+     corrupted size field must not smuggle one in. *)
+  if size_bits = 0 then raise (Malformed "zero size");
   let flow = Int32.to_int (Bytes.get_int32_be b 4) in
   if flow < 0 then raise (Malformed (Printf.sprintf "negative flow %d" flow));
   let seq = Int32.to_int (Bytes.get_int32_be b 8) in

@@ -1,0 +1,376 @@
+(* Differential harness: each production scheduler is driven op-for-op
+   against a small transparent reference model (association lists and
+   sorted insertion instead of Kheap / Ring / dense arrays) under
+   randomized arrival scripts.  The models replay the schedulers' float
+   arithmetic operation-for-operation, so accept decisions, dequeue order
+   and backlog must match exactly — any divergence is a bug in the
+   optimized structures (heap ordering, ring rotation, credit refills,
+   busy-period resets) or in the model's reading of the contract.
+
+   Scripts mix simultaneous arrivals (dt = 0), sub-frame steps, idle gaps
+   spanning many frames, flow ids past the initial array sizes, mixed
+   packet sizes and a pool small enough to exhaust. *)
+open Ispn_sim
+
+(* Step choices are off the 10/20 ms frame grids so that model and real
+   boundary arithmetic are compared on the same side of every boundary. *)
+let dts = [| 0.; 0.; 1e-4; 7e-4; 1.3e-3; 0.0203; 0.0611; 0.2047 |]
+let flows_tbl = [| 0; 1; 2; 3; 4; 70; 129 |]
+let sizes_tbl = [| 1000; 400; 1600; 100 |]
+let cap = 8
+
+(* The same shape as [Qdisc.t], minus the parts a model doesn't need.
+   [m_advance] stands in for the engine: it fires the model's frame
+   boundaries up to [now]. *)
+type model = {
+  m_enqueue : now:float -> Packet.t -> bool;
+  m_dequeue : now:float -> (int * int) option;
+  m_length : unit -> int;
+  m_advance : now:float -> unit;
+}
+
+let id_of (p : Packet.t) = (p.Packet.flow, p.Packet.seq)
+
+(* --- reference models --- *)
+
+let fifo_model ~capacity () =
+  let q = ref [] in
+  {
+    m_advance = (fun ~now:_ -> ());
+    m_enqueue =
+      (fun ~now:_ p ->
+        if List.length !q >= capacity then false
+        else begin
+          q := !q @ [ p ];
+          true
+        end);
+    m_dequeue =
+      (fun ~now:_ ->
+        match !q with
+        | [] -> None
+        | p :: rest ->
+            q := rest;
+            Some (id_of p));
+    m_length = (fun () -> List.length !q);
+  }
+
+(* Sorted-list priority queue: stable insertion after equal keys gives the
+   FIFO-within-equal-keys order the Kheap guarantees. *)
+let sorted_insert queue ~key p =
+  let rec ins = function
+    | ((k, _) as e) :: rest when k <= key -> e :: ins rest
+    | rest -> (key, p) :: rest
+  in
+  queue := ins !queue
+
+let wfq_model ~capacity ~link_rate_bps ~weight_of () =
+  let queue = ref [] in
+  let count = ref 0 in
+  let v = ref 0. and last_update = ref 0. in
+  let aw = ref 0. and ac = ref 0 in
+  let last_finish = ref [] and qlen = ref [] in
+  let get assoc f d = match List.assoc_opt f !assoc with Some x -> x | None -> d in
+  let set assoc f x = assoc := (f, x) :: List.remove_assoc f !assoc in
+  let advance ~now =
+    if now > !last_update then begin
+      if !aw > 0. then
+        v := !v +. ((now -. !last_update) *. link_rate_bps /. !aw);
+      last_update := now
+    end
+  in
+  let fmax (a : float) b = if a >= b then a else b in
+  {
+    m_advance = (fun ~now:_ -> ());
+    m_enqueue =
+      (fun ~now p ->
+        if !count >= capacity then false
+        else begin
+          incr count;
+          advance ~now;
+          let flow = p.Packet.flow in
+          let w = weight_of flow in
+          if get qlen flow 0 = 0 then begin
+            aw := !aw +. w;
+            incr ac
+          end;
+          let tag =
+            fmax !v (get last_finish flow 0.)
+            +. (float_of_int p.Packet.size_bits /. w)
+          in
+          set last_finish flow tag;
+          set qlen flow (get qlen flow 0 + 1);
+          sorted_insert queue ~key:tag p;
+          true
+        end);
+    m_dequeue =
+      (fun ~now ->
+        match !queue with
+        | [] -> None
+        | (_, p) :: rest ->
+            queue := rest;
+            decr count;
+            let flow = p.Packet.flow in
+            let q = get qlen flow 0 - 1 in
+            set qlen flow q;
+            if q = 0 then begin
+              advance ~now;
+              aw := !aw -. weight_of flow;
+              decr ac;
+              if !ac = 0 then begin
+                (* Busy period over: virtual clock and finish tags restart. *)
+                v := 0.;
+                aw := 0.;
+                last_finish := []
+              end
+            end;
+            Some (id_of p));
+    m_length = (fun () -> !count);
+  }
+
+let edf_model ~capacity ~deadline_of () =
+  let queue = ref [] in
+  {
+    m_advance = (fun ~now:_ -> ());
+    m_enqueue =
+      (fun ~now p ->
+        if List.length !queue >= capacity then false
+        else begin
+          sorted_insert queue ~key:(now +. deadline_of p.Packet.flow) p;
+          true
+        end);
+    m_dequeue =
+      (fun ~now:_ ->
+        match !queue with
+        | [] -> None
+        | (_, p) :: rest ->
+            queue := rest;
+            Some (id_of p));
+    m_length = (fun () -> List.length !queue);
+  }
+
+let sg_model ~capacity ~frame () =
+  let q = ref [] in
+  let next_boundary t =
+    (Float.of_int (int_of_float (t /. frame)) +. 1.) *. frame
+  in
+  {
+    m_advance = (fun ~now:_ -> ());
+    m_enqueue =
+      (fun ~now p ->
+        if List.length !q >= capacity then false
+        else begin
+          q := !q @ [ (now, p) ];
+          true
+        end);
+    m_dequeue =
+      (fun ~now ->
+        match !q with
+        | [] -> None
+        | (arrived, p) :: rest ->
+            if next_boundary arrived <= now +. 1e-12 then begin
+              q := rest;
+              Some (id_of p)
+            end
+            else None);
+    m_length = (fun () -> List.length !q);
+  }
+
+let hrr_model ~capacity ~frame ~slots_of () =
+  (* flow -> (fifo, slots, credit); [order] mirrors the round-robin ring
+     including its rotate-on-every-visit behaviour; [armed] mirrors the
+     single pending engine boundary event. *)
+  let flows = ref [] in
+  let order = ref [] in
+  let total = ref 0 in
+  let frame_start = ref 0. in
+  let armed = ref None in
+  let get flow =
+    match List.assoc_opt flow !flows with
+    | Some st -> st
+    | None ->
+        let s = slots_of flow in
+        let st = (ref [], s, ref s) in
+        flows := (flow, st) :: !flows;
+        order := !order @ [ flow ];
+        st
+  in
+  let arm ~now =
+    if !armed = None then begin
+      let next = !frame_start +. frame in
+      let next =
+        if next <= now then
+          (Float.of_int (int_of_float (now /. frame)) +. 1.) *. frame
+        else next
+      in
+      armed := Some next
+    end
+  in
+  let rec process ~now =
+    match !armed with
+    | Some b when b <= now ->
+        armed := None;
+        frame_start := b;
+        List.iter (fun (_, (_, slots, credit)) -> credit := slots) !flows;
+        if !total > 0 then arm ~now:b;
+        process ~now
+    | _ -> ()
+  in
+  {
+    m_advance = (fun ~now -> process ~now);
+    m_enqueue =
+      (fun ~now p ->
+        if !total >= capacity then false
+        else begin
+          let fifo, _, _ = get p.Packet.flow in
+          fifo := !fifo @ [ p ];
+          incr total;
+          arm ~now;
+          true
+        end);
+    m_dequeue =
+      (fun ~now:_ ->
+        if !total = 0 then None
+        else begin
+          let n = List.length !order in
+          let rec visit k =
+            if k >= n then None
+            else
+              match !order with
+              | [] -> None
+              | flow :: rest -> (
+                  order := rest @ [ flow ];
+                  let fifo, _, credit = List.assoc flow !flows in
+                  match !fifo with
+                  | p :: tail when !credit > 0 ->
+                      decr credit;
+                      decr total;
+                      fifo := tail;
+                      Some (id_of p)
+                  | _ -> visit (k + 1))
+          in
+          visit 0
+        end);
+    m_length = (fun () -> !total);
+  }
+
+(* --- the driver --- *)
+
+let script_arb =
+  QCheck.(
+    list_of_size
+      (QCheck.Gen.int_range 1 120)
+      (quad
+         (int_bound (Array.length dts - 1))
+         (int_bound 2)
+         (int_bound (Array.length flows_tbl - 1))
+         (int_bound (Array.length sizes_tbl - 1))))
+
+let differential ~name ~make_qdisc ~make_model =
+  QCheck.Test.make ~name ~count:1000 script_arb (fun script ->
+      let engine = Engine.create () in
+      let q : Qdisc.t = make_qdisc engine in
+      let m = make_model () in
+      let now = ref 0. in
+      let seq = ref 0 in
+      let compare_deq label =
+        let r = Option.map id_of (q.Qdisc.dequeue ~now:!now) in
+        let mr = m.m_dequeue ~now:!now in
+        if r <> mr then
+          QCheck.Test.fail_reportf
+            "%s dequeue mismatch at t=%.6f: real %s, model %s" label !now
+            (match r with
+            | None -> "None"
+            | Some (f, s) -> Printf.sprintf "(%d,%d)" f s)
+            (match mr with
+            | None -> "None"
+            | Some (f, s) -> Printf.sprintf "(%d,%d)" f s);
+        r
+      in
+      let check_length label =
+        if q.Qdisc.length () <> m.m_length () then
+          QCheck.Test.fail_reportf
+            "%s length mismatch at t=%.6f: real %d, model %d" label !now
+            (q.Qdisc.length ()) (m.m_length ())
+      in
+      let step (dt_i, kind, flow_i, size_i) =
+        now := !now +. dts.(dt_i);
+        Engine.run engine ~until:!now;
+        m.m_advance ~now:!now;
+        if kind <= 1 then begin
+          let flow = flows_tbl.(flow_i) and size_bits = sizes_tbl.(size_i) in
+          let p = Packet.make ~flow ~seq:!seq ~size_bits ~created:!now () in
+          let p' = Packet.make ~flow ~seq:!seq ~size_bits ~created:!now () in
+          incr seq;
+          let ra = q.Qdisc.enqueue ~now:!now p in
+          let ma = m.m_enqueue ~now:!now p' in
+          if ra <> ma then
+            QCheck.Test.fail_reportf
+              "enqueue accept mismatch at t=%.6f flow %d: real %b, model %b"
+              !now flow ra ma
+        end
+        else ignore (compare_deq "script");
+        check_length "script"
+      in
+      List.iter step script;
+      (* Drain: whatever is still queued must come out of both in the same
+         order; the off-grid step crosses every frame boundary. *)
+      let guard = ref 0 in
+      while q.Qdisc.length () > 0 && !guard < 1000 do
+        incr guard;
+        now := !now +. 0.0501;
+        Engine.run engine ~until:!now;
+        m.m_advance ~now:!now;
+        let rec pump () = if compare_deq "drain" <> None then pump () in
+        pump ();
+        check_length "drain"
+      done;
+      if q.Qdisc.length () <> 0 || m.m_length () <> 0 then
+        QCheck.Test.fail_reportf "failed to drain: real %d, model %d"
+          (q.Qdisc.length ()) (m.m_length ());
+      true)
+
+(* Per-flow parameters are pure functions of the flow id, so consulting
+   them once (real schedulers) or repeatedly (models) is equivalent. *)
+let weight_of f = float_of_int ((f mod 3) + 1) *. 250.
+let deadline_of f = float_of_int (f mod 4) *. 0.005
+let slots_of f = (f mod 2) + 1
+
+let fifo_diff =
+  differential ~name:"FIFO matches list model"
+    ~make_qdisc:(fun _ ->
+      Ispn_sched.Fifo.create ~pool:(Qdisc.pool ~capacity:cap) ())
+    ~make_model:(fifo_model ~capacity:cap)
+
+let wfq_diff =
+  differential ~name:"WFQ matches sorted-list model"
+    ~make_qdisc:(fun _ ->
+      Ispn_sched.Wfq.create
+        ~pool:(Qdisc.pool ~capacity:cap)
+        ~link_rate_bps:1e6 ~weight_of ())
+    ~make_model:(wfq_model ~capacity:cap ~link_rate_bps:1e6 ~weight_of)
+
+let edf_diff =
+  differential ~name:"EDF matches sorted-list model"
+    ~make_qdisc:(fun _ ->
+      Ispn_sched.Edf.create ~pool:(Qdisc.pool ~capacity:cap) ~deadline_of ())
+    ~make_model:(edf_model ~capacity:cap ~deadline_of)
+
+let sg_diff =
+  differential ~name:"Stop-and-Go matches frame-grid model"
+    ~make_qdisc:(fun engine ->
+      Ispn_sched.Stop_and_go.create ~engine ~frame:0.010
+        ~pool:(Qdisc.pool ~capacity:cap)
+        ())
+    ~make_model:(sg_model ~capacity:cap ~frame:0.010)
+
+let hrr_diff =
+  differential ~name:"HRR matches frame-grid model"
+    ~make_qdisc:(fun engine ->
+      Ispn_sched.Hrr.create ~engine ~frame:0.020 ~slots_of
+        ~pool:(Qdisc.pool ~capacity:cap)
+        ())
+    ~make_model:(hrr_model ~capacity:cap ~frame:0.020 ~slots_of)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ fifo_diff; wfq_diff; edf_diff; sg_diff; hrr_diff ]

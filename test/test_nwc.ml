@@ -64,6 +64,27 @@ let test_sg_not_work_conserving () =
   Alcotest.(check bool) "released at boundary" true
     (q.Qdisc.dequeue ~now:0.010 <> None)
 
+let test_sg_single_pending_wakeup () =
+  (* Regression: polling an ineligible head used to schedule a fresh engine
+     event per poll (a waker storm); the latch keeps exactly one pending. *)
+  let engine = Engine.create () in
+  let q = sg engine in
+  ignore (q.Qdisc.enqueue ~now:0.002 (pkt ~seq:0 ()));
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "held" true (q.Qdisc.dequeue ~now:0.005 = None)
+  done;
+  Alcotest.(check int) "one pending wakeup" 1 (Engine.pending engine);
+  (* The latch re-opens when the boundary event fires, so a later cycle can
+     arm again — and still only once. *)
+  Engine.run engine ~until:0.010;
+  Alcotest.(check bool) "eligible at boundary" true
+    (q.Qdisc.dequeue ~now:0.010 <> None);
+  ignore (q.Qdisc.enqueue ~now:0.012 (pkt ~seq:1 ()));
+  for _ = 1 to 3 do
+    Alcotest.(check bool) "held again" true (q.Qdisc.dequeue ~now:0.013 = None)
+  done;
+  Alcotest.(check int) "re-armed once" 1 (Engine.pending engine)
+
 (* --- HRR --- *)
 
 let hrr ?(slots = 2) engine =
@@ -108,6 +129,30 @@ let test_hrr_two_flows_share_frame () =
   List.iter
     (fun (t, _) -> Alcotest.(check bool) "first frame" true (t < 0.020))
     out
+
+let test_hrr_grid_alignment_after_idle () =
+  (* Regression: after an idle gap the next credit refill must land on the
+     fixed frame grid (here multiples of 20 ms), not at arrival + frame.
+     Two packets arrive at 131 ms into a long-idle scheduler with one slot
+     per frame: the first spends the banked credit immediately, the second
+     must wait for the 140 ms grid boundary — not 151 ms. *)
+  let arrivals =
+    [
+      (0.001, pkt ~seq:0 ~created:0.001 ());
+      (0.001, pkt ~seq:1 ~created:0.001 ());
+      (0.131, pkt ~seq:2 ~created:0.131 ());
+      (0.131, pkt ~seq:3 ~created:0.131 ());
+    ]
+  in
+  let out = run_on_link ~qdisc_of:(hrr ~slots:1) ~arrivals ~until:1. in
+  Alcotest.(check int) "all delivered" 4 (List.length out);
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "delivery %d" i)
+        expected
+        (fst (List.nth out i)))
+    [ 0.002; 0.021; 0.132; 0.141 ]
 
 (* --- Jitter-EDD --- *)
 
@@ -184,12 +229,16 @@ let suite =
     Alcotest.test_case "S&G frame batching" `Quick test_sg_frame_batching;
     Alcotest.test_case "S&G not work conserving" `Quick
       test_sg_not_work_conserving;
+    Alcotest.test_case "S&G single pending wakeup (regression)" `Quick
+      test_sg_single_pending_wakeup;
     Alcotest.test_case "HRR rate limits a burst" `Quick
       test_hrr_rate_limits_a_burst;
     Alcotest.test_case "HRR unused slots not reallocated" `Quick
       test_hrr_unused_slots_not_reallocated;
     Alcotest.test_case "HRR two flows share frame" `Quick
       test_hrr_two_flows_share_frame;
+    Alcotest.test_case "HRR grid alignment after idle (regression)" `Quick
+      test_hrr_grid_alignment_after_idle;
     Alcotest.test_case "Jitter-EDD single hop is EDD" `Quick
       test_jedd_single_hop_is_edd;
     Alcotest.test_case "Jitter-EDD exports earliness" `Quick

@@ -65,6 +65,39 @@ let test_adjust_active () =
   (* First second at rate 1, second second at rate 2. *)
   close "piecewise with adjustment" 3. (Vtime.v vt)
 
+let test_renegotiate_to_zero () =
+  (* Regression: renegotiating the last active flow's weight down to zero
+     used to leave [active_weight = 0.] with the busy period still "open",
+     so the next [advance] divided by zero.  It must end the busy period
+     exactly like [flow_deactivated] does. *)
+  let fired = ref 0 in
+  let vt = make ~on_reset:(fun () -> incr fired) () in
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.advance vt ~now:1.;
+  Vtime.adjust_active vt ~now:1. ~delta:(-1e6);
+  Alcotest.(check int) "reset fired" 1 !fired;
+  close "V back to zero" 0. (Vtime.v vt);
+  close "weight cleared" 0. (Vtime.active_weight vt);
+  (* The clock is idle and a later busy period starts fresh. *)
+  Vtime.advance vt ~now:3.;
+  close "idle after renegotiation" 0. (Vtime.v vt);
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.advance vt ~now:4.;
+  close "fresh busy period" 1. (Vtime.v vt)
+
+let test_adjust_epsilon_residue () =
+  (* Float renegotiation arithmetic can leave a sub-epsilon residue instead
+     of an exact zero; that residue must also end the busy period rather
+     than surviving as a near-zero weight that sends dV/dt to infinity. *)
+  let fired = ref 0 in
+  let vt = make ~on_reset:(fun () -> incr fired) () in
+  Vtime.flow_activated vt ~weight:1e6;
+  Vtime.adjust_active vt ~now:0.5 ~delta:(-1e6 +. 1e-9);
+  Alcotest.(check int) "residue treated as zero" 1 !fired;
+  close "weight cleared" 0. (Vtime.active_weight vt);
+  Vtime.advance vt ~now:5.;
+  close "idle after clamp" 0. (Vtime.v vt)
+
 let test_advance_monotone_guard () =
   let vt = make () in
   Vtime.flow_activated vt ~weight:1e6;
@@ -86,6 +119,10 @@ let suite =
     Alcotest.test_case "no reset while others active" `Quick
       test_no_reset_while_others_active;
     Alcotest.test_case "adjust active" `Quick test_adjust_active;
+    Alcotest.test_case "renegotiate to zero (regression)" `Quick
+      test_renegotiate_to_zero;
+    Alcotest.test_case "epsilon residue ends busy period" `Quick
+      test_adjust_epsilon_residue;
     Alcotest.test_case "advance monotone guard" `Quick
       test_advance_monotone_guard;
   ]

@@ -47,6 +47,20 @@ let test_field_range_checks () =
     Alcotest.fail "expected Invalid_argument"
   with Invalid_argument _ -> ()
 
+let test_zero_size_rejected () =
+  (* Regression: a zero size field used to decode into a packet that
+     transmits in zero time.  Decode must reject it as malformed, and
+     encode must refuse to produce one in the first place. *)
+  let b = Wire.encode (Packet.make ~flow:1 ~seq:0 ~created:0. ()) in
+  Bytes.set_uint16_be b 2 0;
+  Alcotest.check_raises "decode rejects" (Wire.Malformed "zero size")
+    (fun () -> ignore (Wire.decode b));
+  let z = Packet.make ~flow:1 ~seq:0 ~size_bits:0 ~created:0. () in
+  (try
+     ignore (Wire.encode z);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
 let qcheck_roundtrip =
   QCheck.Test.make ~name:"wire roundtrip preserves all header fields"
     ~count:500
@@ -73,7 +87,7 @@ let decode_rejects_or_in_range b =
       && q.Packet.flow <= 0x7FFFFFFF
       && q.Packet.seq >= 0
       && q.Packet.seq <= 0x7FFFFFFF
-      && q.Packet.size_bits >= 0
+      && q.Packet.size_bits >= 1
       && q.Packet.size_bits <= 0xFFFF
       && (q.Packet.kind = Packet.Data || q.Packet.kind = Packet.Ack)
 
@@ -125,6 +139,8 @@ let suite =
     Alcotest.test_case "offset saturates" `Quick test_offset_saturates;
     Alcotest.test_case "malformed" `Quick test_malformed;
     Alcotest.test_case "field range checks" `Quick test_field_range_checks;
+    Alcotest.test_case "zero size rejected (regression)" `Quick
+      test_zero_size_rejected;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_truncated;
     QCheck_alcotest.to_alcotest qcheck_bit_flips;
