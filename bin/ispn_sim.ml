@@ -451,7 +451,8 @@ let profile_cmd =
         ~emit:(fun pkt ->
           Ispn_traffic.Profile.record profile
             ~time:(Ispn_sim.Engine.now engine)
-            ~bits:pkt.Ispn_sim.Packet.size_bits)
+            ~bits:(Ispn_sim.Packet.size_bits pkt);
+          Ispn_sim.Packet.free pkt)
         ()
     in
     source.Ispn_traffic.Source.start ();

@@ -1,29 +1,73 @@
 #!/usr/bin/env bash
-# Advisory perf gate for the per-packet scheduler hot path (the paper's
-# "must not be so complex" constraint): rerun the micro section in --json
-# mode and compare each per-scheduler ns/packet figure against the
-# committed baseline.  Exits 1 if any entry regressed by more than 25%.
+# Blocking perf gate for the per-packet scheduler hot path (the paper's
+# "must not be so complex" constraint): rerun the micro section three
+# times in --json mode and compare each row's MEDIAN ns figure against
+# the committed baseline.  Fails on a >25% median-of-3 regression — wide
+# enough for host noise, narrow enough to catch a real hot-path slip —
+# and fails LOUDLY when a row is missing on either side: a renamed or
+# dropped row must force a baseline refresh, not silently stop gating.
 #
-# The baseline (ci/bench_baseline.json) is host-dependent, which is why the
-# workflow runs this step as advisory (non-blocking).  Refresh it after an
-# intentional hot-path change with:
-#   dune exec bench/main.exe -- micro --fast --json && cp BENCH_micro.json ci/bench_baseline.json
+# The baseline (ci/bench_baseline.json) is host-dependent.  Refresh it
+# after an intentional hot-path change with:
+#   bash ci/check_bench.sh --refresh
+# which writes the same median-of-3 the gate compares against (a
+# single-run baseline would race the host's speed-of-the-moment).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=ci/bench_baseline.json
 CURRENT=BENCH_micro.json
 TOLERANCE=1.25
+RUNS=3
+REFRESH=${1:-}
 
-dune exec bench/main.exe -- micro --fast --json >/dev/null
+if [ -z "$REFRESH" ] && [ ! -f "$BASELINE" ]; then
+    echo "ERROR: no baseline at $BASELINE — commit one with:" >&2
+    echo "  bash ci/check_bench.sh --refresh" >&2
+    exit 1
+fi
 
-if [ ! -f "$BASELINE" ]; then
-    echo "no baseline at $BASELINE; nothing to compare" >&2
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+for i in $(seq "$RUNS"); do
+    dune exec bench/main.exe -- micro --fast --json >/dev/null
+    cp "$CURRENT" "$tmp/run$i.json"
+done
+
+if [ "$REFRESH" = "--refresh" ]; then
+    # Median-of-RUNS per row, emitted in run 1's key order.
+    awk -v runs="$RUNS" '
+    BEGIN { FS = "\"" }
+    {
+        if (NF < 3) next
+        name = $2
+        val = $3
+        gsub(/[:, \t]/, "", val)
+        if (val == "") next
+        cnt[name]++
+        v[name "." cnt[name]] = val + 0
+        if (FILENAME == ARGV[1]) order[n++] = name
+    }
+    END {
+        print "{"
+        for (i = 0; i < n; i++) {
+            name = order[i]
+            a = v[name ".1"]; b = v[name ".2"]; c = v[name ".3"]
+            lo = a < b ? (a < c ? a : c) : (b < c ? b : c)
+            hi = a > b ? (a > c ? a : c) : (b > c ? b : c)
+            printf "  \"%s\": %.1f%s\n", name, a + b + c - lo - hi, i == n - 1 ? "" : ","
+        }
+        print "}"
+    }
+    ' "$tmp"/run*.json > "$BASELINE"
+    echo "refreshed $BASELINE (median-of-$RUNS):"
+    cat "$BASELINE"
     exit 0
 fi
 
-# Both files are one `"name": ns,` entry per line; mawk-compatible parsing.
-awk -v tol="$TOLERANCE" '
+# All files are one `"name": ns,` entry per line; mawk-compatible parsing.
+# First file is the baseline, the rest are the $RUNS fresh runs.
+awk -v tol="$TOLERANCE" -v runs="$RUNS" '
 BEGIN { FS = "\""; bad = 0 }
 {
     if (NF < 3) next
@@ -31,17 +75,51 @@ BEGIN { FS = "\""; bad = 0 }
     val = $3
     gsub(/[:, \t]/, "", val)
     if (val == "") next
-    if (FNR == NR) { base[name] = val; next }
-    # info.* lines (events/s, heap depth hwm) are context, not ns/packet
-    # figures: report them but never gate on them.
-    if (name ~ /^info\./) { printf "info        %-22s %14.1f\n", name, val; next }
-    if (name in base) {
-        if (val + 0 > base[name] * tol)
-            { printf "REGRESSION  %-22s %8.1f ns vs baseline %8.1f ns (+%.0f%%)\n", name, val, base[name], 100 * (val / base[name] - 1); bad = 1 }
-        else
-            printf "ok          %-22s %8.1f ns vs baseline %8.1f ns (%+.0f%%)\n", name, val, base[name], 100 * (val / base[name] - 1)
-    } else
-        printf "new         %-22s %8.1f ns (no baseline entry)\n", name, val
+    if (FILENAME == ARGV[1]) {
+        if (!(name in base)) order[nb++] = name
+        base[name] = val + 0
+        next
+    }
+    cnt[name]++
+    v[name "." cnt[name]] = val + 0
+    if (!(name in cnt_seen)) { cnt_seen[name] = 1; cur_order[nc++] = name }
 }
-END { exit bad }
-' "$BASELINE" "$CURRENT"
+END {
+    for (i = 0; i < nb; i++) {
+        name = order[i]
+        if (!(name in cnt_seen)) {
+            printf "ERROR       %-26s in baseline but absent from the current run — stale baseline row, refresh ci/bench_baseline.json\n", name
+            bad = 1
+            continue
+        }
+        if (cnt[name] != runs) {
+            printf "ERROR       %-26s appeared in %d of %d runs\n", name, cnt[name], runs
+            bad = 1
+            continue
+        }
+        a = v[name ".1"]; b = v[name ".2"]; c = v[name ".3"]
+        lo = a < b ? (a < c ? a : c) : (b < c ? b : c)
+        hi = a > b ? (a > c ? a : c) : (b > c ? b : c)
+        med = a + b + c - lo - hi
+        # info.* rows (events/s, pending hwm) are context, not ns figures:
+        # report them but never gate on their values.
+        if (name ~ /^info\./) {
+            printf "info        %-26s %14.1f (baseline %14.1f)\n", name, med, base[name]
+            continue
+        }
+        if (med > base[name] * tol) {
+            printf "REGRESSION  %-26s %8.1f ns median-of-%d vs baseline %8.1f ns (+%.0f%%)\n", name, med, runs, base[name], 100 * (med / base[name] - 1)
+            bad = 1
+        } else
+            printf "ok          %-26s %8.1f ns median-of-%d vs baseline %8.1f ns (%+.0f%%)\n", name, med, runs, base[name], 100 * (med / base[name] - 1)
+    }
+    for (i = 0; i < nc; i++) {
+        name = cur_order[i]
+        if (!(name in base)) {
+            printf "ERROR       %-26s has no baseline entry — new row, refresh ci/bench_baseline.json\n", name
+            bad = 1
+        }
+    }
+    exit bad
+}
+' "$BASELINE" "$tmp"/run*.json

@@ -45,7 +45,8 @@ let () =
     match
       Service.request svc ~flow:0 ~ingress:0 ~egress:3 audio_request
         ~sink:(fun pkt ->
-          let delay = Engine.now engine -. pkt.Packet.created in
+          let delay = Engine.now engine -. Packet.created pkt in
+          Packet.free pkt;
           Ispn_playback.Client.receive rigid ~delay;
           Ispn_playback.Client.receive adaptive ~delay)
     with

@@ -30,7 +30,8 @@ let () =
         ~own_bucket:video_bucket
         (Spec.Guaranteed { clock_rate_bps = 300_000. })
         ~sink:(fun pkt ->
-          Ispn_util.Fvec.push delays pkt.Packet.qdelay_total)
+          Ispn_util.Fvec.push delays (Packet.qdelay_total pkt);
+          Packet.free pkt)
     with
     | Ok est -> est
     | Error e -> failwith ("video rejected: " ^ e)

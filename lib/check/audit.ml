@@ -46,10 +46,16 @@ type t = {
   mutable bounds : gbound option array;
   conservation : counter;
   pool : counter;
+  arena : counter;
   work_conservation : counter;
   delay : counter;
   token_bucket : counter;
   pg_bound : counter;
+  arena_base : Packet.pool_stats;
+      (* Arena counters are cumulative across the simulations a domain has
+         run, so the invariant is checked on deltas from this baseline
+         (captured at [create], before the run allocates anything) — that
+         keeps the audit [-j]-independent. *)
   mutable events : int;
   mutable samples : string list;  (* newest first *)
   mutable n_samples : int;
@@ -59,6 +65,7 @@ let counters t =
   [
     t.conservation;
     t.pool;
+    t.arena;
     t.work_conservation;
     t.delay;
     t.token_bucket;
@@ -73,6 +80,8 @@ let create () =
     bounds = Array.make 32 None;
     conservation = { inv = "conservation"; checks = 0; violations = 0 };
     pool = { inv = "pool"; checks = 0; violations = 0 };
+    arena = { inv = "packet-arena"; checks = 0; violations = 0 };
+    arena_base = Packet.pool_stats ();
     work_conservation =
       { inv = "work-conservation"; checks = 0; violations = 0 };
     delay = { inv = "delay"; checks = 0; violations = 0 };
@@ -150,14 +159,14 @@ let debit_bucket t b ~now ~flow (pkt : Packet.t) =
         (b.tokens +. ((now -. b.last_refill) *. b.rate_bps));
     b.last_refill <- now
   end;
-  let need = float_of_int pkt.Packet.size_bits in
+  let need = float_of_int (Packet.size_bits pkt) in
   check t t.token_bucket
     (b.tokens >= need -. bucket_eps)
     (fun () ->
       Printf.sprintf
         "flow %d seq %d at t=%.6f: %d bits offered with only %.3f tokens \
          (rate %.0f bps, depth %.0f bits)"
-        flow pkt.Packet.seq now pkt.Packet.size_bits b.tokens b.rate_bps
+        flow (Packet.seq pkt) now (Packet.size_bits pkt) b.tokens b.rate_bps
         b.depth_bits);
   b.tokens <- b.tokens -. need
 
@@ -169,23 +178,26 @@ let bucket_for t ~flow ~link =
   else None
 
 let on_arrival t ~link ~now (pkt : Packet.t) =
-  match bucket_for t ~flow:pkt.Packet.flow ~link with
+  let flow = Packet.flow pkt in
+  match bucket_for t ~flow ~link with
   | None -> ()
-  | Some b -> debit_bucket t b ~now ~flow:pkt.Packet.flow pkt
+  | Some b -> debit_bucket t b ~now ~flow pkt
 
 let tap t =
+  let pa = Packet.arena () in
   let on_enqueue ~link ~now (pkt : Packet.t) =
     t.events <- t.events + 1;
     (match link_state t link with
     | None -> ()
     | Some ls -> ls.accepted <- ls.accepted + 1);
     check t t.delay
-      (pkt.Packet.qdelay_total >= -.delay_eps)
+      (pa.Packet.qdelay_total.(pkt) >= -.delay_eps)
       (fun () ->
         Printf.sprintf
           "flow %d seq %d at t=%.6f: negative accumulated delay %.9f on \
            enqueue at link %d"
-          pkt.Packet.flow pkt.Packet.seq now pkt.Packet.qdelay_total link);
+          pa.Packet.flow.(pkt) pa.Packet.seq.(pkt) now
+          pa.Packet.qdelay_total.(pkt) link);
     on_arrival t ~link ~now pkt
   in
   let on_dequeue ~link ~now ~wait (pkt : Packet.t) =
@@ -199,7 +211,7 @@ let tap t =
         Printf.sprintf
           "flow %d seq %d at t=%.6f: dequeued %.9fs before it arrived at \
            link %d"
-          pkt.Packet.flow pkt.Packet.seq now (-.wait) link)
+          pa.Packet.flow.(pkt) pa.Packet.seq.(pkt) now (-.wait) link)
   in
   let on_idle ~link ~now ~qlen =
     t.events <- t.events + 1;
@@ -217,22 +229,24 @@ let tap t =
     | None -> ()
     | Some ls -> ls.delivered <- ls.delivered + 1);
     check t t.delay
-      (pkt.Packet.qdelay_total >= -.delay_eps)
+      (pa.Packet.qdelay_total.(pkt) >= -.delay_eps)
       (fun () ->
         Printf.sprintf
           "flow %d seq %d at t=%.6f: delivered with negative accumulated \
            delay %.9f"
-          pkt.Packet.flow pkt.Packet.seq now pkt.Packet.qdelay_total);
-    if pkt.Packet.flow < Array.length t.bounds then
-      match t.bounds.(pkt.Packet.flow) with
+          pa.Packet.flow.(pkt) pa.Packet.seq.(pkt) now
+          pa.Packet.qdelay_total.(pkt));
+    let flow = pa.Packet.flow.(pkt) in
+    if flow < Array.length t.bounds then
+      match t.bounds.(flow) with
       | Some g when g.g_link = link ->
           check t t.pg_bound
-            (pkt.Packet.qdelay_total <= g.bound_s +. bound_eps)
+            (pa.Packet.qdelay_total.(pkt) <= g.bound_s +. bound_eps)
             (fun () ->
               Printf.sprintf
                 "flow %d seq %d at t=%.6f: queueing delay %.6fs exceeds the \
                  PG bound %.6fs"
-                pkt.Packet.flow pkt.Packet.seq now pkt.Packet.qdelay_total
+                flow pa.Packet.seq.(pkt) now pa.Packet.qdelay_total.(pkt)
                 g.bound_s)
       | _ -> ()
   in
@@ -315,7 +329,33 @@ let final_pool_checks t (link, p) =
             link ls.l_name in_use
             (ls.l_qdisc.Qdisc.length ()))
 
+(* Packet-arena accounting since the baseline: every successful [make]
+   must balance a [free] or a live handle, and no handle may be freed
+   twice (DESIGN.md §9). *)
+let final_arena_checks t =
+  let b = t.arena_base in
+  let c = Packet.pool_stats () in
+  let d_takes = c.Packet.p_takes - b.Packet.p_takes in
+  let d_releases = c.Packet.p_releases - b.Packet.p_releases in
+  let d_bad = c.Packet.p_bad_frees - b.Packet.p_bad_frees in
+  check t t.arena (d_bad = 0) (fun () ->
+      Printf.sprintf "arena: %d frees of dead packet slots" d_bad);
+  check t t.arena (d_releases <= d_takes) (fun () ->
+      Printf.sprintf "arena: %d releases exceed %d takes" d_releases d_takes);
+  check t t.arena
+    (c.Packet.p_in_use = b.Packet.p_in_use + d_takes - d_releases)
+    (fun () ->
+      Printf.sprintf
+        "arena: %d in use <> %d at baseline + %d takes - %d releases"
+        c.Packet.p_in_use b.Packet.p_in_use d_takes d_releases);
+  check t t.arena
+    (c.Packet.p_hwm <= c.Packet.p_capacity)
+    (fun () ->
+      Printf.sprintf "arena: high-water %d above capacity %d" c.Packet.p_hwm
+        c.Packet.p_capacity)
+
 let finalize t =
+  final_arena_checks t;
   let total_accepted = ref 0 and total_dequeued = ref 0 in
   let total_backlog = ref 0 and n_links = ref 0 in
   Array.iter

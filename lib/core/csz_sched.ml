@@ -37,6 +37,7 @@ type class_state = { heap : Packet.t Kheap.t; avg : Ewma.t }
 
 type t = {
   cfg : config;
+  pa : Packet.arena;  (* this domain's packet arena, bound at create *)
   pool : Qdisc.pool;
   gf : g_flows;
   g_heap : Packet.t Kheap.t;
@@ -153,7 +154,7 @@ let refresh_head t ~now =
 
 let head_tag t =
   t.head_start
-  +. (float_of_int t.head_pkt.Packet.size_bits /. flow0_rate_bps t)
+  +. (float_of_int t.pa.Packet.size_bits.(t.head_pkt) /. flow0_rate_bps t)
 
 let serve_flow0 t ~now =
   let pkt = t.head_pkt in
@@ -165,25 +166,27 @@ let serve_flow0 t ~now =
   if t.f0_backlog = 0 then
     Vtime.flow_deactivated t.vt ~now ~weight:(flow0_rate_bps t);
   Qdisc.pool_release t.pool;
-  let delay = now -. pkt.Packet.enqueued_at in
+  let pa = t.pa in
+  let delay = now -. pa.Packet.enqueued_at.(pkt) in
   if cls < t.cfg.n_predicted_classes then begin
     (* FIFO+ bookkeeping: export this hop's deviation from the class
        average in the packet header, then update the average. *)
     let st = t.classes.(cls) in
-    pkt.Packet.offset <- pkt.Packet.offset +. (delay -. Ewma.value st.avg);
+    pa.Packet.offset.(pkt) <-
+      pa.Packet.offset.(pkt) +. (delay -. Ewma.value st.avg);
     Ewma.update st.avg delay;
     (match t.offset_dists.(cls) with
     | None -> ()
-    | Some d -> Ispn_util.Stats.add d pkt.Packet.offset);
-    t.realtime_bits <- t.realtime_bits + pkt.Packet.size_bits
+    | Some d -> Ispn_util.Stats.add d pa.Packet.offset.(pkt));
+    t.realtime_bits <- t.realtime_bits + pa.Packet.size_bits.(pkt)
   end
-  else t.datagram_bits <- t.datagram_bits + pkt.Packet.size_bits;
+  else t.datagram_bits <- t.datagram_bits + pa.Packet.size_bits.(pkt);
   (match t.delay_hook with Some f -> f ~cls delay | None -> ());
   Some pkt
 
 let serve_guaranteed t ~now =
   let pkt = Kheap.pop_exn t.g_heap in
-  let flow = pkt.Packet.flow in
+  let flow = t.pa.Packet.flow.(pkt) in
   let gf = t.gf in
   let q = gf.g_qlen.(flow) - 1 in
   gf.g_qlen.(flow) <- q;
@@ -200,16 +203,16 @@ let serve_guaranteed t ~now =
     end
   end;
   Qdisc.pool_release t.pool;
-  t.realtime_bits <- t.realtime_bits + pkt.Packet.size_bits;
+  t.realtime_bits <- t.realtime_bits + t.pa.Packet.size_bits.(pkt);
   (match t.delay_hook with
-  | Some f -> f ~cls:(-1) (now -. pkt.Packet.enqueued_at)
+  | Some f -> f ~cls:(-1) (now -. t.pa.Packet.enqueued_at.(pkt))
   | None -> ());
   Some pkt
 
 let enqueue t ~now pkt =
   t.last_now <- fmax t.last_now now;
-  pkt.Packet.enqueued_at <- now;
-  let flow = pkt.Packet.flow in
+  t.pa.Packet.enqueued_at.(pkt) <- now;
+  let flow = t.pa.Packet.flow.(pkt) in
   let gw = g_weight_of t flow in
   if gw > 0. then begin
     if Qdisc.pool_take t.pool then begin
@@ -218,7 +221,7 @@ let enqueue t ~now pkt =
       if gf.g_qlen.(flow) = 0 then Vtime.flow_activated t.vt ~weight:gw;
       let tag =
         fmax (Vtime.v t.vt) gf.g_fin.(flow)
-        +. (float_of_int pkt.Packet.size_bits /. gw)
+        +. (float_of_int t.pa.Packet.size_bits.(pkt) /. gw)
       in
       gf.g_fin.(flow) <- tag;
       gf.g_qlen.(flow) <- gf.g_qlen.(flow) + 1;
@@ -237,7 +240,7 @@ let enqueue t ~now pkt =
       cls < t.cfg.n_predicted_classes
       &&
       match t.cfg.discard_late_above with
-      | Some threshold -> pkt.Packet.offset > threshold
+      | Some threshold -> t.pa.Packet.offset.(pkt) > threshold
       | None -> false
     in
     if late then begin
@@ -248,7 +251,9 @@ let enqueue t ~now pkt =
       Vtime.advance t.vt ~now;
       if not (f0_active t) then
         Vtime.flow_activated t.vt ~weight:(flow0_rate_bps t);
-      Kheap.push t.classes.(cls).heap ~key:(Packet.expected_arrival pkt) pkt;
+      Kheap.push t.classes.(cls).heap
+        ~key:(t.pa.Packet.enqueued_at.(pkt) -. t.pa.Packet.offset.(pkt))
+        pkt;
       t.f0_backlog <- t.f0_backlog + 1;
       true
     end
@@ -283,6 +288,7 @@ let create ?(config = default_config) ?metrics ?(label = "0") ~pool () =
   let t =
     {
       cfg = config;
+      pa = Packet.arena ();
       pool;
       gf =
         {

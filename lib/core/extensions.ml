@@ -53,7 +53,7 @@ let bakeoff_qdisc sched engine _link =
       (* One group per flow: per-flow round robin, the Jacobson-Floyd
          within-priority scheme. *)
       Ispn_sched.Rr_groups.create ~pool ~n_groups:22
-        ~group_of:(fun p -> p.Packet.flow)
+        ~group_of:(fun p -> Packet.flow p)
         ()
   | B_stop_and_go ->
       (* Frame sized so that every flow's per-frame allocation holds its
@@ -314,7 +314,7 @@ let run_playback ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
   (* Re-route flow 0 so its packets also feed the two play-back clients. *)
   let watched = List.find (fun rt -> rt.Experiment.spec.Scenario.flow = 0) rt_flows in
   Network.install_flow net ~flow:0 ~ingress:0 ~egress:4 ~sink:(fun pkt ->
-      let delay = Engine.now engine -. pkt.Packet.created in
+      let delay = Engine.now engine -. Packet.created pkt in
       Ispn_playback.Client.receive rigid ~delay;
       Ispn_playback.Client.receive adaptive ~delay;
       Ispn_playback.Client.receive vat ~delay;

@@ -360,7 +360,10 @@ let deploy ~fabric:fab ?(class_targets = [| 0.008; 0.064 |])
   for link = 0 to n_links - 1 do
     Fabric.install_flow fab ~flow:(ctrl_flow_base + link) ~ingress:link
       ~egress:(link + 1)
-      ~sink:(fun pkt -> process t pkt.Packet.seq)
+      ~sink:(fun pkt ->
+        let seq = Packet.seq pkt in
+        Packet.free pkt;
+        process t seq)
   done;
   (* Measurement pumps, one per link's controller. *)
   let last_bits = Array.make n_links 0 in

@@ -27,22 +27,27 @@ let corrupt_packet stats prng (pkt : Packet.t) =
       let bit = Ispn_util.Prng.int prng ~bound:(8 * Bytes.length b) in
       let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
       Bytes.set_uint8 b byte (Bytes.get_uint8 b byte lxor mask);
-      (match Wire.decode ~created:pkt.Packet.created b with
+      (match Wire.decode ~created:(Packet.created pkt) b with
       | exception Wire.Malformed _ ->
           stats.malformed <- stats.malformed + 1;
           None
       | q ->
-          if
-            q.Packet.flow <> pkt.Packet.flow
-            || q.Packet.seq <> pkt.Packet.seq
-            || q.Packet.size_bits <> pkt.Packet.size_bits
-            || q.Packet.kind <> pkt.Packet.kind
-          then begin
+          (* [q] is a scratch decode; its fields are copied out below and
+             the handle freed before returning. *)
+          let mangled =
+            Packet.flow q <> Packet.flow pkt
+            || Packet.seq q <> Packet.seq pkt
+            || Packet.size_bits q <> Packet.size_bits pkt
+            || Packet.kind q <> Packet.kind pkt
+          in
+          let offset = Packet.offset q in
+          Packet.free q;
+          if mangled then begin
             stats.mangled <- stats.mangled + 1;
             None
           end
           else begin
-            pkt.Packet.offset <- q.Packet.offset;
+            Packet.set_offset pkt offset;
             Some pkt
           end)
 

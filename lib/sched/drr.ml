@@ -21,6 +21,7 @@ type flow_state = {
    hashing and no cons-cell allocation. *)
 let create ~pool ~quantum_bits () =
   if quantum_bits <= 0 then invalid_arg "Drr: quantum must be positive";
+  let pa = Packet.arena () in
   let absent =
     { queue = Ring.create ~capacity:1 ~dummy:(Packet.dummy ()) ();
       deficit = 0; in_round = false }
@@ -50,15 +51,16 @@ let create ~pool ~quantum_bits () =
     end
   in
   let enqueue ~now pkt =
-    pkt.Packet.enqueued_at <- now;
+    pa.Packet.enqueued_at.(pkt) <- now;
     if Qdisc.pool_take pool then begin
-      let fs = flow_state pkt.Packet.flow in
+      let flow = pa.Packet.flow.(pkt) in
+      let fs = flow_state flow in
       Ring.push fs.queue pkt;
       incr total;
-      if (not fs.in_round) && !current <> pkt.Packet.flow then begin
+      if (not fs.in_round) && !current <> flow then begin
         fs.in_round <- true;
         fs.deficit <- 0;
-        Ring.push active pkt.Packet.flow
+        Ring.push active flow
       end;
       true
     end
@@ -68,7 +70,7 @@ let create ~pool ~quantum_bits () =
      state. *)
   let serve flow fs =
     let pkt = Ring.pop_exn fs.queue in
-    fs.deficit <- fs.deficit - pkt.Packet.size_bits;
+    fs.deficit <- fs.deficit - pa.Packet.size_bits.(pkt);
     decr total;
     Qdisc.pool_release pool;
     if Ring.is_empty fs.queue then begin
@@ -77,7 +79,7 @@ let create ~pool ~quantum_bits () =
       fs.in_round <- false;
       current := -1
     end
-    else if fs.deficit < (Ring.peek_exn fs.queue).Packet.size_bits then begin
+    else if fs.deficit < pa.Packet.size_bits.(Ring.peek_exn fs.queue) then begin
       (* Opportunity exhausted: back to the tail, keep the remainder. *)
       fs.in_round <- true;
       Ring.push active flow;
@@ -101,7 +103,7 @@ let create ~pool ~quantum_bits () =
       end
       else begin
         fs.deficit <- fs.deficit + quantum_bits;
-        if fs.deficit >= (Ring.peek_exn fs.queue).Packet.size_bits then begin
+        if fs.deficit >= pa.Packet.size_bits.(Ring.peek_exn fs.queue) then begin
           fs.in_round <- false;
           current := flow;
           dequeue ~now

@@ -6,6 +6,7 @@ module Kheap = Ispn_util.Kheap
 let absent = -1.
 
 let create ~pool ~deadline_of () =
+  let pa = Packet.arena () in
   let budgets = ref (Array.make 64 absent) in
   let heap = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let register flow =
@@ -16,9 +17,9 @@ let create ~pool ~deadline_of () =
     d
   in
   let enqueue ~now pkt =
-    pkt.Packet.enqueued_at <- now;
+    pa.Packet.enqueued_at.(pkt) <- now;
     if Qdisc.pool_take pool then begin
-      let flow = pkt.Packet.flow in
+      let flow = pa.Packet.flow.(pkt) in
       let b = !budgets in
       if flow >= Array.length b then begin
         let n = Stdlib.max (flow + 1) (2 * Array.length b) in

@@ -1,9 +1,10 @@
 open Ispn_sim
 
 let create ~pool () =
+  let pa = Packet.arena () in
   let q = Ispn_util.Ring.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let enqueue ~now pkt =
-    pkt.Packet.enqueued_at <- now;
+    pa.Packet.enqueued_at.(pkt) <- now;
     if Qdisc.pool_take pool then begin
       Ispn_util.Ring.push q pkt;
       true

@@ -23,13 +23,14 @@ let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ?metrics
             st.discarded);
         Some (Ispn_obs.Metrics.dist m (p ^ ".offset"))
   in
+  let pa = Packet.arena () in
   (* Ranked by expected arrival time; FIFO on ties (Kheap's stamp). *)
   let heap = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let enqueue ~now pkt =
-    pkt.Packet.enqueued_at <- now;
+    pa.Packet.enqueued_at.(pkt) <- now;
     let late =
       match discard_late_above with
-      | Some threshold -> pkt.Packet.offset > threshold
+      | Some threshold -> pa.Packet.offset.(pkt) > threshold
       | None -> false
     in
     if late then begin
@@ -37,7 +38,7 @@ let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ?metrics
       false
     end
     else if Qdisc.pool_take pool then begin
-      Kheap.push heap ~key:(Packet.expected_arrival pkt) pkt;
+      Kheap.push heap ~key:(pa.Packet.enqueued_at.(pkt) -. pa.Packet.offset.(pkt)) pkt;
       true
     end
     else false
@@ -47,15 +48,15 @@ let create ?(ewma_gain = 1. /. 4096.) ?discard_late_above ?metrics
     else begin
       let pkt = Kheap.pop_exn heap in
       Qdisc.pool_release pool;
-      let delay = now -. pkt.Packet.enqueued_at in
+      let delay = now -. pa.Packet.enqueued_at.(pkt) in
       (* Accumulate this hop's deviation from the class average into the
          header field, then fold the observation into the average. *)
-      pkt.Packet.offset <-
-        pkt.Packet.offset +. (delay -. Ispn_util.Ewma.value st.avg);
+      pa.Packet.offset.(pkt) <-
+        pa.Packet.offset.(pkt) +. (delay -. Ispn_util.Ewma.value st.avg);
       Ispn_util.Ewma.update st.avg delay;
       (match offsets with
       | None -> ()
-      | Some d -> Ispn_util.Stats.add d pkt.Packet.offset);
+      | Some d -> Ispn_util.Stats.add d pa.Packet.offset.(pkt));
       Some pkt
     end
   in

@@ -9,6 +9,7 @@ type flow_state = {
 
 let create ~engine ~frame ~slots_of ~pool () =
   assert (frame > 0.);
+  let pa = Packet.arena () in
   let absent =
     { queue = Ring.create ~capacity:1 ~dummy:(Packet.dummy ()) ();
       slots = 0; credit = 0 }
@@ -71,9 +72,9 @@ let create ~engine ~frame ~slots_of ~pool () =
     end
   in
   let enqueue ~now pkt =
-    pkt.Packet.enqueued_at <- now;
+    pa.Packet.enqueued_at.(pkt) <- now;
     if Qdisc.pool_take pool then begin
-      let fs = flow_state pkt.Packet.flow in
+      let fs = flow_state pa.Packet.flow.(pkt) in
       Ring.push fs.queue pkt;
       incr total;
       arm_boundary ~now;

@@ -4,6 +4,7 @@ module Kheap = Ispn_util.Kheap
 let fmax (a : float) b = if a >= b then a else b
 
 let create ~engine ~budget_of ~pool () =
+  let pa = Packet.arena () in
   (* Per-flow budgets as a flat array (budgets are positive, so 0. marks a
      flow not yet seen). *)
   let budgets = ref (Array.make 64 0.) in
@@ -47,7 +48,7 @@ let create ~engine ~budget_of ~pool () =
           let seq = Kheap.min_seq_exn holding in
           let pkt = Kheap.pop_exn holding in
           Kheap.push_pinned ready
-            ~key:(eligible +. budget pkt.Packet.flow)
+            ~key:(eligible +. budget pa.Packet.flow.(pkt))
             ~seq pkt
         end
         else continue_ := false
@@ -55,11 +56,11 @@ let create ~engine ~budget_of ~pool () =
     done
   in
   let enqueue ~now pkt =
-    pkt.Packet.enqueued_at <- now;
+    pa.Packet.enqueued_at.(pkt) <- now;
     if Qdisc.pool_take pool then begin
       (* The header carries the earliness accumulated at the previous hop;
          the packet is held for exactly that long here. *)
-      let hold = fmax 0. pkt.Packet.offset in
+      let hold = fmax 0. pa.Packet.offset.(pkt) in
       let eligible = now +. hold in
       let seq = !next_seq in
       incr next_seq;
@@ -69,7 +70,7 @@ let create ~engine ~budget_of ~pool () =
       end
       else
         Kheap.push_pinned ready
-          ~key:(eligible +. budget pkt.Packet.flow)
+          ~key:(eligible +. budget pa.Packet.flow.(pkt))
           ~seq pkt;
       true
     end
@@ -83,7 +84,7 @@ let create ~engine ~budget_of ~pool () =
       let pkt = Kheap.pop_exn ready in
       Qdisc.pool_release pool;
       (* Export this hop's earliness for the next hop to cancel. *)
-      pkt.Packet.offset <- fmax 0. (deadline -. now);
+      pa.Packet.offset.(pkt) <- fmax 0. (deadline -. now);
       Some pkt
     end
   in

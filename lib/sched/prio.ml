@@ -17,7 +17,7 @@ let create ?metrics ?(label = "0") ~classes ~classify () =
     if c < 0 || c >= n then
       invalid_arg
         (Printf.sprintf "Prio: classify returned %d for flow %d" c
-           pkt.Packet.flow);
+           (Packet.flow pkt));
     classes.(c).Qdisc.enqueue ~now pkt
   in
   let rec dequeue_from i ~now =

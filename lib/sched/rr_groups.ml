@@ -2,6 +2,7 @@ open Ispn_sim
 
 let create ~pool ~n_groups ~group_of () =
   assert (n_groups > 0);
+  let pa = Packet.arena () in
   let queues = Array.init n_groups (fun _ -> Queue.create ()) in
   let total = ref 0 in
   let cursor = ref 0 in
@@ -10,9 +11,9 @@ let create ~pool ~n_groups ~group_of () =
     if g < 0 || g >= n_groups then
       invalid_arg
         (Printf.sprintf "Rr_groups: group %d out of range for flow %d" g
-           pkt.Packet.flow);
+           pa.Packet.flow.(pkt));
     if Qdisc.pool_take pool then begin
-      pkt.Packet.enqueued_at <- now;
+      pa.Packet.enqueued_at.(pkt) <- now;
       Queue.push pkt queues.(g);
       incr total;
       true

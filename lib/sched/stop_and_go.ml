@@ -5,12 +5,13 @@ let create ~engine ~frame ~pool () =
   (* Eligibility is FIFO in arrival order, so a flat ring suffices; a
      packet's eligibility time is recomputed from its (exact) arrival
      stamp rather than stored alongside it. *)
+  let pa = Packet.arena () in
   let q = Ispn_util.Ring.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let waker = ref (fun () -> ()) in
   let wake_armed = ref false in
   let next_boundary t = (Float.of_int (int_of_float (t /. frame)) +. 1.) *. frame in
   let enqueue ~now pkt =
-    pkt.Packet.enqueued_at <- now;
+    pa.Packet.enqueued_at.(pkt) <- now;
     if Qdisc.pool_take pool then begin
       Ispn_util.Ring.push q pkt;
       true
@@ -21,7 +22,7 @@ let create ~engine ~frame ~pool () =
     if Ispn_util.Ring.is_empty q then None
     else begin
       let pkt = Ispn_util.Ring.peek_exn q in
-      let eligible = next_boundary pkt.Packet.enqueued_at in
+      let eligible = next_boundary pa.Packet.enqueued_at.(pkt) in
       if eligible <= now +. 1e-12 then begin
         ignore (Ispn_util.Ring.pop_exn q);
         Qdisc.pool_release pool;

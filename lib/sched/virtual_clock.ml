@@ -22,6 +22,7 @@ let grow fl n =
   fl.vc <- vc
 
 let create ~pool ~rate_of () =
+  let pa = Packet.arena () in
   let fl = { rate = Array.make 64 0.; vc = Array.make 64 0. } in
   let heap = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let register flow =
@@ -32,14 +33,14 @@ let create ~pool ~rate_of () =
     r
   in
   let enqueue ~now pkt =
-    pkt.Packet.enqueued_at <- now;
+    pa.Packet.enqueued_at.(pkt) <- now;
     if Qdisc.pool_take pool then begin
-      let flow = pkt.Packet.flow in
+      let flow = pa.Packet.flow.(pkt) in
       if flow >= Array.length fl.rate then grow fl (flow + 1);
       let r = fl.rate.(flow) in
       let r = if r > 0. then r else register flow in
       let tag =
-        fmax now fl.vc.(flow) +. (float_of_int pkt.Packet.size_bits /. r)
+        fmax now fl.vc.(flow) +. (float_of_int pa.Packet.size_bits.(pkt) /. r)
       in
       fl.vc.(flow) <- tag;
       Kheap.push heap ~key:tag pkt;

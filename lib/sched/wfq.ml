@@ -37,6 +37,7 @@ let create ?metrics ?(label = "0") ~pool ~link_rate_bps ~weight_of () =
       seen = 0;
     }
   in
+  let pa = Packet.arena () in
   let heap = Kheap.create ~capacity:64 ~dummy:(Packet.dummy ()) () in
   let vt =
     Vtime.create ~link_rate_bps ~on_reset:(fun () ->
@@ -58,17 +59,17 @@ let create ?metrics ?(label = "0") ~pool ~link_rate_bps ~weight_of () =
     w
   in
   let enqueue ~now pkt =
-    pkt.Packet.enqueued_at <- now;
+    pa.Packet.enqueued_at.(pkt) <- now;
     if Qdisc.pool_take pool then begin
       Vtime.advance vt ~now;
-      let flow = pkt.Packet.flow in
+      let flow = pa.Packet.flow.(pkt) in
       if flow >= Array.length fl.weight then grow fl (flow + 1);
       let w = fl.weight.(flow) in
       let w = if w > 0. then w else register flow in
       if fl.qlen.(flow) = 0 then Vtime.flow_activated vt ~weight:w;
       let tag =
         fmax (Vtime.v vt) fl.last_finish.(flow)
-        +. (float_of_int pkt.Packet.size_bits /. w)
+        +. (float_of_int pa.Packet.size_bits.(pkt) /. w)
       in
       fl.last_finish.(flow) <- tag;
       fl.qlen.(flow) <- fl.qlen.(flow) + 1;
@@ -82,7 +83,7 @@ let create ?metrics ?(label = "0") ~pool ~link_rate_bps ~weight_of () =
     else begin
       let pkt = Kheap.pop_exn heap in
       Qdisc.pool_release pool;
-      let flow = pkt.Packet.flow in
+      let flow = pa.Packet.flow.(pkt) in
       let q = fl.qlen.(flow) - 1 in
       fl.qlen.(flow) <- q;
       if q = 0 then Vtime.flow_deactivated vt ~now ~weight:fl.weight.(flow);

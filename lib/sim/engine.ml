@@ -1,60 +1,132 @@
-type event = {
-  time : float;
-  seq : int;
-  action : unit -> unit;
-  mutable cancelled : bool;
-}
+(* Events live in a struct-of-arrays arena (time, action, generation) and
+   are named by int handles — index in the low bits, the slot's generation
+   above — so scheduling allocates nothing and a stale handle can never
+   touch a recycled slot.  The pending set is an [Ispn_util.Wheel] of
+   handles keyed by firing time: O(1) insert, exact (time, seq) drain
+   order.  Cancellation is lazy, as before: it bumps the slot's
+   generation, and the wheel entry is discarded (and the slot recycled)
+   when it surfaces. *)
 
-type handle = event
+type handle = int
+
+let idx_bits = 24
+let idx_mask = (1 lsl idx_bits) - 1
 
 type stats = { events_fired : int; cancels_skipped : int }
 
+let nop () = ()
+
+(* Engine times are seconds; 1 us level-0 slots put the common event
+   spacings (packet transmissions, propagation delays) within one or two
+   cascades of the cursor.  Ordering is exact regardless (Wheel contract). *)
+let wheel_tick = 1e-6
+
+(* The clock sits in its own all-float record so updating it stores an
+   unboxed float; as a mutable float field of the mixed record below every
+   [fire] would box a fresh float. *)
+type fclock = { mutable v : float }
+
 type t = {
-  mutable clock : float;
-  mutable next_seq : int;
+  clock : fclock;
   mutable live : int;
   mutable live_hwm : int;
   mutable fired : int;
   mutable skipped : int;
-  heap : event Ispn_util.Heap.t;
+  wheel : handle Ispn_util.Wheel.t;
+  (* Event arena. *)
+  mutable times : float array;
+  mutable actions : (unit -> unit) array;
+  mutable gens : int array;
+  mutable free : int array; (* stack of recycled slots *)
+  mutable free_len : int;
+  mutable used : int; (* slots handed out at least once *)
 }
-
-let compare_event a b =
-  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
 
 let create () =
   {
-    clock = 0.;
-    next_seq = 0;
+    clock = { v = 0. };
     live = 0;
     live_hwm = 0;
     fired = 0;
     skipped = 0;
-    heap = Ispn_util.Heap.create ~cmp:compare_event ();
+    wheel = Ispn_util.Wheel.create ~capacity:64 ~tick:wheel_tick ~dummy:(-1) ();
+    times = Array.make 64 0.;
+    actions = Array.make 64 nop;
+    gens = Array.make 64 0;
+    free = Array.make 64 0;
+    free_len = 0;
+    used = 0;
   }
 
 let stats t = { events_fired = t.fired; cancels_skipped = t.skipped }
 
-let now t = t.clock
+let now t = t.clock.v
 
-let schedule t ~at action =
-  if at < t.clock then
-    invalid_arg
-      (Printf.sprintf "Engine.schedule: at=%g is before now=%g" at t.clock);
-  let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
-  t.next_seq <- t.next_seq + 1;
+let grow_arena t =
+  let old = Array.length t.times in
+  let cap = 2 * old in
+  if cap > idx_mask then failwith "Engine: event arena exceeds handle range";
+  let times = Array.make cap 0. in
+  let actions = Array.make cap nop in
+  let gens = Array.make cap 0 in
+  let free = Array.make cap 0 in
+  Array.blit t.times 0 times 0 old;
+  Array.blit t.actions 0 actions 0 old;
+  Array.blit t.gens 0 gens 0 old;
+  Array.blit t.free 0 free 0 t.free_len;
+  t.times <- times;
+  t.actions <- actions;
+  t.gens <- gens;
+  t.free <- free
+
+let alloc_slot t =
+  if t.free_len > 0 then begin
+    t.free_len <- t.free_len - 1;
+    t.free.(t.free_len)
+  end
+  else begin
+    if t.used = Array.length t.times then grow_arena t;
+    let i = t.used in
+    t.used <- i + 1;
+    i
+  end
+
+(* The arena write goes through [t.times] and the wheel reads the key
+   back out of that same array ([push_from]), so the event time never
+   crosses a call boundary as a bare float — which would box it. *)
+let finish_schedule t idx action =
+  t.actions.(idx) <- action;
   t.live <- t.live + 1;
   if t.live > t.live_hwm then t.live_hwm <- t.live;
-  Ispn_util.Heap.push t.heap ev;
-  ev
+  let h = (t.gens.(idx) lsl idx_bits) lor idx in
+  Ispn_util.Wheel.push_from t.wheel t.times idx h;
+  h
+
+let schedule t ~at action =
+  if at < t.clock.v then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%g is before now=%g" at t.clock.v);
+  let idx = alloc_slot t in
+  t.times.(idx) <- at;
+  finish_schedule t idx action
 
 let schedule_after t ~delay action =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  schedule t ~at:(t.clock +. delay) action
+  (* Not [schedule ~at:(now +. delay)]: the sum is stored straight into
+     the arena so it stays unboxed, and [delay >= 0] already implies the
+     time is not in the past. *)
+  let idx = alloc_slot t in
+  t.times.(idx) <- t.clock.v +. delay;
+  finish_schedule t idx action
 
-let cancel t ev =
-  if not ev.cancelled then begin
-    ev.cancelled <- true;
+(* A live slot's generation matches its outstanding handle; firing or
+   cancelling bumps it, so the second of the two (and any later cancel)
+   sees a mismatch and does nothing. *)
+let cancel t h =
+  let idx = h land idx_mask in
+  if t.gens.(idx) lsl idx_bits lor idx = h then begin
+    t.gens.(idx) <- t.gens.(idx) + 1;
+    t.actions.(idx) <- nop;
     t.live <- t.live - 1
   end
 
@@ -68,39 +140,47 @@ let register_metrics t m =
   M.register_int m "engine.heap_depth_hwm" (fun () -> t.live_hwm);
   M.register_int m "engine.pending" (fun () -> t.live)
 
-let fire t ev =
-  if ev.cancelled then t.skipped <- t.skipped + 1
-  else begin
+let release t idx =
+  t.free.(t.free_len) <- idx;
+  t.free_len <- t.free_len + 1
+
+let fire t h =
+  let idx = h land idx_mask in
+  if t.gens.(idx) lsl idx_bits lor idx = h then begin
+    let action = t.actions.(idx) in
+    t.clock.v <- t.times.(idx);
+    t.gens.(idx) <- t.gens.(idx) + 1;
+    t.actions.(idx) <- nop;
+    release t idx;
     t.live <- t.live - 1;
-    t.clock <- ev.time;
     t.fired <- t.fired + 1;
-    ev.action ()
+    action ()
+  end
+  else begin
+    (* Cancelled while queued; reclaim the slot now that it surfaced. *)
+    release t idx;
+    t.skipped <- t.skipped + 1
   end
 
 let step t =
-  if Ispn_util.Heap.is_empty t.heap then false
+  if Ispn_util.Wheel.is_empty t.wheel then false
   else begin
-    fire t (Ispn_util.Heap.pop_exn t.heap);
+    fire t (Ispn_util.Wheel.pop_exn t.wheel);
     true
   end
 
-(* The per-event hot path: drain via the exception-free-on-success
-   [peek_exn]/[pop_exn] pair so the loop allocates nothing per event
-   (the option-returning [peek]/[pop] box every element in a [Some]). *)
+(* The per-event hot path: [pop_due] is the allocation-free fused
+   guard+pop (no option box, no closure) — handles are non-negative, so
+   [-1] is a free "nothing due" sentinel — and it bounds the wheel's
+   cursor walk so a far-off next event is never chased past [until]. *)
 let run t ~until =
-  let heap = t.heap in
-  let rec loop () =
-    if not (Ispn_util.Heap.is_empty heap) then begin
-      let ev = Ispn_util.Heap.peek_exn heap in
-      if ev.time <= until then begin
-        ignore (Ispn_util.Heap.pop_exn heap : event);
-        fire t ev;
-        loop ()
-      end
-    end
-  in
-  loop ();
-  t.clock <- Stdlib.max t.clock until
+  let wheel = t.wheel in
+  let h = ref (Ispn_util.Wheel.pop_due wheel ~until ~none:(-1)) in
+  while !h >= 0 do
+    fire t !h;
+    h := Ispn_util.Wheel.pop_due wheel ~until ~none:(-1)
+  done;
+  if until > t.clock.v then t.clock.v <- until
 
 let run_until_idle t ~max_events =
   let rec loop n =

@@ -1,9 +1,12 @@
 (** Discrete-event simulation engine.
 
-    A single mutable clock plus a pending-event heap.  Events scheduled for
-    the same instant fire in scheduling order (a strictly increasing sequence
-    number breaks ties), which makes runs deterministic.  Cancellation is by
-    lazy deletion: a cancelled event stays in the heap but is skipped when it
+    A single mutable clock plus a pending-event store — a hierarchical
+    timing wheel ({!Ispn_util.Wheel}) over a struct-of-arrays event arena,
+    so scheduling and draining allocate nothing per event.  Events
+    scheduled for the same instant fire in scheduling order (a strictly
+    increasing sequence number breaks ties), which makes runs
+    deterministic.  Cancellation is by lazy deletion: a cancelled event
+    stays queued but is skipped (and its arena slot recycled) when it
     surfaces. *)
 
 type t
@@ -32,8 +35,8 @@ val pending : t -> int
 (** Number of live (non-cancelled) events still queued. *)
 
 val heap_depth_hwm : t -> int
-(** High-water mark of {!pending} since {!create} — how deep the event heap
-    ever got.  Tracked unconditionally (one compare per schedule, no
+(** High-water mark of {!pending} since {!create} — how deep the pending
+    set ever got.  Tracked unconditionally (one compare per schedule, no
     allocation); exported as the [engine.heap_depth_hwm] metric. *)
 
 type stats = {

@@ -2,6 +2,7 @@ module Recorder = Ispn_obs.Recorder
 
 type t = {
   engine : Engine.t;
+  pa : Packet.arena;  (* this domain's packet arena, bound at create *)
   rate_bps : float;
   prop_delay : float;
   qdisc : Qdisc.t;
@@ -37,8 +38,8 @@ let record t pkt ~kind ~value ~cause =
   | None -> ()
   | Some r ->
       Recorder.record r ~time:(Engine.now t.engine) ~kind ~link:t.id
-        ~flow:pkt.Packet.flow ~seq:pkt.Packet.seq ~cls:(-1)
-        ~offset:pkt.Packet.offset ~value ~cause
+        ~flow:t.pa.Packet.flow.(pkt) ~seq:t.pa.Packet.seq.(pkt) ~cls:(-1)
+        ~offset:t.pa.Packet.offset.(pkt) ~value ~cause
 
 let drop t pkt ~cause =
   t.dropped <- t.dropped + 1;
@@ -51,7 +52,9 @@ let drop t pkt ~cause =
   (match t.tap with
   | None -> ()
   | Some tp -> tp.Tap.on_drop ~link:t.id ~now:(Engine.now t.engine) ~cause pkt);
-  match t.drop_hook with Some f -> f pkt | None -> ()
+  (match t.drop_hook with Some f -> f pkt | None -> ());
+  (* A drop is terminal: nothing downstream will see the handle again. *)
+  Packet.free pkt
 
 let deliver t pkt =
   let filtered =
@@ -60,7 +63,7 @@ let deliver t pkt =
   match filtered with
   | None -> drop t pkt ~cause:Recorder.Wire
   | Some pkt -> (
-      record t pkt ~kind:Recorder.Deliver ~value:pkt.Packet.qdelay_total
+      record t pkt ~kind:Recorder.Deliver ~value:t.pa.Packet.qdelay_total.(pkt)
         ~cause:Recorder.No_cause;
       (match t.tap with
       | None -> ()
@@ -83,13 +86,16 @@ let rec start_transmission t =
             tp.Tap.on_idle ~link:t.id ~now ~qlen:(t.qdisc.Qdisc.length ()))
     | Some pkt ->
         t.busy <- true;
-        let wait = now -. pkt.Packet.enqueued_at in
+        let wait = now -. t.pa.Packet.enqueued_at.(pkt) in
         (* A scheduler may not dequeue a packet before it arrived. *)
         assert (wait >= -1e-9);
         let wait = Stdlib.max 0. wait in
-        pkt.Packet.qdelay_total <- pkt.Packet.qdelay_total +. wait;
+        t.pa.Packet.qdelay_total.(pkt) <-
+          t.pa.Packet.qdelay_total.(pkt) +. wait;
         Ispn_util.Stats.add t.waits wait;
-        let tx_time = float_of_int pkt.Packet.size_bits /. t.rate_bps in
+        let tx_time =
+          float_of_int t.pa.Packet.size_bits.(pkt) /. t.rate_bps
+        in
         t.busy_time <- t.busy_time +. tx_time;
         record t pkt ~kind:Recorder.Dequeue ~value:wait
           ~cause:Recorder.No_cause;
@@ -127,6 +133,7 @@ let create ~engine ~rate_bps ?(prop_delay = 0.) ?(id = 0) ?recorder ~qdisc
   let t =
     {
       engine;
+      pa = Packet.arena ();
       rate_bps;
       prop_delay;
       qdisc;
@@ -155,8 +162,8 @@ let create ~engine ~rate_bps ?(prop_delay = 0.) ?(id = 0) ?recorder ~qdisc
 
 let send t pkt =
   let now = Engine.now t.engine in
-  let qdelay_before = pkt.Packet.qdelay_total in
-  pkt.Packet.enqueued_at <- now;
+  let qdelay_before = t.pa.Packet.qdelay_total.(pkt) in
+  t.pa.Packet.enqueued_at.(pkt) <- now;
   if t.qdisc.Qdisc.enqueue ~now pkt then begin
     record t pkt ~kind:Recorder.Enqueue ~value:qdelay_before
       ~cause:Recorder.No_cause;
@@ -168,7 +175,7 @@ let send t pkt =
   else begin
     Logs.debug ~src:Ispn_util.Log.link (fun m ->
         m "%s: buffer full, dropping flow %d seq %d at t=%.6f" t.link_name
-          pkt.Packet.flow pkt.Packet.seq now);
+          t.pa.Packet.flow.(pkt) t.pa.Packet.seq.(pkt) now);
     drop t pkt ~cause:Recorder.Buffer
   end
 

@@ -12,13 +12,14 @@ let add_route t ~flow port = Hashtbl.replace t.routes flow port
 
 let receive t pkt =
   t.received <- t.received + 1;
-  pkt.Packet.hops <- pkt.Packet.hops + 1;
-  match Hashtbl.find_opt t.routes pkt.Packet.flow with
+  let pa = Packet.arena () in
+  pa.Packet.hops.(pkt) <- pa.Packet.hops.(pkt) + 1;
+  let flow = pa.Packet.flow.(pkt) in
+  match Hashtbl.find_opt t.routes flow with
   | Some (Forward link) -> Link.send link pkt
   | Some (Deliver f) -> f pkt
   | None ->
       failwith
-        (Printf.sprintf "Node %s: no route for flow %d" t.node_name
-           pkt.Packet.flow)
+        (Printf.sprintf "Node %s: no route for flow %d" t.node_name flow)
 
 let received t = t.received

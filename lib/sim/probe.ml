@@ -12,8 +12,11 @@ let create () =
 let sink t ~engine pkt =
   let now = Engine.now engine in
   t.received <- t.received + 1;
-  Fvec.push t.qdelays pkt.Packet.qdelay_total;
-  Fvec.push t.latencies (now -. pkt.Packet.created)
+  let pa = Packet.arena () in
+  Fvec.push t.qdelays pa.Packet.qdelay_total.(pkt);
+  Fvec.push t.latencies (now -. pa.Packet.created.(pkt));
+  (* The probe is a terminal sink: the packet dies here. *)
+  Packet.free pkt
 
 let port t ~engine = Node.Deliver (fun pkt -> sink t ~engine pkt)
 let received t = t.received

@@ -5,19 +5,22 @@ let offset_quantum = 1e-6
 exception Malformed of string
 
 let encode (p : Packet.t) =
-  if p.Packet.size_bits <= 0 || p.Packet.size_bits > 0xFFFF then
+  let size_bits = Packet.size_bits p in
+  let flow = Packet.flow p in
+  let seq = Packet.seq p in
+  if size_bits <= 0 || size_bits > 0xFFFF then
     invalid_arg "Wire.encode: size_bits out of range";
-  if p.Packet.flow < 0 || p.Packet.flow > 0x7FFFFFFF then
+  if flow < 0 || flow > 0x7FFFFFFF then
     invalid_arg "Wire.encode: flow out of range";
-  if p.Packet.seq < 0 || p.Packet.seq > 0x7FFFFFFF then
+  if seq < 0 || seq > 0x7FFFFFFF then
     invalid_arg "Wire.encode: seq out of range";
   let b = Bytes.create header_bytes in
   Bytes.set_uint8 b 0 version;
-  Bytes.set_uint8 b 1 (match p.Packet.kind with Packet.Data -> 0 | Packet.Ack -> 1);
-  Bytes.set_uint16_be b 2 p.Packet.size_bits;
-  Bytes.set_int32_be b 4 (Int32.of_int p.Packet.flow);
-  Bytes.set_int32_be b 8 (Int32.of_int p.Packet.seq);
-  let micros = p.Packet.offset *. 1e6 in
+  Bytes.set_uint8 b 1 (match Packet.kind p with Packet.Data -> 0 | Packet.Ack -> 1);
+  Bytes.set_uint16_be b 2 size_bits;
+  Bytes.set_int32_be b 4 (Int32.of_int flow);
+  Bytes.set_int32_be b 8 (Int32.of_int seq);
+  let micros = Packet.offset p *. 1e6 in
   let clamped =
     if micros > Int32.to_float Int32.max_int then Int32.max_int
     else if micros < Int32.to_float Int32.min_int then Int32.min_int
@@ -46,5 +49,5 @@ let decode ?(created = 0.) b =
   if seq < 0 then raise (Malformed (Printf.sprintf "negative seq %d" seq));
   let offset = Int32.to_float (Bytes.get_int32_be b 12) *. offset_quantum in
   let p = Packet.make ~flow ~seq ~size_bits ~kind ~created () in
-  p.Packet.offset <- offset;
+  Packet.set_offset p offset;
   p

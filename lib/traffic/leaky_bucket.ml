@@ -33,7 +33,7 @@ let rec drain t =
   | None -> t.draining <- false
   | Some head ->
       let now = Engine.now t.engine in
-      let bits = head.Packet.size_bits in
+      let bits = Packet.size_bits head in
       if Token_bucket.conforms t.bucket ~now ~bits then begin
         ignore (Queue.pop t.queue);
         t.forwarded <- t.forwarded + 1;
@@ -52,7 +52,10 @@ let rec drain t =
       end
 
 let send t pkt =
-  if Queue.length t.queue >= t.max_queue then t.dropped <- t.dropped + 1
+  if Queue.length t.queue >= t.max_queue then begin
+    t.dropped <- t.dropped + 1;
+    Packet.free pkt
+  end
   else begin
     Queue.push pkt t.queue;
     if not t.draining then drain t

@@ -52,11 +52,15 @@ let policer ~engine ~bucket ~mode ~next =
 let police p pkt =
   p.offered <- p.offered + 1;
   let now = Ispn_sim.Engine.now p.engine in
-  if conforms p.bucket ~now ~bits:pkt.Ispn_sim.Packet.size_bits then p.next pkt
+  if conforms p.bucket ~now ~bits:(Ispn_sim.Packet.size_bits pkt) then
+    p.next pkt
   else begin
     p.violations <- p.violations + 1;
     match p.mode with
-    | Drop -> p.dropped <- p.dropped + 1
+    | Drop ->
+        p.dropped <- p.dropped + 1;
+        (* Policer drop is terminal: the handle dies here. *)
+        Ispn_sim.Packet.free pkt
     | Pass -> p.next pkt
   end
 

@@ -210,7 +210,10 @@ let on_ack t ack =
   end
 
 let receive t pkt =
-  let seq = pkt.Packet.seq in
+  let seq = Packet.seq pkt in
+  (* The data segment dies at the receiver; the ack is modelled as a pure
+     event (no packet travels back). *)
+  Packet.free pkt;
   if seq >= t.rcv_next then Hashtbl.replace t.ooo seq ();
   while Hashtbl.mem t.ooo t.rcv_next do
     Hashtbl.remove t.ooo t.rcv_next;

@@ -8,8 +8,11 @@ let create ?on_packet () = { on_packet; received = 0; bits = 0 }
 
 let receive t pkt =
   t.received <- t.received + 1;
-  t.bits <- t.bits + pkt.Ispn_sim.Packet.size_bits;
-  match t.on_packet with Some f -> f pkt | None -> ()
+  t.bits <- t.bits + Ispn_sim.Packet.size_bits pkt;
+  (match t.on_packet with Some f -> f pkt | None -> ());
+  (* Terminal sink: the handle dies here (the callback may inspect the
+     packet but must not retain it). *)
+  Ispn_sim.Packet.free pkt
 
 let received t = t.received
 let bits_received t = t.bits

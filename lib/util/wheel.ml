@@ -1,0 +1,552 @@
+(* Hierarchical timing wheel: 4 levels x 32 slots, slot widths of 32^k
+   ticks, occupancy bitmaps per level, a one-element staged head, an
+   internal sorted "due" run for multi-element ticks, and an overflow
+   Kheap for keys beyond the wheels' 32^4-tick horizon.  Inserts are
+   index arithmetic (no comparisons); an element cascades toward level 0
+   at most three times as the cursor enters its block, so cost per
+   element is O(1) amortized.  A single monotone stamp orders equal keys
+   FIFO across every path (direct insert, cascade, overflow promotion).
+
+   Hot-path discipline (see DESIGN.md §5): without flambda every float
+   that crosses a function boundary — argument or result — is boxed, so
+   the drain path moves keys exclusively array-to-array: the due run is
+   in-module SoA (not a Kheap, whose [min_key_exn] would box its result)
+   with no per-level sift calls — pops take its front, loads are blits —
+   cascades re-route elements by reading the source slot's arrays in
+   place, [push_from] lets the caller hand over a key by naming a cell of
+   its own float array, and the staged head's key lives in a one-element
+   float array (a mutable float field of this mixed record would box on
+   every write).  Only the cold overflow path pays boxing. *)
+
+let bits = 5
+let w = 1 lsl bits (* 32 slots per level *)
+let mask = w - 1
+let levels = 4
+let span1 = w * w
+let span2 = w * w * w
+let span3 = w * w * w * w (* wheel horizon, ticks *)
+
+type 'a slot = {
+  mutable s_keys : float array;
+  mutable s_seqs : int array;
+  mutable s_data : 'a array;
+  mutable s_len : int;
+}
+
+type 'a t = {
+  dummy : 'a;
+  inv_tick : float;
+  slots : 'a slot array; (* levels * w, slot [level*32 + idx] *)
+  occ : int array; (* per-level occupancy bitmap, bit s = slot s non-empty *)
+  overflow : 'a Kheap.t; (* keys beyond the wheel horizon *)
+  mutable cursor : int; (* next tick to examine; wheels hold ticks >= this *)
+  mutable in_wheels : int; (* elements in the level slots only *)
+  mutable len : int;
+  mutable next_seq : int;
+  (* Due run: elements at ticks the cursor has passed, kept as an
+     ascending (key, seq)-sorted segment [d_lo, d_hi) of parallel arrays.
+     Pops take the front in O(1) with no re-heapify; a level-0 flush
+     bulk-loads at offset 0 (the refill guard has the run empty then) and
+     insertion-sorts, which is O(n) for the common all-one-key slot; a
+     straggler (a key at an already-passed tick) splices in from the
+     tail, one blit. *)
+  mutable d_keys : float array;
+  mutable d_seqs : int array;
+  mutable d_data : 'a array;
+  mutable d_lo : int;
+  mutable d_hi : int;
+  (* Staged minimum: when [h_valid], (h_key, h_seq, h_data) is strictly
+     the least pending element and the next pop returns it with three
+     loads — no heap traffic.  Filled by [stage], displaced by a push
+     with a smaller key. *)
+  mutable h_valid : bool;
+  h_key : float array; (* length 1 *)
+  mutable h_seq : int;
+  mutable h_data : 'a;
+}
+
+let create ?(capacity = 16) ~tick ~dummy () =
+  if not (tick > 0.) then invalid_arg "Wheel.create: tick must be positive";
+  let capacity = Stdlib.max 4 capacity in
+  {
+    dummy;
+    inv_tick = 1. /. tick;
+    slots =
+      Array.init (levels * w) (fun _ ->
+          { s_keys = [||]; s_seqs = [||]; s_data = [||]; s_len = 0 });
+    occ = Array.make levels 0;
+    overflow = Kheap.create ~capacity ~dummy ();
+    cursor = 0;
+    in_wheels = 0;
+    len = 0;
+    next_seq = 0;
+    d_keys = Array.make capacity 0.;
+    d_seqs = Array.make capacity 0;
+    d_data = Array.make capacity dummy;
+    d_lo = 0;
+    d_hi = 0;
+    h_valid = false;
+    h_key = Array.make 1 0.;
+    h_seq = 0;
+    h_data = dummy;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+(* Keys whose tick would overflow the int range live in the overflow heap;
+   comparing the scaled key against a ceiling below 2^62 keeps
+   [int_of_float] in its defined domain. *)
+let tick_of t key =
+  let scaled = key *. t.inv_tick in
+  if scaled >= 4.0e18 then max_int else int_of_float scaled
+
+(* ---- due run (in-module so float keys never cross a call) ------------ *)
+
+(* Make room for one more element at [d_hi]: slide the run back to offset
+   0 when pops have opened space at the front, double otherwise. *)
+let due_room t =
+  let cap = Array.length t.d_keys in
+  if t.d_hi = cap then begin
+    let n = t.d_hi - t.d_lo in
+    if t.d_lo > 0 then begin
+      Array.blit t.d_keys t.d_lo t.d_keys 0 n;
+      Array.blit t.d_seqs t.d_lo t.d_seqs 0 n;
+      Array.blit t.d_data t.d_lo t.d_data 0 n;
+      Array.fill t.d_data n t.d_lo t.dummy
+    end
+    else begin
+      let keys = Array.make (2 * cap) 0. in
+      let seqs = Array.make (2 * cap) 0 in
+      let data = Array.make (2 * cap) t.dummy in
+      Array.blit t.d_keys 0 keys 0 n;
+      Array.blit t.d_seqs 0 seqs 0 n;
+      Array.blit t.d_data 0 data 0 n;
+      t.d_keys <- keys;
+      t.d_seqs <- seqs;
+      t.d_data <- data
+    end;
+    t.d_lo <- 0;
+    t.d_hi <- n
+  end
+
+(* Splice the element whose key sits in [keys.(i)] into the sorted run.
+   A straggler is the newest insert (largest seq), so it belongs at or
+   near the tail — scan backward, shift the suffix up by one blit.  The
+   key is loaded before [due_room] may compact or swap the arrays, which
+   matters when [keys] is the due array itself (the scratch cell). *)
+let due_insert_cell t (keys : float array) i seq x =
+  let k = keys.(i) in
+  due_room t;
+  let lo = t.d_lo in
+  let hi = t.d_hi in
+  let j = ref hi in
+  while
+    !j > lo
+    &&
+    let pk = t.d_keys.(!j - 1) in
+    k < pk || (k = pk && seq < t.d_seqs.(!j - 1))
+  do
+    decr j
+  done;
+  let j = !j in
+  let m = hi - j in
+  if m > 0 then begin
+    Array.blit t.d_keys j t.d_keys (j + 1) m;
+    Array.blit t.d_seqs j t.d_seqs (j + 1) m;
+    Array.blit t.d_data j t.d_data (j + 1) m
+  end;
+  t.d_keys.(j) <- k;
+  t.d_seqs.(j) <- seq;
+  t.d_data.(j) <- x;
+  t.d_hi <- hi + 1
+
+(* Move the run's front into the staged head; reset offsets on empty so
+   the next flush bulk-loads at 0 with the whole capacity ahead. *)
+let due_pop_to_head t =
+  let lo = t.d_lo in
+  t.h_key.(0) <- t.d_keys.(lo);
+  t.h_seq <- t.d_seqs.(lo);
+  t.h_data <- t.d_data.(lo);
+  t.d_data.(lo) <- t.dummy;
+  t.h_valid <- true;
+  if lo + 1 = t.d_hi then begin
+    t.d_lo <- 0;
+    t.d_hi <- 0
+  end
+  else t.d_lo <- lo + 1
+
+(* ---- wheel slots ------------------------------------------------------ *)
+
+let slot_grow (s : _ slot) dummy =
+  let cap = Stdlib.max 4 (2 * Array.length s.s_keys) in
+  let keys = Array.make cap 0. in
+  let seqs = Array.make cap 0 in
+  let data = Array.make cap dummy in
+  Array.blit s.s_keys 0 keys 0 s.s_len;
+  Array.blit s.s_seqs 0 seqs 0 s.s_len;
+  Array.blit s.s_data 0 data 0 s.s_len;
+  s.s_keys <- keys;
+  s.s_seqs <- seqs;
+  s.s_data <- data
+
+(* Append to slot [li], key read from [keys.(i)] (array-to-array). *)
+let add_slot_cell t level li (keys : float array) i seq x =
+  let s = t.slots.(li) in
+  if s.s_len = Array.length s.s_keys then slot_grow s t.dummy;
+  let n = s.s_len in
+  s.s_keys.(n) <- keys.(i);
+  s.s_seqs.(n) <- seq;
+  s.s_data.(n) <- x;
+  s.s_len <- n + 1;
+  t.occ.(level) <- t.occ.(level) lor (1 lsl (li land mask));
+  t.in_wheels <- t.in_wheels + 1
+
+(* Route the element whose key sits in [keys.(i)] to the finest level
+   whose block index is within one rotation (32 blocks) of the cursor's.
+   Comparing block indices — not raw tick distance — is what keeps every
+   slot single-block: with a distance test, [d < span1] spans 33 distinct
+   level-1 blocks when the cursor is mid-block, and the 33rd aliases onto
+   the cursor's own slot one rotation early.  Ticks already passed go
+   straight to [due]. *)
+let route_cell t (keys : float array) i seq x =
+  let key = keys.(i) in
+  let scaled = key *. t.inv_tick in
+  let tick = if scaled >= 4.0e18 then max_int else int_of_float scaled in
+  let c = t.cursor in
+  if tick < c then due_insert_cell t keys i seq x
+  else if tick - c < w then add_slot_cell t 0 (tick land mask) keys i seq x
+  else if (tick lsr bits) - (c lsr bits) < w then
+    add_slot_cell t 1 (w lor ((tick lsr bits) land mask)) keys i seq x
+  else if (tick lsr (2 * bits)) - (c lsr (2 * bits)) < w then
+    add_slot_cell t 2 ((2 * w) lor ((tick lsr (2 * bits)) land mask)) keys i
+      seq x
+  else if (tick lsr (3 * bits)) - (c lsr (3 * bits)) < w then
+    add_slot_cell t 3 ((3 * w) lor ((tick lsr (3 * bits)) land mask)) keys i
+      seq x
+  else Kheap.push_pinned t.overflow ~key ~seq x
+
+(* Boxed-key entry ([push], overflow promotion): park the key in the head
+   register's spare... no — in a scratch cell, then route array-to-array. *)
+let insert t ~key ~seq x =
+  due_room t;
+  (* Use the due arrays' free tail cell as the scratch the router reads
+     from; every router target loads the key before touching the due run,
+     so the cell is dead again by the time a splice could slide over it. *)
+  t.d_keys.(t.d_hi) <- key;
+  route_cell t t.d_keys t.d_hi seq x
+
+let push t ~key x =
+  if not (key >= 0.) then invalid_arg "Wheel.push: key must be >= 0";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if t.h_valid && key < t.h_key.(0) then begin
+    (* Displace the staged head: its (key, seq) is larger, so it re-routes
+       by the normal rules (ties keep the head — it has the older seq). *)
+    let hs = t.h_seq and hx = t.h_data in
+    t.h_seq <- seq;
+    t.h_data <- x;
+    let k = t.h_key.(0) in
+    t.h_key.(0) <- key;
+    insert t ~key:k ~seq:hs hx
+  end
+  else insert t ~key ~seq x;
+  t.len <- t.len + 1
+
+let push_from t (keys : float array) i x =
+  if not (keys.(i) >= 0.) then invalid_arg "Wheel.push_from: key must be >= 0";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if t.h_valid && keys.(i) < t.h_key.(0) then begin
+    let hs = t.h_seq and hx = t.h_data in
+    t.h_seq <- seq;
+    t.h_data <- x;
+    (* Swap the smaller key into the head via the scratch cell, then
+       route the displaced head. *)
+    due_room t;
+    t.d_keys.(t.d_hi) <- t.h_key.(0);
+    t.h_key.(0) <- keys.(i);
+    route_cell t t.d_keys t.d_hi hs hx
+  end
+  else route_cell t keys i seq x;
+  t.len <- t.len + 1
+
+(* Empty a slot back through the router: a level-0 slot's elements all
+   share a cursor-passed tick and fall into [due]; a higher slot's
+   redistribute at least one level down (the cursor has entered their
+   block).  Payload cells are cleared so popped elements aren't kept
+   live; key/seq cells are plain numbers and can stay. *)
+let flush_slot t level idx =
+  let s = t.slots.((level lsl bits) lor idx) in
+  let n = s.s_len in
+  t.occ.(level) <- t.occ.(level) land lnot (1 lsl idx);
+  t.in_wheels <- t.in_wheels - n;
+  s.s_len <- 0;
+  for i = 0 to n - 1 do
+    route_cell t s.s_keys i s.s_seqs.(i) s.s_data.(i);
+    s.s_data.(i) <- t.dummy
+  done
+
+(* Bulk-load a level-0 slot into the due run — only legal when the run is
+   empty (the refill guard ensures it).  One blit per array, then an
+   insertion sort on (key, seq): slot order is push order, so seqs ascend
+   and the sort is a no-op pass whenever the keys agree (the common case —
+   one tick usually holds one instant), and near-linear otherwise. *)
+let flush_to_due t si =
+  let s = t.slots.(si) in
+  let n = s.s_len in
+  t.occ.(0) <- t.occ.(0) land lnot (1 lsl si);
+  t.in_wheels <- t.in_wheels - n;
+  s.s_len <- 0;
+  if Array.length t.d_keys < n then begin
+    let cap = ref (2 * Array.length t.d_keys) in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    t.d_keys <- Array.make !cap 0.;
+    t.d_seqs <- Array.make !cap 0;
+    t.d_data <- Array.make !cap t.dummy
+  end;
+  Array.blit s.s_keys 0 t.d_keys 0 n;
+  Array.blit s.s_seqs 0 t.d_seqs 0 n;
+  Array.blit s.s_data 0 t.d_data 0 n;
+  Array.fill s.s_data 0 n t.dummy;
+  t.d_lo <- 0;
+  t.d_hi <- n;
+  for i = 1 to n - 1 do
+    let k = t.d_keys.(i) in
+    let sq = t.d_seqs.(i) in
+    if
+      let pk = t.d_keys.(i - 1) in
+      k < pk || (k = pk && sq < t.d_seqs.(i - 1))
+    then begin
+      let x = t.d_data.(i) in
+      let j = ref i in
+      while
+        !j > 0
+        &&
+        let pk = t.d_keys.(!j - 1) in
+        k < pk || (k = pk && sq < t.d_seqs.(!j - 1))
+      do
+        t.d_keys.(!j) <- t.d_keys.(!j - 1);
+        t.d_seqs.(!j) <- t.d_seqs.(!j - 1);
+        t.d_data.(!j) <- t.d_data.(!j - 1);
+        decr j
+      done;
+      t.d_keys.(!j) <- k;
+      t.d_seqs.(!j) <- sq;
+      t.d_data.(!j) <- x
+    end
+  done
+
+(* Pull overflow elements that now fit under the wheel horizon — the end
+   of the level-3 rotation the cursor is in, matching the router's block
+   test so a promoted element never lands back in overflow. *)
+let promote_overflow t =
+  let horizon = ((t.cursor lsr (3 * bits)) + w) lsl (3 * bits) in
+  while
+    (not (Kheap.is_empty t.overflow))
+    && tick_of t (Kheap.min_key_exn t.overflow) < horizon
+  do
+    let key = Kheap.min_key_exn t.overflow in
+    let seq = Kheap.min_seq_exn t.overflow in
+    let x = Kheap.pop_exn t.overflow in
+    insert t ~key ~seq x
+  done
+
+(* Index of the lowest set bit (32-bit de Bruijn; [x] has a bit below 32). *)
+let debruijn = 0x077CB531
+
+let ctz_table =
+  let tbl = Array.make 32 0 in
+  for i = 0 to 31 do
+    tbl.((((1 lsl i) * debruijn) land 0xFFFFFFFF) lsr 27) <- i
+  done;
+  tbl
+
+let lowest_bit x = ctz_table.((((x land -x) * debruijn) land 0xFFFFFFFF) lsr 27)
+
+(* Redistribute every coarser-level slot whose block the cursor has just
+   entered at [nb] (a level-1 block start), finest last so a level-2
+   flush can feed the level-1 slot about to be flushed.  Harmless to
+   repeat for the same block: while the cursor is inside block [q], no
+   insert targets a level-k slot at the cursor's own index (the block
+   test routes same-block ticks at least one level down), so the slots
+   stay empty once flushed. *)
+let cascade t nb =
+  if nb land (span3 - 1) = 0 then promote_overflow t;
+  if nb land (span2 - 1) = 0 then flush_slot t 3 ((nb lsr (3 * bits)) land mask);
+  if nb land (span1 - 1) = 0 then flush_slot t 2 ((nb lsr (2 * bits)) land mask);
+  flush_slot t 1 ((nb lsr bits) land mask)
+
+(* Walk the cursor to the next occupied tick and stage its least element —
+   straight into the head register when the slot holds exactly one (the
+   common case at simulation densities), through [due] otherwise.  The
+   cascade runs whenever the cursor sits on a block boundary — crucially
+   also when a level-0 flush carried it there (slot 31), not just the
+   empty-block crossing, or the freshly entered block's un-cascaded
+   elements would be invisible to the level-0 scan and drain late.  Stops
+   without advancing past [limit_tick] when everything nearer is empty. *)
+let refill t ~limit_tick =
+  let continue = ref true in
+  while !continue && (not t.h_valid) && t.d_lo = t.d_hi do
+    if t.in_wheels = 0 then
+      if Kheap.is_empty t.overflow then continue := false
+      else begin
+        (* Jump the cursor straight to the earliest far-future element. *)
+        let target = tick_of t (Kheap.min_key_exn t.overflow) in
+        if target > limit_tick then continue := false
+        else begin
+          t.cursor <- target;
+          promote_overflow t
+        end
+      end
+    else begin
+      if t.cursor land mask = 0 then cascade t t.cursor;
+      let base = t.cursor land lnot mask in
+      let above = t.occ.(0) land ((-1) lsl (t.cursor land mask)) in
+      if above <> 0 then begin
+        let si = lowest_bit above in
+        (* The slot holds exactly one tick's elements; level-0 bits at or
+           above the cursor's index are this rotation, hence due next.
+           Step the cursor past the tick BEFORE flushing so the elements
+           route into [due] rather than back into this slot. *)
+        t.cursor <- (base lor si) + 1;
+        let s = t.slots.(si) in
+        if s.s_len = 1 then begin
+          (* Sole element of the next occupied tick: it is the global
+             minimum (due is empty, wheels hold later ticks), so stage it
+             directly and skip the due heap. *)
+          t.occ.(0) <- t.occ.(0) land lnot (1 lsl si);
+          t.in_wheels <- t.in_wheels - 1;
+          s.s_len <- 0;
+          t.h_key.(0) <- s.s_keys.(0);
+          t.h_seq <- s.s_seqs.(0);
+          t.h_data <- s.s_data.(0);
+          s.s_data.(0) <- t.dummy;
+          t.h_valid <- true
+        end
+        else flush_to_due t si
+      end
+      else begin
+        (* Nothing due in this level-0 block: jump, don't step.  A tick
+           within 32 of the cursor may sit wrapped in the NEXT block's
+           level-0 slot (bits below the cursor's index) — then advance
+           one block.  Otherwise the next element lives in the nearest
+           occupied coarser slot AHEAD in its rotation (bits above the
+           cursor's own index; cyclically-lower bits are a rotation away),
+           and the cursor can land straight on that block's start: every
+           skipped block entry would only have flushed slots the bitmaps
+           just said are empty.  A level whose only occupants are wrapped
+           hops one of its spans instead, so no boundary cascade that
+           could matter is skipped. *)
+        let nb =
+          if t.occ.(0) land ((1 lsl (t.cursor land mask)) - 1) <> 0 then
+            base + w
+          else begin
+            let o1 = t.occ.(1) in
+            let above1 =
+              o1 land ((-1) lsl (((t.cursor lsr bits) land mask) + 1))
+            in
+            if above1 <> 0 then
+              t.cursor land lnot (span1 - 1) lor (lowest_bit above1 lsl bits)
+            else if o1 <> 0 then
+              (* Wrapped level-1 slots: exactly one rotation ahead, and
+                 the boundary's cascade must run (its level-2 slot may
+                 hold nearer elements) — hop one span1, don't aim. *)
+              (t.cursor land lnot (span1 - 1)) + span1
+            else begin
+              let o2 = t.occ.(2) in
+              let above2 =
+                o2 land ((-1) lsl (((t.cursor lsr (2 * bits)) land mask) + 1))
+              in
+              if above2 <> 0 then
+                t.cursor
+                land lnot (span2 - 1)
+                lor (lowest_bit above2 lsl (2 * bits))
+              else if o2 <> 0 then (t.cursor land lnot (span2 - 1)) + span2
+              else begin
+                let o3 = t.occ.(3) in
+                let above3 =
+                  o3 land ((-1) lsl (((t.cursor lsr (3 * bits)) land mask) + 1))
+                in
+                if above3 <> 0 then
+                  t.cursor
+                  land lnot (span3 - 1)
+                  lor (lowest_bit above3 lsl (3 * bits))
+                else (t.cursor land lnot (span3 - 1)) + span3
+              end
+            end
+          end
+        in
+        if nb > limit_tick then continue := false else t.cursor <- nb
+      end
+    end
+  done
+
+(* Ensure the head register holds the pending minimum, walking the cursor
+   no further than [limit_tick]; [t.h_valid] stays false only when the
+   limit cut the walk short (or the wheel is empty). *)
+let stage t ~limit_tick =
+  if not t.h_valid then begin
+    if t.d_lo = t.d_hi then refill t ~limit_tick;
+    if (not t.h_valid) && t.d_hi > t.d_lo then
+      (* Multi-element tick (or same-tick stragglers): the due run's
+         front is the global minimum — due ticks precede the cursor,
+         wheel ticks follow it, and the head is empty. *)
+      due_pop_to_head t
+  end
+
+let next_due t ~until =
+  if t.h_valid then t.h_key.(0) <= until
+  else if t.len = 0 then false
+  else begin
+    stage t ~limit_tick:(tick_of t until);
+    t.h_valid && t.h_key.(0) <= until
+  end
+
+let min_key_exn t =
+  if t.len = 0 then invalid_arg "Wheel.min_key_exn: empty";
+  stage t ~limit_tick:max_int;
+  t.h_key.(0)
+
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Wheel.pop_exn: empty";
+  stage t ~limit_tick:max_int;
+  t.h_valid <- false;
+  t.len <- t.len - 1;
+  let x = t.h_data in
+  t.h_data <- t.dummy;
+  x
+
+let take_head t =
+  t.h_valid <- false;
+  t.len <- t.len - 1;
+  let x = t.h_data in
+  t.h_data <- t.dummy;
+  x
+
+let pop_due t ~until ~none =
+  if t.h_valid then
+    if t.h_key.(0) <= until then take_head t else none
+  else if t.len = 0 then none
+  else begin
+    stage t ~limit_tick:(tick_of t until);
+    if t.h_valid && t.h_key.(0) <= until then take_head t else none
+  end
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Array.fill s.s_data 0 s.s_len t.dummy;
+      s.s_len <- 0)
+    t.slots;
+  Array.fill t.occ 0 levels 0;
+  Array.fill t.d_data t.d_lo (t.d_hi - t.d_lo) t.dummy;
+  t.d_lo <- 0;
+  t.d_hi <- 0;
+  Kheap.clear t.overflow;
+  t.h_valid <- false;
+  t.h_data <- t.dummy;
+  t.in_wheels <- 0;
+  t.len <- 0

@@ -1,0 +1,74 @@
+(** Hierarchical timing wheel — the engine's pending-event store.
+
+    A calendar queue for monotone event-driven simulation: keys are
+    absolute times (seconds), inserts are O(1) amortized at any event
+    density, and extraction yields elements in exact [(key, seq)] order —
+    equal keys drain FIFO in push order, the same contract as {!Kheap}.
+
+    Layout: four wheel levels of 32 slots each, slot widths of 1, 32,
+    32{^2} and 32{^3} ticks, so the wheels span 32{^4} (~10{^6}) ticks
+    ahead of the cursor.  Keys beyond that horizon wait in an overflow
+    {!Kheap} and are promoted into the wheels when the cursor approaches
+    (far-future timers — retransmission backstops, end-of-run probes —
+    cost two heap ops instead of stretching the wheel).  Each insert lands
+    in a slot by pure index arithmetic (no comparisons); an element
+    cascades down at most three times as the cursor reaches its block, and
+    per-level occupancy bitmaps let the cursor skip runs of empty slots in
+    O(1).  The current tick's elements sit in an internal sorted "due"
+    run (struct-of-arrays, popped from the front) that restores exact
+    sub-tick order, so quantization never reorders events.
+
+    The structure is monotone: {!pop_exn} advances an internal cursor, and
+    a key earlier than an already-popped key may not be inserted (the
+    engine's no-scheduling-in-the-past rule).  Keys at or before the
+    cursor are legal (events scheduled for "now") and drain in correct
+    order.  Keys must be finite and non-negative; NaN is rejected by the
+    float-to-tick conversion's domain. *)
+
+type 'a t
+
+val create : ?capacity:int -> tick:float -> dummy:'a -> unit -> 'a t
+(** [create ~tick ~dummy ()] builds an empty wheel with level-0 slots
+    [tick] seconds wide.  [tick] bounds quantization of the cursor walk,
+    not of ordering (which is exact); pick it near the smallest common
+    event spacing — the engine uses 1 µs.  [capacity] presizes the due
+    and overflow heaps.  [dummy] fills vacated payload slots so popped
+    elements are not kept live. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:float -> 'a -> unit
+(** Insert under [key], tie-broken FIFO against every other insert
+    (a single monotone stamp across all levels, cascades included). *)
+
+val push_from : 'a t -> float array -> int -> 'a -> unit
+(** [push_from t keys i x] is [push t ~key:keys.(i) x] with the key read
+    in place from the caller's array — the allocation-free entry for hot
+    paths, since a float argument is boxed at every call boundary without
+    flambda.  The engine hands over a cell of its event-time arena. *)
+
+val next_due : 'a t -> until:float -> bool
+(** [next_due t ~until] is [true] when the minimum pending key is
+    [<= until], advancing the cursor no further than [until]'s tick — the
+    non-allocating guard for a drain loop ([run ~until] peeks with this,
+    then {!pop_exn}s).  Pass [infinity] for an unbounded check. *)
+
+val min_key_exn : 'a t -> float
+(** Minimum pending key; raises [Invalid_argument] when empty.  May walk
+    the cursor up to that key's tick. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the payload with the minimum [(key, seq)]; raises
+    [Invalid_argument] when empty.  The drain path allocates nothing. *)
+
+val pop_due : 'a t -> until:float -> none:'a -> 'a
+(** [pop_due t ~until ~none] pops and returns the least-[(key, seq)]
+    payload when its key is [<= until], advancing the cursor no further
+    than [until]'s tick; returns [none] otherwise.  Fuses {!next_due} +
+    {!pop_exn} into one call for the engine's drain loop (an option
+    result would allocate). *)
+
+val clear : 'a t -> unit
+(** Empty the wheel without rewinding the cursor (the monotone lower
+    bound on keys survives, as after draining by hand). *)

@@ -21,9 +21,9 @@ let run_schedule ?(rate_bps = 1e6) ~qdisc ~arrivals ~until () =
   Link.set_receiver link (fun p ->
       out :=
         {
-          r_flow = p.Packet.flow;
-          r_seq = p.Packet.seq;
-          r_wait = p.Packet.qdelay_total;
+          r_flow = (Packet.flow p);
+          r_seq = (Packet.seq p);
+          r_wait = (Packet.qdelay_total p);
           r_done = Engine.now engine;
         }
         :: !out);

@@ -67,7 +67,7 @@ let test_edf_tight_budget_first () =
   ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:0 ()));
   ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:0 ()));
   Alcotest.(check int) "tight deadline first" 0
-    (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow
+    (Packet.flow (Option.get (q.Qdisc.dequeue ~now:0.)))
 
 let test_edf_rejects_negative_budget () =
   let q = make_edf ~deadline_of:(fun _ -> -1.) () in
@@ -123,7 +123,7 @@ let qcheck_drr_conservation =
 
 let make_rr ?(capacity = 1000) ?(n_groups = 3) () =
   Ispn_sched.Rr_groups.create ~pool:(Qdisc.pool ~capacity) ~n_groups
-    ~group_of:(fun p -> p.Packet.flow mod n_groups)
+    ~group_of:(fun p -> (Packet.flow p) mod n_groups)
     ()
 
 let test_rr_alternates_groups () =
@@ -135,7 +135,7 @@ let test_rr_alternates_groups () =
     ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:i ()))
   done;
   let order =
-    List.init 8 (fun _ -> (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow)
+    List.init 8 (fun _ -> (Packet.flow (Option.get (q.Qdisc.dequeue ~now:0.))))
   in
   Alcotest.(check (list int)) "alternation" [ 0; 1; 0; 1; 0; 1; 0; 1 ] order
 
@@ -145,7 +145,7 @@ let test_rr_fifo_within_group () =
     ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:i ()))
   done;
   let seqs =
-    List.init 6 (fun _ -> (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.seq)
+    List.init 6 (fun _ -> (Packet.seq (Option.get (q.Qdisc.dequeue ~now:0.))))
   in
   Alcotest.(check (list int)) "fifo in group" [ 0; 1; 2; 3; 4; 5 ] seqs
 
@@ -153,7 +153,7 @@ let test_rr_skips_empty_groups () =
   let q = make_rr ~n_groups:3 () in
   ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:2 ()));
   Alcotest.(check int) "only backlogged group" 2
-    (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow;
+    (Packet.flow (Option.get (q.Qdisc.dequeue ~now:0.)));
   Alcotest.(check bool) "then empty" true (q.Qdisc.dequeue ~now:0. = None)
 
 let suite =

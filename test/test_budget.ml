@@ -1,0 +1,122 @@
+open Ispn_sim
+
+(* Strict Gc.minor_words budgets for the two structures the wheel/arena
+   rewrite made allocation-free: the engine's drain loop and the packet
+   arena's take/release cycle.  Unlike the steady-state ceilings in
+   test_hotpath.ml (which tolerate qdisc-interface boxing), these assert
+   ZERO words — any regression to per-event or per-packet boxing fails.
+
+   Measurement discipline: a float crossing a function boundary is boxed
+   (2 minor words) on a non-flambda compiler, so the loops below pass only
+   float literals (statically allocated) or keep computed floats out of
+   call arguments.  The engine chain uses a constant [~delay] for the same
+   reason: the cost of boxing a *computed* delay belongs to the caller,
+   not to the engine. *)
+
+let per_n f n =
+  (* One throwaway run to trigger any lazy growth, then measure. *)
+  f ();
+  let before = Gc.minor_words () in
+  for _ = 1 to n do
+    f ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int n
+
+let test_engine_drain_zero_alloc () =
+  let e = Engine.create () in
+  let n = 50_000 in
+  let count = ref 0 in
+  let rec act () =
+    incr count;
+    if !count < n then ignore (Engine.schedule_after e ~delay:1e-5 act)
+  in
+  ignore (Engine.schedule_after e ~delay:1e-5 act);
+  (* Warm the wheel's slot and due arrays. *)
+  Engine.run e ~until:0.05;
+  let before = Gc.minor_words () in
+  Engine.run e ~until:10.;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check int) "all fired" n !count;
+  let per_event = words /. float_of_int (n - !count + n) in
+  if per_event > 0.01 then
+    Alcotest.failf
+      "engine drain: %.3f minor words per event (expected 0 — the \
+       schedule/fire/pop path must not box)"
+      per_event
+
+let test_arena_take_release_zero_alloc () =
+  (* Warm-up grows the arena past the high-water mark of the loop, so the
+     measured cycles recycle the free list only. *)
+  let warm = Array.init 64 (fun i -> Packet.make ~flow:i ~seq:i ~created:0. ()) in
+  Array.iter Packet.free warm;
+  let per =
+    per_n
+      (fun () ->
+        let p = Packet.make ~flow:3 ~seq:7 ~created:0. () in
+        Packet.free p)
+      20_000
+  in
+  if per > 0.01 then
+    Alcotest.failf
+      "arena make+free: %.3f minor words per packet (expected 0 — handles \
+       recycle through the free list without boxing)"
+      per
+
+let test_arena_field_stores_zero_alloc () =
+  (* The point of the struct-of-arrays layout: hot-path float stores into
+     a bound arena are unboxed.  (The old mixed record boxed every store.) *)
+  let p = Packet.make ~flow:0 ~seq:0 ~created:0. () in
+  let pa = Packet.arena () in
+  let per =
+    per_n
+      (fun () ->
+        pa.Packet.enqueued_at.(p) <- pa.Packet.enqueued_at.(p) +. 1e-6;
+        pa.Packet.qdelay_total.(p) <- pa.Packet.qdelay_total.(p) +. 1e-6;
+        pa.Packet.offset.(p) <- pa.Packet.offset.(p) +. 1e-6)
+      20_000
+  in
+  Packet.free p;
+  if per > 0.01 then
+    Alcotest.failf
+      "arena float stores: %.3f minor words per 3 stores (expected 0 — \
+       float-array writes are unboxed)"
+      per
+
+let test_fifo_cycle_interface_budget () =
+  (* Full enqueue+dequeue through the qdisc closures: the only remaining
+     allocation is the interface itself — the boxed [~now] argument of
+     each closure call and dequeue's [Some pkt] — so ~6 words/cycle.
+     8 catches any return of per-packet structures while documenting that
+     the option and the two boxed floats are the irreducible residue. *)
+  let qdisc = Ispn_sched.Fifo.create ~pool:(Qdisc.pool ~capacity:128) () in
+  let p = Packet.make ~flow:0 ~seq:0 ~created:0. () in
+  assert (qdisc.Qdisc.enqueue ~now:0. p);
+  let clock = ref 0. in
+  let per =
+    per_n
+      (fun () ->
+        clock := !clock +. 1e-6;
+        let q = Packet.make ~flow:1 ~seq:1 ~created:0. () in
+        ignore (qdisc.Qdisc.enqueue ~now:!clock q);
+        match qdisc.Qdisc.dequeue ~now:!clock with
+        | Some served -> Packet.free served
+        | None -> Alcotest.fail "standing queue ran dry")
+      20_000
+  in
+  if per > 8. then
+    Alcotest.failf
+      "FIFO cycle: %.1f minor words (expected <= 8: two boxed ~now floats \
+       and dequeue's Some)"
+      per
+
+let suite =
+  [
+    Alcotest.test_case "engine drain allocates nothing" `Quick
+      test_engine_drain_zero_alloc;
+    Alcotest.test_case "arena make+free allocates nothing" `Quick
+      test_arena_take_release_zero_alloc;
+    Alcotest.test_case "arena float stores are unboxed" `Quick
+      test_arena_field_stores_zero_alloc;
+    Alcotest.test_case "fifo cycle within interface budget" `Quick
+      test_fifo_cycle_interface_budget;
+  ]

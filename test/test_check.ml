@@ -41,7 +41,7 @@ let lazy_fifo () =
   let q = Queue.create () in
   Qdisc.make
     ~enqueue:(fun ~now p ->
-      p.Packet.enqueued_at <- now;
+      Packet.set_enqueued_at p (now);
       Queue.push p q;
       true)
     ~dequeue:(fun ~now:_ -> None)
@@ -120,7 +120,7 @@ let test_pool_leak_violation () =
     Qdisc.make
       ~enqueue:(fun ~now p ->
         if Qdisc.pool_take pool then begin
-          p.Packet.enqueued_at <- now;
+          Packet.set_enqueued_at p (now);
           Queue.push p q;
           true
         end
@@ -154,7 +154,7 @@ let test_negative_delay_flagged () =
   let tap = Audit.tap a in
   tap.Tap.on_dequeue ~link:0 ~now:1.0 ~wait:(-0.001) (Helpers.pkt ());
   let p = Helpers.pkt ~seq:1 () in
-  p.Packet.qdelay_total <- -0.5;
+  Packet.set_qdelay_total p (-0.5);
   tap.Tap.on_deliver ~link:0 ~now:2.0 p;
   let s = Audit.finalize a in
   Alcotest.(check int) "both flagged" 2 (violations "delay" s)
@@ -195,14 +195,14 @@ let test_pg_bound () =
   Audit.register_pg_bound a ~flow:7 ~link:2 ~bound_s:0.010;
   let tap = Audit.tap a in
   let ok = Helpers.pkt ~flow:7 () in
-  ok.Packet.qdelay_total <- 0.005;
+  Packet.set_qdelay_total ok (0.005);
   tap.Tap.on_deliver ~link:2 ~now:1. ok;
   let bad = Helpers.pkt ~flow:7 ~seq:1 () in
-  bad.Packet.qdelay_total <- 0.020;
+  Packet.set_qdelay_total bad (0.020);
   tap.Tap.on_deliver ~link:2 ~now:2. bad;
   (* Delivery at a non-egress hop carries partial delay: not checked. *)
   let upstream = Helpers.pkt ~flow:7 ~seq:2 () in
-  upstream.Packet.qdelay_total <- 0.020;
+  Packet.set_qdelay_total upstream (0.020);
   tap.Tap.on_deliver ~link:1 ~now:3. upstream;
   let s = Audit.finalize a in
   Alcotest.(check int) "egress deliveries checked" 2

@@ -31,7 +31,7 @@ let test_priority_between_predicted_classes () =
   ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:1 ()));
   ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:0 ()));
   let order =
-    List.init 3 (fun _ -> (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow)
+    List.init 3 (fun _ -> (Packet.flow (Option.get (q.Qdisc.dequeue ~now:0.))))
   in
   Alcotest.(check (list int)) "high class first" [ 0; 1; 1 ] order
 
@@ -43,7 +43,7 @@ let test_datagram_below_predicted () =
   ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:0 ()));
   (* predicted low *)
   Alcotest.(check int) "predicted beats datagram" 0
-    (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow
+    (Packet.flow (Option.get (q.Qdisc.dequeue ~now:0.)))
 
 let test_guaranteed_isolated_from_flood () =
   (* A datagram flood shares the link with one guaranteed flow at half the
@@ -91,7 +91,7 @@ let test_fifo_plus_offsets_updated () =
   let a = pkt ~flow:0 ~seq:0 () in
   ignore (q.Qdisc.enqueue ~now:0. a);
   ignore (q.Qdisc.dequeue ~now:0.004);
-  Alcotest.(check bool) "offset exported" true (a.Packet.offset > 0.003);
+  Alcotest.(check bool) "offset exported" true ((Packet.offset a) > 0.003);
   Alcotest.(check bool) "class average moved" true
     (Csz_sched.class_avg_delay st ~cls:0 > 0.)
 
@@ -100,18 +100,18 @@ let test_datagram_offsets_untouched () =
   let a = pkt ~flow:99 ~seq:0 () in
   ignore (q.Qdisc.enqueue ~now:0. a);
   ignore (q.Qdisc.dequeue ~now:0.004);
-  Alcotest.(check (float 0.)) "no offset for datagram" 0. a.Packet.offset
+  Alcotest.(check (float 0.)) "no offset for datagram" 0. (Packet.offset a)
 
 let test_late_discard () =
   let st, q = make ~discard_late_above:0.05 () in
   Csz_sched.set_predicted st ~flow:0 ~cls:0;
   let late = pkt ~flow:0 () in
-  late.Packet.offset <- 0.1;
+  Packet.set_offset late (0.1);
   Alcotest.(check bool) "discarded" false (q.Qdisc.enqueue ~now:0. late);
   Alcotest.(check int) "counted" 1 (Csz_sched.late_discards st);
   (* Datagram packets are exempt (they carry no offsets). *)
   let d = pkt ~flow:99 () in
-  d.Packet.offset <- 0.1;
+  Packet.set_offset d (0.1);
   Alcotest.(check bool) "datagram exempt" true (q.Qdisc.enqueue ~now:0. d)
 
 let test_reservation_bookkeeping () =

@@ -29,7 +29,7 @@ type model = {
   m_advance : now:float -> unit;
 }
 
-let id_of (p : Packet.t) = (p.Packet.flow, p.Packet.seq)
+let id_of (p : Packet.t) = ((Packet.flow p), (Packet.seq p))
 
 (* --- reference models --- *)
 
@@ -87,7 +87,7 @@ let wfq_model ~capacity ~link_rate_bps ~weight_of () =
         else begin
           incr count;
           advance ~now;
-          let flow = p.Packet.flow in
+          let flow = (Packet.flow p) in
           let w = weight_of flow in
           if get qlen flow 0 = 0 then begin
             aw := !aw +. w;
@@ -95,7 +95,7 @@ let wfq_model ~capacity ~link_rate_bps ~weight_of () =
           end;
           let tag =
             fmax !v (get last_finish flow 0.)
-            +. (float_of_int p.Packet.size_bits /. w)
+            +. (float_of_int (Packet.size_bits p) /. w)
           in
           set last_finish flow tag;
           set qlen flow (get qlen flow 0 + 1);
@@ -109,7 +109,7 @@ let wfq_model ~capacity ~link_rate_bps ~weight_of () =
         | (_, p) :: rest ->
             queue := rest;
             decr count;
-            let flow = p.Packet.flow in
+            let flow = (Packet.flow p) in
             let q = get qlen flow 0 - 1 in
             set qlen flow q;
             if q = 0 then begin
@@ -135,7 +135,7 @@ let edf_model ~capacity ~deadline_of () =
       (fun ~now p ->
         if List.length !queue >= capacity then false
         else begin
-          sorted_insert queue ~key:(now +. deadline_of p.Packet.flow) p;
+          sorted_insert queue ~key:(now +. deadline_of (Packet.flow p)) p;
           true
         end);
     m_dequeue =
@@ -221,7 +221,7 @@ let hrr_model ~capacity ~frame ~slots_of () =
       (fun ~now p ->
         if !total >= capacity then false
         else begin
-          let fifo, _, _ = get p.Packet.flow in
+          let fifo, _, _ = get (Packet.flow p) in
           fifo := !fifo @ [ p ];
           incr total;
           arm ~now;

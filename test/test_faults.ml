@@ -19,9 +19,9 @@ let test_down_loses_in_flight_repair_restarts () =
   let link = make_link engine () in
   let arrivals = ref [] in
   Link.set_receiver link (fun p ->
-      arrivals := (p.Packet.seq, Engine.now engine) :: !arrivals);
+      arrivals := ((Packet.seq p), Engine.now engine) :: !arrivals);
   let lost = ref [] in
-  Link.set_drop_hook link (fun p -> lost := p.Packet.seq :: !lost);
+  Link.set_drop_hook link (fun p -> lost := (Packet.seq p) :: !lost);
   for seq = 0 to 2 do
     Link.send link (mk_packet ~seq ())
   done;

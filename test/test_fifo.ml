@@ -62,7 +62,7 @@ let qcheck_fifo_order =
       let rec drain acc =
         match q.Qdisc.dequeue ~now:0. with
         | None -> List.rev acc
-        | Some p -> drain (p.Packet.seq :: acc)
+        | Some p -> drain ((Packet.seq p) :: acc)
       in
       let seqs = drain [] in
       seqs = List.sort compare seqs)

@@ -19,24 +19,24 @@ let test_positive_offset_jumps_queue () =
   let _, q = make () in
   let a = pkt ~flow:0 ~seq:0 () in
   let b = pkt ~flow:1 ~seq:0 () in
-  b.Packet.offset <- 0.010;
+  Packet.set_offset b (0.010);
   (* b "should have" arrived 10 ms ago. *)
   ignore (q.Qdisc.enqueue ~now:1.000 a);
   ignore (q.Qdisc.enqueue ~now:1.001 b);
   let first = Option.get (q.Qdisc.dequeue ~now:1.002) in
-  Alcotest.(check int) "late packet served first" 1 first.Packet.flow
+  Alcotest.(check int) "late packet served first" 1 (Packet.flow first)
 
 let test_negative_offset_yields () =
   (* A packet that was lucky upstream steps back behind one that arrived
      just after it. *)
   let _, q = make () in
   let a = pkt ~flow:0 ~seq:0 () in
-  a.Packet.offset <- -0.010;
+  Packet.set_offset a (-0.010);
   let b = pkt ~flow:1 ~seq:0 () in
   ignore (q.Qdisc.enqueue ~now:1.000 a);
   ignore (q.Qdisc.enqueue ~now:1.001 b);
   let first = Option.get (q.Qdisc.dequeue ~now:1.002) in
-  Alcotest.(check int) "lucky packet yields" 1 first.Packet.flow
+  Alcotest.(check int) "lucky packet yields" 1 (Packet.flow first)
 
 let test_offset_accumulates_delay_minus_average () =
   let st, q = make ~ewma_gain:1.0 () in
@@ -45,23 +45,23 @@ let test_offset_accumulates_delay_minus_average () =
   let a = pkt ~seq:0 () in
   ignore (q.Qdisc.enqueue ~now:0. a);
   ignore (q.Qdisc.dequeue ~now:0.005);
-  Alcotest.(check (float 1e-9)) "offset = delay - 0" 0.005 a.Packet.offset;
+  Alcotest.(check (float 1e-9)) "offset = delay - 0" 0.005 (Packet.offset a);
   Alcotest.(check (float 1e-9)) "avg updated" 0.005
     (Ispn_sched.Fifo_plus.avg_delay st);
   (* Second packet waits 1 ms against average 5 ms: offset -4 ms. *)
   let b = pkt ~seq:1 () in
   ignore (q.Qdisc.enqueue ~now:0.010 b);
   ignore (q.Qdisc.dequeue ~now:0.011);
-  Alcotest.(check (float 1e-9)) "negative deviation" (-0.004) b.Packet.offset
+  Alcotest.(check (float 1e-9)) "negative deviation" (-0.004) (Packet.offset b)
 
 let test_late_discard () =
   let st, q = make ~discard_late_above:0.1 () in
   let late = pkt () in
-  late.Packet.offset <- 0.2;
+  Packet.set_offset late (0.2);
   Alcotest.(check bool) "rejected" false (q.Qdisc.enqueue ~now:0. late);
   Alcotest.(check int) "counted" 1 (Ispn_sched.Fifo_plus.discarded st);
   let fine = pkt ~seq:1 () in
-  fine.Packet.offset <- 0.05;
+  Packet.set_offset fine (0.05);
   Alcotest.(check bool) "accepted" true (q.Qdisc.enqueue ~now:0. fine)
 
 let test_buffer_limit () =
@@ -83,7 +83,7 @@ let qcheck_zero_offsets_fifo =
       let rec drain acc =
         match q.Qdisc.dequeue ~now:1. with
         | None -> List.rev acc
-        | Some p -> drain (p.Packet.seq :: acc)
+        | Some p -> drain ((Packet.seq p) :: acc)
       in
       let seqs = drain [] in
       seqs = List.sort compare seqs)
@@ -97,7 +97,7 @@ let qcheck_conservation =
       List.iteri
         (fun i off ->
           let p = pkt ~seq:i () in
-          p.Packet.offset <- off;
+          Packet.set_offset p (off);
           if q.Qdisc.enqueue ~now:0.5 p then incr accepted)
         offsets;
       let rec drain k =

@@ -68,7 +68,7 @@ let qcheck_conservation_mixed_sizes =
             | None -> ()
             | Some p ->
                 incr out_count;
-                out_bits := !out_bits + p.Packet.size_bits;
+                out_bits := !out_bits + (Packet.size_bits p);
                 drain ()
           in
           drain ();
@@ -91,7 +91,7 @@ let test_wfq_bit_level_fairness () =
   let bits = [| 0; 0 |] in
   for _ = 1 to 150 do
     match q.Qdisc.dequeue ~now:0. with
-    | Some p -> bits.(p.Packet.flow) <- bits.(p.Packet.flow) + p.Packet.size_bits
+    | Some p -> bits.((Packet.flow p)) <- bits.((Packet.flow p)) + (Packet.size_bits p)
     | None -> Alcotest.fail "queue ran dry"
   done;
   let ratio = float_of_int bits.(0) /. float_of_int bits.(1) in
@@ -109,7 +109,7 @@ let test_drr_bit_level_fairness () =
   let bits = [| 0; 0 |] in
   for _ = 1 to 150 do
     match q.Qdisc.dequeue ~now:0. with
-    | Some p -> bits.(p.Packet.flow) <- bits.(p.Packet.flow) + p.Packet.size_bits
+    | Some p -> bits.((Packet.flow p)) <- bits.((Packet.flow p)) + (Packet.size_bits p)
     | None -> Alcotest.fail "queue ran dry"
   done;
   let ratio = float_of_int bits.(0) /. float_of_int bits.(1) in
@@ -124,7 +124,7 @@ let test_link_serializes_by_size () =
   let link = Link.create ~engine ~rate_bps:1e6 ~qdisc:q ~name:"l" () in
   let times = ref [] in
   Link.set_receiver link (fun p ->
-      times := (p.Packet.seq, Engine.now engine) :: !times);
+      times := ((Packet.seq p), Engine.now engine) :: !times);
   Link.send link (pkt ~seq:0 ~size_bits:5000 ());
   Link.send link (pkt ~seq:1 ~size_bits:1000 ());
   Engine.run engine ~until:1.;

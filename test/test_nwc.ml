@@ -183,13 +183,13 @@ let test_jedd_exports_earliness () =
   ignore (q.Qdisc.enqueue ~now:0. p);
   (* Departing immediately, 20 ms ahead of its deadline. *)
   ignore (q.Qdisc.dequeue ~now:0.);
-  Alcotest.(check (float 1e-9)) "earliness in header" 0.020 p.Packet.offset
+  Alcotest.(check (float 1e-9)) "earliness in header" 0.020 (Packet.offset p)
 
 let test_jedd_holds_early_packet () =
   let engine = Engine.create () in
   let q = jedd engine in
   let p = pkt ~seq:0 () in
-  p.Packet.offset <- 0.015;
+  Packet.set_offset p (0.015);
   (* 15 ms early at the previous hop. *)
   ignore (q.Qdisc.enqueue ~now:1.000 p);
   Alcotest.(check bool) "held while early" true (q.Qdisc.dequeue ~now:1.010 = None);
@@ -208,7 +208,7 @@ let test_jedd_reconstructs_schedule_across_hops () =
   in
   let latencies = ref [] in
   Network.install_flow net ~flow:0 ~ingress:0 ~egress:2 ~sink:(fun p ->
-      latencies := (Engine.now engine -. p.Packet.created) :: !latencies);
+      latencies := (Engine.now engine -. (Packet.created p)) :: !latencies);
   for i = 0 to 9 do
     let at = 0.005 *. float_of_int i in
     ignore

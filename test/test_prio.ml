@@ -6,7 +6,7 @@ let make ?(capacity = 100) ?(n = 2) () =
   let pool = Qdisc.pool ~capacity in
   let classes = Array.init n (fun _ -> Ispn_sched.Fifo.create ~pool ()) in
   Ispn_sched.Prio.create ~classes
-    ~classify:(fun p -> p.Packet.flow)
+    ~classify:(fun p -> (Packet.flow p))
     ()
 
 let test_high_class_first () =
@@ -15,7 +15,7 @@ let test_high_class_first () =
   ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ~seq:1 ()));
   ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:0 ~seq:0 ()));
   let order =
-    List.init 3 (fun _ -> (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow)
+    List.init 3 (fun _ -> (Packet.flow (Option.get (q.Qdisc.dequeue ~now:0.))))
   in
   Alcotest.(check (list int)) "priority order" [ 0; 1; 1 ] order
 
@@ -23,7 +23,7 @@ let test_low_class_served_when_high_empty () =
   let q = make () in
   ignore (q.Qdisc.enqueue ~now:0. (pkt ~flow:1 ()));
   Alcotest.(check int) "low served" 1
-    (Option.get (q.Qdisc.dequeue ~now:0.)).Packet.flow
+    (Packet.flow (Option.get (q.Qdisc.dequeue ~now:0.)))
 
 let test_preemption_between_dequeues () =
   (* A high-priority arrival after low-priority packets are queued still
@@ -67,7 +67,7 @@ let qcheck_priority_invariant =
       let rec drain acc =
         match q.Qdisc.dequeue ~now:0. with
         | None -> List.rev acc
-        | Some p -> drain (p.Packet.flow :: acc)
+        | Some p -> drain ((Packet.flow p) :: acc)
       in
       let out = drain [] in
       (* All zeros must precede all ones. *)

@@ -7,7 +7,7 @@ let collect ~schedule ?loop ~until () =
   let out = ref [] in
   let src =
     Replay.create ~engine ~flow:0 ~schedule ?loop
-      ~emit:(fun p -> out := (Engine.now engine, p.Packet.size_bits) :: !out)
+      ~emit:(fun p -> out := (Engine.now engine, (Packet.size_bits p)) :: !out)
       ()
   in
   src.Ispn_traffic.Source.start ();

@@ -9,15 +9,15 @@ let mk_packet ?(flow = 0) ?(seq = 0) ?(created = 0.) () =
 
 let test_packet_defaults () =
   let p = mk_packet () in
-  Alcotest.(check int) "size" Ispn_util.Units.packet_bits p.Packet.size_bits;
-  Alcotest.(check (float 0.)) "offset" 0. p.Packet.offset;
-  Alcotest.(check (float 0.)) "qdelay" 0. p.Packet.qdelay_total;
-  Alcotest.(check int) "hops" 0 p.Packet.hops
+  Alcotest.(check int) "size" Ispn_util.Units.packet_bits (Packet.size_bits p);
+  Alcotest.(check (float 0.)) "offset" 0. (Packet.offset p);
+  Alcotest.(check (float 0.)) "qdelay" 0. (Packet.qdelay_total p);
+  Alcotest.(check int) "hops" 0 (Packet.hops p)
 
 let test_packet_expected_arrival () =
   let p = mk_packet () in
-  p.Packet.enqueued_at <- 10.;
-  p.Packet.offset <- 3.;
+  Packet.set_enqueued_at p (10.);
+  Packet.set_offset p (3.);
   Alcotest.(check (float 1e-9)) "expected arrival" 7. (Packet.expected_arrival p)
 
 (* --- Qdisc pool --- *)
@@ -79,7 +79,7 @@ let test_link_accumulates_qdelay () =
   let link = make_link engine () in
   let delays = ref [] in
   Link.set_receiver link (fun p ->
-      delays := p.Packet.qdelay_total :: !delays);
+      delays := (Packet.qdelay_total p) :: !delays);
   for i = 0 to 2 do
     Link.send link (mk_packet ~seq:i ())
   done;
@@ -134,11 +134,11 @@ let test_link_requires_receiver () =
 let test_node_routes_and_counts () =
   let node = Node.create ~name:"S" in
   let got = ref [] in
-  Node.add_route node ~flow:1 (Node.Deliver (fun p -> got := p.Packet.flow :: !got));
+  Node.add_route node ~flow:1 (Node.Deliver (fun p -> got := (Packet.flow p) :: !got));
   let p = mk_packet ~flow:1 () in
   Node.receive node p;
   Alcotest.(check (list int)) "delivered" [ 1 ] !got;
-  Alcotest.(check int) "hop counted" 1 p.Packet.hops;
+  Alcotest.(check int) "hop counted" 1 (Packet.hops p);
   Alcotest.(check int) "received" 1 (Node.received node)
 
 let test_node_unknown_flow () =
@@ -201,7 +201,7 @@ let test_probe_units () =
   let engine = Engine.create () in
   let probe = Probe.create () in
   let p = mk_packet () in
-  p.Packet.qdelay_total <- 0.004;
+  Packet.set_qdelay_total p (0.004);
   Probe.sink probe ~engine p;
   (* 4 ms = 4 packet transmission times at the default configuration. *)
   Alcotest.(check (float 1e-9)) "mean in units" 4. (Probe.mean_qdelay probe);
@@ -223,7 +223,7 @@ let test_recorder_link_events () =
   Link.set_receiver link (fun _ -> ());
   let p = mk_packet ~flow:7 ~seq:9 () in
   (* Pretend an upstream hop already queued it for 2 ms. *)
-  p.Packet.qdelay_total <- 0.002;
+  Packet.set_qdelay_total p (0.002);
   Link.send link p;
   Engine.run engine ~until:1.;
   let evs = Recorder.events r in

@@ -54,8 +54,8 @@ let test_onoff_seq_numbers () =
   let _, times = collect_source build ~duration:5. in
   List.iteri
     (fun i (_, p) ->
-      Alcotest.(check int) "seq" i p.Packet.seq;
-      Alcotest.(check int) "flow" 7 p.Packet.flow)
+      Alcotest.(check int) "seq" i (Packet.seq p);
+      Alcotest.(check int) "flow" 7 (Packet.flow p))
     times
 
 let test_onoff_stop () =

@@ -43,7 +43,7 @@ let test_end_to_end_delivery () =
   let got = ref [] in
   let path =
     Topology.install_flow t ~flow:7 ~src:0 ~dst:3 ~sink:(fun p ->
-        got := (Engine.now engine, p.Packet.seq) :: !got)
+        got := (Engine.now engine, (Packet.seq p)) :: !got)
   in
   Alcotest.(check (list int)) "installed along shortest path" [ 0; 1; 3 ] path;
   for i = 0 to 2 do

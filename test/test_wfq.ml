@@ -119,10 +119,10 @@ let qcheck_within_flow_order =
         | None -> ()
         | Some p ->
             let prev =
-              try Hashtbl.find last_seen p.Packet.flow with Not_found -> -1
+              try Hashtbl.find last_seen (Packet.flow p) with Not_found -> -1
             in
-            if p.Packet.seq <= prev then ok := false;
-            Hashtbl.replace last_seen p.Packet.flow p.Packet.seq;
+            if (Packet.seq p) <= prev then ok := false;
+            Hashtbl.replace last_seen (Packet.flow p) (Packet.seq p);
             drain ()
       in
       drain ();

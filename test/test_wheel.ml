@@ -1,0 +1,189 @@
+open Ispn_util
+
+(* Differential tests for the hierarchical timing wheel behind the engine:
+   the wheel is pitted against a transparent sorted-list model under
+   randomized interleavings of monotone pushes and pops.  The delay
+   distribution deliberately covers every routing regime — same-tick,
+   level-0, the mid wheels, and the far-future overflow heap whose
+   elements must be promoted back into the wheels as the cursor
+   approaches — and dt = 0 pushes make FIFO tie-breaking within a tick
+   load-bearing.  The model orders by (key, push rank), exactly the
+   (key, seq) contract {!Wheel} shares with {!Kheap}. *)
+
+let tick = 1e-6
+
+(* One operation: [Push frac] inserts at the current clock plus a delay
+   chosen by [frac] from a mixed-scale distribution; [Pop] extracts the
+   minimum and advances the model clock to its key.  The delay classes in
+   ticks: 0 (ties), up to ~1e3 (levels 0-1), up to ~5e5 (levels 2-3), and
+   up to ~1e7 (overflow, beyond the 32^4-tick wheel span). *)
+type op = Push of float | Pop
+
+let delay_of_frac u =
+  if u < 0.2 then 0.
+  else if u < 0.4 then 1e-3 *. (u -. 0.2) *. 5.
+  else if u < 0.7 then 0.5 *. (u -. 0.4) /. 0.3
+  else 10.0 *. (u -. 0.7) /. 0.3
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (3, map (fun u -> Push u) (float_bound_exclusive 1.)); (2, return Pop) ])
+
+let print_op = function
+  | Push u -> Printf.sprintf "Push %.17g (=%.17gs)" u (delay_of_frac u)
+  | Pop -> "Pop"
+
+let ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list print_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_range 0 400) op_gen)
+
+(* The model: a list of (key, rank, id) kept sorted by (key, rank). *)
+let model_insert model ~key ~rank id =
+  let rec ins = function
+    | [] -> [ (key, rank, id) ]
+    | ((k, r, _) as hd) :: tl ->
+        if k < key || (k = key && r < rank) then hd :: ins tl
+        else (key, rank, id) :: hd :: tl
+  in
+  ins model
+
+let run_script ops =
+  let w = Wheel.create ~tick ~dummy:(-1) () in
+  let model = ref [] in
+  let rank = ref 0 in
+  let next_id = ref 0 in
+  let clock = ref 0. in
+  let step op =
+    match op with
+    | Push u ->
+        let key = !clock +. delay_of_frac u in
+        let id = !next_id in
+        incr next_id;
+        Wheel.push w ~key id;
+        model := model_insert !model ~key ~rank:!rank id;
+        incr rank;
+        true
+    | Pop -> (
+        match !model with
+        | [] ->
+            (* Both empty: the wheel must agree. *)
+            Wheel.is_empty w
+        | (k, _, id) :: rest ->
+            let mk = Wheel.min_key_exn w in
+            let got = Wheel.pop_exn w in
+            model := rest;
+            (* Keys are stored verbatim on every level, so the minimum is
+               exact, not quantized. *)
+            clock := Stdlib.max !clock k;
+            mk = k && got = id)
+  in
+  List.for_all step ops
+  && (* Drain whatever remains and check the full residual order. *)
+  List.for_all
+    (fun (k, _, id) ->
+      let ok = Wheel.min_key_exn w = k && Wheel.pop_exn w = id in
+      clock := Stdlib.max !clock k;
+      ok)
+    !model
+  && Wheel.is_empty w
+  && Wheel.length w = 0
+
+let prop_matches_model =
+  QCheck.Test.make ~count:300 ~name:"wheel matches sorted-list model"
+    ops_arb run_script
+
+(* pop_due must release exactly the elements at or before [until] and
+   refuse the rest, however the boundary falls relative to slot and wheel
+   spans. *)
+let prop_pop_due =
+  QCheck.Test.make ~count:300 ~name:"pop_due honors the until boundary"
+    QCheck.(
+      make
+        ~print:Print.(pair (list print_op) float)
+        Gen.(pair (list_size (int_range 0 200) op_gen)
+               (float_bound_exclusive 20.)))
+    (fun (ops, until) ->
+      let w = Wheel.create ~tick ~dummy:(-1) () in
+      let model = ref [] in
+      let rank = ref 0 in
+      let next_id = ref 0 in
+      let clock = ref 0. in
+      List.iter
+        (function
+          | Push u ->
+              let key = !clock +. delay_of_frac u in
+              let id = !next_id in
+              incr next_id;
+              Wheel.push w ~key id;
+              model := model_insert !model ~key ~rank:!rank id;
+              incr rank
+          | Pop -> (
+              match !model with
+              | [] -> ()
+              | (k, _, _) :: rest ->
+                  ignore (Wheel.pop_exn w);
+                  model := rest;
+                  clock := Stdlib.max !clock k))
+        ops;
+      let due, late = List.partition (fun (k, _, _) -> k <= until) !model in
+      let rec drain acc =
+        let got = Wheel.pop_due w ~until ~none:(-1) in
+        if got = -1 then List.rev acc else drain (got :: acc)
+      in
+      let got = drain [] in
+      got = List.map (fun (_, _, id) -> id) due
+      && Wheel.length w = List.length late)
+
+let test_fifo_within_tick () =
+  (* Many pushes inside one level-0 tick, mixed with earlier and later
+     keys: the same-key run must drain in push order. *)
+  let w = Wheel.create ~tick ~dummy:(-1) () in
+  let k = 42. *. tick in
+  Wheel.push w ~key:(k +. tick) 100;
+  for i = 0 to 9 do
+    Wheel.push w ~key:k i
+  done;
+  Wheel.push w ~key:(k -. tick) 200;
+  let order = List.init 12 (fun _ -> Wheel.pop_exn w) in
+  Alcotest.(check (list int))
+    "fifo within the tick" ([ 200 ] @ List.init 10 Fun.id @ [ 100 ]) order
+
+let test_overflow_promotion () =
+  (* A key beyond the 32^4-tick span waits in the overflow heap and must
+     surface in order once the cursor gets there, including ties against
+     keys pushed later directly into the wheels. *)
+  let w = Wheel.create ~tick ~dummy:(-1) () in
+  let far = 5.0 (* 5e6 ticks: past the ~1.05e6-tick wheel span *) in
+  Wheel.push w ~key:far 0;
+  Wheel.push w ~key:1e-3 1;
+  Wheel.push w ~key:far 2;
+  Alcotest.(check int) "near first" 1 (Wheel.pop_exn w);
+  Wheel.push w ~key:far 3;
+  Alcotest.(check (list int))
+    "overflow drains in push order" [ 0; 2; 3 ]
+    (List.init 3 (fun _ -> Wheel.pop_exn w));
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+let test_clear_keeps_monotonicity () =
+  let w = Wheel.create ~tick ~dummy:(-1) () in
+  Wheel.push w ~key:0.5 0;
+  ignore (Wheel.pop_exn w);
+  Wheel.clear w;
+  Alcotest.(check bool) "empty after clear" true (Wheel.is_empty w);
+  (* Keys at the cursor remain legal after clear. *)
+  Wheel.push w ~key:0.5 7;
+  Wheel.push w ~key:0.7 8;
+  Alcotest.(check (list int)) "usable after clear" [ 7; 8 ]
+    (List.init 2 (fun _ -> Wheel.pop_exn w))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_matches_model;
+    QCheck_alcotest.to_alcotest prop_pop_due;
+    Alcotest.test_case "FIFO within a tick" `Quick test_fifo_within_tick;
+    Alcotest.test_case "overflow promotion" `Quick test_overflow_promotion;
+    Alcotest.test_case "clear" `Quick test_clear_keeps_monotonicity;
+  ]

@@ -2,31 +2,31 @@ open Ispn_sim
 
 let test_roundtrip_basics () =
   let p = Packet.make ~flow:42 ~seq:1234 ~size_bits:1000 ~created:5. () in
-  p.Packet.offset <- 0.003125;
+  Packet.set_offset p (0.003125);
   let q = Wire.decode ~created:5. (Wire.encode p) in
-  Alcotest.(check int) "flow" 42 q.Packet.flow;
-  Alcotest.(check int) "seq" 1234 q.Packet.seq;
-  Alcotest.(check int) "size" 1000 q.Packet.size_bits;
-  Alcotest.(check (float 1e-6)) "offset" 0.003125 q.Packet.offset;
-  Alcotest.(check (float 0.)) "created" 5. q.Packet.created
+  Alcotest.(check int) "flow" 42 (Packet.flow q);
+  Alcotest.(check int) "seq" 1234 (Packet.seq q);
+  Alcotest.(check int) "size" 1000 (Packet.size_bits q);
+  Alcotest.(check (float 1e-6)) "offset" 0.003125 (Packet.offset q);
+  Alcotest.(check (float 0.)) "created" 5. (Packet.created q)
 
 let test_kind_roundtrip () =
   let ack = Packet.make ~flow:1 ~seq:0 ~kind:Packet.Ack ~created:0. () in
   let q = Wire.decode (Wire.encode ack) in
-  Alcotest.(check bool) "ack survives" true (q.Packet.kind = Packet.Ack)
+  Alcotest.(check bool) "ack survives" true ((Packet.kind q) = Packet.Ack)
 
 let test_negative_offset () =
   let p = Packet.make ~flow:1 ~seq:0 ~created:0. () in
-  p.Packet.offset <- -0.012;
+  Packet.set_offset p (-0.012);
   let q = Wire.decode (Wire.encode p) in
-  Alcotest.(check (float 1e-6)) "negative offset" (-0.012) q.Packet.offset
+  Alcotest.(check (float 1e-6)) "negative offset" (-0.012) (Packet.offset q)
 
 let test_offset_saturates () =
   let p = Packet.make ~flow:1 ~seq:0 ~created:0. () in
-  p.Packet.offset <- 1e9;
+  Packet.set_offset p (1e9);
   let q = Wire.decode (Wire.encode p) in
   Alcotest.(check (float 1.)) "clamped to int32 max microseconds" 2147.483647
-    q.Packet.offset
+    (Packet.offset q)
 
 let test_malformed () =
   Alcotest.check_raises "short" (Wire.Malformed "short header") (fun () ->
@@ -70,11 +70,11 @@ let qcheck_roundtrip =
     (fun (flow, seq, size_bits, offset) ->
       QCheck.assume (size_bits > 0);
       let p = Packet.make ~flow ~seq ~size_bits ~created:0. () in
-      p.Packet.offset <- offset;
+      Packet.set_offset p (offset);
       let q = Wire.decode (Wire.encode p) in
-      q.Packet.flow = flow && q.Packet.seq = seq
-      && q.Packet.size_bits = size_bits
-      && Float.abs (q.Packet.offset -. offset) <= Wire.offset_quantum)
+      (Packet.flow q) = flow && (Packet.seq q) = seq
+      && (Packet.size_bits q) = size_bits
+      && Float.abs ((Packet.offset q) -. offset) <= Wire.offset_quantum)
 
 (* Fuzz satellite: a decoded header is either rejected with [Malformed] or
    every field is back inside [encode]'s accepted range — a corrupted wire
@@ -83,13 +83,13 @@ let decode_rejects_or_in_range b =
   match Wire.decode b with
   | exception Wire.Malformed _ -> true
   | q ->
-      q.Packet.flow >= 0
-      && q.Packet.flow <= 0x7FFFFFFF
-      && q.Packet.seq >= 0
-      && q.Packet.seq <= 0x7FFFFFFF
-      && q.Packet.size_bits >= 1
-      && q.Packet.size_bits <= 0xFFFF
-      && (q.Packet.kind = Packet.Data || q.Packet.kind = Packet.Ack)
+      (Packet.flow q) >= 0
+      && (Packet.flow q) <= 0x7FFFFFFF
+      && (Packet.seq q) >= 0
+      && (Packet.seq q) <= 0x7FFFFFFF
+      && (Packet.size_bits q) >= 1
+      && (Packet.size_bits q) <= 0xFFFF
+      && ((Packet.kind q) = Packet.Data || (Packet.kind q) = Packet.Ack)
 
 let qcheck_truncated =
   QCheck.Test.make ~name:"wire decode rejects truncated headers" ~count:200
@@ -113,7 +113,7 @@ let qcheck_bit_flips =
            (int_bound ((8 * Wire.header_bytes) - 1))))
     (fun ((flow, seq, size_bits, offset), bits) ->
       let p = Packet.make ~flow ~seq ~size_bits ~created:0. () in
-      p.Packet.offset <- offset;
+      Packet.set_offset p (offset);
       let b = Wire.encode p in
       List.iter
         (fun bit ->
