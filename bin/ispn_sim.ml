@@ -423,6 +423,49 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ duration $ seed $ jobs)
 
+let churn_cmd =
+  let run duration seed j check =
+    let rows = Csz.Extensions.run_churn ~duration ~seed ~j ~check () in
+    List.iter
+      (fun (r : Csz.Extensions.churn_row) ->
+        Printf.printf
+          "%-15s sessions %6d  blocking %5.2f%%  departed %6d (active %4d)  \
+           signaling %6.1f pkt/s (refresh %4.1f%%)  retries %4d  expired \
+           %4d  recycled %6d (hwm %4d)  leaked %d\n"
+          (Csz.Extensions.churn_name r.Csz.Extensions.ch_scenario)
+          r.Csz.Extensions.ch_offered
+          (100. *. r.Csz.Extensions.ch_blocking)
+          r.Csz.Extensions.ch_departed r.Csz.Extensions.ch_active_end
+          r.Csz.Extensions.ch_signaling_pps
+          (100. *. r.Csz.Extensions.ch_refresh_share)
+          r.Csz.Extensions.ch_retries r.Csz.Extensions.ch_expired
+          r.Csz.Extensions.ch_recycled r.Csz.Extensions.ch_slot_hwm
+          r.Csz.Extensions.ch_leaked)
+      rows;
+    Printf.printf "cumulative sessions across scenarios: %d\n"
+      (List.fold_left
+         (fun acc (r : Csz.Extensions.churn_row) ->
+           acc + r.Csz.Extensions.ch_offered)
+         0 rows);
+    finish_check
+      (List.filter_map
+         (fun (r : Csz.Extensions.churn_row) ->
+           Option.map
+             (fun s ->
+               ( "churn."
+                 ^ Csz.Extensions.churn_name r.Csz.Extensions.ch_scenario,
+                 s ))
+             r.Csz.Extensions.ch_check)
+         rows)
+  in
+  let doc =
+    "E13: open-loop session churn through the soft-state signaling layer — \
+     RSVP-style refresh/timeout recovering lost teardowns, agent crashes \
+     and link outages, with leak-free flow-id recycling."
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(const run $ duration $ seed $ jobs $ check_arg)
+
 let importance_cmd =
   let run duration seed =
     List.iter
@@ -613,6 +656,7 @@ let default =
       table1_cmd; table2_cmd; table3_cmd; topology_cmd; bakeoff_cmd;
       admission_cmd; playback_cmd; cascade_cmd; isolation_cmd; discard_cmd;
       ablation_cmd; service_cmd; sweep_cmd; signaling_cmd; faults_cmd;
+      churn_cmd;
       importance_cmd; profile_cmd; backlog_cmd; trace_cmd;
     ]
 

@@ -21,6 +21,8 @@ type t = {
   flows : (int, flow_record) Hashtbl.t;
   mutable epoch_now : int;
   mutable rejected : int;
+  mutable admissions : int;  (* cumulative grants, incl. datagram records *)
+  mutable releases : int;  (* cumulative releases, incl. reset wipes *)
 }
 
 type decision = Admitted of { cls : int option } | Rejected of string
@@ -49,6 +51,8 @@ let create ~n_links ~mu_bps ~class_targets ?(datagram_quota = 0.1)
     flows = Hashtbl.create 32;
     epoch_now = 0;
     rejected = 0;
+    admissions = 0;
+    releases = 0;
   }
 
 let n_classes t = Array.length t.class_targets
@@ -126,6 +130,7 @@ let request t ~flow ~path request =
   match request with
   | Spec.Datagram ->
       Hashtbl.replace t.flows flow { request; path; cls = None };
+      t.admissions <- t.admissions + 1;
       Admitted { cls = None }
   | Spec.Guaranteed { clock_rate_bps = r } -> (
       if path = [] then invalid_arg "Controller.request: empty path";
@@ -145,6 +150,7 @@ let request t ~flow ~path request =
               Hashtbl.replace ls.unmeasured flow (r, t.epoch_now))
             links;
           Hashtbl.replace t.flows flow { request; path; cls = None };
+          t.admissions <- t.admissions + 1;
           log_admit ~flow ~what:(Printf.sprintf "guaranteed %.0f bps" r);
           Admitted { cls = None })
   | Spec.Predicted { bucket; target_delay; _ } -> (
@@ -161,6 +167,7 @@ let request t ~flow ~path request =
               (fun ls -> Hashtbl.replace ls.unmeasured flow (r, t.epoch_now))
               links;
             Hashtbl.replace t.flows flow { request; path; cls = Some cls };
+            t.admissions <- t.admissions + 1;
             log_admit ~flow ~what:(Printf.sprintf "predicted class %d" cls);
             Admitted { cls = Some cls }
           end
@@ -171,6 +178,7 @@ let release t ~flow =
   | None -> ()
   | Some { request; path; _ } ->
       Hashtbl.remove t.flows flow;
+      t.releases <- t.releases + 1;
       List.iter
         (fun i ->
           let ls = t.links.(i) in
@@ -184,6 +192,9 @@ let release t ~flow =
 let mem t ~flow = Hashtbl.mem t.flows flow
 
 let reset t =
+  (* A wiped book is so many releases as far as leak accounting goes: a
+     crash must not leave admissions = releases + live violated. *)
+  t.releases <- t.releases + Hashtbl.length t.flows;
   Hashtbl.reset t.flows;
   Array.iter
     (fun ls ->
@@ -199,3 +210,9 @@ let admitted t =
     t.flows 0
 
 let rejected t = t.rejected
+let admissions t = t.admissions
+let releases t = t.releases
+let live t = Hashtbl.length t.flows
+
+let live_flows t =
+  List.sort compare (Hashtbl.fold (fun flow _ acc -> flow :: acc) t.flows [])

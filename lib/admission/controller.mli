@@ -75,3 +75,21 @@ val admitted : t -> int
 
 val rejected : t -> int
 (** Real-time requests refused so far. *)
+
+(** {2 Soft-state leak accounting}
+
+    Cumulative counters for the [flow-state] audit invariant: at every
+    instant [admissions t = releases t + live t].  Every successful
+    {!request} (datagram records included) counts one admission; every
+    effective {!release} counts one release; {!reset} counts its whole
+    wiped book as releases. *)
+
+val admissions : t -> int
+val releases : t -> int
+
+val live : t -> int
+(** Flow records currently in the book (all service classes). *)
+
+val live_flows : t -> int list
+(** The admitted flow ids, sorted ascending (deterministic regardless of
+    admission order) — for end-of-run leak sweeps. *)

@@ -39,11 +39,22 @@ type bucket = {
 
 type gbound = { g_link : int; bound_s : float }
 
+(* One soft-state book (a signaling agent's admission records, a flow-slot
+   pool) whose cumulative counters must balance at report time. *)
+type fstate = {
+  f_label : string;
+  f_admitted : unit -> int;
+  f_released : unit -> int;
+  f_live : unit -> int;
+  f_bad : (unit -> int) option;
+}
+
 type t = {
   mutable links : lstate option array;
   mutable pools : (int * Qdisc.pool) list;  (* newest first *)
   mutable buckets : bucket option array;
   mutable bounds : gbound option array;
+  mutable fstates : fstate list;  (* newest first *)
   conservation : counter;
   pool : counter;
   arena : counter;
@@ -51,6 +62,7 @@ type t = {
   delay : counter;
   token_bucket : counter;
   pg_bound : counter;
+  flow_state : counter;
   arena_base : Packet.pool_stats;
       (* Arena counters are cumulative across the simulations a domain has
          run, so the invariant is checked on deltas from this baseline
@@ -70,6 +82,7 @@ let counters t =
     t.delay;
     t.token_bucket;
     t.pg_bound;
+    t.flow_state;
   ]
 
 let create () =
@@ -78,6 +91,7 @@ let create () =
     pools = [];
     buckets = Array.make 32 None;
     bounds = Array.make 32 None;
+    fstates = [];
     conservation = { inv = "conservation"; checks = 0; violations = 0 };
     pool = { inv = "pool"; checks = 0; violations = 0 };
     arena = { inv = "packet-arena"; checks = 0; violations = 0 };
@@ -87,6 +101,7 @@ let create () =
     delay = { inv = "delay"; checks = 0; violations = 0 };
     token_bucket = { inv = "token-bucket"; checks = 0; violations = 0 };
     pg_bound = { inv = "pg-bound"; checks = 0; violations = 0 };
+    flow_state = { inv = "flow-state"; checks = 0; violations = 0 };
     events = 0;
     samples = [];
     n_samples = 0;
@@ -146,6 +161,17 @@ let register_policed_flow t ~flow ~link ~rate_bps ~depth_bits =
   set_slot t (fun t -> t.buckets) (fun t a -> t.buckets <- a) flow
     { b_link = link; rate_bps; depth_bits; tokens = depth_bits;
       last_refill = 0. }
+
+let register_flow_state t ~label ~admitted ~released ~live ?bad () =
+  t.fstates <-
+    {
+      f_label = label;
+      f_admitted = admitted;
+      f_released = released;
+      f_live = live;
+      f_bad = bad;
+    }
+    :: t.fstates
 
 let register_pg_bound t ~flow ~link ~bound_s =
   set_slot t (fun t -> t.bounds) (fun t a -> t.bounds <- a) flow
@@ -329,6 +355,29 @@ let final_pool_checks t (link, p) =
             link ls.l_name in_use
             (ls.l_qdisc.Qdisc.length ()))
 
+(* Soft-state leak accounting (DESIGN.md §9, "flow-state"): a book of
+   reservations or slots must balance its cumulative counters — live =
+   admitted - released, never negative — and report no bad releases.  A
+   live count above the balance means a leaked record (a lost teardown
+   nobody timed out); below it, a double release. *)
+let final_flow_state_checks t f =
+  let admitted = f.f_admitted () in
+  let released = f.f_released () in
+  let live = f.f_live () in
+  check t t.flow_state (live >= 0) (fun () ->
+      Printf.sprintf "%s: live count %d negative" f.f_label live);
+  check t t.flow_state
+    (admitted = released + live)
+    (fun () ->
+      Printf.sprintf "%s: %d admitted <> %d released + %d live (leak)"
+        f.f_label admitted released live);
+  match f.f_bad with
+  | None -> ()
+  | Some bad ->
+      let n = bad () in
+      check t t.flow_state (n = 0) (fun () ->
+          Printf.sprintf "%s: %d bad releases" f.f_label n)
+
 (* Packet-arena accounting since the baseline: every successful [make]
    must balance a [free] or a live handle, and no handle may be freed
    twice (DESIGN.md §9). *)
@@ -369,6 +418,7 @@ let finalize t =
           final_link_checks t ls)
     t.links;
   List.iter (final_pool_checks t) (List.rev t.pools);
+  List.iter (final_flow_state_checks t) (List.rev t.fstates);
   if !n_links > 0 then
     check t t.conservation
       (!total_accepted = !total_dequeued + !total_backlog)

@@ -20,6 +20,10 @@
     - {b pg-bound} — a guaranteed WFQ flow's end-to-end queueing delay
       never exceeds its Parekh–Gallager bound (checked per delivered
       packet at the flow's egress link).
+    - {b flow-state} — soft-state leak accounting for every registered
+      reservation book and flow-slot pool: live = admitted − released,
+      never negative, with zero bad releases (see
+      {!register_flow_state}).
 
     Like [Ispn_obs], auditing is opt-in and free when off: without an
     attached context the packet path pays one [match] per event, and
@@ -54,6 +58,23 @@ val register_policed_flow :
 val register_pg_bound : t -> flow:int -> link:int -> bound_s:float -> unit
 (** Check every packet of [flow] delivered by [link] (its egress hop)
     against the end-to-end queueing-delay bound [bound_s] (seconds). *)
+
+val register_flow_state :
+  t ->
+  label:string ->
+  admitted:(unit -> int) ->
+  released:(unit -> int) ->
+  live:(unit -> int) ->
+  ?bad:(unit -> int) ->
+  unit ->
+  unit
+(** Register one soft-state book for the report-time [flow-state] leak
+    check: [admitted () = released () + live ()] and [live () >= 0] must
+    hold when {!finalize} runs, and [bad ()] (when given — double or
+    out-of-range releases) must be zero.  Used by
+    [Csz.Signaling.register_audit] for every agent's admission book and
+    by the churn workload for its [Ispn_util.Idpool] flow-slot pool;
+    the closures are read only at {!finalize}. *)
 
 val work_conserving_name : string -> bool
 (** Classification used by {!attach_link}: every scheduler name except

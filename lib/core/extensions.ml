@@ -1268,3 +1268,269 @@ let run_trace ?(experiment = T_table2) ?(worst = 5) ?(capacity = 1 lsl 20)
     tre_complete = List.length complete;
     tre_rows = rows;
   }
+
+(* --- E13: session churn under soft-state signaling ------------------------ *)
+
+type churn_scenario = C_clean | C_lossy_teardown | C_agent_crash | C_link_flap
+
+let churn_name = function
+  | C_clean -> "clean"
+  | C_lossy_teardown -> "lossy-teardown"
+  | C_agent_crash -> "agent-crash"
+  | C_link_flap -> "link-flap"
+
+type churn_row = {
+  ch_scenario : churn_scenario;
+  ch_offered : int;
+  ch_established : int;
+  ch_refused : int;
+  ch_blocking : float;
+  ch_departed : int;
+  ch_active_end : int;
+  ch_expired : int;
+  ch_retries : int;
+  ch_abandoned : int;
+  ch_signaling_pps : float;
+  ch_refresh_share : float;
+  ch_slot_hwm : int;
+  ch_recycled : int;
+  ch_leaked : int;
+  ch_check : Ispn_check.Audit.summary option;
+}
+
+(* One open-loop session's control state in the workload harness; the slot
+   (= flow id) is recycled through an [Idpool] once every agent's soft
+   state has provably forgotten the session. *)
+type churn_session = {
+  mutable cs_st : [ `Pending | `Active | `Gone ];
+  mutable cs_wants_out : bool;  (* holding ended while setup in flight *)
+  mutable cs_departed_at : float;
+  mutable cs_src : Ispn_traffic.Source.t option;
+}
+
+let run_churn ?(duration = 120.) ?(seed = 42L) ?(lambda = 420.) ?(j = 1)
+    ?(check = false) () =
+  let scenarios = [ C_clean; C_lossy_teardown; C_agent_crash; C_link_flap ] in
+  let refresh_interval = 3.0 and lifetime_epochs = 3 in
+  let lifetime = refresh_interval *. float_of_int lifetime_epochs in
+  (* A departed session's residue anywhere is expired at most one sweep
+     past its last stamp's lifetime; only then may the slot be reused, or
+     a recycled flow id could collide with its predecessor's reservations. *)
+  let reclaim = lifetime +. (2.1 *. refresh_interval) in
+  let run_one scenario =
+    let engine = Engine.create () in
+    let prng = Prng.create ~seed in
+    let fab = Fabric.chain ~engine ~n_switches:5 () in
+    let n_links = Fabric.n_links fab in
+    let sg =
+      Signaling.deploy ~fabric:fab ~setup_timeout:0.02 ~max_retries:4
+        ~refresh_interval ~lifetime_epochs ()
+    in
+    let pool = Ispn_util.Idpool.create ~capacity:1024 () in
+    let audit = if check then Some (Ispn_check.Audit.create ()) else None in
+    (match audit with
+    | None -> ()
+    | Some a ->
+        for link = 0 to n_links - 1 do
+          Ispn_check.Audit.attach_link a (Fabric.link fab link)
+        done;
+        Signaling.register_audit sg a;
+        Ispn_check.Audit.register_flow_state a ~label:"flow-slots"
+          ~admitted:(fun () -> Ispn_util.Idpool.takes pool)
+          ~released:(fun () -> Ispn_util.Idpool.releases pool)
+          ~live:(fun () -> Ispn_util.Idpool.in_use pool)
+          ~bad:(fun () ->
+            Ispn_util.Idpool.bad_releases pool
+            + Ispn_util.Idpool.stale_releases pool)
+          ());
+    (* Steady datagram background on every link, so signaling and data
+       always compete for the wire (ids far above the recycled slot range). *)
+    for link = 0 to n_links - 1 do
+      let flow = 910_000 + link in
+      Fabric.install_flow fab ~flow ~ingress:link ~egress:(link + 1)
+        ~sink:Packet.free;
+      let src =
+        Ispn_traffic.Onoff.create ~engine ~prng:(Prng.split prng) ~flow
+          ~avg_rate_pps:200.
+          ~emit:(fun p -> Fabric.inject fab ~at_switch:link p)
+          ()
+      in
+      src.Ispn_traffic.Source.start ()
+    done;
+    let sessions : (int, churn_session) Hashtbl.t = Hashtbl.create 4096 in
+    let offered = ref 0 in
+    let release_later flow =
+      ignore
+        (Engine.schedule_after engine ~delay:reclaim (fun () ->
+             Ispn_util.Idpool.release pool ~id:flow))
+    in
+    let depart s flow =
+      (match s.cs_src with
+      | Some src -> src.Ispn_traffic.Source.stop ()
+      | None -> ());
+      s.cs_src <- None;
+      s.cs_st <- `Gone;
+      s.cs_departed_at <- Engine.now engine;
+      Signaling.depart sg ~flow;
+      release_later flow
+    in
+    (* The open-loop workload: Poisson arrivals, Pareto holding times, a
+       guaranteed / predicted / datagram service mix, uniform spans on the
+       chain.  Every random draw comes from the one arrival-ordered PRNG,
+       so the workload is identical across scenarios and [-j] widths. *)
+    let rec arrival () =
+      incr offered;
+      let flow = Ispn_util.Idpool.take pool in
+      let ingress = Prng.int prng ~bound:(n_links - 1 + 1) in
+      let egress = ingress + 1 + Prng.int prng ~bound:(n_links - ingress) in
+      let u = Prng.float prng in
+      let spec, own_bucket =
+        if u < 0.15 then (
+          let rate = Dist.uniform prng ~lo:2_000. ~hi:20_000. in
+          ( Spec.Guaranteed { clock_rate_bps = rate },
+            Some { Spec.rate_bps = rate; depth_bits = 4_000. } ))
+        else if u < 0.40 then
+          ( Spec.Predicted
+              {
+                bucket =
+                  {
+                    Spec.rate_bps = Dist.uniform prng ~lo:5_000. ~hi:30_000.;
+                    depth_bits = 10_000.;
+                  };
+                target_delay = 0.256;
+                target_loss = 0.01;
+              },
+            None )
+        else (Spec.Datagram, None)
+      in
+      let holding = Dist.pareto prng ~shape:1.5 ~scale:(2. /. 3.) in
+      let with_source = Dist.bernoulli prng ~p:0.01 in
+      let s =
+        { cs_st = `Pending; cs_wants_out = false; cs_departed_at = 0.;
+          cs_src = None }
+      in
+      Hashtbl.replace sessions flow s;
+      Signaling.setup sg ~flow ~ingress ~egress ?own_bucket spec
+        ~sink:Packet.free
+        ~on_result:(function
+          | Error _ ->
+              (* Refusals roll back synchronously: the slot has no residue
+                 anywhere, but it still waits out the quarantine. *)
+              s.cs_st <- `Gone;
+              s.cs_departed_at <- Engine.now engine;
+              release_later flow
+          | Ok est ->
+              if s.cs_wants_out then depart s flow
+              else begin
+                s.cs_st <- `Active;
+                if with_source then begin
+                  let src =
+                    Ispn_traffic.Cbr.create ~engine ~flow ~rate_pps:50.
+                      ~emit:est.Signaling.emit ()
+                  in
+                  s.cs_src <- Some src;
+                  src.Ispn_traffic.Source.start ()
+                end
+              end);
+      ignore
+        (Engine.schedule_after engine ~delay:holding (fun () ->
+             match s.cs_st with
+             | `Pending -> s.cs_wants_out <- true
+             | `Active -> depart s flow
+             | `Gone -> ()));
+      let gap = Dist.exponential prng ~mean:(1. /. lambda) in
+      if Engine.now engine +. gap < duration then
+        ignore (Engine.schedule_after engine ~delay:gap arrival)
+    in
+    ignore
+      (Engine.schedule_after engine
+         ~delay:(Dist.exponential prng ~mean:(1. /. lambda))
+         arrival);
+    (* Faults, scaled to the run: the lossy window eats teardown and
+       refresh legs mid-path (the soft-state reclaim path), the crashes
+       wipe whole agents, the flap stresses setups in flight. *)
+    let plan =
+      match scenario with
+      | C_clean -> Ispn_faults.Plan.none
+      | C_lossy_teardown ->
+          [
+            Ispn_faults.Plan.Corrupt
+              {
+                link = 1;
+                from_ = 0.15 *. duration;
+                until = 0.85 *. duration;
+                per_packet = 0.3;
+              };
+            Ispn_faults.Plan.Corrupt
+              {
+                link = 2;
+                from_ = 0.3 *. duration;
+                until = 0.7 *. duration;
+                per_packet = 0.3;
+              };
+          ]
+      | C_agent_crash ->
+          [
+            Ispn_faults.Plan.Agent_crash { switch = 1; at = 0.4 *. duration };
+            Ispn_faults.Plan.Agent_crash { switch = 2; at = 0.7 *. duration };
+          ]
+      | C_link_flap ->
+          [
+            Ispn_faults.Plan.Link_down
+              { link = 2; at = 0.3 *. duration; duration = 3. };
+            Ispn_faults.Plan.Link_down
+              { link = 2; at = 0.65 *. duration; duration = 1. };
+          ]
+    in
+    let links = Array.init n_links (Fabric.link fab) in
+    let _stats =
+      Ispn_faults.Inject.apply ~engine ~links
+        ~on_agent_crash:(fun ~switch -> Signaling.crash_agent sg ~switch)
+        ~corrupt_seed:(Int64.add seed 99L) plan
+    in
+    Engine.run engine ~until:duration;
+    (* The leak sweep: a reservation still held anywhere for a session that
+       departed more than the reclaim horizon ago was neither torn down nor
+       expired — exactly what soft state promises cannot happen. *)
+    let now = Engine.now engine in
+    let leaked = ref 0 in
+    for link = 0 to n_links - 1 do
+      List.iter
+        (fun flow ->
+          match Hashtbl.find_opt sessions flow with
+          | Some s
+            when s.cs_st = `Gone && now -. s.cs_departed_at > reclaim ->
+              incr leaked
+          | Some _ | None -> ())
+        (Controller.live_flows (Signaling.controller sg ~link))
+    done;
+    let established = Signaling.total_established sg in
+    let refused = Signaling.refused_count sg in
+    let decisions = established + refused in
+    let ctrl_pkts = Signaling.control_packets_sent sg in
+    {
+      ch_scenario = scenario;
+      ch_offered = !offered;
+      ch_established = established;
+      ch_refused = refused;
+      ch_blocking =
+        (if decisions = 0 then 0.
+         else float_of_int refused /. float_of_int decisions);
+      ch_departed = Signaling.teardown_count sg;
+      ch_active_end = Signaling.established_count sg;
+      ch_expired = Signaling.expired_count sg;
+      ch_retries = Signaling.retries sg;
+      ch_abandoned = Signaling.abandoned_count sg;
+      ch_signaling_pps = float_of_int ctrl_pkts /. duration;
+      ch_refresh_share =
+        (if ctrl_pkts = 0 then 0.
+         else
+           float_of_int (Signaling.refresh_packets_sent sg)
+           /. float_of_int ctrl_pkts);
+      ch_slot_hwm = Ispn_util.Idpool.hwm pool;
+      ch_recycled = Ispn_util.Idpool.takes pool - Ispn_util.Idpool.hwm pool;
+      ch_leaked = !leaked;
+      ch_check = Option.map Ispn_check.Audit.finalize audit;
+    }
+  in
+  Ispn_exec.Pool.map ~j run_one scenarios

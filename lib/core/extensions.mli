@@ -335,3 +335,62 @@ val run_trace :
     per-hop queueing and transmission via {!Ispn_obs.Attrib}.
     Deterministic in [seed]; the recorder does not perturb the
     simulation. *)
+
+(** {2 E13: session churn under soft-state signaling} *)
+
+type churn_scenario =
+  | C_clean  (** No faults — teardowns all arrive; expiry stays idle. *)
+  | C_lossy_teardown
+      (** Corruption windows on two mid-path links eat teardown and
+          refresh legs; stranded reservations must be reclaimed by the
+          refresh timeout, not leak. *)
+  | C_agent_crash  (** Two agents crash mid-run, wiping their books. *)
+  | C_link_flap  (** A mid-path link goes dark twice under full churn. *)
+
+val churn_name : churn_scenario -> string
+
+type churn_row = {
+  ch_scenario : churn_scenario;
+  ch_offered : int;  (** Session arrivals (cumulative sessions). *)
+  ch_established : int;  (** Setups that completed. *)
+  ch_refused : int;  (** Admission refusals + abandoned setups. *)
+  ch_blocking : float;  (** [refused / (established + refused)]. *)
+  ch_departed : int;  (** Sessions that left (teardown sent). *)
+  ch_active_end : int;  (** Sessions still established at the end. *)
+  ch_expired : int;  (** Reservations reclaimed by refresh timeout. *)
+  ch_retries : int;
+  ch_abandoned : int;
+  ch_signaling_pps : float;  (** Control packets per second, all kinds. *)
+  ch_refresh_share : float;
+      (** Fraction of control packets that were refreshes — the soft-state
+          overhead knob (RSVP's refresh tax). *)
+  ch_slot_hwm : int;  (** Distinct flow ids ever needed. *)
+  ch_recycled : int;  (** Sessions that reused an earlier session's id. *)
+  ch_leaked : int;
+      (** Reservations still held for sessions departed more than the
+          reclaim horizon ago — must be 0 in every scenario. *)
+  ch_check : Ispn_check.Audit.summary option;  (** Present when [check]. *)
+}
+
+val run_churn :
+  ?duration:float ->
+  ?seed:int64 ->
+  ?lambda:float ->
+  ?j:int ->
+  ?check:bool ->
+  unit ->
+  churn_row list
+(** The soft-state lifecycle under open-loop churn (one row per
+    {!churn_scenario}): Poisson session arrivals at [lambda] per second
+    (default 420 — about 1M cumulative sessions over the four scenarios at
+    the full 600 s duration), Pareto(1.5) holding times with mean 2 s, a
+    15/25/60 guaranteed/predicted/datagram mix on uniform spans of the
+    5-switch chain.  Flow ids come from an {!Ispn_util.Idpool} and are
+    recycled after a quarantine of one soft-state lifetime plus two sweep
+    periods past departure.  With [check], each row carries a finalized
+    audit (including the [flow-state] leak invariant over every agent's
+    book, the session ledger and the id pool).  Shapes to expect:
+    [ch_leaked] is 0 everywhere; [ch_expired] is 0 in the clean scenario
+    and positive wherever teardowns are lost or agents die; blocking rises
+    under faults (abandoned setups count as refusals).  Deterministic for
+    a given [seed] at every [j]. *)

@@ -48,15 +48,44 @@ type setup_ctx = {
   mutable timeout_h : Engine.handle option;
 }
 
+(* A refresh epoch walking the path, stamping each agent's soft state; if
+   any hop has forgotten the flow, the pass ends in a full re-assert. *)
+type refresh_ctx = {
+  rf_flow : int;
+  rf_ingress : int;
+  rf_path : int list;
+  rf_started : float;
+  mutable rf_needs_reassert : bool;
+}
+
+(* An in-band teardown walking the path.  Deliberately fire-and-forget: a
+   lost leg leaves the downstream state to the refresh timeout. *)
+type teardown_ctx = { td_flow : int; td_ingress : int; td_path : int list }
+
+(* Every control packet resolves its token to a typed pending message, so
+   a stale or duplicated packet can never be replayed as the wrong message
+   kind — a setup retransmission cannot masquerade as a refresh and
+   re-stamp state a rollback just cleared. *)
+type pending =
+  | P_setup of setup_ctx * int  (* resume the setup at this hop *)
+  | P_refresh of refresh_ctx * int  (* stamp this hop, forward *)
+  | P_teardown of teardown_ctx * int  (* release this hop, forward *)
+
 (* Established flows keep everything a post-crash re-setup needs: the path,
    the original request and the rung of the degradation ladder currently in
-   force. *)
+   force; plus the soft-state machinery — the periodic refresh timer and
+   the token of the refresh leg currently on the wire (-1 = none), which a
+   teardown must invalidate so a delayed refresh cannot resurrect state
+   for a dead flow. *)
 type flow_record = {
   mutable fr_granted : (int * int option) list;
+  fr_ingress : int;
   fr_path : int list;
   fr_own_bucket : Spec.bucket option;
   fr_requested : Spec.request;
   mutable fr_current : Spec.request;
+  mutable fr_refresh_h : Engine.handle option;
+  mutable fr_refresh_token : int;
 }
 
 type t = {
@@ -65,15 +94,22 @@ type t = {
   reverse_hop_delay : float;
   setup_timeout : float;
   max_retries : int;
+  refresh_interval : float option;
+  lifetime : float;  (* refresh_interval * lifetime_epochs; 0 when off *)
   (* One single-link controller per link, owned by that link's upstream
      agent. *)
   ctrls : Controller.t array;
-  pending_msgs : (int, setup_ctx * int) Hashtbl.t;  (* token -> (ctx, hop) *)
+  (* Per agent: flow -> time its reservation was last asserted here.  Only
+     populated when soft state is on; the sweep expires stale entries. *)
+  soft : (int, float) Hashtbl.t array;
+  pending_msgs : (int, pending) Hashtbl.t;  (* token -> message *)
   mutable next_token : int;
   in_flight : (int, unit) Hashtbl.t;  (* flows with a setup travelling *)
   flows : (int, flow_record) Hashtbl.t;  (* established *)
   mutable established_count : int;
+  mutable total_established : int;
   mutable refused_count : int;
+  mutable teardowns : int;
   mutable control_packets : int;
   mutable retries : int;
   mutable abandoned : int;
@@ -81,17 +117,28 @@ type t = {
   mutable degraded : int;
   mutable reestablished : int;
   mutable reestablish_total : float;
+  mutable refreshes : int;
+  mutable refresh_packets : int;
+  mutable teardown_packets : int;
+  mutable expired : int;
 }
 
 let fabric t = t.fab
 let established_count t = t.established_count
+let total_established t = t.total_established
 let refused_count t = t.refused_count
+let teardown_count t = t.teardowns
 let control_packets_sent t = t.control_packets
 let retries t = t.retries
 let abandoned_count t = t.abandoned
 let crash_count t = t.crashes
 let degraded_count t = t.degraded
 let reestablished_count t = t.reestablished
+let refresh_epochs t = t.refreshes
+let refresh_packets_sent t = t.refresh_packets
+let teardown_packets_sent t = t.teardown_packets
+let expired_count t = t.expired
+let soft_state_count t ~link = Hashtbl.length t.soft.(link)
 
 let mean_reestablish_latency t =
   if t.reestablished = 0 then 0.
@@ -102,20 +149,94 @@ let controller t ~link = t.ctrls.(link)
 let register_metrics t m ?(prefix = "signaling") () =
   let module M = Ispn_obs.Metrics in
   M.register_int m (prefix ^ ".established") (fun () -> t.established_count);
+  M.register_int m (prefix ^ ".total_established") (fun () ->
+      t.total_established);
   M.register_int m (prefix ^ ".refused") (fun () -> t.refused_count);
+  M.register_int m (prefix ^ ".teardowns") (fun () -> t.teardowns);
   M.register_int m (prefix ^ ".control_packets") (fun () -> t.control_packets);
   M.register_int m (prefix ^ ".retries") (fun () -> t.retries);
   M.register_int m (prefix ^ ".abandoned") (fun () -> t.abandoned);
   M.register_int m (prefix ^ ".crashes") (fun () -> t.crashes);
   M.register_int m (prefix ^ ".degraded") (fun () -> t.degraded);
   M.register_int m (prefix ^ ".reestablished") (fun () -> t.reestablished);
+  M.register_int m (prefix ^ ".refreshes") (fun () -> t.refreshes);
+  M.register_int m (prefix ^ ".refresh_packets") (fun () -> t.refresh_packets);
+  M.register_int m (prefix ^ ".teardown_packets") (fun () ->
+      t.teardown_packets);
+  M.register_int m (prefix ^ ".expired") (fun () -> t.expired);
   M.register_float m (prefix ^ ".reestablish_latency_mean") (fun () ->
       mean_reestablish_latency t)
+
+let register_audit t audit =
+  Array.iteri
+    (fun link ctrl ->
+      Ispn_check.Audit.register_flow_state audit
+        ~label:(Printf.sprintf "agent %d" link)
+        ~admitted:(fun () -> Controller.admissions ctrl)
+        ~released:(fun () -> Controller.releases ctrl)
+        ~live:(fun () -> Controller.live ctrl)
+        ())
+    t.ctrls;
+  Ispn_check.Audit.register_flow_state audit ~label:"sessions"
+    ~admitted:(fun () -> t.total_established)
+    ~released:(fun () -> t.teardowns)
+    ~live:(fun () -> t.established_count)
+    ()
 
 let service_level t ~flow =
   Option.map (fun fr -> level_of fr.fr_current) (Hashtbl.find_opt t.flows flow)
 
 let engine t = Fabric.engine t.fab
+
+let soft_state_on t = t.refresh_interval <> None
+
+(* The agent at [link] (re-)asserts [flow]'s reservation in its soft-state
+   book; the sweep tears it down [lifetime] later unless re-stamped. *)
+let stamp t ~link ~flow =
+  if soft_state_on t then
+    Hashtbl.replace t.soft.(link) flow (Engine.now (engine t))
+
+let unstamp t ~link ~flow =
+  if soft_state_on t then Hashtbl.remove t.soft.(link) flow
+
+let new_token t =
+  let token = t.next_token in
+  t.next_token <- t.next_token + 1;
+  token
+
+let set_refresh_token t ~flow token =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> ()
+  | Some fr -> fr.fr_refresh_token <- token
+
+let clear_refresh_token t ~flow token =
+  match Hashtbl.find_opt t.flows flow with
+  | Some fr when fr.fr_refresh_token = token -> fr.fr_refresh_token <- -1
+  | Some _ | None -> ()
+
+(* Drop every trace of [flow] at one hop: admission record, scheduler
+   registration, soft-state stamp.  Unconditional and idempotent. *)
+let wipe_hop t ~link ~flow =
+  Controller.release t.ctrls.(link) ~flow;
+  let sched = Fabric.sched t.fab ~link in
+  Csz_sched.clear_predicted sched ~flow;
+  (try Csz_sched.remove_guaranteed sched ~flow
+   with Invalid_argument _ -> ());
+  unstamp t ~link ~flow
+
+(* Put one control packet on the wire over [over_link], injected at its
+   upstream switch; the pre-installed control route carries it across
+   exactly one hop, through the datagram class. *)
+let send_ctrl t ~at_switch ~over_link token =
+  t.control_packets <- t.control_packets + 1;
+  let pkt =
+    Packet.make
+      ~flow:(ctrl_flow_base + over_link)
+      ~seq:token ~size_bits:control_packet_bits
+      ~created:(Engine.now (engine t))
+      ()
+  in
+  Fabric.inject t.fab ~at_switch pkt
 
 (* The per-hop admission request: the end-to-end delay target is split
    evenly over the hops so each local controller can pick a class for its
@@ -135,7 +256,7 @@ let local_of spec ~hops =
 let rec process t token =
   match Hashtbl.find_opt t.pending_msgs token with
   | None -> ()  (* stale, duplicated or retransmitted-over control packet *)
-  | Some (ctx, hop) ->
+  | Some (P_setup (ctx, hop)) ->
       Hashtbl.remove t.pending_msgs token;
       (match ctx.timeout_h with
       | Some h ->
@@ -144,6 +265,17 @@ let rec process t token =
       | None -> ());
       ctx.attempts <- 0;
       advance t ctx hop
+  | Some (P_refresh (rctx, hop)) ->
+      Hashtbl.remove t.pending_msgs token;
+      (* Only a still-established flow may be refreshed: a teardown racing
+         this packet has already invalidated the token, but be safe. *)
+      if Hashtbl.mem t.flows rctx.rf_flow then begin
+        clear_refresh_token t ~flow:rctx.rf_flow token;
+        refresh_hop t rctx hop
+      end
+  | Some (P_teardown (tctx, hop)) ->
+      Hashtbl.remove t.pending_msgs token;
+      teardown_hop t tctx hop
 
 (* Try to reserve at [hop] (an index into ctx.path); on success forward the
    setup message over that hop's link, or confirm if past the last hop. *)
@@ -166,6 +298,7 @@ and advance t ctx hop =
             Csz_sched.set_predicted sched ~flow:ctx.ctx_flow ~cls:c;
             ctx.bound_acc <- ctx.bound_acc +. t.class_targets.(c)
         | Spec.Predicted _, None | Spec.Datagram, _ -> ());
+        stamp t ~link ~flow:ctx.ctx_flow;
         ctx.granted <- (link, cls) :: ctx.granted;
         forward t ctx (hop + 1)
   end
@@ -179,20 +312,11 @@ and forward t ctx hop =
     | (link, _) :: _ -> link
     | [] -> assert false
   in
-  let token = t.next_token in
-  t.next_token <- t.next_token + 1;
-  Hashtbl.replace t.pending_msgs token (ctx, hop);
-  t.control_packets <- t.control_packets + 1;
-  let pkt =
-    Packet.make
-      ~flow:(ctrl_flow_base + sent_over)
-      ~seq:token ~size_bits:control_packet_bits
-      ~created:(Engine.now (engine t))
-      ()
-  in
-  (* Inject at the upstream switch of that link; the pre-installed control
-     route carries it across exactly one hop, through the datagram class. *)
-  Fabric.inject t.fab ~at_switch:(ctx.ingress + List.length ctx.granted - 1) pkt;
+  let token = new_token t in
+  Hashtbl.replace t.pending_msgs token (P_setup (ctx, hop));
+  send_ctrl t
+    ~at_switch:(ctx.ingress + List.length ctx.granted - 1)
+    ~over_link:sent_over token;
   let delay = t.setup_timeout *. (2. ** float_of_int ctx.attempts) in
   ctx.timeout_h <-
     Some
@@ -228,12 +352,17 @@ and confirm t ctx =
          Hashtbl.replace t.flows ctx.ctx_flow
            {
              fr_granted = ctx.granted;
+             fr_ingress = ctx.ingress;
              fr_path = ctx.path;
              fr_own_bucket = ctx.own_bucket;
              fr_requested = ctx.spec;
              fr_current = ctx.spec;
+             fr_refresh_h = None;
+             fr_refresh_token = -1;
            };
          t.established_count <- t.established_count + 1;
+         t.total_established <- t.total_established + 1;
+         arm_refresh t ~flow:ctx.ctx_flow;
          Fabric.install_flow t.fab ~flow:ctx.ctx_flow ~ingress:ctx.ingress
            ~egress:ctx.egress ~sink:ctx.sink;
          let inject pkt = Fabric.inject t.fab ~at_switch:ctx.ingress pkt in
@@ -297,132 +426,100 @@ and release_granted t ~flow granted =
     (fun (link, cls) ->
       Controller.release t.ctrls.(link) ~flow;
       let sched = Fabric.sched t.fab ~link in
-      match cls with
+      (match cls with
       | Some _ -> Csz_sched.clear_predicted sched ~flow
       | None -> (
           (* Guaranteed or datagram; removing an unknown guaranteed flow is
              the datagram case. *)
           try Csz_sched.remove_guaranteed sched ~flow
-          with Invalid_argument _ -> ()))
+          with Invalid_argument _ -> ()));
+      unstamp t ~link ~flow)
     granted
 
-let deploy ~fabric:fab ?(class_targets = [| 0.008; 0.064 |])
-    ?(epoch_interval = 1.0) ?(reverse_hop_delay = 1e-3)
-    ?(setup_timeout = 0.05) ?(max_retries = 4) () =
-  let k = Array.length class_targets in
-  if k = 0 then invalid_arg "Signaling.deploy: class_targets must be non-empty";
-  if class_targets.(0) <= 0. then
-    invalid_arg "Signaling.deploy: class_targets must be positive";
-  for i = 1 to k - 1 do
-    if class_targets.(i) <= class_targets.(i - 1) then
-      invalid_arg "Signaling.deploy: class_targets must be strictly increasing"
-  done;
-  if setup_timeout <= 0. then
-    invalid_arg "Signaling.deploy: setup_timeout must be positive";
-  if max_retries < 0 then
-    invalid_arg "Signaling.deploy: max_retries must be non-negative";
-  let n_links = Fabric.n_links fab in
-  (* Chain check: link i must be the one-hop path from switch i to i+1. *)
-  for i = 0 to n_links - 1 do
-    if Fabric.path fab ~ingress:i ~egress:(i + 1) <> Some [ i ] then
-      invalid_arg "Signaling.deploy: chain fabrics only"
-  done;
-  let ctrls =
-    Array.init n_links (fun _ ->
-        Controller.create ~n_links:1 ~mu_bps:Units.link_rate_bps ~class_targets
-          ())
-  in
-  let t =
-    {
-      fab;
-      class_targets;
-      reverse_hop_delay;
-      setup_timeout;
-      max_retries;
-      ctrls;
-      pending_msgs = Hashtbl.create 64;
-      next_token = 0;
-      in_flight = Hashtbl.create 16;
-      flows = Hashtbl.create 32;
-      established_count = 0;
-      refused_count = 0;
-      control_packets = 0;
-      retries = 0;
-      abandoned = 0;
-      crashes = 0;
-      degraded = 0;
-      reestablished = 0;
-      reestablish_total = 0.;
-    }
-  in
-  (* Control channels: one flow per link, delivered to the downstream
-     agent, which resumes the setup from there. *)
-  for link = 0 to n_links - 1 do
-    Fabric.install_flow fab ~flow:(ctrl_flow_base + link) ~ingress:link
-      ~egress:(link + 1)
-      ~sink:(fun pkt ->
-        let seq = Packet.seq pkt in
-        Packet.free pkt;
-        process t seq)
-  done;
-  (* Measurement pumps, one per link's controller. *)
-  let last_bits = Array.make n_links 0 in
-  let rec pump () =
-    for i = 0 to n_links - 1 do
-      let bits = Csz_sched.realtime_bits_sent (Fabric.sched fab ~link:i) in
-      Meter.note_util
-        (Controller.meter ctrls.(i) ~link:0)
-        (float_of_int (bits - last_bits.(i))
-        /. (Units.link_rate_bps *. epoch_interval));
-      last_bits.(i) <- bits;
-      Controller.epoch ctrls.(i)
-    done;
-    ignore (Engine.schedule_after (engine t) ~delay:epoch_interval pump)
-  in
-  ignore (Engine.schedule_after (engine t) ~delay:epoch_interval pump);
-  (* Per-class delay measurements feed each link's own controller. *)
-  for i = 0 to n_links - 1 do
-    let meter = Controller.meter ctrls.(i) ~link:0 in
-    Csz_sched.set_delay_hook (Fabric.sched fab ~link:i) (fun ~cls delay ->
-        if cls >= 0 && cls < k then Meter.note_delay meter ~cls delay)
-  done;
-  t
+(* {2 Soft state: refresh, expiry, in-band teardown} *)
 
-let setup t ~flow ~ingress ~egress ?own_bucket spec ~sink ~on_result =
-  if Hashtbl.mem t.in_flight flow || Hashtbl.mem t.flows flow then
-    invalid_arg
-      (Printf.sprintf "Signaling.setup: flow %d already in flight" flow);
-  match Fabric.path t.fab ~ingress ~egress with
-  | None | Some [] -> on_result (Error "no route")
-  | Some path ->
-      Hashtbl.replace t.in_flight flow ();
-      let ctx =
-        {
-          ctx_flow = flow;
-          ingress;
-          egress;
-          spec;
-          own_bucket;
-          sink;
-          on_result;
-          started_at = Engine.now (engine t);
-          path;
-          granted = [];
-          bound_acc = 0.;
-          attempts = 0;
-          timeout_h = None;
-        }
-      in
-      (* The ingress agent processes hop 0 locally, with no wire delay. *)
-      advance t ctx 0
+(* Each established flow runs a PATH/RESV-style refresh pump: every
+   [refresh_interval] the ingress agent re-stamps its own hop and sends a
+   refresh message down the path, each agent re-stamping as it passes.  A
+   hop that has forgotten the flow (crash, expiry during a partition)
+   flips [rf_needs_reassert]; the pass then ends in the same idempotent
+   re-assert used after a crash, restoring — or degrading — the
+   reservation.  Refresh messages are fire-and-forget: retransmitting them
+   is pointless because the next epoch repeats them anyway. *)
+and arm_refresh t ~flow =
+  match t.refresh_interval with
+  | None -> ()
+  | Some ri -> (
+      match Hashtbl.find_opt t.flows flow with
+      | None -> ()
+      | Some fr ->
+          fr.fr_refresh_h <-
+            Some
+              (Engine.schedule_after (engine t) ~delay:ri (fun () ->
+                   if Hashtbl.mem t.flows flow then begin
+                     refresh_now t ~flow;
+                     arm_refresh t ~flow
+                   end)))
 
-let teardown t ~flow =
+and refresh_now t ~flow =
   match Hashtbl.find_opt t.flows flow with
   | None -> ()
-  | Some { fr_granted; _ } ->
-      Hashtbl.remove t.flows flow;
-      t.established_count <- t.established_count - 1;
-      release_granted t ~flow fr_granted
+  | Some fr ->
+      t.refreshes <- t.refreshes + 1;
+      (* Supersede any leg of the previous epoch still on the wire. *)
+      if fr.fr_refresh_token >= 0 then begin
+        Hashtbl.remove t.pending_msgs fr.fr_refresh_token;
+        fr.fr_refresh_token <- -1
+      end;
+      let rctx =
+        {
+          rf_flow = flow;
+          rf_ingress = fr.fr_ingress;
+          rf_path = fr.fr_path;
+          rf_started = Engine.now (engine t);
+          rf_needs_reassert = false;
+        }
+      in
+      refresh_hop t rctx 0
+
+and refresh_hop t rctx hop =
+  let link = List.nth rctx.rf_path hop in
+  (if Controller.mem t.ctrls.(link) ~flow:rctx.rf_flow then
+     stamp t ~link ~flow:rctx.rf_flow
+   else rctx.rf_needs_reassert <- true);
+  if hop + 1 < List.length rctx.rf_path then begin
+    let token = new_token t in
+    Hashtbl.replace t.pending_msgs token (P_refresh (rctx, hop + 1));
+    set_refresh_token t ~flow:rctx.rf_flow token;
+    t.refresh_packets <- t.refresh_packets + 1;
+    send_ctrl t ~at_switch:(rctx.rf_ingress + hop) ~over_link:link token;
+    (* Reap a token whose packet died on the wire, so pending_msgs stays
+       bounded under churn; by then the next epoch has superseded it. *)
+    ignore
+      (Engine.schedule_after (engine t) ~delay:t.lifetime (fun () ->
+           if Hashtbl.mem t.pending_msgs token then begin
+             Hashtbl.remove t.pending_msgs token;
+             clear_refresh_token t ~flow:rctx.rf_flow token
+           end))
+  end
+  else if rctx.rf_needs_reassert then
+    resetup t ~flow:rctx.rf_flow ~crashed_at:rctx.rf_started
+
+and teardown_hop t tctx hop =
+  let link = List.nth tctx.td_path hop in
+  wipe_hop t ~link ~flow:tctx.td_flow;
+  if hop + 1 < List.length tctx.td_path then begin
+    let token = new_token t in
+    Hashtbl.replace t.pending_msgs token (P_teardown (tctx, hop + 1));
+    t.teardown_packets <- t.teardown_packets + 1;
+    send_ctrl t ~at_switch:(tctx.td_ingress + hop) ~over_link:link token;
+    let reap =
+      if soft_state_on t then t.lifetime else 20. *. t.setup_timeout
+    in
+    ignore
+      (Engine.schedule_after (engine t) ~delay:reap (fun () ->
+           Hashtbl.remove t.pending_msgs token))
+  end
 
 (* {2 Crash recovery} *)
 
@@ -430,17 +527,10 @@ let teardown t ~flow =
    scheduler registrations alike.  Unconditional and idempotent, so it is
    safe whatever mix of surviving and freshly re-acquired state the flow
    has when a re-assertion pass fails halfway. *)
-let release_everywhere t ~flow fr =
-  List.iter
-    (fun link ->
-      Controller.release t.ctrls.(link) ~flow;
-      let sched = Fabric.sched t.fab ~link in
-      Csz_sched.clear_predicted sched ~flow;
-      try Csz_sched.remove_guaranteed sched ~flow
-      with Invalid_argument _ -> ())
-    fr.fr_path
+and release_everywhere t ~flow fr =
+  List.iter (fun link -> wipe_hop t ~link ~flow) fr.fr_path
 
-let note_reestablished t ~crashed_at =
+and note_reestablished t ~crashed_at =
   t.reestablished <- t.reestablished + 1;
   t.reestablish_total <-
     t.reestablish_total +. (Engine.now (engine t) -. crashed_at)
@@ -451,7 +541,7 @@ let note_reestablished t ~crashed_at =
    one rung down the degradation ladder (guaranteed -> predicted ->
    datagram, Section 2's adaptive client accepting a looser commitment) and
    the pass restarts with the weaker spec. *)
-let rec reassert t ~flow ~crashed_at fr spec =
+and reassert t ~flow ~crashed_at fr spec =
   let hops = List.length fr.fr_path in
   match spec with
   | Spec.Datagram ->
@@ -467,11 +557,13 @@ let rec reassert t ~flow ~crashed_at fr spec =
         | [] -> Some (List.rev acc)
         | link :: rest ->
             let ctrl = t.ctrls.(link) in
-            if Controller.mem ctrl ~flow then
+            if Controller.mem ctrl ~flow then begin
+              stamp t ~link ~flow;
               let prev =
                 Option.value ~default:None (List.assoc_opt link fr.fr_granted)
               in
               go rest ((link, prev) :: acc)
+            end
             else (
               match Controller.request ctrl ~flow ~path:[ 0 ] local with
               | Controller.Rejected _ -> None
@@ -484,6 +576,7 @@ let rec reassert t ~flow ~crashed_at fr spec =
                   | Spec.Predicted _, Some c ->
                       Csz_sched.set_predicted sched ~flow ~cls:c
                   | Spec.Predicted _, None | Spec.Datagram, _ -> ());
+                  stamp t ~link ~flow;
                   go rest ((link, cls) :: acc))
       in
       match go fr.fr_path [] with
@@ -521,10 +614,215 @@ and degrade t fr spec ~hops =
         }
   | Spec.Predicted _ | Spec.Datagram -> Spec.Datagram
 
-let resetup t ~flow ~crashed_at =
+and resetup t ~flow ~crashed_at =
   match Hashtbl.find_opt t.flows flow with
   | None -> ()  (* torn down while the refresh was in flight *)
   | Some fr -> reassert t ~flow ~crashed_at fr fr.fr_current
+
+(* The agent at [link] expires one un-refreshed reservation: releases the
+   admission record and scheduler registration, and — when the flow is
+   still nominally established — drops the hop from its grant list so a
+   later teardown does not double-release.  The next refresh pass notices
+   the missing hop and re-asserts; state of a departed flow whose teardown
+   was lost simply dies here. *)
+let expire t ~link ~flow =
+  t.expired <- t.expired + 1;
+  wipe_hop t ~link ~flow;
+  match Hashtbl.find_opt t.flows flow with
+  | None -> ()
+  | Some fr ->
+      fr.fr_granted <- List.filter (fun (l, _) -> l <> link) fr.fr_granted
+
+let deploy ~fabric:fab ?(class_targets = [| 0.008; 0.064 |])
+    ?(epoch_interval = 1.0) ?(reverse_hop_delay = 1e-3)
+    ?(setup_timeout = 0.05) ?(max_retries = 4) ?refresh_interval
+    ?(lifetime_epochs = 3) () =
+  let k = Array.length class_targets in
+  if k = 0 then invalid_arg "Signaling.deploy: class_targets must be non-empty";
+  if class_targets.(0) <= 0. then
+    invalid_arg "Signaling.deploy: class_targets must be positive";
+  for i = 1 to k - 1 do
+    if class_targets.(i) <= class_targets.(i - 1) then
+      invalid_arg "Signaling.deploy: class_targets must be strictly increasing"
+  done;
+  if setup_timeout <= 0. then
+    invalid_arg "Signaling.deploy: setup_timeout must be positive";
+  if max_retries < 0 then
+    invalid_arg "Signaling.deploy: max_retries must be non-negative";
+  (match refresh_interval with
+  | Some ri when ri <= 0. ->
+      invalid_arg "Signaling.deploy: refresh_interval must be positive"
+  | Some _ | None -> ());
+  if lifetime_epochs < 1 then
+    invalid_arg "Signaling.deploy: lifetime_epochs must be at least 1";
+  let n_links = Fabric.n_links fab in
+  (* Chain check: link i must be the one-hop path from switch i to i+1. *)
+  for i = 0 to n_links - 1 do
+    if Fabric.path fab ~ingress:i ~egress:(i + 1) <> Some [ i ] then
+      invalid_arg "Signaling.deploy: chain fabrics only"
+  done;
+  let ctrls =
+    Array.init n_links (fun _ ->
+        Controller.create ~n_links:1 ~mu_bps:Units.link_rate_bps ~class_targets
+          ())
+  in
+  let lifetime =
+    match refresh_interval with
+    | None -> 0.
+    | Some ri -> ri *. float_of_int lifetime_epochs
+  in
+  let t =
+    {
+      fab;
+      class_targets;
+      reverse_hop_delay;
+      setup_timeout;
+      max_retries;
+      refresh_interval;
+      lifetime;
+      ctrls;
+      soft = Array.init n_links (fun _ -> Hashtbl.create 16);
+      pending_msgs = Hashtbl.create 64;
+      next_token = 0;
+      in_flight = Hashtbl.create 16;
+      flows = Hashtbl.create 32;
+      established_count = 0;
+      total_established = 0;
+      refused_count = 0;
+      teardowns = 0;
+      control_packets = 0;
+      retries = 0;
+      abandoned = 0;
+      crashes = 0;
+      degraded = 0;
+      reestablished = 0;
+      reestablish_total = 0.;
+      refreshes = 0;
+      refresh_packets = 0;
+      teardown_packets = 0;
+      expired = 0;
+    }
+  in
+  (* Control channels: one flow per link, delivered to the downstream
+     agent, which resumes the setup from there. *)
+  for link = 0 to n_links - 1 do
+    Fabric.install_flow fab ~flow:(ctrl_flow_base + link) ~ingress:link
+      ~egress:(link + 1)
+      ~sink:(fun pkt ->
+        let seq = Packet.seq pkt in
+        Packet.free pkt;
+        process t seq)
+  done;
+  (* Measurement pumps, one per link's controller. *)
+  let last_bits = Array.make n_links 0 in
+  let rec pump () =
+    for i = 0 to n_links - 1 do
+      let bits = Csz_sched.realtime_bits_sent (Fabric.sched fab ~link:i) in
+      Meter.note_util
+        (Controller.meter ctrls.(i) ~link:0)
+        (float_of_int (bits - last_bits.(i))
+        /. (Units.link_rate_bps *. epoch_interval));
+      last_bits.(i) <- bits;
+      Controller.epoch ctrls.(i)
+    done;
+    ignore (Engine.schedule_after (engine t) ~delay:epoch_interval pump)
+  in
+  ignore (Engine.schedule_after (engine t) ~delay:epoch_interval pump);
+  (* Per-class delay measurements feed each link's own controller. *)
+  for i = 0 to n_links - 1 do
+    let meter = Controller.meter ctrls.(i) ~link:0 in
+    Csz_sched.set_delay_hook (Fabric.sched fab ~link:i) (fun ~cls delay ->
+        if cls >= 0 && cls < k then Meter.note_delay meter ~cls delay)
+  done;
+  (* The soft-state sweep: every refresh interval, each agent expires the
+     reservations that have not been stamped within the lifetime.  Expired
+     flows are collected and sorted first so the order is deterministic
+     regardless of hash-table layout. *)
+  (match refresh_interval with
+  | None -> ()
+  | Some ri ->
+      let rec sweep () =
+        let now = Engine.now (engine t) in
+        for link = 0 to n_links - 1 do
+          let dead =
+            Hashtbl.fold
+              (fun flow at acc ->
+                if now -. at > t.lifetime then flow :: acc else acc)
+              t.soft.(link) []
+          in
+          List.iter (fun flow -> expire t ~link ~flow) (List.sort compare dead)
+        done;
+        ignore (Engine.schedule_after (engine t) ~delay:ri sweep)
+      in
+      ignore (Engine.schedule_after (engine t) ~delay:ri sweep));
+  t
+
+let setup t ~flow ~ingress ~egress ?own_bucket spec ~sink ~on_result =
+  if Hashtbl.mem t.in_flight flow || Hashtbl.mem t.flows flow then
+    invalid_arg
+      (Printf.sprintf "Signaling.setup: flow %d already in flight" flow);
+  match Fabric.path t.fab ~ingress ~egress with
+  | None | Some [] -> on_result (Error "no route")
+  | Some path ->
+      Hashtbl.replace t.in_flight flow ();
+      let ctx =
+        {
+          ctx_flow = flow;
+          ingress;
+          egress;
+          spec;
+          own_bucket;
+          sink;
+          on_result;
+          started_at = Engine.now (engine t);
+          path;
+          granted = [];
+          bound_acc = 0.;
+          attempts = 0;
+          timeout_h = None;
+        }
+      in
+      (* The ingress agent processes hop 0 locally, with no wire delay. *)
+      advance t ctx 0
+
+(* Cancel the refresh pump and invalidate any refresh leg on the wire, so
+   a delayed refresh cannot re-assert state for a flow being removed. *)
+let cancel_refresh t fr =
+  (match fr.fr_refresh_h with
+  | Some h ->
+      Engine.cancel (engine t) h;
+      fr.fr_refresh_h <- None
+  | None -> ());
+  if fr.fr_refresh_token >= 0 then begin
+    Hashtbl.remove t.pending_msgs fr.fr_refresh_token;
+    fr.fr_refresh_token <- -1
+  end
+
+let remove_record t ~flow fr =
+  cancel_refresh t fr;
+  Hashtbl.remove t.flows flow;
+  t.established_count <- t.established_count - 1;
+  t.teardowns <- t.teardowns + 1
+
+let teardown t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> ()
+  | Some fr ->
+      remove_record t ~flow fr;
+      release_granted t ~flow fr.fr_granted
+
+let depart t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> ()
+  | Some fr ->
+      remove_record t ~flow fr;
+      (* The ingress hop is released locally; the rest of the path learns
+         by in-band teardown message, each hop releasing and forwarding.
+         A lost leg strands the downstream state — which is exactly what
+         the refresh timeout exists to reclaim. *)
+      teardown_hop t
+        { td_flow = flow; td_ingress = fr.fr_ingress; td_path = fr.fr_path }
+        0
 
 let crash_agent t ~switch =
   let n_links = Array.length t.ctrls in
@@ -535,9 +833,9 @@ let crash_agent t ~switch =
   let link = switch in
   t.crashes <- t.crashes + 1;
   (* The agent's soft state dies with it: scheduler registrations on its
-     outgoing link and its admission book.  The forwarding plane — qdisc,
-     buffered packets, meters — keeps running, so admission decisions after
-     the crash still see measured load. *)
+     outgoing link, its admission book and its refresh stamps.  The
+     forwarding plane — qdisc, buffered packets, meters — keeps running,
+     so admission decisions after the crash still see measured load. *)
   let sched = Fabric.sched t.fab ~link in
   let affected = ref [] in
   Hashtbl.iter
@@ -555,6 +853,7 @@ let crash_agent t ~switch =
         affected := flow :: !affected)
     t.flows;
   Controller.reset t.ctrls.(link);
+  Hashtbl.reset t.soft.(link);
   (* Soft-state recovery: every established flow through the dead agent
      re-asserts its reservation after one refresh round trip over its path
      (flows in a fixed order, for determinism). *)

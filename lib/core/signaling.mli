@@ -36,7 +36,22 @@
     else meanwhile), the flow degrades one service rung at a time,
     guaranteed -> predicted -> datagram, per Section 2's tolerant adaptive
     clients, rather than being cut off.  A degraded flow keeps its original
-    ingress policer; only its scheduling class and reservations weaken. *)
+    ingress policer; only its scheduling class and reservations weaken.
+
+    {b Soft state.}  With [?refresh_interval] given to {!deploy}, every
+    reservation is {e soft} in the RSVP sense: each agent stamps a flow's
+    reservation whenever it grants or re-asserts it, the ingress agent
+    sends a periodic refresh message down the path re-stamping every hop,
+    and a sweep at each agent expires any reservation not stamped within
+    [refresh_interval * lifetime_epochs].  Teardown on session departure
+    ({!depart}) is itself an in-band, fire-and-forget message: a lost leg
+    strands reservations downstream, and the refresh timeout — not any
+    reliable protocol — reclaims them.  The same mechanism heals agent
+    crashes and partitions: a refresh pass that finds a hop has forgotten
+    the flow ends in the idempotent re-assert (degrading if capacity is
+    gone), so the system converges on the correct reservation state from
+    {e any} combination of lost teardowns, lost refreshes, and wiped
+    agents, purely by timers. *)
 
 type t
 (** A fabric with a signaling agent deployed at every switch. *)
@@ -48,16 +63,22 @@ val deploy :
   ?reverse_hop_delay:float ->
   ?setup_timeout:float ->
   ?max_retries:int ->
+  ?refresh_interval:float ->
+  ?lifetime_epochs:int ->
   unit ->
   t
 (** Attach agents to every switch of [fabric] (each owns the admission
     state of its outgoing links) and start their measurement pumps.
     [class_targets] defaults to [| 0.008; 0.064 |]; [reverse_hop_delay] to
     1 ms; [setup_timeout] (the base retransmission timeout, doubled per
-    attempt) to 50 ms; [max_retries] to 4.  Raises [Invalid_argument]
-    immediately if [class_targets] is empty, non-positive or not strictly
-    increasing — rather than failing deep inside [Controller.create] on the
-    first setup. *)
+    attempt) to 50 ms; [max_retries] to 4.  Passing [refresh_interval]
+    turns soft state on: every established flow refreshes its path that
+    often, and each agent expires reservations not re-stamped within
+    [refresh_interval * lifetime_epochs] ([lifetime_epochs] defaults to 3,
+    RSVP's K).  Raises [Invalid_argument] immediately if [class_targets]
+    is empty, non-positive or not strictly increasing — rather than
+    failing deep inside [Controller.create] on the first setup — or if
+    [refresh_interval] or [lifetime_epochs] is non-positive. *)
 
 val fabric : t -> Fabric.t
 
@@ -91,7 +112,24 @@ val setup :
 
 val teardown : t -> flow:int -> unit
 (** Release an established flow's reservations at every hop (immediate;
-    teardown signaling latency is not modelled on the release side). *)
+    teardown signaling latency is not modelled on the release side).  The
+    reliable variant — use {!depart} for the realistic one. *)
+
+val depart : t -> flow:int -> unit
+(** The session leaves: release the ingress hop locally and send a
+    fire-and-forget teardown message down the path, each agent releasing
+    its hop and forwarding.  If a leg is lost to corruption or an outage,
+    the downstream reservations stay until the refresh timeout expires
+    them (requires soft state for that reclaim; without [refresh_interval]
+    a lost leg leaks until {!crash_agent} or explicit release).  Unknown
+    flows are ignored. *)
+
+val refresh_now : t -> flow:int -> unit
+(** Start one refresh pass for an established flow immediately, off its
+    periodic schedule — stamps every hop that still holds the reservation
+    and ends in an idempotent re-assert if any hop forgot.  Supersedes any
+    refresh leg of the previous epoch still on the wire.  Unknown flows
+    are ignored. *)
 
 (** {2 Failures and recovery} *)
 
@@ -119,6 +157,16 @@ val service_level : t -> flow:int -> level option
 (** {2 Introspection} *)
 
 val established_count : t -> int
+(** Flows established right now. *)
+
+val total_established : t -> int
+(** Cumulative establishments; with {!teardown_count} and
+    {!established_count} this forms the session-level flow-state invariant
+    [total = teardowns + established]. *)
+
+val teardown_count : t -> int
+(** Sessions removed by {!teardown} or {!depart}. *)
+
 val refused_count : t -> int
 (** Setups that came back negative — admission refusals and abandoned
     (timed-out) setups alike. *)
@@ -143,6 +191,24 @@ val reestablished_count : t -> int
 val mean_reestablish_latency : t -> float
 (** Mean seconds from crash to completed re-assertion; 0 if none yet. *)
 
+val refresh_epochs : t -> int
+(** Refresh passes started (periodic and {!refresh_now}). *)
+
+val refresh_packets_sent : t -> int
+(** Refresh messages put on the wire (per hop; also counted in
+    {!control_packets_sent}). *)
+
+val teardown_packets_sent : t -> int
+(** Teardown messages put on the wire (per hop; also counted in
+    {!control_packets_sent}). *)
+
+val expired_count : t -> int
+(** Reservations expired by the soft-state sweep, summed over agents. *)
+
+val soft_state_count : t -> link:int -> int
+(** Reservations currently stamped at [link]'s agent (0 when soft state is
+    off). *)
+
 val controller : t -> link:int -> Ispn_admission.Controller.t
 (** The admission controller owned by [link]'s upstream agent, for tests
     and experiments to inspect (e.g. to verify rollback left no residue). *)
@@ -150,6 +216,14 @@ val controller : t -> link:int -> Ispn_admission.Controller.t
 val register_metrics :
   t -> Ispn_obs.Metrics.t -> ?prefix:string -> unit -> unit
 (** Register every introspection counter above as a pull gauge under
-    [<prefix>.] (default ["signaling"]): [.established], [.refused],
-    [.control_packets], [.retries], [.abandoned], [.crashes], [.degraded],
-    [.reestablished], [.reestablish_latency_mean]. *)
+    [<prefix>.] (default ["signaling"]): [.established],
+    [.total_established], [.refused], [.teardowns], [.control_packets],
+    [.retries], [.abandoned], [.crashes], [.degraded], [.reestablished],
+    [.refreshes], [.refresh_packets], [.teardown_packets], [.expired],
+    [.reestablish_latency_mean]. *)
+
+val register_audit : t -> Ispn_check.Audit.t -> unit
+(** Register every agent's admission book, plus the session-level
+    total/teardown/established triple, for the audit's [flow-state] leak
+    invariant — after this, a reservation stranded by a lost teardown and
+    never reclaimed shows up as a [--check] violation. *)

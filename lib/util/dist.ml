@@ -21,6 +21,12 @@ let geometric g ~mean =
 
 let bernoulli g ~p = Prng.float g < p
 
+let pareto g ~shape ~scale =
+  assert (shape > 0. && scale > 0.);
+  let u = Prng.float g in
+  (* 1 - u is in (0, 1], so the result is finite and >= scale. *)
+  scale /. ((1.0 -. u) ** (1. /. shape))
+
 let poisson g ~mean =
   assert (mean >= 0.);
   if mean = 0. then 0

@@ -1,0 +1,107 @@
+(* Slot state is three dense arrays plus a free stack, all ints and bools,
+   so take/release are allocation-free once the pool is warm (pinned by
+   test/test_budget.ml).  The free stack is LIFO: the most recently
+   released slot is reused first, which keeps the active range dense and
+   exercises recycling as hard as possible. *)
+
+type t = {
+  id_base : int;
+  mutable gen : int array;  (* per slot, bumped on release *)
+  mutable taken : bool array;
+  mutable free : int array;  (* stack of free slot indices *)
+  mutable free_top : int;  (* number of valid entries in [free] *)
+  mutable n_takes : int;
+  mutable n_releases : int;
+  mutable n_bad : int;
+  mutable n_stale : int;
+  mutable peak : int;
+}
+
+let create ?(base = 0) ?(capacity = 64) () =
+  if base < 0 then invalid_arg "Idpool.create: negative base";
+  if capacity <= 0 then invalid_arg "Idpool.create: non-positive capacity";
+  {
+    id_base = base;
+    gen = Array.make capacity 0;
+    taken = Array.make capacity false;
+    (* Push in descending order so slot 0 is on top and ids start low. *)
+    free = Array.init capacity (fun i -> capacity - 1 - i);
+    free_top = capacity;
+    n_takes = 0;
+    n_releases = 0;
+    n_bad = 0;
+    n_stale = 0;
+    peak = 0;
+  }
+
+let base t = t.id_base
+let capacity t = Array.length t.gen
+let in_use t = t.n_takes - t.n_releases
+let takes t = t.n_takes
+let releases t = t.n_releases
+let hwm t = t.peak
+let bad_releases t = t.n_bad
+let stale_releases t = t.n_stale
+
+let grow t =
+  let old = Array.length t.gen in
+  let n = 2 * old in
+  let gen = Array.make n 0 in
+  let taken = Array.make n false in
+  let free = Array.make n 0 in
+  Array.blit t.gen 0 gen 0 old;
+  Array.blit t.taken 0 taken 0 old;
+  t.gen <- gen;
+  t.taken <- taken;
+  t.free <- free;
+  (* Every old slot is busy (we only grow when the stack is empty), so the
+     stack holds exactly the new slots, lowest on top. *)
+  for i = 0 to old - 1 do
+    free.(i) <- n - 1 - i
+  done;
+  t.free_top <- old
+
+let take t =
+  if t.free_top = 0 then grow t;
+  t.free_top <- t.free_top - 1;
+  let slot = t.free.(t.free_top) in
+  t.taken.(slot) <- true;
+  t.n_takes <- t.n_takes + 1;
+  let live = t.n_takes - t.n_releases in
+  if live > t.peak then t.peak <- live;
+  t.id_base + slot
+
+let slot_of t ~id =
+  let s = id - t.id_base in
+  if s < 0 || s >= Array.length t.gen then -1 else s
+
+let release t ~id =
+  let s = slot_of t ~id in
+  if s < 0 || not t.taken.(s) then t.n_bad <- t.n_bad + 1
+  else begin
+    t.taken.(s) <- false;
+    t.gen.(s) <- t.gen.(s) + 1;
+    t.free.(t.free_top) <- s;
+    t.free_top <- t.free_top + 1;
+    t.n_releases <- t.n_releases + 1
+  end
+
+let try_release t ~id ~gen =
+  let s = slot_of t ~id in
+  if s >= 0 && t.taken.(s) && t.gen.(s) = gen then begin
+    release t ~id;
+    true
+  end
+  else begin
+    t.n_stale <- t.n_stale + 1;
+    false
+  end
+
+let generation t ~id =
+  let s = slot_of t ~id in
+  if s < 0 then invalid_arg (Printf.sprintf "Idpool.generation: id %d" id);
+  t.gen.(s)
+
+let is_taken t ~id =
+  let s = slot_of t ~id in
+  s >= 0 && t.taken.(s)

@@ -109,6 +109,53 @@ let test_fifo_cycle_interface_budget () =
        and dequeue's Some)"
       per
 
+let test_idpool_cycle_zero_alloc () =
+  (* The flow-slot free list under churn: once warm, a session open/close
+     is three dense-array stores and an int push/pop — no boxing. *)
+  let p = Ispn_util.Idpool.create ~capacity:64 () in
+  let n = 100_000 in
+  let per =
+    per_n
+      (fun () ->
+        let id = Ispn_util.Idpool.take p in
+        Ispn_util.Idpool.release p ~id)
+      n
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "idpool take+release: %.3f minor words per cycle (expected 0 — slots \
+        are dense int arrays)"
+       per)
+    true (per < 0.01)
+
+let test_sched_session_open_close_budget () =
+  (* A churn session's footprint on one link's scheduler: reserve +
+     classify on open, the reverse on close.  All four entry points write
+     dense flow-indexed arrays; the only tolerated words are the boxed
+     float rate crossing add_guaranteed's boundary. *)
+  let pool = Qdisc.pool ~capacity:16 in
+  let sched, _qdisc = Csz.Csz_sched.create ~pool () in
+  let n = 50_000 in
+  let per =
+    per_n
+      (fun () ->
+        Csz.Csz_sched.add_guaranteed sched ~flow:7 ~clock_rate_bps:10_000.;
+        Csz.Csz_sched.set_predicted sched ~flow:8 ~cls:1;
+        Csz.Csz_sched.clear_predicted sched ~flow:8;
+        Csz.Csz_sched.remove_guaranteed sched ~flow:7)
+      n
+  in
+  (* Steady state measures 12: the mutable [g_weight_sum] float field and
+     the weights returned/negated across [g_weight_of]/[resize_flow0]
+     boundaries.  Any per-session record, closure or Hashtbl would blow
+     well past this. *)
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "sched open+close: %.1f minor words per session (expected <= 14: \
+        boxed weights at function boundaries only)"
+       per)
+    true (per <= 14.)
+
 let suite =
   [
     Alcotest.test_case "engine drain allocates nothing" `Quick
@@ -119,4 +166,8 @@ let suite =
       test_arena_field_stores_zero_alloc;
     Alcotest.test_case "fifo cycle within interface budget" `Quick
       test_fifo_cycle_interface_budget;
+    Alcotest.test_case "idpool cycle allocates nothing" `Quick
+      test_idpool_cycle_zero_alloc;
+    Alcotest.test_case "sched session open/close within budget" `Quick
+      test_sched_session_open_close_budget;
   ]

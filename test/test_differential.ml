@@ -371,6 +371,95 @@ let hrr_diff =
         ())
     ~make_model:(hrr_model ~capacity:cap ~frame:0.020 ~slots_of)
 
+(* --- Recycled flow ids: the slot carries nothing across incarnations ---
+
+   Two CSZ schedulers live through the same history, except that the first
+   hosts a full prior session (guaranteed with traffic, retired, then
+   predicted, then cleared) under flow id 5 where the second hosts it
+   under flow id 99.  Global state (virtual time, class estimators) ends
+   identical; only the id-5 slot's history differs: used-and-recycled vs
+   virgin.  An identical post-recycle script on flow 5 must then produce
+   identical accept decisions and dequeue order — any inherited weight,
+   finish tag, class or retiring flag would diverge. *)
+
+let test_recycled_flow_slot_is_pristine () =
+  let make_sched () =
+    Csz.Csz_sched.create ~pool:(Qdisc.pool ~capacity:32) ()
+  in
+  let sa, qa = make_sched () in
+  let sb, qb = make_sched () in
+  let enq q ~now ~flow ~seq ~size =
+    let p = Packet.make ~flow ~seq ~size_bits:size ~created:now () in
+    let ok = q.Qdisc.enqueue ~now p in
+    if not ok then Packet.free p;
+    ok
+  in
+  let drain q now0 =
+    let now = ref now0 in
+    let out = ref [] in
+    let rec go () =
+      match q.Qdisc.dequeue ~now:!now with
+      | Some p ->
+          out := id_of p :: !out;
+          Packet.free p;
+          now := !now +. 0.0007;
+          go ()
+      | None -> ()
+    in
+    go ();
+    List.rev !out
+  in
+  let prior s q ~guest =
+    Csz.Csz_sched.add_guaranteed s ~flow:guest ~clock_rate_bps:300_000.;
+    for i = 0 to 4 do
+      ignore (enq q ~now:0. ~flow:guest ~seq:i ~size:1000)
+    done;
+    for i = 5 to 7 do
+      ignore (enq q ~now:0. ~flow:8 ~seq:i ~size:1000)
+    done;
+    ignore (drain q 0.);
+    Csz.Csz_sched.remove_guaranteed s ~flow:guest;
+    Csz.Csz_sched.set_predicted s ~flow:guest ~cls:0;
+    ignore (enq q ~now:0.01 ~flow:guest ~seq:20 ~size:1000);
+    ignore (enq q ~now:0.01 ~flow:9 ~seq:21 ~size:1000);
+    ignore (drain q 0.0105);
+    Csz.Csz_sched.clear_predicted s ~flow:guest
+  in
+  let replay s q =
+    (* Flow 5's second life: datagram first, then guaranteed again, racing
+       another guaranteed flow and background datagrams. *)
+    ignore (enq q ~now:0.019 ~flow:5 ~seq:90 ~size:400);
+    let pre = drain q 0.019 in
+    Csz.Csz_sched.add_guaranteed s ~flow:5 ~clock_rate_bps:200_000.;
+    Csz.Csz_sched.add_guaranteed s ~flow:2 ~clock_rate_bps:400_000.;
+    let accepts = ref [] in
+    let now = ref 0.02 in
+    List.iter
+      (fun (flow, seq, size) ->
+        accepts := enq q ~now:!now ~flow ~seq ~size :: !accepts;
+        now := !now +. 0.0003)
+      [
+        (5, 100, 1000); (2, 101, 400); (3, 102, 1600); (5, 103, 1000);
+        (2, 104, 1000); (5, 105, 400); (3, 106, 1000); (5, 107, 1600);
+        (2, 108, 1000); (5, 109, 1000);
+      ];
+    (pre, List.rev !accepts, drain q !now)
+  in
+  prior sa qa ~guest:5;
+  prior sb qb ~guest:99;
+  let pre_a, acc_a, out_a = replay sa qa in
+  let pre_b, acc_b, out_b = replay sb qb in
+  Alcotest.(check (list (pair int int))) "datagram phase identical" pre_b pre_a;
+  Alcotest.(check (list bool)) "accept decisions identical" acc_b acc_a;
+  Alcotest.(check (list (pair int int))) "dequeue order identical" out_b out_a;
+  Alcotest.(check (float 0.)) "no residual reservation differs"
+    (Csz.Csz_sched.guaranteed_reserved_bps sb)
+    (Csz.Csz_sched.guaranteed_reserved_bps sa)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [ fifo_diff; wfq_diff; edf_diff; sg_diff; hrr_diff ]
+  @ [
+      Alcotest.test_case "recycled flow slot is pristine" `Quick
+        test_recycled_flow_slot_is_pristine;
+    ]

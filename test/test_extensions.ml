@@ -244,8 +244,45 @@ let test_trace_rows_shape () =
         res.X.tre_rows)
     [ X.T_table1; X.T_table2; X.T_table3 ]
 
+(* E13: session churn through the soft-state lifecycle.  A short run must
+   already show the shape: sessions turn over with zero leaked slots and a
+   clean audit in every scenario, and the lossy-teardown scenario recovers
+   stranded reservations by refresh timeout (expiries observed). *)
+let test_churn_shape () =
+  let r1 = X.run_churn ~duration:25. ~seed:42L ~j:1 ~check:true () in
+  let r2 = X.run_churn ~duration:25. ~seed:42L ~j:2 ~check:true () in
+  Alcotest.(check bool) "rows identical at every -j" true (r1 = r2);
+  Alcotest.(check int) "four scenarios" 4 (List.length r1);
+  List.iter
+    (fun r ->
+      let name = X.churn_name r.X.ch_scenario in
+      Alcotest.(check bool) (name ^ ": sessions established") true
+        (r.X.ch_established > 100);
+      Alcotest.(check bool) (name ^ ": sessions departed") true
+        (r.X.ch_departed > 0);
+      (* Slot releases only start one quarantine horizon (~15 s) in, so a
+         short run sees the onset of recycling, not the steady state. *)
+      Alcotest.(check bool) (name ^ ": slots recycled") true
+        (r.X.ch_recycled > 0);
+      Alcotest.(check int) (name ^ ": no leaked slots") 0 r.X.ch_leaked;
+      Alcotest.(check bool) (name ^ ": signaling flowed") true
+        (r.X.ch_signaling_pps > 0.);
+      match r.X.ch_check with
+      | None -> Alcotest.fail (name ^ ": audit summary missing under ~check")
+      | Some s ->
+          Alcotest.(check int)
+            (name ^ ": audit clean")
+            0 s.Ispn_check.Audit.violations)
+    r1;
+  let find sc = List.find (fun r -> r.X.ch_scenario = sc) r1 in
+  Alcotest.(check int) "clean scenario never expires state" 0
+    (find X.C_clean).X.ch_expired;
+  Alcotest.(check bool) "lost teardowns reclaimed by refresh timeout" true
+    ((find X.C_lossy_teardown).X.ch_expired > 0)
+
 let suite =
   [
+    Alcotest.test_case "churn shape" `Slow test_churn_shape;
     Alcotest.test_case "trace rows shape" `Slow test_trace_rows_shape;
     Alcotest.test_case "failover deterministic and shaped" `Slow
       test_failover_deterministic_and_shaped;

@@ -197,6 +197,143 @@ let test_random_plan_deterministic () =
             (switch >= 0 && switch < 4 && at >= 0. && at <= 100.))
     plan
 
+(* --- Interleaving fuzz: the soft-state lifecycle under random schedules ---
+
+   Random interleavings of session setup, departure, reliable teardown,
+   off-schedule refresh and agent crashes on a 4-switch chain, with the
+   refresh/timeout machinery live throughout.  Whatever the schedule, once
+   the dust settles the control plane must be exactly clean: no
+   double-reserve survives (admissions = releases at every agent), no
+   residue (no live book entries, no soft-state stamps, zero reserved
+   bandwidth), and every flow id supports an idempotent re-setup. *)
+
+module Fabric = Csz.Fabric
+module Signaling = Csz.Signaling
+module Spec = Ispn_admission.Spec
+module Controller = Ispn_admission.Controller
+
+type slot_state = Free | Pending | Active | Draining of float
+
+let prop_lifecycle_interleavings =
+  let ri = 0.05 in
+  let lifetime = 3. *. ri in
+  (* Drained slots stay quarantined until any soft-state residue of the
+     previous incarnation has provably expired (DESIGN.md, session
+     lifecycle): a fresh setup under the same flow id before that could
+     meet its predecessor's reservation at a downstream agent. *)
+  let quarantine = lifetime +. (2.1 *. ri) in
+  QCheck.Test.make ~count:40 ~name:"soft-state lifecycle interleavings"
+    QCheck.(list_of_size Gen.(int_range 10 60) (int_bound 1000))
+    (fun ops ->
+      let engine = Engine.create () in
+      let fab = Fabric.chain ~engine ~n_switches:4 () in
+      let s =
+        Signaling.deploy ~fabric:fab ~setup_timeout:0.01 ~max_retries:3
+          ~refresh_interval:ri ()
+      in
+      let n_slots = 4 in
+      let st = Array.make n_slots Free in
+      let flow_of slot = 1 + slot in
+      let spec_of k =
+        match k mod 3 with
+        | 0 ->
+            Spec.Guaranteed
+              {
+                clock_rate_bps = 60_000. +. (30_000. *. float_of_int (k mod 5));
+              }
+        | 1 ->
+            Spec.Predicted
+              {
+                bucket = Spec.bucket ~rate_pps:50. ~depth_packets:4. ();
+                target_delay = 0.128;
+                target_loss = 0.01;
+              }
+        | _ -> Spec.Datagram
+      in
+      let advance dt = Engine.run engine ~until:(Engine.now engine +. dt) in
+      let do_setup slot k =
+        st.(slot) <- Pending;
+        Signaling.setup s ~flow:(flow_of slot) ~ingress:0 ~egress:3 (spec_of k)
+          ~sink:Packet.free ~on_result:(fun r ->
+            st.(slot) <-
+              (match r with
+              | Ok _ -> Active
+              | Error _ -> Draining (Engine.now engine)))
+      in
+      List.iter
+        (fun op ->
+          let slot = op mod n_slots in
+          (match (op / n_slots) mod 6 with
+          | 0 | 1 -> (
+              match st.(slot) with
+              | Free -> do_setup slot op
+              | Draining t when Engine.now engine -. t > quarantine ->
+                  do_setup slot op
+              | _ -> ())
+          | 2 -> (
+              match st.(slot) with
+              | Active ->
+                  Signaling.depart s ~flow:(flow_of slot);
+                  st.(slot) <- Draining (Engine.now engine)
+              | _ -> ())
+          | 3 -> (
+              match st.(slot) with
+              | Active ->
+                  Signaling.teardown s ~flow:(flow_of slot);
+                  st.(slot) <- Draining (Engine.now engine)
+              | _ -> ())
+          | 4 -> (
+              match st.(slot) with
+              | Active -> Signaling.refresh_now s ~flow:(flow_of slot)
+              | _ -> ())
+          | _ -> Signaling.crash_agent s ~switch:(op mod Fabric.n_links fab));
+          advance (0.002 *. float_of_int (1 + (op mod 10))))
+        ops;
+      (* Let retry budgets, crash re-assertions and refresh epochs settle,
+         then depart everything still up and wait out the lifetime. *)
+      advance 1.;
+      for slot = 0 to n_slots - 1 do
+        match st.(slot) with
+        | Active -> Signaling.depart s ~flow:(flow_of slot)
+        | _ -> ()
+      done;
+      advance (quarantine +. 1.);
+      let clean = ref true in
+      let dirty fmt =
+        Printf.ksprintf
+          (fun m ->
+            clean := false;
+            print_endline ("lifecycle fuzz: " ^ m))
+          fmt
+      in
+      if Signaling.established_count s <> 0 then
+        dirty "%d sessions survive quiescence" (Signaling.established_count s);
+      for link = 0 to Fabric.n_links fab - 1 do
+        let c = Signaling.controller s ~link in
+        if Controller.live c <> 0 then
+          dirty "agent %d books %d live flows" link (Controller.live c);
+        if Controller.admissions c <> Controller.releases c then
+          dirty "agent %d: %d admissions vs %d releases" link
+            (Controller.admissions c) (Controller.releases c);
+        if Signaling.soft_state_count s ~link <> 0 then
+          dirty "agent %d holds %d stamps" link
+            (Signaling.soft_state_count s ~link);
+        let g = Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link) in
+        if g <> 0. then dirty "link %d still reserves %.0f bps" link g
+      done;
+      (* Idempotent re-setup: every id must come straight back at full
+         service, whatever its history. *)
+      let back = ref 0 in
+      for slot = 0 to n_slots - 1 do
+        Signaling.setup s ~flow:(flow_of slot) ~ingress:0 ~egress:3
+          (Spec.Guaranteed { clock_rate_bps = 100_000. })
+          ~sink:Packet.free ~on_result:(fun r ->
+            if Result.is_ok r then incr back)
+      done;
+      advance 0.5;
+      if !back <> n_slots then dirty "only %d/%d ids re-setup cleanly" !back n_slots;
+      !clean)
+
 let suite =
   [
     Alcotest.test_case "down loses in-flight, repair restarts" `Quick
@@ -216,4 +353,5 @@ let suite =
       test_corruption_window_closes;
     Alcotest.test_case "random plan deterministic" `Quick
       test_random_plan_deterministic;
+    QCheck_alcotest.to_alcotest prop_lifecycle_interleavings;
   ]

@@ -1,0 +1,144 @@
+(* Idpool — the flow-slot free list under churn (DESIGN.md session
+   lifecycle).  LIFO recycling, generation ABA guard, accounting that
+   feeds the flow-state audit invariant. *)
+
+open Ispn_util
+
+let test_take_is_dense_from_base () =
+  let p = Idpool.create ~base:100 ~capacity:4 () in
+  let ids = List.init 3 (fun _ -> Idpool.take p) in
+  Alcotest.(check (list int)) "first takes are base.." [ 100; 101; 102 ] ids;
+  Alcotest.(check int) "in_use" 3 (Idpool.in_use p);
+  Alcotest.(check int) "hwm" 3 (Idpool.hwm p);
+  Alcotest.(check bool) "taken" true (Idpool.is_taken p ~id:101);
+  Alcotest.(check bool) "not taken" false (Idpool.is_taken p ~id:103)
+
+let test_lifo_recycling () =
+  let p = Idpool.create ~capacity:8 () in
+  let a = Idpool.take p in
+  let b = Idpool.take p in
+  Idpool.release p ~id:a;
+  Idpool.release p ~id:b;
+  (* Most recently released comes back first: maximum reuse stress. *)
+  Alcotest.(check int) "b first" b (Idpool.take p);
+  Alcotest.(check int) "then a" a (Idpool.take p);
+  Alcotest.(check int) "takes" 4 (Idpool.takes p);
+  Alcotest.(check int) "releases" 2 (Idpool.releases p);
+  Alcotest.(check int) "in_use = takes - releases" 2 (Idpool.in_use p);
+  Alcotest.(check int) "hwm never saw more than 2" 2 (Idpool.hwm p)
+
+let test_growth_when_exhausted () =
+  let p = Idpool.create ~base:10 ~capacity:2 () in
+  let ids = List.init 5 (fun _ -> Idpool.take p) in
+  Alcotest.(check (list int)) "grows contiguously" [ 10; 11; 12; 13; 14 ] ids;
+  Alcotest.(check bool) "capacity doubled past demand" true
+    (Idpool.capacity p >= 5);
+  Alcotest.(check int) "hwm" 5 (Idpool.hwm p);
+  List.iter (fun id -> Idpool.release p ~id) ids;
+  Alcotest.(check int) "all back" 0 (Idpool.in_use p);
+  Alcotest.(check int) "no bad releases" 0 (Idpool.bad_releases p)
+
+let test_generation_bumps_on_release () =
+  let p = Idpool.create ~capacity:4 () in
+  let id = Idpool.take p in
+  Alcotest.(check int) "fresh slot" 0 (Idpool.generation p ~id);
+  Idpool.release p ~id;
+  Alcotest.(check int) "bumped" 1 (Idpool.generation p ~id);
+  let id' = Idpool.take p in
+  Alcotest.(check int) "same slot recycled" id id';
+  Alcotest.(check int) "generation survives re-take" 1
+    (Idpool.generation p ~id);
+  Idpool.release p ~id;
+  Alcotest.(check int) "bumped again" 2 (Idpool.generation p ~id)
+
+let test_try_release_aba_guard () =
+  let p = Idpool.create ~capacity:4 () in
+  let id = Idpool.take p in
+  let gen = Idpool.generation p ~id in
+  (* The departure and the timeout race to release the same incarnation:
+     exactly one wins. *)
+  Alcotest.(check bool) "first release wins" true
+    (Idpool.try_release p ~id ~gen);
+  Alcotest.(check bool) "second is stale" false
+    (Idpool.try_release p ~id ~gen);
+  Alcotest.(check int) "one stale counted" 1 (Idpool.stale_releases p);
+  Alcotest.(check int) "no bad release" 0 (Idpool.bad_releases p);
+  (* The slot moves on to a new incarnation; the old gen stays dead. *)
+  let id' = Idpool.take p in
+  Alcotest.(check int) "recycled" id id';
+  Alcotest.(check bool) "old gen cannot free the new incarnation" false
+    (Idpool.try_release p ~id ~gen);
+  Alcotest.(check bool) "still taken" true (Idpool.is_taken p ~id);
+  Alcotest.(check bool) "current gen can" true
+    (Idpool.try_release p ~id ~gen:(Idpool.generation p ~id))
+
+let test_bad_releases_counted_not_fatal () =
+  let p = Idpool.create ~base:5 ~capacity:2 () in
+  let id = Idpool.take p in
+  Idpool.release p ~id;
+  Idpool.release p ~id (* double free *);
+  Idpool.release p ~id:4 (* below range *);
+  Idpool.release p ~id:999 (* above range *);
+  Alcotest.(check int) "three bad releases" 3 (Idpool.bad_releases p);
+  Alcotest.(check int) "releases counts only the good one" 1
+    (Idpool.releases p);
+  Alcotest.(check int) "in_use undisturbed" 0 (Idpool.in_use p)
+
+let test_create_validates () =
+  Alcotest.check_raises "negative base"
+    (Invalid_argument "Idpool.create: negative base") (fun () ->
+      ignore (Idpool.create ~base:(-1) ()));
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Idpool.create: non-positive capacity") (fun () ->
+      ignore (Idpool.create ~capacity:0 ()));
+  Alcotest.check_raises "generation range"
+    (Invalid_argument "Idpool.generation: id 64") (fun () ->
+      ignore (Idpool.generation (Idpool.create ()) ~id:64))
+
+(* Property: under any interleaving of takes and (sometimes stale, sometimes
+   bad) releases, the accounting identity takes = releases + in_use holds,
+   ids are never handed out twice while live, and hwm tracks the peak. *)
+let prop_accounting_identity =
+  QCheck.Test.make ~count:300 ~name:"idpool accounting identity"
+    QCheck.(list (pair bool small_nat))
+    (fun ops ->
+      let p = Idpool.create ~capacity:2 () in
+      let live = Hashtbl.create 16 in
+      let peak = ref 0 in
+      List.iter
+        (fun (is_take, k) ->
+          if is_take then (
+            let id = Idpool.take p in
+            if Hashtbl.mem live id then
+              QCheck.Test.fail_report "live id handed out twice";
+            Hashtbl.replace live id ();
+            peak := max !peak (Hashtbl.length live))
+          else
+            let ids = Hashtbl.fold (fun id () acc -> id :: acc) live [] in
+            match List.sort compare ids with
+            | [] -> Idpool.release p ~id:(Idpool.base p + k) (* maybe bad *)
+            | sorted ->
+                let id = List.nth sorted (k mod List.length sorted) in
+                Idpool.release p ~id;
+                Hashtbl.remove live id)
+        ops;
+      Idpool.takes p = Idpool.releases p + Idpool.in_use p
+      && Idpool.in_use p = Hashtbl.length live
+      && Idpool.hwm p = !peak)
+
+let suite =
+  [
+    Alcotest.test_case "take is dense from base" `Quick
+      test_take_is_dense_from_base;
+    Alcotest.test_case "LIFO recycling" `Quick test_lifo_recycling;
+    Alcotest.test_case "growth when exhausted" `Quick
+      test_growth_when_exhausted;
+    Alcotest.test_case "generation bumps on release" `Quick
+      test_generation_bumps_on_release;
+    Alcotest.test_case "try_release ABA guard" `Quick
+      test_try_release_aba_guard;
+    Alcotest.test_case "bad releases counted, not fatal" `Quick
+      test_bad_releases_counted_not_fatal;
+    Alcotest.test_case "create validates" `Quick test_create_validates;
+    QCheck_alcotest.to_alcotest prop_accounting_identity;
+  ]

@@ -331,6 +331,188 @@ let test_crash_degrades_when_capacity_usurped () =
   Alcotest.(check (float 1e-6)) "link 1 guaranteed = usurper only" 650_000.
     (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:1))
 
+(* --- Soft state: refresh, timeout expiry, lossy teardown --- *)
+
+let make_soft ?(n_switches = 3) ?(refresh_interval = 0.1)
+    ?(lifetime_epochs = 3) ?(setup_timeout = 0.02) ?(max_retries = 6) () =
+  let engine = Engine.create () in
+  let fab = Fabric.chain ~engine ~n_switches () in
+  let s =
+    Signaling.deploy ~fabric:fab ~setup_timeout ~max_retries ~refresh_interval
+      ~lifetime_epochs ()
+  in
+  (engine, fab, s)
+
+let establish ?(flow = 1) ?(ingress = 0) ?(egress = 2) ?(rate = 300_000.)
+    engine s =
+  let ok = ref false in
+  Signaling.setup s ~flow ~ingress ~egress (guaranteed rate)
+    ~sink:(fun p -> Packet.free p)
+    ~on_result:(fun r -> ok := Result.is_ok r);
+  Engine.run engine ~until:(Engine.now engine +. 0.05);
+  Alcotest.(check bool) "established" true !ok
+
+let test_refresh_keeps_state_alive () =
+  (* An established flow outlives many lifetimes: the periodic refresh
+     re-stamps every agent, so the expiry sweep never fires. *)
+  let engine, fab, s = make_soft () in
+  establish engine s;
+  Engine.run engine ~until:2.;
+  Alcotest.(check int) "still established" 1 (Signaling.established_count s);
+  Alcotest.(check bool) "refreshed many times" true
+    (Signaling.refresh_epochs s > 10);
+  Alcotest.(check bool) "refresh legs on the wire" true
+    (Signaling.refresh_packets_sent s > 10);
+  Alcotest.(check int) "nothing expired" 0 (Signaling.expired_count s);
+  for link = 0 to 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "stamped at agent %d" link)
+      1
+      (Signaling.soft_state_count s ~link)
+  done;
+  Alcotest.(check (float 1e-6)) "reservation held" 300_000.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:1))
+
+let test_lost_teardown_reclaimed_by_expiry () =
+  (* The acceptance scenario: the teardown message is lost on the wire, so
+     the downstream agent still holds the reservation — until the refresh
+     timeout expires it.  No reliable teardown protocol is involved. *)
+  let engine, fab, s = make_soft () in
+  establish engine s;
+  (* Eat everything on link 0's wire while the teardown leg crosses it. *)
+  Link.set_wire_filter (Fabric.link fab 0) (fun p ->
+      Packet.free p;
+      None);
+  Signaling.depart s ~flow:1;
+  Engine.run engine ~until:(Engine.now engine +. 0.02);
+  Link.set_wire_filter (Fabric.link fab 0) (fun p -> Some p);
+  (* The ingress hop released locally; hop 1 is stranded. *)
+  Alcotest.(check bool) "hop 0 released" false
+    (Ispn_admission.Controller.mem (Signaling.controller s ~link:0) ~flow:1);
+  Alcotest.(check bool) "hop 1 stranded" true
+    (Ispn_admission.Controller.mem (Signaling.controller s ~link:1) ~flow:1);
+  Alcotest.(check int) "session gone" 0 (Signaling.established_count s);
+  (* No refresh pump runs for a departed flow, so the stamp goes stale and
+     the sweep reclaims the reservation within one lifetime + one sweep. *)
+  Engine.run engine ~until:(Engine.now engine +. 0.5);
+  Alcotest.(check bool) "hop 1 reclaimed" false
+    (Ispn_admission.Controller.mem (Signaling.controller s ~link:1) ~flow:1);
+  Alcotest.(check bool) "expiry counted" true (Signaling.expired_count s >= 1);
+  Alcotest.(check (float 1e-6)) "capacity freed" 0.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:1));
+  Alcotest.(check int) "no stamps left" 0 (Signaling.soft_state_count s ~link:1);
+  (* The reclaimed capacity is genuinely reusable. *)
+  let ok = ref false in
+  Signaling.setup s ~flow:2 ~ingress:1 ~egress:2 (guaranteed 700_000.)
+    ~sink:(fun p -> Packet.free p)
+    ~on_result:(fun r -> ok := Result.is_ok r);
+  Engine.run engine ~until:(Engine.now engine +. 0.1);
+  Alcotest.(check bool) "capacity reusable" true !ok
+
+let test_refresh_reasserts_after_silent_wipe () =
+  (* A remote agent loses its book with no crash notification (partition,
+     expiry on its side).  Nothing tells the ingress — the next refresh
+     pass discovers the missing hop and re-asserts it.  Pure soft-state
+     self-healing, driven by timers alone. *)
+  let engine, _, s = make_soft () in
+  establish engine s;
+  Ispn_admission.Controller.reset (Signaling.controller s ~link:1);
+  Alcotest.(check bool) "hop 1 forgotten" false
+    (Ispn_admission.Controller.mem (Signaling.controller s ~link:1) ~flow:1);
+  Engine.run engine ~until:(Engine.now engine +. 0.3);
+  Alcotest.(check bool) "hop 1 re-asserted" true
+    (Ispn_admission.Controller.mem (Signaling.controller s ~link:1) ~flow:1);
+  Alcotest.(check bool) "re-assert pass completed" true
+    (Signaling.reestablished_count s >= 1);
+  (match Signaling.service_level s ~flow:1 with
+  | Some Signaling.Guaranteed -> ()
+  | Some l -> Alcotest.failf "degraded to %s" (Signaling.level_name l)
+  | None -> Alcotest.fail "flow gone")
+
+let test_depart_clean_counts () =
+  (* With a healthy wire, depart is just a slower teardown: every hop
+     releases on the message's arrival, nothing is left to expire. *)
+  let engine, fab, s = make_soft () in
+  establish engine s;
+  Signaling.depart s ~flow:1;
+  Engine.run engine ~until:(Engine.now engine +. 0.05);
+  Alcotest.(check int) "gone" 0 (Signaling.established_count s);
+  Alcotest.(check int) "teardown counted" 1 (Signaling.teardown_count s);
+  Alcotest.(check bool) "teardown leg on the wire" true
+    (Signaling.teardown_packets_sent s >= 1);
+  for link = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "hop %d released" link)
+      false
+      (Ispn_admission.Controller.mem (Signaling.controller s ~link) ~flow:1);
+    Alcotest.(check int)
+      (Printf.sprintf "no stamp at %d" link)
+      0
+      (Signaling.soft_state_count s ~link)
+  done;
+  Alcotest.(check (float 1e-6)) "capacity freed" 0.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:1));
+  Engine.run engine ~until:(Engine.now engine +. 1.);
+  Alcotest.(check int) "nothing ever expires" 0 (Signaling.expired_count s)
+
+let test_abandoned_setup_during_refresh_epochs () =
+  (* Satellite regression: flow A refreshes steadily while flow B's setup
+     goes dark mid-path and is abandoned after max_retries.  The rollback
+     must be complete, the dark link's queued setup copies must be ignored
+     as stale when the link heals (typed tokens: they can never be taken
+     for refreshes), and A must be entirely undisturbed. *)
+  let engine, fab, s =
+    make_soft ~setup_timeout:0.01 ~max_retries:2 ()
+  in
+  establish engine s;
+  (* A has refreshed at least once with its state intact. *)
+  Engine.run engine ~until:(Engine.now engine +. 0.25);
+  Alcotest.(check bool) "A refreshing" true (Signaling.refresh_epochs s >= 2);
+  Link.set_up (Fabric.link fab 1) false;
+  let result = ref None in
+  Signaling.setup s ~flow:7 ~ingress:0 ~egress:2 (guaranteed 200_000.)
+    ~sink:(fun p -> Packet.free p)
+    ~on_result:(fun r -> result := Some r);
+  Engine.run engine ~until:(Engine.now engine +. 1.);
+  (match !result with
+  | Some (Error _) -> ()
+  | Some (Ok _) -> Alcotest.fail "B established over a dead link"
+  | None -> Alcotest.fail "B never resolved");
+  Alcotest.(check int) "B abandoned" 1 (Signaling.abandoned_count s);
+  (* Heal the link: B's queued setup copies arrive at the egress agent with
+     invalidated tokens and must do nothing. *)
+  Link.set_up (Fabric.link fab 1) true;
+  Engine.run engine ~until:(Engine.now engine +. 1.);
+  for link = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "no B residue at hop %d" link)
+      false
+      (Ispn_admission.Controller.mem (Signaling.controller s ~link) ~flow:7)
+  done;
+  Alcotest.(check int) "only A is established" 1
+    (Signaling.established_count s);
+  Alcotest.(check int) "no stale establishment" 1
+    (Signaling.total_established s);
+  Alcotest.(check int) "A alone is stamped at hop 1" 1
+    (Signaling.soft_state_count s ~link:1);
+  (match Signaling.service_level s ~flow:1 with
+  | Some Signaling.Guaranteed -> ()
+  | _ -> Alcotest.fail "A disturbed");
+  Alcotest.(check (float 1e-6)) "A's reservation alone on link 1" 300_000.
+    (Csz.Csz_sched.guaranteed_reserved_bps (Fabric.sched fab ~link:1));
+  Alcotest.(check int) "A never expired" 0 (Signaling.expired_count s)
+
+let test_deploy_validates_soft_state_parameters () =
+  let engine = Engine.create () in
+  let fab = Fabric.chain ~engine ~n_switches:3 () in
+  let expect msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  expect "Signaling.deploy: refresh_interval must be positive" (fun () ->
+      ignore (Signaling.deploy ~fabric:fab ~refresh_interval:0. ()));
+  expect "Signaling.deploy: lifetime_epochs must be at least 1" (fun () ->
+      ignore
+        (Signaling.deploy ~fabric:fab ~refresh_interval:1. ~lifetime_epochs:0
+           ()))
+
 let suite =
   [
     Alcotest.test_case "setup takes network time" `Quick
@@ -360,4 +542,16 @@ let suite =
       test_crash_reestablishes_same_level;
     Alcotest.test_case "crash degrades when capacity usurped" `Quick
       test_crash_degrades_when_capacity_usurped;
+    Alcotest.test_case "refresh keeps state alive" `Quick
+      test_refresh_keeps_state_alive;
+    Alcotest.test_case "lost teardown reclaimed by expiry" `Quick
+      test_lost_teardown_reclaimed_by_expiry;
+    Alcotest.test_case "refresh re-asserts after silent wipe" `Quick
+      test_refresh_reasserts_after_silent_wipe;
+    Alcotest.test_case "depart: clean teardown counts" `Quick
+      test_depart_clean_counts;
+    Alcotest.test_case "abandoned setup during refresh epochs" `Quick
+      test_abandoned_setup_during_refresh_epochs;
+    Alcotest.test_case "deploy validates soft-state parameters" `Quick
+      test_deploy_validates_soft_state_parameters;
   ]
