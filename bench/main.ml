@@ -24,6 +24,8 @@ let duration = ref Ispn_util.Units.sim_duration_s
 let jobs = ref (Pool.default_jobs ())
 let json = ref false
 let metrics_file : string option ref = ref None
+let series_file : string option ref = ref None
+let trace_cap : int option ref = ref None
 let debug = ref false
 let seed = 42L
 
@@ -31,14 +33,47 @@ let seed = 42L
    order) and are written once at exit when --metrics FILE was given. *)
 let collected : (string * Ispn_obs.Metrics.snapshot) list ref = ref []
 let obs_on () = !metrics_file <> None || !debug
+let series_on () = !series_file <> None
+
+(* Sampled timelines accumulate the same way and are written once at exit
+   when --series FILE was given; stdout never mentions them, so --series
+   alone leaves the default output untouched. *)
+let collected_series : (string * Ispn_obs.Series.export) list ref = ref []
+let emit_series labeled = collected_series := !collected_series @ labeled
 
 (* A job running under Pool.map builds its own registry so domains never
    share one; snapshots are merged here in canonical job order, keeping
-   stdout byte-identical for every -j. *)
-let obs_registry () = if obs_on () then Some (Ispn_obs.Metrics.create ()) else None
+   stdout byte-identical for every -j.  --series needs a registry to
+   sample even when --metrics is off; series and hist share it so a
+   --metrics run also picks the histogram percentiles up in its footers. *)
+type job_obs = {
+  jo_metrics : Ispn_obs.Metrics.t option;
+  jo_series : Ispn_obs.Series.t option;
+  jo_hist : Ispn_obs.Hist.t option;
+}
 
-let obs_snapshot ~label m =
-  Option.map (fun m -> (label, Ispn_obs.Metrics.snapshot m)) m
+let job_obs () =
+  if obs_on () || series_on () then begin
+    let m = Ispn_obs.Metrics.create () in
+    if series_on () then
+      { jo_metrics = Some m;
+        jo_series = Some (Ispn_obs.Series.create ~metrics:m ());
+        jo_hist = Some (Ispn_obs.Hist.create ~metrics:m ()) }
+    else { jo_metrics = Some m; jo_series = None; jo_hist = None }
+  end
+  else { jo_metrics = None; jo_series = None; jo_hist = None }
+
+let obs_snapshot ~label jo =
+  if obs_on () then
+    Option.map (fun m -> (label, Ispn_obs.Metrics.snapshot m)) jo.jo_metrics
+  else None
+
+let series_export ~label jo =
+  Option.map
+    (fun s -> (label, Ispn_obs.Series.export ?hist:jo.jo_hist s))
+    jo.jo_series
+
+let series_interval () = if series_on () then Some 1.0 else None
 
 let emit_obs labeled =
   if labeled <> [] then begin
@@ -80,22 +115,24 @@ let table1 () =
   let runs =
     Pool.map ~j:!jobs
       (fun sched ->
-        let m = obs_registry () in
+        let jo = job_obs () in
         let a = audit_ctx () in
         let results, info =
-          E.run_single_link ~sched ?metrics:m ?audit:a ~duration:!duration
-            ~seed ()
+          E.run_single_link ~sched ?metrics:jo.jo_metrics ?audit:a
+            ?series:jo.jo_series ?hist:jo.jo_hist ~duration:!duration ~seed ()
         in
         let label = "table1." ^ E.sched_name sched in
-        (sched, results, info, obs_snapshot ~label m, audit_summary ~label a))
+        ( sched, results, info, obs_snapshot ~label jo,
+          audit_summary ~label a, series_export ~label jo ))
       [ E.Wfq; E.Fifo ]
   in
   print_endline
     (Csz.Report.table1
-       (List.map (fun (s, r, i, _, _) -> (s, r, i)) runs)
+       (List.map (fun (s, r, i, _, _, _) -> (s, r, i)) runs)
        ~sample_flow:0);
-  emit_obs (List.filter_map (fun (_, _, _, snap, _) -> snap) runs);
-  emit_check (List.filter_map (fun (_, _, _, _, chk) -> chk) runs);
+  emit_obs (List.filter_map (fun (_, _, _, snap, _, _) -> snap) runs);
+  emit_check (List.filter_map (fun (_, _, _, _, chk, _) -> chk) runs);
+  emit_series (List.filter_map (fun (_, _, _, _, _, se) -> se) runs);
   print_endline
     "\nPaper (Table 1):  WFQ mean 3.16, 99.9%ile 53.86;  FIFO mean 3.17, \
      99.9%ile 34.72\nShape to check: equal means; FIFO tail well below WFQ \
@@ -111,21 +148,24 @@ let table2 () =
   let runs =
     Pool.map ~j:!jobs
       (fun sched ->
-        let m = obs_registry () in
+        let jo = job_obs () in
         let a = audit_ctx () in
         let results, _ =
-          E.run_figure1 ~sched ?metrics:m ?audit:a ~duration:!duration ~seed ()
+          E.run_figure1 ~sched ?metrics:jo.jo_metrics ?audit:a
+            ?series:jo.jo_series ?hist:jo.jo_hist ~duration:!duration ~seed ()
         in
         let label = "table2." ^ E.sched_name sched in
-        (sched, results, obs_snapshot ~label m, audit_summary ~label a))
+        ( sched, results, obs_snapshot ~label jo, audit_summary ~label a,
+          series_export ~label jo ))
       [ E.Wfq; E.Fifo; E.Fifo_plus ]
   in
   print_endline
     (Csz.Report.table2
-       (List.map (fun (s, r, _, _) -> (s, r)) runs)
+       (List.map (fun (s, r, _, _, _) -> (s, r)) runs)
        ~sample_flows:[ 18; 8; 2; 0 ]);
-  emit_obs (List.filter_map (fun (_, _, snap, _) -> snap) runs);
-  emit_check (List.filter_map (fun (_, _, _, chk) -> chk) runs);
+  emit_obs (List.filter_map (fun (_, _, snap, _, _) -> snap) runs);
+  emit_check (List.filter_map (fun (_, _, _, chk, _) -> chk) runs);
+  emit_series (List.filter_map (fun (_, _, _, _, se) -> se) runs);
   print_endline
     "\nPaper (Table 2), 99.9%ile by path length 1/2/3/4:\n\
     \  WFQ   45.31  60.31  65.86  80.59\n\
@@ -137,12 +177,16 @@ let table2 () =
 (* ---- Table 3 ------------------------------------------------------------ *)
 
 let table3 () =
-  let m = obs_registry () in
+  let jo = job_obs () in
   let a = audit_ctx () in
-  let res = E.run_table3 ?metrics:m ?audit:a ~duration:!duration ~seed () in
+  let res =
+    E.run_table3 ?metrics:jo.jo_metrics ?audit:a ?series:jo.jo_series
+      ?hist:jo.jo_hist ~duration:!duration ~seed ()
+  in
   print_endline (Csz.Report.table3 res);
-  emit_obs (Option.to_list (obs_snapshot ~label:"table3" m));
+  emit_obs (Option.to_list (obs_snapshot ~label:"table3" jo));
   emit_check (Option.to_list (audit_summary ~label:"table3" a));
+  emit_series (Option.to_list (series_export ~label:"table3" jo));
   print_endline
     "\nPaper (Table 3): Peak/4 max 15.99 vs bound 23.53; Peak/2 8.79 vs \
      11.76;\n\
@@ -380,6 +424,13 @@ let seeds () =
 (* ---- E11: failover under injected faults --------------------------------- *)
 
 let faults () =
+  let rows =
+    X.run_failover
+      ~duration:(Stdlib.min !duration 120.)
+      ~seed ~j:!jobs
+      ?series_interval:(series_interval ())
+      ()
+  in
   List.iter
     (fun (r : X.failover_row) ->
       Printf.printf
@@ -394,7 +445,14 @@ let faults () =
           Printf.printf "    flow %d: requested %s, ended %s\n" f.X.ff_flow
             f.X.ff_requested f.X.ff_final)
         r.X.fo_flows)
-    (X.run_failover ~duration:(Stdlib.min !duration 120.) ~seed ~j:!jobs ());
+    rows;
+  emit_series
+    (List.filter_map
+       (fun (r : X.failover_row) ->
+         Option.map
+           (fun e -> ("faults." ^ X.failover_name r.X.fo_schedule, e))
+           r.X.fo_series)
+       rows);
   print_endline
     "\nShape to check: the baseline row is clean (no retries, no\n\
      degradation); link outages and header corruption lose packets and\n\
@@ -408,7 +466,11 @@ let faults () =
 (* ---- E13: session churn under soft-state signaling ------------------------ *)
 
 let churn () =
-  let rows = X.run_churn ~duration:!duration ~seed ~j:!jobs ~check:!check_on () in
+  let rows =
+    X.run_churn ~duration:!duration ~seed ~j:!jobs ~check:!check_on
+      ?series_interval:(series_interval ())
+      ()
+  in
   List.iter
     (fun (r : X.churn_row) ->
       Printf.printf
@@ -431,6 +493,13 @@ let churn () =
          Option.map
            (fun s -> ("churn." ^ X.churn_name r.X.ch_scenario, s))
            r.X.ch_check)
+       rows);
+  emit_series
+    (List.filter_map
+       (fun (r : X.churn_row) ->
+         Option.map
+           (fun e -> ("churn." ^ X.churn_name r.X.ch_scenario, e))
+           r.X.ch_series)
        rows);
   print_endline
     "\nShape to check: leaked is 0 in every scenario — that is the soft-state\n\
@@ -711,7 +780,9 @@ let trace () =
   List.iter
     (fun experiment ->
       let res =
-        X.run_trace ~experiment ~duration:(Stdlib.min !duration 120.) ~seed ()
+        X.run_trace ~experiment ?capacity:!trace_cap
+          ~duration:(Stdlib.min !duration 120.)
+          ~seed ()
       in
       print_endline (Csz.Report.trace res))
     [ X.T_table2; X.T_table3 ];
@@ -764,6 +835,23 @@ let () =
     | [ "--metrics" ] ->
         Printf.eprintf "--metrics expects a file argument\n";
         exit 2
+    | "--series" :: file :: rest ->
+        series_file := Some file;
+        parse rest acc
+    | [ "--series" ] ->
+        Printf.eprintf "--series expects a file argument\n";
+        exit 2
+    | "--trace-cap" :: n :: rest when int_of_string_opt n <> None ->
+        let n = Option.get (int_of_string_opt n) in
+        if n < 1 then begin
+          Printf.eprintf "--trace-cap expects a positive integer\n";
+          exit 2
+        end;
+        trace_cap := Some n;
+        parse rest acc
+    | [ "--trace-cap" ] | "--trace-cap" :: _ ->
+        Printf.eprintf "--trace-cap expects a positive integer argument\n";
+        exit 2
     | "--debug" :: rest ->
         debug := true;
         parse rest acc
@@ -807,6 +895,11 @@ let () =
   | None -> ()
   | Some path ->
       Ispn_obs.Metrics.write_file path !collected;
+      Printf.eprintf "wrote %s\n%!" path);
+  (match !series_file with
+  | None -> ()
+  | Some path ->
+      Ispn_obs.Series.write_file path !collected_series;
       Printf.eprintf "wrote %s\n%!" path);
   if !check_violations > 0 then begin
     Printf.eprintf "--check found %d invariant violation(s)\n%!"

@@ -69,6 +69,54 @@ let finish_metrics file labeled =
       Ispn_obs.Metrics.write_file path labeled;
       Printf.eprintf "wrote %s\n%!" path
 
+let series_arg =
+  let doc =
+    "Sample every instrument once per simulated second and write the \
+     labeled timelines, plus per-channel delay-histogram percentiles, to \
+     $(docv) — CSV if it ends in .csv, JSON otherwise.  Sampling is keyed \
+     by sim time and exports merge in canonical job order, so the file is \
+     byte-identical for every -j; default stdout is unchanged."
+  in
+  Arg.(value & opt (some string) None & info [ "series" ] ~docv:"FILE" ~doc)
+
+(* Per-run observability bundle shared by --metrics and --series: the
+   series samples the same registry the metrics snapshot reads, and the
+   histograms register their percentile instruments on it, so a combined
+   run gets hist lines in its [obs] footers for free. *)
+type job_obs = {
+  jo_metrics : Ispn_obs.Metrics.t option;
+  jo_series : Ispn_obs.Series.t option;
+  jo_hist : Ispn_obs.Hist.t option;
+}
+
+let job_obs ~metrics ~series =
+  if metrics <> None || series <> None then begin
+    let m = Ispn_obs.Metrics.create () in
+    if series <> None then
+      { jo_metrics = Some m;
+        jo_series = Some (Ispn_obs.Series.create ~metrics:m ());
+        jo_hist = Some (Ispn_obs.Hist.create ~metrics:m ()) }
+    else { jo_metrics = Some m; jo_series = None; jo_hist = None }
+  end
+  else { jo_metrics = None; jo_series = None; jo_hist = None }
+
+let obs_snapshot ~metrics ~label jo =
+  if metrics <> None then
+    Option.map (fun m -> (label, Ispn_obs.Metrics.snapshot m)) jo.jo_metrics
+  else None
+
+let series_export ~label jo =
+  Option.map
+    (fun s -> (label, Ispn_obs.Series.export ?hist:jo.jo_hist s))
+    jo.jo_series
+
+let finish_series file labeled =
+  match file with
+  | None -> ()
+  | Some path ->
+      Ispn_obs.Series.write_file path labeled;
+      Printf.eprintf "wrote %s\n%!" path
+
 let check_arg =
   let doc =
     "Attach the $(b,ispn_check) conformance auditor to every link (packet \
@@ -112,76 +160,75 @@ let print_info (info : Csz.Experiment.run_info) =
     info.Csz.Experiment.net_dropped
 
 let table1_cmd =
-  let run duration seed avg_rate verbose j metrics check =
-    let obs = metrics <> None in
+  let run duration seed avg_rate verbose j metrics series check =
     let runs =
       Ispn_exec.Pool.map ~j
         (fun sched ->
-          let m = if obs then Some (Ispn_obs.Metrics.create ()) else None in
+          let jo = job_obs ~metrics ~series in
           let a = audit_ctx check in
           let results, info =
             Csz.Experiment.run_single_link ~sched ~avg_rate_pps:avg_rate
-              ~duration ~seed ?metrics:m ?audit:a ()
+              ~duration ~seed ?metrics:jo.jo_metrics ?series:jo.jo_series
+              ?hist:jo.jo_hist ?audit:a ()
           in
           let label = "table1." ^ Csz.Experiment.sched_name sched in
-          let snap =
-            Option.map (fun m -> (label, Ispn_obs.Metrics.snapshot m)) m
-          in
-          (sched, results, info, snap, audit_summary ~label a))
+          ( sched, results, info, obs_snapshot ~metrics ~label jo,
+            audit_summary ~label a, series_export ~label jo ))
         [ Csz.Experiment.Wfq; Csz.Experiment.Fifo ]
     in
     print_endline
       (Csz.Report.table1
-         (List.map (fun (s, r, i, _, _) -> (s, r, i)) runs)
+         (List.map (fun (s, r, i, _, _, _) -> (s, r, i)) runs)
          ~sample_flow:0);
     if verbose then
       List.iter
-        (fun (sched, results, info, _, _) ->
+        (fun (sched, results, info, _, _, _) ->
           Printf.printf "\n%s per-flow:\n%s\n"
             (Csz.Experiment.sched_name sched)
             (Csz.Report.flow_results results);
           print_info info)
         runs;
-    finish_metrics metrics (List.filter_map (fun (_, _, _, s, _) -> s) runs);
-    finish_check (List.filter_map (fun (_, _, _, _, c) -> c) runs)
+    finish_metrics metrics
+      (List.filter_map (fun (_, _, _, s, _, _) -> s) runs);
+    finish_series series (List.filter_map (fun (_, _, _, _, _, e) -> e) runs);
+    finish_check (List.filter_map (fun (_, _, _, _, c, _) -> c) runs)
   in
   let doc = "Reproduce Table 1: WFQ vs FIFO on a single shared link." in
   Cmd.v (Cmd.info "table1" ~doc)
     Term.(
       const run $ duration $ seed $ avg_rate $ verbose $ jobs $ metrics_arg
-      $ check_arg)
+      $ series_arg $ check_arg)
 
 let table2_cmd =
-  let run duration seed avg_rate verbose j metrics check =
-    let obs = metrics <> None in
+  let run duration seed avg_rate verbose j metrics series check =
     let runs =
       Ispn_exec.Pool.map ~j
         (fun sched ->
-          let m = if obs then Some (Ispn_obs.Metrics.create ()) else None in
+          let jo = job_obs ~metrics ~series in
           let a = audit_ctx check in
           let r =
             Csz.Experiment.run_figure1 ~sched ~avg_rate_pps:avg_rate ~duration
-              ~seed ?metrics:m ?audit:a ()
+              ~seed ?metrics:jo.jo_metrics ?series:jo.jo_series
+              ?hist:jo.jo_hist ?audit:a ()
           in
           let label = "table2." ^ Csz.Experiment.sched_name sched in
-          let snap =
-            Option.map (fun m -> (label, Ispn_obs.Metrics.snapshot m)) m
-          in
-          (sched, r, snap, audit_summary ~label a))
+          ( sched, r, obs_snapshot ~metrics ~label jo, audit_summary ~label a,
+            series_export ~label jo ))
         [ Csz.Experiment.Wfq; Csz.Experiment.Fifo; Csz.Experiment.Fifo_plus ]
     in
-    let table_runs = List.map (fun (s, (r, _), _, _) -> (s, r)) runs in
+    let table_runs = List.map (fun (s, (r, _), _, _, _) -> (s, r)) runs in
     print_endline (Csz.Report.table2 table_runs ~sample_flows:[ 18; 8; 2; 0 ]);
     if verbose then
       List.iter
-        (fun (sched, (results, info), _, _) ->
+        (fun (sched, (results, info), _, _, _) ->
           Printf.printf "\n%s per-flow:\n%s\n"
             (Csz.Experiment.sched_name sched)
             (Csz.Report.flow_results results);
           print_info info)
         runs;
-    finish_metrics metrics (List.filter_map (fun (_, _, s, _) -> s) runs);
-    finish_check (List.filter_map (fun (_, _, _, c) -> c) runs)
+    finish_metrics metrics (List.filter_map (fun (_, _, s, _, _) -> s) runs);
+    finish_series series (List.filter_map (fun (_, _, _, _, e) -> e) runs);
+    finish_check (List.filter_map (fun (_, _, _, c, _) -> c) runs)
   in
   let doc =
     "Reproduce Table 2: WFQ vs FIFO vs FIFO+ on the Figure-1 multihop chain."
@@ -189,18 +236,17 @@ let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc)
     Term.(
       const run $ duration $ seed $ avg_rate $ verbose $ jobs $ metrics_arg
-      $ check_arg)
+      $ series_arg $ check_arg)
 
 let table3_cmd =
-  let run duration seed avg_rate verbose debug metrics check =
+  let run duration seed avg_rate verbose debug metrics series check =
     with_logging debug ();
-    let m =
-      if metrics <> None then Some (Ispn_obs.Metrics.create ()) else None
-    in
+    let jo = job_obs ~metrics ~series in
     let a = audit_ctx check in
     let res =
       Csz.Experiment.run_table3 ~avg_rate_pps:avg_rate ~duration ~seed
-        ?metrics:m ?audit:a ()
+        ?metrics:jo.jo_metrics ?series:jo.jo_series ?hist:jo.jo_hist
+        ?audit:a ()
     in
     print_endline (Csz.Report.table3 res);
     if verbose then begin
@@ -209,17 +255,16 @@ let table3_cmd =
       print_info res.Csz.Experiment.info
     end;
     finish_metrics metrics
-      (Option.to_list
-         (Option.map
-            (fun m -> ("table3", Ispn_obs.Metrics.snapshot m))
-            m));
+      (Option.to_list (obs_snapshot ~metrics ~label:"table3" jo));
+    finish_series series
+      (Option.to_list (series_export ~label:"table3" jo));
     finish_check (Option.to_list (audit_summary ~label:"table3" a))
   in
   let doc = "Reproduce Table 3: the unified CSZ scheduling algorithm." in
   Cmd.v (Cmd.info "table3" ~doc)
     Term.(
       const run $ duration $ seed $ avg_rate $ verbose $ debug $ metrics_arg
-      $ check_arg)
+      $ series_arg $ check_arg)
 
 let topology_cmd =
   let run () = print_string (Csz.Report.figure1 ()) in
@@ -397,7 +442,12 @@ let signaling_cmd =
   Cmd.v (Cmd.info "signaling" ~doc) Term.(const run $ duration $ seed)
 
 let faults_cmd =
-  let run duration seed j =
+  let run duration seed j series =
+    let rows =
+      Csz.Extensions.run_failover ~duration ~seed ~j
+        ?series_interval:(Option.map (fun _ -> 1.0) series)
+        ()
+    in
     List.iter
       (fun (r : Csz.Extensions.failover_row) ->
         Printf.printf
@@ -414,18 +464,33 @@ let faults_cmd =
               f.Csz.Extensions.ff_flow f.Csz.Extensions.ff_requested
               f.Csz.Extensions.ff_final)
           r.Csz.Extensions.fo_flows)
-      (Csz.Extensions.run_failover ~duration ~seed ~j ())
+      rows;
+    finish_series series
+      (List.filter_map
+         (fun (r : Csz.Extensions.failover_row) ->
+           Option.map
+             (fun e ->
+               ( "faults."
+                 ^ Csz.Extensions.failover_name r.Csz.Extensions.fo_schedule,
+                 e ))
+             r.Csz.Extensions.fo_series)
+         rows)
   in
   let doc =
     "E11: inject link outages, header corruption and agent crashes; watch \
      setup retries, re-establishment and the guaranteed -> predicted -> \
      datagram degradation ladder."
   in
-  Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ duration $ seed $ jobs)
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const run $ duration $ seed $ jobs $ series_arg)
 
 let churn_cmd =
-  let run duration seed j check =
-    let rows = Csz.Extensions.run_churn ~duration ~seed ~j ~check () in
+  let run duration seed j check series =
+    let rows =
+      Csz.Extensions.run_churn ~duration ~seed ~j ~check
+        ?series_interval:(Option.map (fun _ -> 1.0) series)
+        ()
+    in
     List.iter
       (fun (r : Csz.Extensions.churn_row) ->
         Printf.printf
@@ -447,6 +512,16 @@ let churn_cmd =
          (fun acc (r : Csz.Extensions.churn_row) ->
            acc + r.Csz.Extensions.ch_offered)
          0 rows);
+    finish_series series
+      (List.filter_map
+         (fun (r : Csz.Extensions.churn_row) ->
+           Option.map
+             (fun e ->
+               ( "churn."
+                 ^ Csz.Extensions.churn_name r.Csz.Extensions.ch_scenario,
+                 e ))
+             r.Csz.Extensions.ch_series)
+         rows);
     finish_check
       (List.filter_map
          (fun (r : Csz.Extensions.churn_row) ->
@@ -464,7 +539,7 @@ let churn_cmd =
      and link outages, with leak-free flow-id recycling."
   in
   Cmd.v (Cmd.info "churn" ~doc)
-    Term.(const run $ duration $ seed $ jobs $ check_arg)
+    Term.(const run $ duration $ seed $ jobs $ check_arg $ series_arg)
 
 let importance_cmd =
   let run duration seed =
@@ -623,19 +698,40 @@ let trace_cmd =
     let doc =
       "Flight-recorder ring capacity in events; the ring keeps the newest."
     in
-    Arg.(value & opt int (1 lsl 20) & info [ "events" ] ~docv:"N" ~doc)
+    Arg.(
+      value & opt int (1 lsl 20) & info [ "events"; "trace-cap" ] ~docv:"N" ~doc)
+  in
+  let dump =
+    let doc =
+      "Also write the surviving ring (oldest event first) to $(docv) as CSV \
+       with one typed column per event field — \
+       time,kind,link,flow,seq,cls,offset,value,cause."
+    in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
   in
   let fast =
     let doc = "Simulate 60 s regardless of --duration (CI smoke)." in
     Arg.(value & flag & info [ "fast" ] ~doc)
   in
-  let run duration seed experiment worst events fast =
+  let run duration seed experiment worst events fast dump =
     let duration = if fast then 60. else duration in
-    let res =
-      Csz.Extensions.run_trace ~experiment ~worst ~capacity:events ~duration
-        ~seed ()
+    (* Build the ring here when --dump asks for it, so its contents survive
+       the run for export; run_trace attaches whichever ring it gets. *)
+    let recorder =
+      Option.map
+        (fun _ -> Ispn_obs.Recorder.create ~capacity:events ())
+        dump
     in
-    print_string (Csz.Report.trace res)
+    let res =
+      Csz.Extensions.run_trace ~experiment ~worst ~capacity:events ?recorder
+        ~duration ~seed ()
+    in
+    print_string (Csz.Report.trace res);
+    match (dump, recorder) with
+    | Some path, Some r ->
+        Ispn_obs.Recorder.write_csv path r;
+        Printf.eprintf "wrote %s\n%!" path
+    | _ -> ()
   in
   let doc =
     "E12: run an experiment with the flight recorder attached and print the \
@@ -643,7 +739,8 @@ let trace_cmd =
      link, summing to the end-to-end delay the probe saw)."
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ duration $ seed $ experiment $ worst $ events $ fast)
+    Term.(
+      const run $ duration $ seed $ experiment $ worst $ events $ fast $ dump)
 
 let default =
   let doc =

@@ -295,7 +295,7 @@ let tap t =
 let attach_link t ?work_conserving link =
   register_qdisc t ~link:(Ispn_sim.Link.id link) ?work_conserving
     (Ispn_sim.Link.qdisc link);
-  Ispn_sim.Link.set_tap link (tap t)
+  Ispn_sim.Link.add_tap link (tap t)
 
 let attach_network t net =
   for i = 0 to Ispn_sim.Network.n_links net - 1 do

@@ -39,6 +39,28 @@ let register_pool_metrics m ~link pool =
   M.register_int m (p ^ ".in_use_hwm") (fun () -> Qdisc.pool_hwm pool);
   M.register_int m (p ^ ".capacity") (fun () -> Qdisc.pool_capacity pool)
 
+let register_arena_metrics m =
+  (* The arena counters are cumulative per domain, and pool jobs reuse
+     domains — so the gauge reads as a delta from registration (= run
+     start), keeping sampled series independent of which jobs ran earlier
+     on this domain (the -j contract). *)
+  let base = (Packet.pool_stats ()).Packet.p_in_use in
+  Ispn_obs.Metrics.register_int m "arena.in_use" (fun () ->
+      (Packet.pool_stats ()).Packet.p_in_use - base)
+
+let attach_wait_hists net h =
+  (* One delay histogram per hop, fed from the dequeue tap: the same
+     [wait] the link folds into its [.wait] summary stats, but keeping the
+     tail shape.  [add_tap] composes with the auditor's tap. *)
+  for i = 0 to Network.n_links net - 1 do
+    let ch = Ispn_obs.Hist.channel h (Printf.sprintf "link.%d.wait" i) in
+    Link.add_tap (Network.link net i)
+      (Tap.make
+         ~on_dequeue:(fun ~link:_ ~now:_ ~wait _ ->
+           Ispn_util.Loghist.add ch wait)
+         ())
+  done
+
 (* One real-time flow: on/off source -> (A, 50) policer -> ingress switch,
    probe at the egress switch. *)
 type rt_flow = {
@@ -110,8 +132,8 @@ let info_of_run net rt_flows ~duration =
     net_dropped = Network.total_dropped net;
   }
 
-let run_chain_custom ?metrics ?recorder ?audit ~qdisc_of ~n_switches ~specs
-    ~avg_rate_pps ~duration ~seed () =
+let run_chain_custom ?metrics ?recorder ?audit ?series ?hist ~qdisc_of
+    ~n_switches ~specs ~avg_rate_pps ~duration ~seed () =
   let engine = Engine.create () in
   let prng = Prng.create ~seed in
   let net =
@@ -122,21 +144,26 @@ let run_chain_custom ?metrics ?recorder ?audit ~qdisc_of ~n_switches ~specs
   | None -> ()
   | Some m ->
       Engine.register_metrics engine m;
-      Network.register_metrics net m);
+      Network.register_metrics net m;
+      register_arena_metrics m);
   (match audit with
   | None -> ()
   | Some a -> Ispn_check.Audit.attach_network a net);
+  (match hist with None -> () | Some h -> attach_wait_hists net h);
   let rt_flows =
     List.map
       (fun spec -> attach_rt_flow ?audit net prng ~spec ~avg_rate_pps)
       specs
   in
+  (* Armed last, once every instrument is registered, so the t=0 row
+     already has the full column set. *)
+  (match series with None -> () | Some s -> Engine.attach_series engine s);
   List.iter (fun rt -> rt.source.Ispn_traffic.Source.start ()) rt_flows;
   Engine.run engine ~until:duration;
   (List.map result_of_rt_flow rt_flows, info_of_run net rt_flows ~duration)
 
-let run_chain ?metrics ?recorder ?audit ~sched ~n_switches ~specs
-    ~avg_rate_pps ~duration ~seed () =
+let run_chain ?metrics ?recorder ?audit ?series ?hist ~sched ~n_switches
+    ~specs ~avg_rate_pps ~duration ~seed () =
   let link_rate_bps = Units.link_rate_bps in
   let qdisc_of _engine link =
     let pool = Qdisc.pool ~capacity:Units.buffer_packets in
@@ -148,30 +175,30 @@ let run_chain ?metrics ?recorder ?audit ~sched ~n_switches ~specs
     | Some a -> Ispn_check.Audit.register_pool a ~link pool);
     qdisc_for ?metrics ~label:(string_of_int link) sched ~pool ~link_rate_bps
   in
-  run_chain_custom ?metrics ?recorder ?audit ~qdisc_of ~n_switches ~specs
-    ~avg_rate_pps ~duration ~seed ()
+  run_chain_custom ?metrics ?recorder ?audit ?series ?hist ~qdisc_of
+    ~n_switches ~specs ~avg_rate_pps ~duration ~seed ()
 
 let run_figure1_custom ~qdisc_of ?(avg_rate_pps = Scenario.default_avg_rate_pps)
     ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder ?audit
-    () =
-  run_chain_custom ?metrics ?recorder ?audit ~qdisc_of
+    ?series ?hist () =
+  run_chain_custom ?metrics ?recorder ?audit ?series ?hist ~qdisc_of
     ~n_switches:Scenario.figure1_n_switches ~specs:Scenario.figure1_flows
     ~avg_rate_pps ~duration ~seed ()
 
 let run_single_link ~sched ?(n_flows = 10)
     ?(avg_rate_pps = Scenario.default_avg_rate_pps)
     ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder ?audit
-    () =
+    ?series ?hist () =
   let specs =
     List.init n_flows (fun i -> { Scenario.flow = i; ingress = 0; egress = 1 })
   in
-  run_chain ?metrics ?recorder ?audit ~sched ~n_switches:2 ~specs
-    ~avg_rate_pps ~duration ~seed ()
+  run_chain ?metrics ?recorder ?audit ?series ?hist ~sched ~n_switches:2
+    ~specs ~avg_rate_pps ~duration ~seed ()
 
 let run_figure1 ~sched ?(avg_rate_pps = Scenario.default_avg_rate_pps)
     ?(duration = Units.sim_duration_s) ?(seed = 42L) ?metrics ?recorder ?audit
-    () =
-  run_chain ?metrics ?recorder ?audit ~sched
+    ?series ?hist () =
+  run_chain ?metrics ?recorder ?audit ?series ?hist ~sched
     ~n_switches:Scenario.figure1_n_switches ~specs:Scenario.figure1_flows
     ~avg_rate_pps ~duration ~seed ()
 
@@ -206,7 +233,7 @@ type t3_result = {
 
 let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
     ?(duration = Units.sim_duration_s) ?(seed = 42L) ?discard_late_above
-    ?metrics ?recorder ?audit () =
+    ?metrics ?recorder ?audit ?series ?hist () =
   let open Scenario in
   let engine = Engine.create () in
   let prng = Prng.create ~seed in
@@ -242,7 +269,8 @@ let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
   | None -> ()
   | Some m ->
       Engine.register_metrics engine m;
-      Network.register_metrics net m);
+      Network.register_metrics net m;
+      register_arena_metrics m);
   (match audit with
   | None -> ()
   | Some a ->
@@ -272,6 +300,23 @@ let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
           | Predicted_high | Predicted_low -> ())
         figure1_flows);
   let state i = Option.get states.(i) in
+  (match hist with
+  | None -> ()
+  | Some h ->
+      attach_wait_hists net h;
+      (* Per-class delay tails, aggregated across links: one channel per
+         predicted class plus the datagram class, fed by every link's
+         scheduler delay hook.  (Guaranteed flows never hit the hook —
+         their tail is the per-flow WFQ story, covered by the PG bound.) *)
+      let n_cls = Csz_sched.datagram_class (state 0) + 1 in
+      let chans =
+        Array.init n_cls (fun c ->
+            Ispn_obs.Hist.channel h (Printf.sprintf "csz.class.%d.delay" c))
+      in
+      for i = 0 to Network.n_links net - 1 do
+        Csz_sched.set_delay_hook (state i) (fun ~cls delay ->
+            Ispn_util.Loghist.add chans.(cls) delay)
+      done);
   (* Register every real-time flow at each link on its path. *)
   List.iter
     (fun spec ->
@@ -308,6 +353,7 @@ let run_table3 ?(avg_rate_pps = Scenario.default_avg_rate_pps)
         (flow, tcp))
       table3_tcp_paths
   in
+  (match series with None -> () | Some s -> Engine.attach_series engine s);
   List.iter (fun rt -> rt.source.Ispn_traffic.Source.start ()) rt_flows;
   List.iter (fun (_, tcp) -> Ispn_transport.Tcp.start tcp) tcps;
   Engine.run engine ~until:duration;

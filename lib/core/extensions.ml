@@ -1006,9 +1006,10 @@ type failover_row = {
   fo_reestablished : int;
   fo_reestablish_ms : float;
   fo_flows : failover_flow list;
+  fo_series : Ispn_obs.Series.export option;
 }
 
-let run_failover ?(duration = 120.) ?(seed = 42L) ?(j = 1) () =
+let run_failover ?(duration = 120.) ?(seed = 42L) ?(j = 1) ?series_interval () =
   let schedules = [ F_baseline; F_link_flap; F_control_loss; F_agent_crash ] in
   let class_targets = [| 0.008; 0.064 |] in
   let run_one schedule =
@@ -1032,6 +1033,38 @@ let run_failover ?(duration = 120.) ?(seed = 42L) ?(j = 1) () =
             if delay > class_targets.(cls) then incr violations
           end)
     done;
+    (* The sampled timeline: the E11 story is the degradation ladder —
+       established/degraded/reestablished counts and per-link drops as the
+       fault windows open and close.  (Per-class delay histograms are not
+       wired here: the single delay-hook slot is the violation probe
+       above; the per-hop wait tails come off the dequeue taps instead.) *)
+    let obs =
+      match series_interval with
+      | None -> None
+      | Some interval ->
+          let m = Ispn_obs.Metrics.create () in
+          Engine.register_metrics engine m;
+          for link = 0 to n_links - 1 do
+            Link.register_metrics (Fabric.link fab link) m
+              ~prefix:(Printf.sprintf "link.%d" link)
+          done;
+          Signaling.register_metrics sg m ();
+          Experiment.register_arena_metrics m;
+          let h = Ispn_obs.Hist.create ~metrics:m () in
+          for link = 0 to n_links - 1 do
+            let ch =
+              Ispn_obs.Hist.channel h (Printf.sprintf "link.%d.wait" link)
+            in
+            Link.add_tap (Fabric.link fab link)
+              (Tap.make
+                 ~on_dequeue:(fun ~link:_ ~now:_ ~wait _ ->
+                   Ispn_util.Loghist.add ch wait)
+                 ())
+          done;
+          let s = Ispn_obs.Series.create ~interval ~metrics:m () in
+          Engine.attach_series engine s;
+          Some (s, h)
+    in
     (* Two watched end-to-end real-time flows over the whole chain... *)
     let watched = [ (0, "guaranteed"); (1, "predicted") ] in
     Signaling.setup sg ~flow:0 ~ingress:0 ~egress:4
@@ -1181,6 +1214,8 @@ let run_failover ?(duration = 120.) ?(seed = 42L) ?(j = 1) () =
                 | None -> "gone");
             })
           watched;
+      fo_series =
+        Option.map (fun (s, h) -> Ispn_obs.Series.export ~hist:h s) obs;
     }
   in
   Ispn_exec.Pool.map ~j run_one schedules
@@ -1214,8 +1249,14 @@ type trace_result = {
 }
 
 let run_trace ?(experiment = T_table2) ?(worst = 5) ?(capacity = 1 lsl 20)
-    ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
-  let recorder = Ispn_obs.Recorder.create ~capacity () in
+    ?recorder ?(duration = Units.sim_duration_s) ?(seed = 42L) () =
+  (* A caller-supplied ring (e.g. the CLI's --dump) wins over [capacity];
+     it is left filled after the run so it can be exported. *)
+  let recorder =
+    match recorder with
+    | Some r -> r
+    | None -> Ispn_obs.Recorder.create ~capacity ()
+  in
   (match experiment with
   | T_table1 ->
       ignore
@@ -1263,7 +1304,7 @@ let run_trace ?(experiment = T_table2) ?(worst = 5) ?(capacity = 1 lsl 20)
   {
     tre_experiment = experiment;
     tre_events = Ispn_obs.Recorder.length recorder;
-    tre_capacity = capacity;
+    tre_capacity = Ispn_obs.Recorder.capacity recorder;
     tre_delivered = List.length bds;
     tre_complete = List.length complete;
     tre_rows = rows;
@@ -1296,6 +1337,7 @@ type churn_row = {
   ch_recycled : int;
   ch_leaked : int;
   ch_check : Ispn_check.Audit.summary option;
+  ch_series : Ispn_obs.Series.export option;
 }
 
 (* One open-loop session's control state in the workload harness; the slot
@@ -1309,7 +1351,7 @@ type churn_session = {
 }
 
 let run_churn ?(duration = 120.) ?(seed = 42L) ?(lambda = 420.) ?(j = 1)
-    ?(check = false) () =
+    ?(check = false) ?series_interval () =
   let scenarios = [ C_clean; C_lossy_teardown; C_agent_crash; C_link_flap ] in
   let refresh_interval = 3.0 and lifetime_epochs = 3 in
   let lifetime = refresh_interval *. float_of_int lifetime_epochs in
@@ -1343,6 +1385,46 @@ let run_churn ?(duration = 120.) ?(seed = 42L) ?(lambda = 420.) ?(j = 1)
             Ispn_util.Idpool.bad_releases pool
             + Ispn_util.Idpool.stale_releases pool)
           ());
+    (* The sampled timeline: E13's headline dynamic is the expiry-reclaim
+       wave (live reservations vs. flow slots in use vs. control traffic
+       after a fault window), so the series registers the engine, every
+       link, the signaling counters, the arena gauge and the slot pool on
+       its own registry, plus a per-hop wait histogram off the dequeue
+       taps.  All of it is per-job state, merged by the harness in
+       canonical job order. *)
+    let obs =
+      match series_interval with
+      | None -> None
+      | Some interval ->
+          let m = Ispn_obs.Metrics.create () in
+          Engine.register_metrics engine m;
+          for link = 0 to n_links - 1 do
+            Link.register_metrics (Fabric.link fab link) m
+              ~prefix:(Printf.sprintf "link.%d" link)
+          done;
+          Signaling.register_metrics sg m ();
+          Experiment.register_arena_metrics m;
+          Ispn_obs.Metrics.register_int m "flows.in_use" (fun () ->
+              Ispn_util.Idpool.in_use pool);
+          Ispn_obs.Metrics.register_int m "flows.hwm" (fun () ->
+              Ispn_util.Idpool.hwm pool);
+          Ispn_obs.Metrics.register_int m "flows.takes" (fun () ->
+              Ispn_util.Idpool.takes pool);
+          let h = Ispn_obs.Hist.create ~metrics:m () in
+          for link = 0 to n_links - 1 do
+            let ch =
+              Ispn_obs.Hist.channel h (Printf.sprintf "link.%d.wait" link)
+            in
+            Link.add_tap (Fabric.link fab link)
+              (Tap.make
+                 ~on_dequeue:(fun ~link:_ ~now:_ ~wait _ ->
+                   Ispn_util.Loghist.add ch wait)
+                 ())
+          done;
+          let s = Ispn_obs.Series.create ~interval ~metrics:m () in
+          Engine.attach_series engine s;
+          Some (s, h)
+    in
     (* Steady datagram background on every link, so signaling and data
        always compete for the wire (ids far above the recycled slot range). *)
     for link = 0 to n_links - 1 do
@@ -1531,6 +1613,8 @@ let run_churn ?(duration = 120.) ?(seed = 42L) ?(lambda = 420.) ?(j = 1)
       ch_recycled = Ispn_util.Idpool.takes pool - Ispn_util.Idpool.hwm pool;
       ch_leaked = !leaked;
       ch_check = Option.map Ispn_check.Audit.finalize audit;
+      ch_series =
+        Option.map (fun (s, h) -> Ispn_obs.Series.export ~hist:h s) obs;
     }
   in
   Ispn_exec.Pool.map ~j run_one scenarios

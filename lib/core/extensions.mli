@@ -271,10 +271,19 @@ type failover_row = {
   fo_reestablished : int;  (** Post-crash re-assertion passes completed. *)
   fo_reestablish_ms : float;  (** Mean crash-to-recovery latency. *)
   fo_flows : failover_flow list;  (** The two watched end-to-end flows. *)
+  fo_series : Ispn_obs.Series.export option;
+      (** Present when [series_interval] was given: the schedule's sampled
+          timeline (engine, per-link, signaling, arena instruments) plus
+          per-hop wait histograms — the degradation ladder as dynamics. *)
 }
 
 val run_failover :
-  ?duration:float -> ?seed:int64 -> ?j:int -> unit -> failover_row list
+  ?duration:float ->
+  ?seed:int64 ->
+  ?j:int ->
+  ?series_interval:float ->
+  unit ->
+  failover_row list
 (** The architecture under fire, one row per {!failover_schedule} on the
     5-switch chain carrying guaranteed + predicted + datagram traffic with
     periodic probe setups.  Faults come from {!Ispn_faults} plans; the
@@ -284,7 +293,8 @@ val run_failover :
     packets and force setup retries; agent-crash re-establishes every flow
     through the dead switch and degrades the watched flows whose
     re-admission the usurper defeats.  Deterministic for a given [seed] at
-    every [j]. *)
+    every [j] — including the sampled series, which each pool job collects
+    on its own registry. *)
 
 (** {2 E12: flight-recorder trace and per-hop delay attribution} *)
 
@@ -325,6 +335,7 @@ val run_trace :
   ?experiment:trace_experiment ->
   ?worst:int ->
   ?capacity:int ->
+  ?recorder:Ispn_obs.Recorder.t ->
   ?duration:float ->
   ?seed:int64 ->
   unit ->
@@ -333,8 +344,10 @@ val run_trace :
     [capacity] (default [2^20]) events attached to every link, then
     decompose the [worst] (default 5) packets' end-to-end delay into
     per-hop queueing and transmission via {!Ispn_obs.Attrib}.
-    Deterministic in [seed]; the recorder does not perturb the
-    simulation. *)
+    A caller-supplied [recorder] overrides [capacity] and is left filled
+    after the run — the CLI's [trace --dump] exports it with
+    [Recorder.write_csv].  Deterministic in [seed]; the recorder does not
+    perturb the simulation. *)
 
 (** {2 E13: session churn under soft-state signaling} *)
 
@@ -370,6 +383,10 @@ type churn_row = {
       (** Reservations still held for sessions departed more than the
           reclaim horizon ago — must be 0 in every scenario. *)
   ch_check : Ispn_check.Audit.summary option;  (** Present when [check]. *)
+  ch_series : Ispn_obs.Series.export option;
+      (** Present when [series_interval] was given: the scenario's sampled
+          timeline — [signaling.established] vs [flows.in_use] vs
+          [signaling.expired] is the soft-state expiry-reclaim wave. *)
 }
 
 val run_churn :
@@ -378,6 +395,7 @@ val run_churn :
   ?lambda:float ->
   ?j:int ->
   ?check:bool ->
+  ?series_interval:float ->
   unit ->
   churn_row list
 (** The soft-state lifecycle under open-loop churn (one row per

@@ -184,6 +184,11 @@ let obs_footer labeled =
            (str (get "engine.events_fired"))
            (str (get "engine.cancels_skipped"))
            (str (get "engine.heap_depth_hwm")));
+      let ms name =
+        match get name with
+        | Some (Ispn_obs.Metrics.Float f) -> Printf.sprintf "%.3f" (1000. *. f)
+        | _ -> "-"
+      in
       let link = ref 0 in
       let continue = ref true in
       while !continue do
@@ -191,12 +196,6 @@ let obs_footer labeled =
         match get (p ^ ".sent") with
         | None -> continue := false
         | Some _ ->
-            let ms name =
-              match get name with
-              | Some (Ispn_obs.Metrics.Float f) ->
-                  Printf.sprintf "%.3f" (1000. *. f)
-              | _ -> "-"
-            in
             Buffer.add_string buf
               (Printf.sprintf
                  "[obs] %s: %s sent=%s drops(buf/down/wire)=%s/%s/%s \
@@ -210,7 +209,30 @@ let obs_footer labeled =
                  (ms (p ^ ".wait.mean"))
                  (ms (p ^ ".wait.max")));
             incr link
-      done)
+      done;
+      (* One tail line per histogram channel ([Ispn_obs.Hist] registers
+         hist.<ch>.{count,p50,...} when a --series run shares the metrics
+         registry); the snapshot is name-sorted, so channels print in a
+         stable order. *)
+      let dot_count = ".count" in
+      List.iter
+        (fun (name, v) ->
+          let n = String.length name in
+          match v with
+          | Ispn_obs.Metrics.Int count
+            when n > 5 + String.length dot_count
+                 && String.sub name 0 5 = "hist."
+                 && String.sub name (n - String.length dot_count)
+                      (String.length dot_count)
+                    = dot_count ->
+              let ch = String.sub name 5 (n - 5 - String.length dot_count) in
+              let q s = ms ("hist." ^ ch ^ s) in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "[obs] %s: hist %s n=%d p50/p90/p99/p999=%s/%s/%s/%s ms\n"
+                   label ch count (q ".p50") (q ".p90") (q ".p99") (q ".p999"))
+          | _ -> ())
+        snap)
     labeled;
   Buffer.contents buf
 

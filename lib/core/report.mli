@@ -30,9 +30,11 @@ val obs_footer : (string * Ispn_obs.Metrics.snapshot) list -> string
 (** Deterministic per-run summary lines (prefixed ["[obs] "]) from labeled
     metrics snapshots: engine counters, then per-link sent / cause-split
     drops / buffer-pool high-water / wait mean+max (ms) for every
-    consecutive [link.<i>] present in the snapshot.  Printed by the bench
-    sections only when [--metrics] or [--debug] is given, so default
-    stdout is unchanged. *)
+    consecutive [link.<i>] present in the snapshot, then one tail line
+    (count, p50/p90/p99/p999 in ms) per [hist.*] channel found — present
+    when a [--series] run registered its histograms on the same registry.
+    Printed by the bench sections only when [--metrics] or [--debug] is
+    given, so default stdout is unchanged. *)
 
 val trace : Extensions.trace_result -> string
 (** Render {!Extensions.run_trace}'s worst-packet hop breakdowns — one

@@ -2,25 +2,29 @@ module Stats = Ispn_util.Stats
 
 type value = Int of int | Float of float
 
-type t = { mutable samplers : (string * (unit -> value)) list }
+(* Samplers may decline to produce a value at snapshot time (an empty
+   distribution has no min/max) — those instruments are simply absent from
+   the snapshot rather than rendered as a fake 0. *)
+type t = { mutable samplers : (string * (unit -> value option)) list }
 
 let create () = { samplers = [] }
 
-let register t name sample =
+let register_opt t name sample =
   if List.mem_assoc name t.samplers then
     invalid_arg (Printf.sprintf "Metrics.register: duplicate name %S" name);
   t.samplers <- (name, sample) :: t.samplers
 
+let register t name sample = register_opt t name (fun () -> Some (sample ()))
 let register_int t name f = register t name (fun () -> Int (f ()))
 let register_float t name f = register t name (fun () -> Float (f ()))
-
-let finite_or_zero x = if Float.is_finite x then x else 0.
 
 let register_stats t name st =
   register_int t (name ^ ".count") (fun () -> Stats.count st);
   register_float t (name ^ ".mean") (fun () -> Stats.mean st);
-  register_float t (name ^ ".min") (fun () -> finite_or_zero (Stats.min st));
-  register_float t (name ^ ".max") (fun () -> finite_or_zero (Stats.max st))
+  register_opt t (name ^ ".min") (fun () ->
+      if Stats.count st = 0 then None else Some (Float (Stats.min st)));
+  register_opt t (name ^ ".max") (fun () ->
+      if Stats.count st = 0 then None else Some (Float (Stats.max st)))
 
 let dist t name =
   let st = Stats.create () in
@@ -30,7 +34,10 @@ let dist t name =
 type snapshot = (string * value) list
 
 let snapshot t =
-  List.map (fun (name, sample) -> (name, sample ())) t.samplers
+  List.filter_map
+    (fun (name, sample) ->
+      match sample () with Some v -> Some (name, v) | None -> None)
+    t.samplers
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let size t = List.length t.samplers

@@ -31,13 +31,20 @@ val register : t -> string -> (unit -> value) -> unit
 (** Register a sampler under a dotted name.  Raises [Invalid_argument] on a
     duplicate name — instrument names must be stable and unique. *)
 
+val register_opt : t -> string -> (unit -> value option) -> unit
+(** Like {!register}, for instruments that may have no defined value at
+    snapshot time (an empty distribution's extrema, a percentile with no
+    samples).  A [None] omits the instrument from that snapshot instead of
+    rendering a placeholder. *)
+
 val register_int : t -> string -> (unit -> int) -> unit
 val register_float : t -> string -> (unit -> float) -> unit
 
 val register_stats : t -> string -> Ispn_util.Stats.t -> unit
 (** Export an online-moments accumulator as [name.count], [name.mean],
-    [name.min], [name.max] (min/max read as 0 while empty, keeping the
-    export JSON-representable). *)
+    [name.min], [name.max].  While [name.count] is 0, [name.min] and
+    [name.max] are {e omitted} from the snapshot — an exported 0 would be
+    indistinguishable from a real zero observation. *)
 
 val dist : t -> string -> Ispn_util.Stats.t
 (** Create and register (as {!register_stats}) a push-style distribution;

@@ -128,6 +128,22 @@ let cause_name = function
   | Down -> "down"
   | Wire -> "wire"
 
+let to_csv t =
+  let buf = Buffer.create (64 * t.len) in
+  Buffer.add_string buf "time,kind,link,flow,seq,cls,offset,value,cause\n";
+  iter t (fun ev ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.9g,%s,%d,%d,%d,%d,%.9g,%.9g,%s\n" ev.time
+           (kind_name ev.kind) ev.link ev.flow ev.seq ev.cls ev.offset
+           ev.value
+           (cause_name ev.cause)));
+  Buffer.contents buf
+
+let write_csv path t =
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc
+
 let pp ppf t =
   iter t (fun ev ->
       Format.fprintf ppf

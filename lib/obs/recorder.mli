@@ -72,6 +72,18 @@ val clear : t -> unit
 val kind_name : kind -> string
 val cause_name : cause -> string
 
+val to_csv : t -> string
+(** The surviving ring, oldest first, as CSV with one typed column per
+    event field — [time,kind,link,flow,seq,cls,offset,value,cause], kind
+    and cause by {!kind_name}/{!cause_name}, floats as ["%.9g"] — so a
+    dumped trace can be analyzed offline without parsing formatted text.
+    Note the packet handle itself is {e not} a column: handles are
+    allocation-history-dependent and must never be printed; (flow, seq)
+    is the stable identity. *)
+
+val write_csv : string -> t -> unit
+(** [write_csv path t] writes {!to_csv} to [path]. *)
+
 val pp : Format.formatter -> t -> unit
 (** One line per event, oldest first — the [pp] shim kept from the old
     string trace for quick debugging. *)

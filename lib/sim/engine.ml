@@ -140,6 +140,14 @@ let register_metrics t m =
   M.register_int m "engine.heap_depth_hwm" (fun () -> t.live_hwm);
   M.register_int m "engine.pending" (fun () -> t.live)
 
+let attach_series t s =
+  let interval = Ispn_obs.Series.interval s in
+  let rec tick () =
+    Ispn_obs.Series.sample s ~now:t.clock.v;
+    ignore (schedule_after t ~delay:interval tick)
+  in
+  tick ()
+
 let release t idx =
   t.free.(t.free_len) <- idx;
   t.free_len <- t.free_len + 1

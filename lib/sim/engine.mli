@@ -54,6 +54,15 @@ val register_metrics : t -> Ispn_obs.Metrics.t -> unit
 (** Register the event-loop counters as pull gauges: [engine.events_fired],
     [engine.cancels_skipped], [engine.heap_depth_hwm], [engine.pending]. *)
 
+val attach_series : t -> Ispn_obs.Series.t -> unit
+(** Arm a time-series sampler on this engine: sample immediately (at the
+    current clock), then re-schedule every [Series.interval] simulation
+    seconds for as long as the engine runs.  Ticks are ordinary events —
+    deterministic (time, seq) order, so they never perturb the relative
+    order of other events — but they do count toward the [engine.*]
+    instruments.  Attach after registering every instrument the series
+    should see, so the first row is already complete. *)
+
 val run : t -> until:float -> unit
 (** Execute events in time order until the clock would pass [until], then set
     the clock to [until].  Events scheduled during the run are honoured. *)

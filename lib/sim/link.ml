@@ -30,6 +30,12 @@ let id t = t.id
 let qdisc t = t.qdisc
 let set_drop_hook t f = t.drop_hook <- Some f
 let set_tap t tap = t.tap <- Some tap
+
+let add_tap t tap =
+  t.tap <-
+    (match t.tap with
+    | None -> Some tap
+    | Some existing -> Some (Tap.seq existing tap))
 let set_wire_filter t f = t.wire_filter <- Some f
 let is_up t = t.up
 

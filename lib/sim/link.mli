@@ -51,7 +51,15 @@ val set_tap : t -> Tap.t -> unit
 (** Attach a {!Tap} monitor; its callbacks fire on qdisc accept, dequeue
     (with this hop's wait), transmitter-idle (with the qdisc's backlog),
     delivery and every drop.  Like the recorder this never changes the
-    simulation — links without a tap pay one [match] per event. *)
+    simulation — links without a tap pay one [match] per event.
+    Replaces any tap already attached; independent consumers should use
+    {!add_tap}. *)
+
+val add_tap : t -> Tap.t -> unit
+(** Like {!set_tap}, but composes with any tap already attached (via
+    {!Tap.seq}, earlier attachments firing first) instead of replacing it —
+    so the invariant auditor and the delay histograms can observe the same
+    link in one run. *)
 
 val set_drop_hook : t -> (Packet.t -> unit) -> unit
 (** Called for every packet the link loses: qdisc rejection (buffer

@@ -16,6 +16,30 @@ let nop =
     on_drop = (fun ~link:_ ~now:_ ~cause:_ _ -> ());
   }
 
+let seq a b =
+  {
+    on_enqueue =
+      (fun ~link ~now pkt ->
+        a.on_enqueue ~link ~now pkt;
+        b.on_enqueue ~link ~now pkt);
+    on_dequeue =
+      (fun ~link ~now ~wait pkt ->
+        a.on_dequeue ~link ~now ~wait pkt;
+        b.on_dequeue ~link ~now ~wait pkt);
+    on_idle =
+      (fun ~link ~now ~qlen ->
+        a.on_idle ~link ~now ~qlen;
+        b.on_idle ~link ~now ~qlen);
+    on_deliver =
+      (fun ~link ~now pkt ->
+        a.on_deliver ~link ~now pkt;
+        b.on_deliver ~link ~now pkt);
+    on_drop =
+      (fun ~link ~now ~cause pkt ->
+        a.on_drop ~link ~now ~cause pkt;
+        b.on_drop ~link ~now ~cause pkt);
+  }
+
 let make ?(on_enqueue = nop.on_enqueue) ?(on_dequeue = nop.on_dequeue)
     ?(on_idle = nop.on_idle) ?(on_deliver = nop.on_deliver)
     ?(on_drop = nop.on_drop) () =

@@ -24,6 +24,11 @@ type t = {
 
 val nop : t
 
+val seq : t -> t -> t
+(** [seq a b] invokes [a]'s callback then [b]'s at every decision point, so
+    independent consumers (the invariant auditor, delay histograms) can
+    share one link — see [Link.add_tap]. *)
+
 val make :
   ?on_enqueue:(link:int -> now:float -> Packet.t -> unit) ->
   ?on_dequeue:(link:int -> now:float -> wait:float -> Packet.t -> unit) ->

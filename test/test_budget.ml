@@ -156,6 +156,59 @@ let test_sched_session_open_close_budget () =
        per)
     true (per <= 14.)
 
+let test_loghist_add_zero_alloc () =
+  (* The histogram feed --series attaches to every dequeue: a branch, a
+     log10 and an int store, on all three paths (regular, underflow,
+     overflow).  Float literals only — a computed sample's boxing belongs
+     to the caller. *)
+  let h = Ispn_util.Loghist.create () in
+  let per =
+    per_n
+      (fun () ->
+        Ispn_util.Loghist.add h 0.004;
+        Ispn_util.Loghist.add h 1e-9;
+        Ispn_util.Loghist.add h 1e9)
+      50_000
+  in
+  if per > 0.01 then
+    Alcotest.failf
+      "loghist add: %.3f minor words per 3 adds (expected 0 — bucket \
+       counts are a dense int array)"
+      per
+
+let test_series_dequeue_tap_budget () =
+  (* Everything --series hangs off a link's per-packet dequeue, composed
+     the way the runners compose it: a Tap.seq dispatching into the wait
+     histogram and the flight recorder's ring store.  The histogram add is
+     an int bump and the ring writes scalar arrays in place, so with
+     literal arguments the whole chain must not allocate. *)
+  let ch = Ispn_util.Loghist.create () in
+  let r = Ispn_obs.Recorder.create ~capacity:1024 () in
+  let tap =
+    Tap.seq
+      (Tap.make
+         ~on_dequeue:(fun ~link:_ ~now:_ ~wait _ ->
+           Ispn_util.Loghist.add ch wait)
+         ())
+      (Tap.make
+         ~on_dequeue:(fun ~link ~now ~wait:_ p ->
+           ignore p;
+           Ispn_obs.Recorder.record r ~time:now
+             ~kind:Ispn_obs.Recorder.Dequeue ~link ~flow:0 ~seq:0 ~cls:(-1)
+             ~offset:0. ~value:0. ~cause:Ispn_obs.Recorder.No_cause)
+         ())
+  in
+  let p = Packet.make ~flow:0 ~seq:0 ~created:0. () in
+  let per =
+    per_n (fun () -> tap.Tap.on_dequeue ~link:0 ~now:1.0 ~wait:0.002 p) 50_000
+  in
+  Packet.free p;
+  if per > 0.01 then
+    Alcotest.failf
+      "series dequeue tap: %.3f minor words per dispatch (expected 0 — \
+       hist add and ring store are in-place)"
+      per
+
 let suite =
   [
     Alcotest.test_case "engine drain allocates nothing" `Quick
@@ -170,4 +223,8 @@ let suite =
       test_idpool_cycle_zero_alloc;
     Alcotest.test_case "sched session open/close within budget" `Quick
       test_sched_session_open_close_budget;
+    Alcotest.test_case "loghist add allocates nothing" `Quick
+      test_loghist_add_zero_alloc;
+    Alcotest.test_case "series dequeue tap allocates nothing" `Quick
+      test_series_dequeue_tap_budget;
   ]

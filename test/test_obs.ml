@@ -63,17 +63,25 @@ let test_registry_stats_export () =
       Alcotest.(check (float 1e-12)) "max" 3. mx
   | _ -> Alcotest.fail "stats values must be floats"
 
-let test_registry_empty_stats_finite () =
+let test_registry_empty_stats_omit_extrema () =
+  (* While count = 0 min/max have no defined value: exporting 0 would be
+     indistinguishable from a real zero observation, so they are omitted
+     from the snapshot — and appear once the first sample lands. *)
   let m = Metrics.create () in
-  Metrics.register_stats m "w" (Ispn_util.Stats.create ());
-  List.iter
-    (fun (name, v) ->
-      match v with
-      | Metrics.Float f ->
-          if not (Float.is_finite f) then
-            Alcotest.failf "%s is not finite on an empty distribution" name
-      | Metrics.Int _ -> ())
-    (Metrics.snapshot m)
+  let st = Ispn_util.Stats.create () in
+  Metrics.register_stats m "w" st;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check (list string))
+    "empty distribution exports count and mean only" [ "w.count"; "w.mean" ]
+    (List.map fst snap);
+  (match List.assoc "w.count" snap with
+  | Metrics.Int 0 -> ()
+  | _ -> Alcotest.fail "count must read 0");
+  Ispn_util.Stats.add st 2.5;
+  Alcotest.(check (list string))
+    "extrema appear with the first sample"
+    [ "w.count"; "w.max"; "w.mean"; "w.min" ]
+    (List.map fst (Metrics.snapshot m))
 
 let test_render_formats () =
   let m = Metrics.create () in
@@ -115,6 +123,26 @@ let test_recorder_pp () =
   let out = Format.asprintf "%a" Recorder.pp r in
   Alcotest.(check bool) "pp names the kind and cause" true
     (contains out "drop" && contains out "buffer")
+
+let test_recorder_csv () =
+  let r = Recorder.create ~capacity:4 () in
+  Recorder.record r ~time:0.5 ~kind:Recorder.Dequeue ~link:1 ~flow:3 ~seq:9
+    ~cls:0 ~offset:0.125 ~value:0.25 ~cause:Recorder.No_cause;
+  Recorder.record r ~time:1.5 ~kind:Recorder.Drop ~link:2 ~flow:7 ~seq:11
+    ~cls:(-1) ~offset:0. ~value:0. ~cause:Recorder.Buffer;
+  let csv = Recorder.to_csv r in
+  (match String.split_on_char '\n' csv with
+  | header :: first :: second :: _ ->
+      Alcotest.(check string) "typed header"
+        "time,kind,link,flow,seq,cls,offset,value,cause" header;
+      Alcotest.(check string) "dequeue row" "0.5,dequeue,1,3,9,0,0.125,0.25,-"
+        first;
+      Alcotest.(check string) "drop row with cause"
+        "1.5,drop,2,7,11,-1,0,0,buffer" second
+  | _ -> Alcotest.fail "expected header plus two rows");
+  Alcotest.(check int) "one line per event plus header and trailing newline"
+    4
+    (List.length (String.split_on_char '\n' csv))
 
 (* --- Per-hop attribution --- *)
 
@@ -188,13 +216,14 @@ let suite =
       test_registry_duplicate_rejected;
     Alcotest.test_case "registry stats export" `Quick
       test_registry_stats_export;
-    Alcotest.test_case "registry empty stats finite" `Quick
-      test_registry_empty_stats_finite;
+    Alcotest.test_case "registry empty stats omit extrema" `Quick
+      test_registry_empty_stats_omit_extrema;
     Alcotest.test_case "render json and csv" `Quick test_render_formats;
     Alcotest.test_case "ring keeps newest" `Quick test_ring_keeps_newest;
     Alcotest.test_case "ring rejects capacity 0" `Quick
       test_ring_invalid_capacity;
     Alcotest.test_case "recorder pp" `Quick test_recorder_pp;
+    Alcotest.test_case "recorder csv dump" `Quick test_recorder_csv;
     Alcotest.test_case "hop decomposition (FIFO+)" `Slow
       (check_decomposition ~sched:Csz.Experiment.Fifo_plus);
     Alcotest.test_case "hop decomposition (WFQ)" `Slow
