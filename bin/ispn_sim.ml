@@ -541,6 +541,65 @@ let churn_cmd =
   Cmd.v (Cmd.info "churn" ~doc)
     Term.(const run $ duration $ seed $ jobs $ check_arg $ series_arg)
 
+let scale_cmd =
+  let shards =
+    let doc =
+      "Domains to shard the one simulation over (conservative lock-step \
+       windows, Ispn_sim.Shardnet).  The result table is byte-identical \
+       for every width; only wall time and the stderr diagnostics change."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let fast =
+    let doc = "60 s of simulated time instead of --duration." in
+    Arg.(value & flag & info [ "fast" ] ~doc)
+  in
+  let run duration seed shards fast check =
+    let duration = if fast then 60. else duration in
+    let r =
+      try Csz.Extensions.run_scale ~duration ~seed ~shards ~check ()
+      with Invalid_argument msg ->
+        Printf.eprintf "ispn_sim: %s\n" msg;
+        exit 2
+    in
+    Printf.printf
+      "%d switches, %d links, %d on/off flows over %.0f s (delays in packet \
+       times)\n"
+      r.Csz.Extensions.sc_switches r.Csz.Extensions.sc_links
+      r.Csz.Extensions.sc_flow_count duration;
+    List.iter
+      (fun (row : Csz.Extensions.scale_row) ->
+        Printf.printf
+          "regions crossed %d  flows %5d  delivered %9d  mean %8.1f  \
+           max %8.1f  queueing %6.2f\n"
+          row.Csz.Extensions.sc_span row.Csz.Extensions.sc_flows
+          row.Csz.Extensions.sc_delivered row.Csz.Extensions.sc_mean_delay
+          row.Csz.Extensions.sc_max_delay row.Csz.Extensions.sc_mean_qdelay)
+      r.Csz.Extensions.sc_rows;
+    Printf.printf
+      "total: delivered %d, sent %d link transmissions, dropped %d\n"
+      r.Csz.Extensions.sc_delivered_total r.Csz.Extensions.sc_sent
+      r.Csz.Extensions.sc_dropped;
+    Printf.eprintf
+      "[scale: %d shard(s), %d cut link(s), lookahead %.2f ms, %d windows, \
+       %d packets exchanged, %d events fired]\n%!"
+      r.Csz.Extensions.sc_shards r.Csz.Extensions.sc_cut_links
+      (1e3 *. r.Csz.Extensions.sc_lookahead)
+      r.Csz.Extensions.sc_windows r.Csz.Extensions.sc_exchanged
+      r.Csz.Extensions.sc_fired;
+    finish_check
+      (match r.Csz.Extensions.sc_check with
+      | None -> []
+      | Some s -> [ ("scale", s) ])
+  in
+  let doc =
+    "E14: one large parking-lot simulation (20 switches, thousands of \
+     on/off flows) sharded across OCaml 5 domains with conservative \
+     lock-step windows — same table at every --shards width."
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run $ duration $ seed $ shards $ fast $ check_arg)
+
 let importance_cmd =
   let run duration seed =
     List.iter
@@ -753,7 +812,7 @@ let default =
       table1_cmd; table2_cmd; table3_cmd; topology_cmd; bakeoff_cmd;
       admission_cmd; playback_cmd; cascade_cmd; isolation_cmd; discard_cmd;
       ablation_cmd; service_cmd; sweep_cmd; signaling_cmd; faults_cmd;
-      churn_cmd;
+      churn_cmd; scale_cmd;
       importance_cmd; profile_cmd; backlog_cmd; trace_cmd;
     ]
 

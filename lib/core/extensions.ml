@@ -1618,3 +1618,211 @@ let run_churn ?(duration = 120.) ?(seed = 42L) ?(lambda = 420.) ?(j = 1)
     }
   in
   Ispn_exec.Pool.map ~j run_one scenarios
+
+(* --- E14: sharded parking-lot at scale ------------------------------------ *)
+
+type scale_row = {
+  sc_span : int;
+  sc_flows : int;
+  sc_delivered : int;
+  sc_mean_delay : float;
+  sc_max_delay : float;
+  sc_mean_qdelay : float;
+}
+
+type scale_report = {
+  sc_rows : scale_row list;
+  sc_switches : int;
+  sc_links : int;
+  sc_flow_count : int;
+  sc_delivered_total : int;
+  sc_sent : int;
+  sc_dropped : int;
+  sc_shards : int;
+  sc_windows : int;
+  sc_lookahead : float;
+  sc_cut_links : int;
+  sc_exchanged : int;
+  sc_fired : int;
+  sc_check : Ispn_check.Audit.summary option;
+}
+
+(* Merge per-shard audit summaries: counters sum, the invariant catalogue
+   is fixed-order in every summary, samples concatenate in shard order. *)
+let merge_summaries (a : Ispn_check.Audit.summary)
+    (b : Ispn_check.Audit.summary) : Ispn_check.Audit.summary =
+  {
+    events = a.events + b.events;
+    checks = a.checks + b.checks;
+    violations = a.violations + b.violations;
+    invariants =
+      List.map2
+        (fun (x : Ispn_check.Audit.inv_summary)
+             (y : Ispn_check.Audit.inv_summary) ->
+          {
+            Ispn_check.Audit.inv_name = x.inv_name;
+            inv_checks = x.inv_checks + y.inv_checks;
+            inv_violations = x.inv_violations + y.inv_violations;
+          })
+        a.invariants b.invariants;
+    samples = a.samples @ b.samples;
+  }
+
+let run_scale ?(duration = 60.) ?(seed = 42L) ?(shards = 1) ?(regions = 4)
+    ?(per_region = 5) ?(flows = 2000) ?(avg_rate_pps = 8.) ?(check = false) ()
+    =
+  if regions < 1 || per_region < 2 then
+    invalid_arg "run_scale: need >= 1 region of >= 2 switches";
+  if shards < 1 || shards > regions then
+    invalid_arg "run_scale: shards must be in [1, regions]";
+  if flows < 1 then invalid_arg "run_scale: need >= 1 flow";
+  let n_switches = regions * per_region in
+  (* Contiguous blocks of regions per shard: the only cut links are the
+     backbone links between regions owned by different shards. *)
+  let shard_of =
+    Array.init n_switches (fun s -> s / per_region * shards / regions)
+  in
+  let link_rate_bps = 10. *. Units.link_rate_bps in
+  (* A parking-lot chain: switch i <-> i+1, duplex.  Backbone links (the
+     region boundaries) carry ~10 ms of propagation, access links ~1 ms;
+     every link gets a distinct delay (a small index-proportional skew) so
+     no two paths can produce exact-float arrival ties — the determinism
+     contract's requirement (Shardnet doc). *)
+  let link_specs =
+    Array.init
+      (2 * (n_switches - 1))
+      (fun li ->
+        let i = li / 2 in
+        let backbone = (i + 1) mod per_region = 0 in
+        let base = if backbone then 10e-3 else 1e-3 in
+        let prop = base *. (1. +. (0.003 *. float_of_int li)) in
+        let src, dst = if li land 1 = 0 then (i, i + 1) else (i + 1, i) in
+        {
+          Shardnet.l_src = src;
+          l_dst = dst;
+          l_rate_bps = link_rate_bps;
+          l_prop_delay = prop;
+          l_qdisc =
+            (fun () ->
+              let pool = Qdisc.pool ~capacity:Units.buffer_packets in
+              Ispn_sched.Fifo.create ~pool ());
+        })
+  in
+  (* Per-flow PRNG streams split off the master on this domain, in flow
+     order, before any domain spawns — shard-count-independent. *)
+  let prng = Prng.create ~seed in
+  let flow_src = Array.make flows 0 in
+  let flow_dst = Array.make flows 0 in
+  let flow_specs =
+    Array.init flows (fun f ->
+        let fp = Prng.split prng in
+        let src = Prng.int prng ~bound:n_switches in
+        let d = Prng.int prng ~bound:(n_switches - 1) in
+        let dst = if d >= src then d + 1 else d in
+        flow_src.(f) <- src;
+        flow_dst.(f) <- dst;
+        {
+          Shardnet.f_src = src;
+          f_dst = dst;
+          f_driver =
+            (fun engine emit ->
+              let source =
+                Ispn_traffic.Onoff.create ~engine ~prng:fp ~flow:f
+                  ~avg_rate_pps ~packet_bits:Units.packet_bits ~emit ()
+              in
+              source.Ispn_traffic.Source.start ());
+        })
+  in
+  let spec =
+    {
+      Shardnet.n_switches;
+      n_shards = shards;
+      shard_of;
+      links = link_specs;
+      flows = flow_specs;
+    }
+  in
+  (* One audit context per shard: created here, mutated only inside its
+     shard's domain (the [on_link] hook runs there), finalized after the
+     join — summaries are plain data and merge by summation. *)
+  let audits =
+    if check then Some (Array.init shards (fun _ -> Ispn_check.Audit.create ()))
+    else None
+  in
+  let on_link =
+    Option.map
+      (fun audits ~shard lk -> Ispn_check.Audit.attach_link audits.(shard) lk)
+      audits
+  in
+  let res = Shardnet.run ?on_link ~until:duration spec in
+  (* Rows bucket flows by regions crossed; every field is a sum or max of
+     shard-count-independent per-flow results, so stdout stays identical
+     at every [shards]. *)
+  let pt = Units.packet_times ~link_rate_bps ~packet_bits:Units.packet_bits in
+  let rows =
+    List.init regions (fun span ->
+        let fs = ref 0
+        and del = ref 0
+        and dsum = ref 0.
+        and dmax = ref 0.
+        and qsum = ref 0. in
+        for f = 0 to flows - 1 do
+          let s =
+            abs ((flow_dst.(f) / per_region) - (flow_src.(f) / per_region))
+          in
+          if s = span then begin
+            incr fs;
+            let st = res.Shardnet.r_flows.(f) in
+            del := !del + st.Shardnet.f_delivered;
+            dsum := !dsum +. st.Shardnet.f_delay_sum;
+            if st.Shardnet.f_delay_max > !dmax then
+              dmax := st.Shardnet.f_delay_max;
+            qsum := !qsum +. st.Shardnet.f_qdelay_sum
+          end
+        done;
+        {
+          sc_span = span;
+          sc_flows = !fs;
+          sc_delivered = !del;
+          sc_mean_delay =
+            (if !del = 0 then 0. else pt (!dsum /. float_of_int !del));
+          sc_max_delay = pt !dmax;
+          sc_mean_qdelay =
+            (if !del = 0 then 0. else pt (!qsum /. float_of_int !del));
+        })
+  in
+  let sent = ref 0 and dropped = ref 0 in
+  Array.iter
+    (fun (k : Shardnet.link_stat) ->
+      sent := !sent + k.Shardnet.k_sent;
+      dropped := !dropped + k.Shardnet.k_dropped)
+    res.Shardnet.r_links;
+  let delivered_total =
+    Array.fold_left
+      (fun acc (s : Shardnet.flow_stat) -> acc + s.Shardnet.f_delivered)
+      0 res.Shardnet.r_flows
+  in
+  {
+    sc_rows = rows;
+    sc_switches = n_switches;
+    sc_links = Array.length link_specs;
+    sc_flow_count = flows;
+    sc_delivered_total = delivered_total;
+    sc_sent = !sent;
+    sc_dropped = !dropped;
+    sc_shards = res.Shardnet.r_shards;
+    sc_windows = res.Shardnet.r_windows;
+    sc_lookahead = res.Shardnet.r_lookahead;
+    sc_cut_links = res.Shardnet.r_cut_links;
+    sc_exchanged = res.Shardnet.r_drained;
+    sc_fired = res.Shardnet.r_fired;
+    sc_check =
+      Option.map
+        (fun audits ->
+          let summaries =
+            Array.to_list (Array.map Ispn_check.Audit.finalize audits)
+          in
+          List.fold_left merge_summaries (List.hd summaries)
+            (List.tl summaries))
+        audits;
+  }

@@ -40,7 +40,15 @@ type t = {
   mutable free : int array; (* stack of recycled slots *)
   mutable free_len : int;
   mutable used : int; (* slots handed out at least once *)
+  (* Batch-fire buffers for [run]: one [Wheel.pop_batch] per occupied
+     tick lands here, then the firing loop walks them without re-entering
+     the wheel between events. *)
+  bkeys : float array;
+  bseqs : int array;
+  bhs : int array;
 }
+
+let batch_cap = 128
 
 let create () =
   {
@@ -56,6 +64,9 @@ let create () =
     free = Array.make 64 0;
     free_len = 0;
     used = 0;
+    bkeys = Array.make batch_cap 0.;
+    bseqs = Array.make batch_cap 0;
+    bhs = Array.make batch_cap (-1);
   }
 
 let stats t = { events_fired = t.fired; cancels_skipped = t.skipped }
@@ -177,17 +188,49 @@ let step t =
     true
   end
 
-(* The per-event hot path: [pop_due] is the allocation-free fused
-   guard+pop (no option box, no closure) — handles are non-negative, so
-   [-1] is a free "nothing due" sentinel — and it bounds the wheel's
-   cursor walk so a far-off next event is never chased past [until]. *)
+(* The drain hot path: one [pop_batch] per occupied tick pulls that
+   tick's whole cross-section into the engine's buffers, then the firing
+   loop walks them without re-entering the wheel between events.  An
+   action may schedule into the span the buffered tail still covers; the
+   wheel's push guard is armed with the batch's last key, and on a hit
+   the unfired tail is spliced back (original seqs, so FIFO ties against
+   the interloper survive) and re-popped in merged order.  Sub-tick
+   delays are the only way to trigger this, so the splice path stays
+   cold.  All buffer traffic is array-to-array — nothing boxes. *)
 let run t ~until =
   let wheel = t.wheel in
-  let h = ref (Ispn_util.Wheel.pop_due wheel ~until ~none:(-1)) in
-  while !h >= 0 do
-    fire t !h;
-    h := Ispn_util.Wheel.pop_due wheel ~until ~none:(-1)
+  let g = Ispn_util.Wheel.guard wheel in
+  let bkeys = t.bkeys and bseqs = t.bseqs and bhs = t.bhs in
+  let n =
+    ref (Ispn_util.Wheel.pop_batch wheel ~until ~keys:bkeys ~seqs:bseqs bhs)
+  in
+  while !n > 0 do
+    let last = !n - 1 in
+    g.(0) <- bkeys.(last);
+    let j = ref 0 in
+    while !j < last do
+      fire t bhs.(!j);
+      incr j;
+      if Ispn_util.Wheel.guard_hit wheel then begin
+        (* An action scheduled under a still-buffered key: return the
+           unfired tail and let the next pop re-merge. *)
+        Ispn_util.Wheel.guard_clear wheel;
+        for k = !j to last do
+          Ispn_util.Wheel.reinsert wheel ~key:bkeys.(k) ~seq:bseqs.(k)
+            bhs.(k)
+        done;
+        j := !n (* tail returned; leave the firing loop *)
+      end
+    done;
+    if !j = last then begin
+      (* Last element: nothing buffered behind it, disarm before firing
+         so its action's pushes can't trip the guard. *)
+      g.(0) <- neg_infinity;
+      fire t bhs.(last)
+    end;
+    n := Ispn_util.Wheel.pop_batch wheel ~until ~keys:bkeys ~seqs:bseqs bhs
   done;
+  g.(0) <- neg_infinity;
   if until > t.clock.v then t.clock.v <- until
 
 let run_until_idle t ~max_events =

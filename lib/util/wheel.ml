@@ -63,6 +63,14 @@ type 'a t = {
   h_key : float array; (* length 1 *)
   mutable h_seq : int;
   mutable h_data : 'a;
+  (* Batch guard: while a caller fires a [pop_batch] run it arms
+     [g_key.(0)] with the largest key still in its buffer; a push with a
+     strictly smaller key would belong inside that run, so it sets
+     [g_hit] and the caller splices its unfired tail back ([reinsert])
+     and re-pops.  Disarmed = [neg_infinity], which no valid key is
+     below, so the compare is free when batching is off. *)
+  g_key : float array; (* length 1 *)
+  mutable g_hit : bool;
 }
 
 let create ?(capacity = 16) ~tick ~dummy () =
@@ -89,6 +97,8 @@ let create ?(capacity = 16) ~tick ~dummy () =
     h_key = Array.make 1 0.;
     h_seq = 0;
     h_data = dummy;
+    g_key = Array.make 1 neg_infinity;
+    g_hit = false;
   }
 
 let length t = t.len
@@ -238,6 +248,7 @@ let insert t ~key ~seq x =
 
 let push t ~key x =
   if not (key >= 0.) then invalid_arg "Wheel.push: key must be >= 0";
+  if key < t.g_key.(0) then t.g_hit <- true;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   if t.h_valid && key < t.h_key.(0) then begin
@@ -255,6 +266,7 @@ let push t ~key x =
 
 let push_from t (keys : float array) i x =
   if not (keys.(i) >= 0.) then invalid_arg "Wheel.push_from: key must be >= 0";
+  if keys.(i) < t.g_key.(0) then t.g_hit <- true;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   if t.h_valid && keys.(i) < t.h_key.(0) then begin
@@ -534,6 +546,59 @@ let pop_due t ~until ~none =
     stage t ~limit_tick:(tick_of t until);
     if t.h_valid && t.h_key.(0) <= until then take_head t else none
   end
+
+(* Pop up to [Array.length data] due elements in one call: the staged
+   head plus the due run's prefix with key <= until — a single tick's
+   cross-section, copied with a straight loop (the run is already
+   (key, seq)-sorted and holds only cursor-passed ticks).  No restaging
+   inside the call: elements of later ticks wait for the next batch, so
+   a batch never reaches past what one [stage] proved due, and the
+   caller's firing loop re-enters here exactly once per tick instead of
+   once per event. *)
+let pop_batch t ~until ~(keys : float array) ~(seqs : int array)
+    (data : 'a array) =
+  if (not t.h_valid) && t.len > 0 then stage t ~limit_tick:(tick_of t until);
+  if not (t.h_valid && t.h_key.(0) <= until) then 0
+  else begin
+    keys.(0) <- t.h_key.(0);
+    seqs.(0) <- t.h_seq;
+    data.(0) <- take_head t;
+    (* [take_head] already decremented [len] for the head. *)
+    let cap = Array.length data in
+    let n = ref 1 in
+    let lo = ref t.d_lo in
+    let hi = t.d_hi in
+    while !n < cap && !lo < hi && t.d_keys.(!lo) <= until do
+      keys.(!n) <- t.d_keys.(!lo);
+      seqs.(!n) <- t.d_seqs.(!lo);
+      data.(!n) <- t.d_data.(!lo);
+      t.d_data.(!lo) <- t.dummy;
+      incr n;
+      incr lo
+    done;
+    if !lo = hi then begin
+      t.d_lo <- 0;
+      t.d_hi <- 0
+    end
+    else t.d_lo <- !lo;
+    t.len <- t.len - (!n - 1);
+    !n
+  end
+
+let guard t = t.g_key
+let guard_hit t = t.g_hit
+
+let guard_clear t =
+  t.g_key.(0) <- neg_infinity;
+  t.g_hit <- false
+
+(* Splice an element popped by [pop_batch] back in under its ORIGINAL
+   sequence stamp — re-[push]ing would mint a newer one and lose the FIFO
+   tie against the interloper that triggered the guard.  Cold path (guard
+   hits only), so the boxed [~key] is acceptable. *)
+let reinsert t ~key ~seq x =
+  insert t ~key ~seq x;
+  t.len <- t.len + 1
 
 let clear t =
   Array.iter

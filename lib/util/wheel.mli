@@ -69,6 +69,45 @@ val pop_due : 'a t -> until:float -> none:'a -> 'a
     {!pop_exn} into one call for the engine's drain loop (an option
     result would allocate). *)
 
+val pop_batch :
+  'a t -> until:float -> keys:float array -> seqs:int array -> 'a array -> int
+(** [pop_batch t ~until ~keys ~seqs data] pops up to [Array.length data]
+    elements with key [<= until] into the caller's parallel buffers —
+    [(keys.(i), seqs.(i), data.(i))] for [i < n], ascending [(key, seq)]
+    — and returns the count [n] (0 when nothing is due).  One call
+    yields at most one tick's cross-section (the staged head plus the
+    internal due run), so a drain loop calls it once per occupied tick
+    instead of once per event; all three buffers must be at least
+    [Array.length data] long.  Allocation-free.
+
+    Popped elements leave the wheel immediately.  A caller that fires
+    them one by one while new keys arrive must arm the {!guard} with the
+    largest key still unfired; when {!guard_hit} reports an intervening
+    smaller key, {!reinsert} the unfired tail (original seqs!) and
+    re-pop, or events would fire out of order. *)
+
+val guard : 'a t -> float array
+(** The one-cell guard register for {!pop_batch} callers: store the
+    largest key of the batch tail still to be fired into
+    [(guard t).(0)] (an in-place float-array write, so arming never
+    boxes), and [neg_infinity] to disarm.  While armed, any {!push} or
+    {!push_from} whose key is strictly below the armed value sets the
+    {!guard_hit} flag.  Initially disarmed. *)
+
+val guard_hit : 'a t -> bool
+(** Whether a push undercut the armed {!guard} since the last
+    {!guard_clear}. *)
+
+val guard_clear : 'a t -> unit
+(** Disarm the {!guard} and reset {!guard_hit}. *)
+
+val reinsert : 'a t -> key:float -> seq:int -> 'a -> unit
+(** [reinsert t ~key ~seq x] returns an element popped by {!pop_batch}
+    to the wheel under its original sequence stamp, preserving FIFO ties
+    against elements pushed since.  Only sound for [(key, seq)] pairs
+    obtained from {!pop_batch} and not yet fired; a fresh insert must
+    use {!push}. *)
+
 val clear : 'a t -> unit
 (** Empty the wheel without rewinding the cursor (the monotone lower
     bound on keys survives, as after draining by hand). *)

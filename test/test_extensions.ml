@@ -280,9 +280,48 @@ let test_churn_shape () =
   Alcotest.(check bool) "lost teardowns reclaimed by refresh timeout" true
     ((find X.C_lossy_teardown).X.ch_expired > 0)
 
+let test_scale_shape () =
+  let run shards =
+    X.run_scale ~duration:4. ~seed:42L ~shards ~flows:200 ~check:true ()
+  in
+  let r1 = run 1 in
+  let r2 = run 2 in
+  let r4 = run 4 in
+  (* The whole result table is shard-count-independent; only the shard
+     diagnostics (and the audit's event partitioning) may differ. *)
+  let table (r : X.scale_report) =
+    (r.X.sc_rows, r.X.sc_delivered_total, r.X.sc_sent, r.X.sc_dropped)
+  in
+  Alcotest.(check bool) "table identical at 1 and 2 shards" true
+    (table r1 = table r2);
+  Alcotest.(check bool) "table identical at 1 and 4 shards" true
+    (table r1 = table r4);
+  Alcotest.(check int) "one row per span" 4 (List.length r1.X.sc_rows);
+  Alcotest.(check int) "all flows bucketed" r1.X.sc_flow_count
+    (List.fold_left (fun acc (row : X.scale_row) -> acc + row.X.sc_flows) 0
+       r1.X.sc_rows);
+  Alcotest.(check bool) "packets delivered" true
+    (r1.X.sc_delivered_total > 1000);
+  Alcotest.(check int) "unsharded run has no cut links" 0 r1.X.sc_cut_links;
+  Alcotest.(check bool) "sharded run exchanges packets" true
+    (r4.X.sc_cut_links > 0 && r4.X.sc_exchanged > 0);
+  (* Mean delay must grow with the regions crossed (propagation adds up). *)
+  let means = List.map (fun (r : X.scale_row) -> r.X.sc_mean_delay) r1.X.sc_rows in
+  Alcotest.(check bool) "delay grows with span" true
+    (List.sort compare means = means);
+  List.iter
+    (fun (r : X.scale_report) ->
+      match r.X.sc_check with
+      | None -> Alcotest.fail "audit summary missing under ~check"
+      | Some s ->
+          Alcotest.(check int) "audit clean" 0 s.Ispn_check.Audit.violations)
+    [ r1; r2; r4 ]
+
 let suite =
   [
     Alcotest.test_case "churn shape" `Slow test_churn_shape;
+    Alcotest.test_case "scale shards-invariant and shaped" `Slow
+      test_scale_shape;
     Alcotest.test_case "trace rows shape" `Slow test_trace_rows_shape;
     Alcotest.test_case "failover deterministic and shaped" `Slow
       test_failover_deterministic_and_shaped;

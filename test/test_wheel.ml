@@ -137,6 +137,127 @@ let prop_pop_due =
       got = List.map (fun (_, _, id) -> id) due
       && Wheel.length w = List.length late)
 
+(* pop_batch must be a pure reshaping of the pop_due stream: draining via
+   batches of a capricious capacity yields the same ids, in the same
+   order, as one-at-a-time pops, and never crosses [until]. *)
+let prop_pop_batch =
+  QCheck.Test.make ~count:300 ~name:"pop_batch equals repeated pop_due"
+    QCheck.(
+      make
+        ~print:Print.(pair (list print_op) float)
+        Gen.(pair (list_size (int_range 0 200) op_gen)
+               (float_bound_exclusive 20.)))
+    (fun (ops, until) ->
+      let w = Wheel.create ~tick ~dummy:(-1) () in
+      let model = ref [] in
+      let rank = ref 0 in
+      let next_id = ref 0 in
+      let clock = ref 0. in
+      List.iter
+        (function
+          | Push u ->
+              let key = !clock +. delay_of_frac u in
+              let id = !next_id in
+              incr next_id;
+              Wheel.push w ~key id;
+              model := model_insert !model ~key ~rank:!rank id;
+              incr rank
+          | Pop -> (
+              match !model with
+              | [] -> ()
+              | (k, _, _) :: rest ->
+                  ignore (Wheel.pop_exn w);
+                  model := rest;
+                  clock := Stdlib.max !clock k))
+        ops;
+      let due, late = List.partition (fun (k, _, _) -> k <= until) !model in
+      let cap = 3 in
+      let keys = Array.make cap 0. in
+      let seqs = Array.make cap 0 in
+      let data = Array.make cap (-1) in
+      let rec drain acc =
+        let n = Wheel.pop_batch w ~until ~keys ~seqs data in
+        if n = 0 then List.rev acc
+        else begin
+          (* Batches come out ascending in (key, seq). *)
+          for i = 1 to n - 1 do
+            assert (
+              keys.(i - 1) < keys.(i)
+              || (keys.(i - 1) = keys.(i) && seqs.(i - 1) < seqs.(i)))
+          done;
+          drain (List.rev_append (Array.to_list (Array.sub data 0 n)) acc)
+        end
+      in
+      let got = drain [] in
+      got = List.map (fun (_, _, id) -> id) due
+      && Wheel.length w = List.length late)
+
+let test_pop_batch_guard () =
+  (* The engine's splice-back protocol: batch a tick's cross-section, arm
+     the guard with the last key, let an interleaving push undercut it,
+     reinsert the unfired tail under its original seqs, and demand the
+     merged drain order. *)
+  let w = Wheel.create ~tick ~dummy:(-1) () in
+  (* Three FIFO-tied elements under one key (equal keys share a tick by
+     construction, however the float-to-tick rounding falls), staged into
+     one due run by a popped earlier sentinel — a lone first push is
+     staged straight into the head, making a 1-element batch. *)
+  let base = 100. *. tick in
+  Wheel.push w ~key:(50. *. tick) 99;
+  Wheel.push w ~key:base 0;
+  Wheel.push w ~key:base 1;
+  Wheel.push w ~key:base 2;
+  Alcotest.(check int) "sentinel" 99 (Wheel.pop_exn w);
+  let keys = Array.make 8 0. in
+  let seqs = Array.make 8 0 in
+  let data = Array.make 8 (-1) in
+  let n = Wheel.pop_batch w ~until:1.0 ~keys ~seqs data in
+  Alcotest.(check int) "one tick's cross-section" 3 n;
+  (Wheel.guard w).(0) <- keys.(2);
+  (* An equal-key push belongs after the tail by seq — no hit. *)
+  Wheel.push w ~key:base 4;
+  Alcotest.(check bool) "push at the guard does not trip it" false
+    (Wheel.guard_hit w);
+  (* A strictly smaller key would fire out of order — hit.  It is later
+     than everything popped so far, so monotonicity holds. *)
+  Wheel.push w ~key:(base -. (0.5 *. tick)) 3;
+  Alcotest.(check bool) "undercutting push trips the guard" true
+    (Wheel.guard_hit w);
+  Wheel.guard_clear w;
+  Alcotest.(check bool) "cleared" false (Wheel.guard_hit w);
+  (* Element 0 fired; elements 1 and 2 are the unfired tail.  Original
+     seqs keep them ahead of the equal-key interloper pushed since. *)
+  Wheel.reinsert w ~key:keys.(1) ~seq:seqs.(1) data.(1);
+  Wheel.reinsert w ~key:keys.(2) ~seq:seqs.(2) data.(2);
+  Alcotest.(check (list int))
+    "merged order after the splice" [ 3; 1; 2; 4 ]
+    (List.init 4 (fun _ -> Wheel.pop_exn w));
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+let test_pop_batch_capacity () =
+  (* More due elements than buffer: the batch truncates at capacity and
+     the remainder — including same-key FIFO ties — drains in order. *)
+  let w = Wheel.create ~tick ~dummy:(-1) () in
+  let k = 7. *. tick in
+  Wheel.push w ~key:(3. *. tick) 99;
+  for i = 0 to 9 do
+    Wheel.push w ~key:k i
+  done;
+  Alcotest.(check int) "sentinel" 99 (Wheel.pop_exn w);
+  let keys = Array.make 4 0. in
+  let seqs = Array.make 4 0 in
+  let data = Array.make 4 (-1) in
+  let n = Wheel.pop_batch w ~until:1.0 ~keys ~seqs data in
+  Alcotest.(check int) "capacity-bounded" 4 n;
+  Alcotest.(check (list int)) "first four in push order" [ 0; 1; 2; 3 ]
+    (Array.to_list (Array.sub data 0 n));
+  let n2 = Wheel.pop_batch w ~until:1.0 ~keys ~seqs data in
+  Alcotest.(check int) "next batch" 4 n2;
+  Alcotest.(check (list int)) "continues in push order" [ 4; 5; 6; 7 ]
+    (Array.to_list (Array.sub data 0 n2));
+  Alcotest.(check (list int)) "tail via pop_exn" [ 8; 9 ]
+    (List.init 2 (fun _ -> Wheel.pop_exn w))
+
 let test_fifo_within_tick () =
   (* Many pushes inside one level-0 tick, mixed with earlier and later
      keys: the same-key run must drain in push order. *)
@@ -183,6 +304,10 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_matches_model;
     QCheck_alcotest.to_alcotest prop_pop_due;
+    QCheck_alcotest.to_alcotest prop_pop_batch;
+    Alcotest.test_case "pop_batch guard and splice" `Quick
+      test_pop_batch_guard;
+    Alcotest.test_case "pop_batch capacity" `Quick test_pop_batch_capacity;
     Alcotest.test_case "FIFO within a tick" `Quick test_fifo_within_tick;
     Alcotest.test_case "overflow promotion" `Quick test_overflow_promotion;
     Alcotest.test_case "clear" `Quick test_clear_keeps_monotonicity;
