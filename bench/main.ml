@@ -205,20 +205,35 @@ let table3 () =
 (* ---- E1: bake-off ------------------------------------------------------- *)
 
 let bakeoff () =
-  let runs = X.run_bakeoff ~duration:!duration ~seed ~j:!jobs () in
+  let runs =
+    X.run_bakeoff ~duration:!duration ~seed ~j:!jobs ~check:!check_on ()
+  in
   let f2 = Table.fmt_float ~decimals:2 in
+  let f0 = Table.fmt_float ~decimals:0 in
+  let pt =
+    Ispn_util.Units.packet_times ~link_rate_bps:Ispn_util.Units.link_rate_bps
+      ~packet_bits:Ispn_util.Units.packet_bits
+  in
   let sample = [ 18; 8; 2; 0 ] in
   let rows =
     List.map
-      (fun (sched, results) ->
-        X.bakeoff_name sched
+      (fun (row : X.bakeoff_row) ->
+        X.bakeoff_name row.X.bk_sched
         :: List.concat_map
              (fun flow ->
                let r =
                  List.find (fun (fr : E.flow_result) -> fr.E.flow = flow)
-                   results
+                   row.X.bk_results
                in
-               [ f2 r.E.mean; f2 r.E.p999 ])
+               (* Zero delivered packets means no percentiles: print "-",
+                  never a 0.00 (or NaN) that reads as a measurement. *)
+               let stat v = if r.E.received = 0 then "-" else f2 v in
+               let bound =
+                 match row.X.bk_bounds with
+                 | None -> "-"
+                 | Some bs -> f0 (pt (List.assoc flow bs))
+               in
+               [ stat r.E.mean; stat r.E.p999; bound ])
              sample)
       runs
   in
@@ -226,19 +241,33 @@ let bakeoff () =
     (Table.render
        ~header:
          [
-           "scheduler"; "mean@1"; "p999@1"; "mean@2"; "p999@2"; "mean@3";
-           "p999@3"; "mean@4"; "p999@4";
+           "scheduler"; "mean@1"; "p999@1"; "bound@1"; "mean@2"; "p999@2";
+           "bound@2"; "mean@3"; "p999@3"; "bound@3"; "mean@4"; "p999@4";
+           "bound@4";
          ]
        ~rows ());
+  emit_check
+    (List.filter_map
+       (fun (row : X.bakeoff_row) ->
+         Option.map
+           (fun s -> ("bakeoff." ^ X.bakeoff_name row.X.bk_sched, s))
+           row.X.bk_check)
+       runs);
   print_endline
     "\nShape to check: the isolating schedulers (WFQ, VirtualClock, DRR,\n\
-     RR-groups) all pay a tail penalty against the sharing schedulers;\n\
-     EDF with equal budgets tracks FIFO exactly (Section 5's degeneracy);\n\
-     FIFO+ has the flattest tail growth with path length; and the\n\
-     non-work-conserving schemes (Stop-and-Go, HRR, Jitter-EDD) show\n\
-     Section 11's trade — much higher mean delay bought for a narrower\n\
-     delay spread (Jitter-EDD's p999-to-mean gap stays nearly flat\n\
-     across hops while its mean climbs by a full budget per hop)."
+     WRR, RR-groups) all pay a tail penalty against the sharing\n\
+     schedulers; EDF with equal budgets tracks FIFO exactly (Section 5's\n\
+     degeneracy), as does MC-FIFO by construction; FIFO+ has the flattest\n\
+     tail growth with path length; and the non-work-conserving schemes\n\
+     (CBS, ATS, Stop-and-Go, HRR, Jitter-EDD) show Section 11's trade —\n\
+     higher mean delay bought for a narrower delay spread.  The bound@h\n\
+     columns are the shapers' deterministic per-packet delay bounds\n\
+     (CBS/ATS: Mohammadpour et al.; WRR: Constantin et al.; MC-FIFO:\n\
+     Jiang-Misra), in packet times; --check audits every delivered\n\
+     packet against them, and their hundred-fold slack over the measured\n\
+     tails is the paper's isolation argument made quantitative: without\n\
+     per-flow isolation the provable bound balloons with the shared\n\
+     bursts even while typical delays stay small."
 
 (* ---- E2: admission ------------------------------------------------------ *)
 
@@ -522,7 +551,10 @@ let scale () =
        depends on the topology, so surface run_scale's own message
        instead of dying on an uncaught exception. *)
     try
-      X.run_scale ~duration:!duration ~seed ~shards:!shards ~check:!check_on ()
+      X.run_scale ~duration:!duration ~seed ~shards:!shards ~check:!check_on
+        ~metrics:(obs_on ())
+        ?series_interval:(series_interval ())
+        ()
     with Invalid_argument msg ->
       Printf.eprintf "%s\n" msg;
       exit 2
@@ -552,6 +584,10 @@ let scale () =
   (match r.X.sc_check with
   | None -> ()
   | Some s -> emit_check [ ("scale", s) ]);
+  emit_obs
+    (match r.X.sc_metrics with None -> [] | Some snap -> [ ("scale", snap) ]);
+  emit_series
+    (match r.X.sc_series with None -> [] | Some se -> [ ("scale", se) ]);
   print_endline
     "\nShape to check: mean delay grows with the regions crossed —\n\
      propagation dominates at ~10 ms per backbone hop — while the\n\
@@ -604,6 +640,27 @@ let micro () =
         Ispn_sched.Hrr.create ~engine:(Ispn_sim.Engine.create ()) ~frame:0.02
           ~slots_of:(fun _ -> 1 lsl 30)
           ~pool:(Ispn_sim.Qdisc.unbounded_pool ())
+          ()
+    | "WRR" ->
+        Ispn_sched.Wrr.create ~pool:(Ispn_sim.Qdisc.unbounded_pool ()) ()
+    | "CBS" ->
+        (* An idle slope far above the drain rate keeps every class's
+           credit non-negative, so the timed path is the touch-and-pick
+           scan, never the waker. *)
+        Ispn_sched.Cbs.create ~engine:(Ispn_sim.Engine.create ())
+          ~pool:(Ispn_sim.Qdisc.unbounded_pool ())
+          ~idle_slopes_bps:[| 1e12; 1e12 |]
+          ~class_of:(fun f -> f mod 2)
+          ()
+    | "ATS" ->
+        (* A token rate and depth far above the offered load keep every
+           head packet conformant: the measured cost is the per-flow
+           regulator lookup plus the class scan. *)
+        Ispn_sched.Ats.create ~engine:(Ispn_sim.Engine.create ())
+          ~pool:(Ispn_sim.Qdisc.unbounded_pool ())
+          ~n_classes:2
+          ~class_of:(fun f -> f mod 2)
+          ~shaper_of:(fun _ -> (1e12, 1e9))
           ()
     | "Stop-and-Go" ->
         (* One frame per bench tick: the 32-deep standing queue keeps the
@@ -658,8 +715,8 @@ let micro () =
     Test.make_grouped ~name:"sched"
       [
         test "FIFO"; test "FIFO+"; test "WFQ"; test "VirtualClock";
-        test "DRR"; test "EDF"; test "Jitter-EDD"; test "HRR";
-        test "Stop-and-Go"; test "CSZ";
+        test "DRR"; test "WRR"; test "EDF"; test "Jitter-EDD"; test "HRR";
+        test "CBS"; test "ATS"; test "Stop-and-Go"; test "CSZ";
       ]
   in
   let cfg =

@@ -272,22 +272,38 @@ let topology_cmd =
   Cmd.v (Cmd.info "topology" ~doc) Term.(const run $ const ())
 
 let bakeoff_cmd =
-  let run duration seed j =
-    let runs = Csz.Extensions.run_bakeoff ~duration ~seed ~j () in
+  let run duration seed j check =
+    let runs = Csz.Extensions.run_bakeoff ~duration ~seed ~j ~check () in
     let f2 = Ispn_util.Table.fmt_float ~decimals:2 in
+    let f0 = Ispn_util.Table.fmt_float ~decimals:0 in
+    let pt =
+      Ispn_util.Units.packet_times ~link_rate_bps:Ispn_util.Units.link_rate_bps
+        ~packet_bits:Ispn_util.Units.packet_bits
+    in
     let rows =
       List.map
-        (fun (sched, results) ->
-          Csz.Extensions.bakeoff_name sched
+        (fun (row : Csz.Extensions.bakeoff_row) ->
+          Csz.Extensions.bakeoff_name row.Csz.Extensions.bk_sched
           :: List.concat_map
                (fun flow ->
                  let r =
                    List.find
                      (fun (fr : Csz.Experiment.flow_result) ->
                        fr.Csz.Experiment.flow = flow)
-                     results
+                     row.Csz.Extensions.bk_results
                  in
-                 [ f2 r.Csz.Experiment.mean; f2 r.Csz.Experiment.p999 ])
+                 let stat v =
+                   if r.Csz.Experiment.received = 0 then "-" else f2 v
+                 in
+                 let bound =
+                   match row.Csz.Extensions.bk_bounds with
+                   | None -> "-"
+                   | Some bs -> f0 (pt (List.assoc flow bs))
+                 in
+                 [
+                   stat r.Csz.Experiment.mean; stat r.Csz.Experiment.p999;
+                   bound;
+                 ])
                [ 18; 8; 2; 0 ])
         runs
     in
@@ -295,16 +311,31 @@ let bakeoff_cmd =
       (Ispn_util.Table.render
          ~header:
            [
-             "scheduler"; "mean@1"; "p999@1"; "mean@2"; "p999@2"; "mean@3";
-             "p999@3"; "mean@4"; "p999@4";
+             "scheduler"; "mean@1"; "p999@1"; "bound@1"; "mean@2"; "p999@2";
+             "bound@2"; "mean@3"; "p999@3"; "bound@3"; "mean@4"; "p999@4";
+             "bound@4";
            ]
-         ~rows ())
+         ~rows ());
+    finish_check
+      (List.filter_map
+         (fun (row : Csz.Extensions.bakeoff_row) ->
+           Option.map
+             (fun s ->
+               ( "bakeoff."
+                 ^ Csz.Extensions.bakeoff_name row.Csz.Extensions.bk_sched,
+                 s ))
+             row.Csz.Extensions.bk_check)
+         runs)
   in
   let doc =
-    "E1: related-work scheduler bake-off (VirtualClock, EDF, DRR, RR-groups) \
-     on the Table-2 workload."
+    "E1: related-work scheduler bake-off (VirtualClock, EDF, DRR, WRR, \
+     MC-FIFO, CBS, ATS, RR-groups, ...) on the Table-2 workload, with \
+     analytic per-hop delay-bound columns for the shapers; --check audits \
+     every delivered packet against its registered bound."
   in
-  Cmd.v (Cmd.info "bakeoff" ~doc) Term.(const run $ duration $ seed $ jobs)
+  Cmd.v
+    (Cmd.info "bakeoff" ~doc)
+    Term.(const run $ duration $ seed $ jobs $ check_arg)
 
 let admission_cmd =
   let run duration seed debug j =
@@ -554,10 +585,14 @@ let scale_cmd =
     let doc = "60 s of simulated time instead of --duration." in
     Arg.(value & flag & info [ "fast" ] ~doc)
   in
-  let run duration seed shards fast check =
+  let run duration seed shards fast check metrics series =
     let duration = if fast then 60. else duration in
     let r =
-      try Csz.Extensions.run_scale ~duration ~seed ~shards ~check ()
+      try
+        Csz.Extensions.run_scale ~duration ~seed ~shards ~check
+          ~metrics:(metrics <> None)
+          ?series_interval:(if series <> None then Some 1.0 else None)
+          ()
       with Invalid_argument msg ->
         Printf.eprintf "ispn_sim: %s\n" msg;
         exit 2
@@ -587,6 +622,12 @@ let scale_cmd =
       (1e3 *. r.Csz.Extensions.sc_lookahead)
       r.Csz.Extensions.sc_windows r.Csz.Extensions.sc_exchanged
       r.Csz.Extensions.sc_fired;
+    (match r.Csz.Extensions.sc_metrics with
+    | None -> ()
+    | Some snap -> finish_metrics metrics [ ("scale", snap) ]);
+    (match r.Csz.Extensions.sc_series with
+    | None -> ()
+    | Some se -> finish_series series [ ("scale", se) ]);
     finish_check
       (match r.Csz.Extensions.sc_check with
       | None -> []
@@ -595,10 +636,13 @@ let scale_cmd =
   let doc =
     "E14: one large parking-lot simulation (20 switches, thousands of \
      on/off flows) sharded across OCaml 5 domains with conservative \
-     lock-step windows — same table at every --shards width."
+     lock-step windows — same table, metrics and series at every --shards \
+     width."
   in
   Cmd.v (Cmd.info "scale" ~doc)
-    Term.(const run $ duration $ seed $ shards $ fast $ check_arg)
+    Term.(
+      const run $ duration $ seed $ shards $ fast $ check_arg $ metrics_arg
+      $ series_arg)
 
 let importance_cmd =
   let run duration seed =

@@ -8,7 +8,8 @@ let bucket_eps = 1e-6
 let bound_eps = 1e-9
 let max_samples = 8
 
-let non_work_conserving_names = [ "Stop-and-Go"; "HRR"; "Jitter-EDD" ]
+let non_work_conserving_names =
+  [ "Stop-and-Go"; "HRR"; "Jitter-EDD"; "CBS"; "ATS" ]
 let work_conserving_name n = not (List.mem n non_work_conserving_names)
 
 type counter = { inv : string; mutable checks : int; mutable violations : int }
@@ -37,7 +38,16 @@ type bucket = {
   mutable last_refill : float;
 }
 
-type gbound = { g_link : int; bound_s : float }
+type bound_kind = Pg | Cbs | Ats | Wrr | Mc_fifo
+
+let bound_label = function
+  | Pg -> "PG"
+  | Cbs -> "CBS"
+  | Ats -> "ATS"
+  | Wrr -> "WRR"
+  | Mc_fifo -> "MC-FIFO"
+
+type gbound = { g_link : int; bound_s : float; g_kind : bound_kind }
 
 (* One soft-state book (a signaling agent's admission records, a flow-slot
    pool) whose cumulative counters must balance at report time. *)
@@ -62,6 +72,10 @@ type t = {
   delay : counter;
   token_bucket : counter;
   pg_bound : counter;
+  cbs_bound : counter;
+  ats_bound : counter;
+  wrr_bound : counter;
+  mcfifo_bound : counter;
   flow_state : counter;
   arena_base : Packet.pool_stats;
       (* Arena counters are cumulative across the simulations a domain has
@@ -82,6 +96,10 @@ let counters t =
     t.delay;
     t.token_bucket;
     t.pg_bound;
+    t.cbs_bound;
+    t.ats_bound;
+    t.wrr_bound;
+    t.mcfifo_bound;
     t.flow_state;
   ]
 
@@ -101,6 +119,10 @@ let create () =
     delay = { inv = "delay"; checks = 0; violations = 0 };
     token_bucket = { inv = "token-bucket"; checks = 0; violations = 0 };
     pg_bound = { inv = "pg-bound"; checks = 0; violations = 0 };
+    cbs_bound = { inv = "cbs-bound"; checks = 0; violations = 0 };
+    ats_bound = { inv = "ats-bound"; checks = 0; violations = 0 };
+    wrr_bound = { inv = "wrr-bound"; checks = 0; violations = 0 };
+    mcfifo_bound = { inv = "mcfifo-bound"; checks = 0; violations = 0 };
     flow_state = { inv = "flow-state"; checks = 0; violations = 0 };
     events = 0;
     samples = [];
@@ -173,9 +195,19 @@ let register_flow_state t ~label ~admitted ~released ~live ?bad () =
     }
     :: t.fstates
 
-let register_pg_bound t ~flow ~link ~bound_s =
+let register_delay_bound t ~kind ~flow ~link ~bound_s =
   set_slot t (fun t -> t.bounds) (fun t a -> t.bounds <- a) flow
-    { g_link = link; bound_s }
+    { g_link = link; bound_s; g_kind = kind }
+
+let register_pg_bound t ~flow ~link ~bound_s =
+  register_delay_bound t ~kind:Pg ~flow ~link ~bound_s
+
+let bound_counter t = function
+  | Pg -> t.pg_bound
+  | Cbs -> t.cbs_bound
+  | Ats -> t.ats_bound
+  | Wrr -> t.wrr_bound
+  | Mc_fifo -> t.mcfifo_bound
 
 let debit_bucket t b ~now ~flow (pkt : Packet.t) =
   (* Mirror of [Token_bucket.refill] + the conforming debit. *)
@@ -266,14 +298,14 @@ let tap t =
     if flow < Array.length t.bounds then
       match t.bounds.(flow) with
       | Some g when g.g_link = link ->
-          check t t.pg_bound
+          check t (bound_counter t g.g_kind)
             (pa.Packet.qdelay_total.(pkt) <= g.bound_s +. bound_eps)
             (fun () ->
               Printf.sprintf
                 "flow %d seq %d at t=%.6f: queueing delay %.6fs exceeds the \
-                 PG bound %.6fs"
+                 %s bound %.6fs"
                 flow pa.Packet.seq.(pkt) now pa.Packet.qdelay_total.(pkt)
-                g.bound_s)
+                (bound_label g.g_kind) g.bound_s)
       | _ -> ()
   in
   let on_drop ~link ~now ~cause (pkt : Packet.t) =

@@ -10,8 +10,8 @@
       negative, high-water never above capacity, and the pool's in-use
       count equals the qdisc's reported backlog (no leaked buffers).
     - {b work-conservation} — a work-conserving scheduler may not leave
-      the transmitter idle while packets are queued (Stop-and-Go, HRR and
-      Jitter-EDD are exempt by design).
+      the transmitter idle while packets are queued (Stop-and-Go, HRR,
+      Jitter-EDD, CBS and ATS are exempt by design).
     - {b delay} — per-hop waits and accumulated queueing delays are
       monotone non-negative.
     - {b token-bucket} — traffic observed at a policed flow's ingress
@@ -20,6 +20,12 @@
     - {b pg-bound} — a guaranteed WFQ flow's end-to-end queueing delay
       never exceeds its Parekh–Gallager bound (checked per delivered
       packet at the flow's egress link).
+    - {b cbs-bound} / {b ats-bound} / {b wrr-bound} / {b mcfifo-bound} —
+      the same per-delivered-packet end-to-end check against the
+      bake-off shapers' network-calculus bounds (Mohammadpour et al. for
+      CBS/ATS, Constantin et al. for WRR, Jiang–Misra for multiclass
+      FIFO; formulas in [Ispn_util.Analytic], catalogue in DESIGN.md
+      §9), registered via {!register_delay_bound}.
     - {b flow-state} — soft-state leak accounting for every registered
       reservation book and flow-slot pool: live = admitted − released,
       never negative, with zero bad releases (see
@@ -55,9 +61,20 @@ val register_policed_flow :
 (** Check every packet of [flow] arriving at [link] (its first hop)
     against a token bucket [(rate_bps, depth_bits)] that starts full. *)
 
-val register_pg_bound : t -> flow:int -> link:int -> bound_s:float -> unit
+type bound_kind = Pg | Cbs | Ats | Wrr | Mc_fifo
+(** Which invariant counter (and report label) a registered delay bound
+    feeds: the Parekh–Gallager WFQ check or one of the bake-off shaper
+    bounds. *)
+
+val register_delay_bound :
+  t -> kind:bound_kind -> flow:int -> link:int -> bound_s:float -> unit
 (** Check every packet of [flow] delivered by [link] (its egress hop)
-    against the end-to-end queueing-delay bound [bound_s] (seconds). *)
+    against the end-to-end queueing-delay bound [bound_s] (seconds),
+    accounted to [kind]'s invariant.  A flow holds at most one bound;
+    re-registering replaces it. *)
+
+val register_pg_bound : t -> flow:int -> link:int -> bound_s:float -> unit
+(** [register_delay_bound ~kind:Pg]. *)
 
 val register_flow_state :
   t ->
@@ -78,7 +95,8 @@ val register_flow_state :
 
 val work_conserving_name : string -> bool
 (** Classification used by {!attach_link}: every scheduler name except
-    Stop-and-Go, HRR and Jitter-EDD is treated as work-conserving. *)
+    Stop-and-Go, HRR, Jitter-EDD, CBS and ATS is treated as
+    work-conserving. *)
 
 val tap : t -> Ispn_sim.Tap.t
 (** The raw tap, for driving the auditor without a link (tests). *)

@@ -11,11 +11,15 @@ module Meter = Ispn_admission.Meter
 type bakeoff_sched =
   | B_wfq
   | B_fifo
+  | B_mc_fifo
   | B_fifo_plus
   | B_virtual_clock
   | B_edf
   | B_drr
+  | B_wrr
   | B_rr_groups
+  | B_cbs
+  | B_ats
   | B_stop_and_go
   | B_hrr
   | B_jitter_edd
@@ -23,21 +27,64 @@ type bakeoff_sched =
 let bakeoff_name = function
   | B_wfq -> "WFQ"
   | B_fifo -> "FIFO"
+  | B_mc_fifo -> "MC-FIFO"
   | B_fifo_plus -> "FIFO+"
   | B_virtual_clock -> "VirtualClock"
   | B_edf -> "EDF"
   | B_drr -> "DRR"
+  | B_wrr -> "WRR"
   | B_rr_groups -> "RR-groups"
+  | B_cbs -> "CBS"
+  | B_ats -> "ATS"
   | B_stop_and_go -> "Stop-and-Go"
   | B_hrr -> "HRR"
   | B_jitter_edd -> "Jitter-EDD"
 
-let bakeoff_qdisc sched engine _link =
-  let pool = Qdisc.pool ~capacity:Units.buffer_packets in
+(* Figure-1 shaper parameters shared by the modern-shaper rows and their
+   analytic bounds: every flow is policed to (85 pkt/s, 50 pkt), i.e.
+   (85 000 bit/s, 50 000 bits) at 1000-bit packets. *)
+let bakeoff_rate_bps = Scenario.default_avg_rate_pps *. float Units.packet_bits
+
+let bakeoff_burst_bits =
+  Scenario.token_bucket_depth_packets *. float Units.packet_bits
+
+let fig1_hops =
+  let a = Array.make 22 0 in
+  List.iter
+    (fun (fs : Scenario.flow_spec) -> a.(fs.Scenario.flow) <- Scenario.hops fs)
+    Scenario.figure1_flows;
+  a
+
+(* CBS runs two TSN-style classes: A (index 0, the 1-hop flows) and B
+   (everything longer); ATS runs one strict-priority class per path
+   length, shortest paths highest.  Both maps are per flow, so class
+   membership is consistent along a path. *)
+let cbs_class_of flow = if fig1_hops.(flow) = 1 then 0 else 1
+let ats_class_of flow = fig1_hops.(flow) - 1
+
+(* Per-link idle slopes: each class gets its reserved rate plus an equal
+   share of the link's headroom, so the slopes sum to the link rate and
+   every class's slope strictly covers its load. *)
+let cbs_idle_slopes link =
+  let r = Array.make 2 0. in
+  List.iter
+    (fun (fs : Scenario.flow_spec) ->
+      let c = cbs_class_of fs.Scenario.flow in
+      r.(c) <- r.(c) +. bakeoff_rate_bps)
+    (Scenario.flows_on_link link);
+  let headroom = Units.link_rate_bps -. (r.(0) +. r.(1)) in
+  [| r.(0) +. (headroom /. 2.); r.(1) +. (headroom /. 2.) |]
+
+let bakeoff_qdisc sched engine ~pool link =
   let link_rate_bps = Units.link_rate_bps in
   match sched with
   | B_wfq -> Ispn_sched.Wfq.create_equal ~pool ~link_rate_bps ()
   | B_fifo -> Ispn_sched.Fifo.create ~pool ()
+  | B_mc_fifo ->
+      (* The multiclass-FIFO configuration is the plain FIFO: classes
+         share the queue, and the Jiang-Misra per-class bound (computed
+         in [bakeoff_bounds]) is what distinguishes the row. *)
+      Ispn_sched.Fifo.create ~pool ()
   | B_fifo_plus -> snd (Ispn_sched.Fifo_plus.create ~pool ())
   | B_virtual_clock ->
       (* Ten flows per link: each is entitled to a tenth of the link. *)
@@ -49,6 +96,19 @@ let bakeoff_qdisc sched engine _link =
          FIFO, which the bake-off table lets the reader confirm. *)
       Ispn_sched.Edf.create ~pool ~deadline_of:(fun _ -> 0.01) ()
   | B_drr -> Ispn_sched.Drr.create ~pool ~quantum_bits:Units.packet_bits ()
+  | B_wrr ->
+      (* Equal unit weights over the ten flows of each link: plain
+         packet-counted round robin, the Constantin et al. baseline. *)
+      Ispn_sched.Wrr.create ~pool ()
+  | B_cbs ->
+      Ispn_sched.Cbs.create ~engine ~pool
+        ~idle_slopes_bps:(cbs_idle_slopes link) ~class_of:cbs_class_of ()
+  | B_ats ->
+      (* Interleaved regulators re-shape every flow to its original
+         policing envelope at each hop. *)
+      Ispn_sched.Ats.create ~engine ~pool ~n_classes:4 ~class_of:ats_class_of
+        ~shaper_of:(fun _ -> (bakeoff_rate_bps, bakeoff_burst_bits))
+        ()
   | B_rr_groups ->
       (* One group per flow: per-flow round robin, the Jacobson-Floyd
          within-priority scheme. *)
@@ -71,19 +131,163 @@ let bakeoff_qdisc sched engine _link =
       Ispn_sched.Jitter_edd.create ~engine ~budget_of:(fun _ -> 0.020) ~pool
         ()
 
-let run_bakeoff ?(duration = Units.sim_duration_s) ?(seed = 42L) ?(j = 1) () =
+let bakeoff_bound_kind = function
+  | B_cbs -> Some Ispn_check.Audit.Cbs
+  | B_ats -> Some Ispn_check.Audit.Ats
+  | B_wrr -> Some Ispn_check.Audit.Wrr
+  | B_mc_fifo -> Some Ispn_check.Audit.Mc_fifo
+  | _ -> None
+
+(* End-to-end analytic queueing-delay bounds for the modern-shaper rows
+   (None for the classic schedulers): iterate the four links in path
+   order, give every flow crossing link [li] its per-hop bound from the
+   scheduler's service curve ([Ispn_util.Analytic]), and grow the flow's
+   burst by [rate * hop_bound] for the next hop (a system with delay
+   bound [d] outputs at most [(burst + rate*d, rate)]).  ATS is the
+   exception: its per-hop regulators re-shape every flow to the original
+   envelope, so bursts never grow and — by the interleaved-regulator
+   shaping-for-free theorem — the regulator holds add nothing beyond the
+   per-hop strict-priority bounds being summed.  Deterministic (pure
+   arithmetic on the Figure-1 constants), so rows can print the bounds
+   whether or not [--check] is on. *)
+let bakeoff_bounds sched =
+  match bakeoff_bound_kind sched with
+  | None -> None
+  | Some _ ->
+      let module A = Ispn_util.Analytic in
+      let lr = Units.link_rate_bps in
+      let l = Units.packet_bits in
+      let burst = Array.make 22 bakeoff_burst_bits in
+      let cum = Array.make 22 0. in
+      let add_hop f d =
+        cum.(f) <- cum.(f) +. d;
+        burst.(f) <- burst.(f) +. (bakeoff_rate_bps *. d)
+      in
+      for li = 0 to 3 do
+        let flows = Scenario.flows_on_link li in
+        let each g =
+          List.iter (fun (fs : Scenario.flow_spec) -> g fs.Scenario.flow) flows
+        in
+        match sched with
+        | B_wrr ->
+            let total_weight = List.length flows in
+            let rate, lat =
+              A.wrr_service ~link_rate_bps:lr ~weight:1 ~total_weight
+                ~max_packet_bits:l
+            in
+            each (fun f ->
+                add_hop f
+                  (A.rate_latency_delay ~burst_bits:burst.(f)
+                     ~rate_bps:bakeoff_rate_bps ~service_rate_bps:rate
+                     ~latency_s:lat))
+        | B_mc_fifo ->
+            let total_burst = ref 0. and total_rate = ref 0. in
+            each (fun f ->
+                total_burst := !total_burst +. burst.(f);
+                total_rate := !total_rate +. bakeoff_rate_bps);
+            let d =
+              A.mc_fifo_delay ~link_rate_bps:lr ~total_burst_bits:!total_burst
+                ~total_rate_bps:!total_rate ~max_packet_bits:l
+            in
+            each (fun f -> add_hop f d)
+        | B_cbs ->
+            let slopes = cbs_idle_slopes li in
+            let bc = Array.make 2 0. and rc = Array.make 2 0. in
+            each (fun f ->
+                let c = cbs_class_of f in
+                bc.(c) <- bc.(c) +. burst.(f);
+                rc.(c) <- rc.(c) +. bakeoff_rate_bps);
+            let d_class c =
+              let lat =
+                A.cbs_latency ~link_rate_bps:lr ~idle_slope_bps:slopes.(c)
+                  ~higher_slope_bps:(if c = 0 then 0. else slopes.(0))
+                  ~max_packet_bits:l
+              in
+              A.rate_latency_delay ~burst_bits:bc.(c) ~rate_bps:rc.(c)
+                ~service_rate_bps:slopes.(c) ~latency_s:lat
+            in
+            let d = [| d_class 0; d_class 1 |] in
+            each (fun f -> add_hop f d.(cbs_class_of f))
+        | B_ats ->
+            (* Shaped (original) per-flow envelopes at every hop. *)
+            let bc = Array.make 4 0. and rc = Array.make 4 0. in
+            each (fun f ->
+                let c = ats_class_of f in
+                bc.(c) <- bc.(c) +. bakeoff_burst_bits;
+                rc.(c) <- rc.(c) +. bakeoff_rate_bps);
+            each (fun f ->
+                let c = ats_class_of f in
+                let hr = ref 0. and hb = ref 0. in
+                for q = 0 to c - 1 do
+                  hr := !hr +. rc.(q);
+                  hb := !hb +. bc.(q)
+                done;
+                let rate, lat =
+                  A.sp_service ~link_rate_bps:lr ~higher_rate_bps:!hr
+                    ~higher_burst_bits:!hb ~max_packet_bits:l
+                in
+                (* Bursts stay shaped: no growth, just the hop bound. *)
+                cum.(f) <-
+                  cum.(f)
+                  +. A.rate_latency_delay ~burst_bits:bc.(c) ~rate_bps:rc.(c)
+                       ~service_rate_bps:rate ~latency_s:lat)
+        | _ -> assert false
+      done;
+      Some
+        (List.map
+           (fun (fs : Scenario.flow_spec) ->
+             (fs.Scenario.flow, cum.(fs.Scenario.flow)))
+           Scenario.figure1_flows)
+
+type bakeoff_row = {
+  bk_sched : bakeoff_sched;
+  bk_results : Experiment.flow_result list;
+  bk_bounds : (int * float) list option;
+  bk_check : Ispn_check.Audit.summary option;
+}
+
+let bakeoff_scheds =
+  [
+    B_wfq; B_fifo; B_mc_fifo; B_fifo_plus; B_virtual_clock; B_edf; B_drr;
+    B_wrr; B_rr_groups; B_cbs; B_ats; B_stop_and_go; B_hrr; B_jitter_edd;
+  ]
+
+let run_bakeoff ?(duration = Units.sim_duration_s) ?(seed = 42L) ?(j = 1)
+    ?(check = false) ?(scheds = bakeoff_scheds) () =
   Ispn_exec.Pool.map ~j
     (fun sched ->
-      let results, _ =
-        Experiment.run_figure1_custom
-          ~qdisc_of:(fun engine link -> bakeoff_qdisc sched engine link)
-          ~duration ~seed ()
+      let audit = if check then Some (Ispn_check.Audit.create ()) else None in
+      let bounds = bakeoff_bounds sched in
+      (match (audit, bounds, bakeoff_bound_kind sched) with
+      | Some a, Some bs, Some kind ->
+          List.iter
+            (fun (flow, bound_s) ->
+              let spec =
+                List.find
+                  (fun (fs : Scenario.flow_spec) -> fs.Scenario.flow = flow)
+                  Scenario.figure1_flows
+              in
+              Ispn_check.Audit.register_delay_bound a ~kind ~flow
+                ~link:(spec.Scenario.egress - 1) ~bound_s)
+            bs
+      | _ -> ());
+      let qdisc_of engine link =
+        let pool = Qdisc.pool ~capacity:Units.buffer_packets in
+        (match audit with
+        | Some a -> Ispn_check.Audit.register_pool a ~link pool
+        | None -> ());
+        bakeoff_qdisc sched engine ~pool link
       in
-      (sched, results))
-    [
-      B_wfq; B_fifo; B_fifo_plus; B_virtual_clock; B_edf; B_drr; B_rr_groups;
-      B_stop_and_go; B_hrr; B_jitter_edd;
-    ]
+      let results, _ =
+        Experiment.run_figure1_custom ~qdisc_of ~duration ~seed ?audit ()
+      in
+      {
+        bk_sched = sched;
+        bk_results = results;
+        bk_bounds = bounds;
+        bk_check = Option.map Ispn_check.Audit.finalize audit;
+      })
+    scheds
 
 (* --- E2: admission policies ---------------------------------------------- *)
 
@@ -1645,6 +1849,8 @@ type scale_report = {
   sc_exchanged : int;
   sc_fired : int;
   sc_check : Ispn_check.Audit.summary option;
+  sc_metrics : Ispn_obs.Metrics.snapshot option;
+  sc_series : Ispn_obs.Series.export option;
 }
 
 (* Merge per-shard audit summaries: counters sum, the invariant catalogue
@@ -1669,8 +1875,8 @@ let merge_summaries (a : Ispn_check.Audit.summary)
   }
 
 let run_scale ?(duration = 60.) ?(seed = 42L) ?(shards = 1) ?(regions = 4)
-    ?(per_region = 5) ?(flows = 2000) ?(avg_rate_pps = 8.) ?(check = false) ()
-    =
+    ?(per_region = 5) ?(flows = 2000) ?(avg_rate_pps = 8.) ?(check = false)
+    ?(metrics = false) ?series_interval () =
   if regions < 1 || per_region < 2 then
     invalid_arg "run_scale: need >= 1 region of >= 2 switches";
   if shards < 1 || shards > regions then
@@ -1749,12 +1955,66 @@ let run_scale ?(duration = 60.) ?(seed = 42L) ?(shards = 1) ?(regions = 4)
     if check then Some (Array.init shards (fun _ -> Ispn_check.Audit.create ()))
     else None
   in
-  let on_link =
-    Option.map
-      (fun audits ~shard lk -> Ispn_check.Audit.attach_link audits.(shard) lk)
-      audits
+  (* Observability mirrors the audit pattern: one registry (and, behind
+     [--series], one sampler + histogram set) per shard, created here,
+     mutated only inside the owning domain, merged in canonical order
+     after the join.  Only per-link instruments are registered — the
+     [engine.*] / [arena.*] gauges of the unsharded sections are
+     per-domain artifacts and would break the every-[--shards]-width
+     byte-identity of the merged output. *)
+  let want_obs = metrics || series_interval <> None in
+  let regs =
+    if want_obs then
+      Some (Array.init shards (fun _ -> Ispn_obs.Metrics.create ()))
+    else None
   in
-  let res = Shardnet.run ?on_link ~until:duration spec in
+  let hists =
+    match (series_interval, regs) with
+    | Some _, Some regs ->
+        Some (Array.map (fun m -> Ispn_obs.Hist.create ~metrics:m ()) regs)
+    | _ -> None
+  in
+  let series =
+    match (series_interval, regs) with
+    | Some interval, Some regs ->
+        Some
+          (Array.map
+             (fun m -> Ispn_obs.Series.create ~interval ~metrics:m ())
+             regs)
+    | _ -> None
+  in
+  let on_link =
+    if audits = None && not want_obs then None
+    else
+      Some
+        (fun ~shard lk ->
+          (match audits with
+          | Some a -> Ispn_check.Audit.attach_link a.(shard) lk
+          | None -> ());
+          (match regs with
+          | Some regs ->
+              Ispn_sim.Link.register_metrics lk regs.(shard)
+                ~prefix:(Printf.sprintf "link.%d" (Ispn_sim.Link.id lk))
+          | None -> ());
+          match hists with
+          | Some hists ->
+              let ch =
+                Ispn_obs.Hist.channel hists.(shard)
+                  (Printf.sprintf "link.%d.wait" (Ispn_sim.Link.id lk))
+              in
+              Ispn_sim.Link.add_tap lk
+                (Tap.make
+                   ~on_dequeue:(fun ~link:_ ~now:_ ~wait _ ->
+                     Ispn_util.Loghist.add ch wait)
+                   ())
+          | None -> ())
+  in
+  let on_shard =
+    Option.map
+      (fun series ~shard engine -> Engine.attach_series engine series.(shard))
+      series
+  in
+  let res = Shardnet.run ?on_link ?on_shard ~until:duration spec in
   (* Rows bucket flows by regions crossed; every field is a sum or max of
      shard-count-independent per-flow results, so stdout stays identical
      at every [shards]. *)
@@ -1825,4 +2085,53 @@ let run_scale ?(duration = 60.) ?(seed = 42L) ?(shards = 1) ?(regions = 4)
           List.fold_left merge_summaries (List.hd summaries)
             (List.tl summaries))
         audits;
+    sc_metrics =
+      (* Every instrument name carries its global link id and each link
+         lives in exactly one shard, so concatenating the per-shard
+         snapshots and re-sorting by name is the canonical merge. *)
+      (if metrics then
+         Option.map
+           (fun regs ->
+             List.sort
+               (fun (a, _) (b, _) -> compare a b)
+               (List.concat_map Ispn_obs.Metrics.snapshot
+                  (Array.to_list regs)))
+           regs
+       else None);
+    sc_series =
+      Option.map
+        (fun series ->
+          let exports =
+            Array.to_list
+              (Array.mapi
+                 (fun s t ->
+                   let hist = Option.map (fun h -> h.(s)) hists in
+                   Ispn_obs.Series.export ?hist t)
+                 series)
+          in
+          let e0 = List.hd exports in
+          (* Samplers tick on the same deterministic grid in every shard
+             (armed at t=0, engines all run to [duration]). *)
+          List.iter
+            (fun (e : Ispn_obs.Series.export) ->
+              assert (e.Ispn_obs.Series.ex_times = e0.Ispn_obs.Series.ex_times))
+            exports;
+          {
+            e0 with
+            Ispn_obs.Series.ex_columns =
+              List.sort
+                (fun (a, _) (b, _) -> compare a b)
+                (List.concat_map
+                   (fun (e : Ispn_obs.Series.export) ->
+                     e.Ispn_obs.Series.ex_columns)
+                   exports);
+            ex_hists =
+              List.sort
+                (fun (a, _) (b, _) -> compare a b)
+                (List.concat_map
+                   (fun (e : Ispn_obs.Series.export) ->
+                     e.Ispn_obs.Series.ex_hists)
+                   exports);
+          })
+        series;
   }

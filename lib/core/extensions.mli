@@ -18,22 +18,68 @@
 type bakeoff_sched =
   | B_wfq
   | B_fifo
+  | B_mc_fifo
+      (** Plain FIFO shared by the path-length classes, distinguished by
+          its Jiang-Misra per-class analytic bound. *)
   | B_fifo_plus
   | B_virtual_clock
   | B_edf  (** Equal per-hop budgets — degenerates to FIFO. *)
   | B_drr
+  | B_wrr  (** Packet-counted weighted round robin (Constantin et al.). *)
   | B_rr_groups  (** The Jacobson-Floyd per-group round robin. *)
+  | B_cbs
+      (** TSN Credit-Based Shaper, classes A/B by path length
+          (Mohammadpour et al.); non-work-conserving. *)
+  | B_ats
+      (** Asynchronous Traffic Shaping: interleaved regulators before a
+          strict-priority core (Mohammadpour et al.);
+          non-work-conserving. *)
   | B_stop_and_go  (** Non-work-conserving framing (Golestani). *)
   | B_hrr  (** Non-work-conserving rate control (Kalmanek et al.). *)
   | B_jitter_edd  (** Non-work-conserving jitter cancellation (Verma et al.). *)
 
 val bakeoff_name : bakeoff_sched -> string
 
+val bakeoff_bound_kind : bakeoff_sched -> Ispn_check.Audit.bound_kind option
+(** The audit invariant a scheduler's analytic bound is accounted to —
+    [Some] exactly for the four bounded shapers. *)
+
+val bakeoff_bounds : bakeoff_sched -> (int * float) list option
+(** End-to-end analytic queueing-delay bounds for the modern-shaper rows,
+    as [(flow, bound_s)] over the 22 Figure-1 flows — [None] for the
+    classic schedulers, which publish no such closed form here.  Pure
+    arithmetic on the Figure-1 constants via [Ispn_util.Analytic]:
+    per-hop service-curve bounds summed along the path, with token-bucket
+    bursts grown by [rate * hop_bound] per hop (except ATS, whose
+    regulators re-shape every hop). *)
+
+type bakeoff_row = {
+  bk_sched : bakeoff_sched;
+  bk_results : Experiment.flow_result list;
+  bk_bounds : (int * float) list option;
+      (** {!bakeoff_bounds} of the row's scheduler. *)
+  bk_check : Ispn_check.Audit.summary option;
+      (** Present when run with [~check:true]: the per-run audit, with
+          every delivered packet of a bounded scheduler checked against
+          its registered end-to-end bound (invariants [cbs-bound],
+          [ats-bound], [wrr-bound], [mcfifo-bound]). *)
+}
+
 val run_bakeoff :
-  ?duration:float -> ?seed:int64 -> ?j:int -> unit ->
-  (bakeoff_sched * Experiment.flow_result list) list
-(** Figure-1 workload under each scheduler; results per flow as in
-    {!Experiment.run_figure1}. *)
+  ?duration:float ->
+  ?seed:int64 ->
+  ?j:int ->
+  ?check:bool ->
+  ?scheds:bakeoff_sched list ->
+  unit ->
+  bakeoff_row list
+(** Figure-1 workload under each scheduler in [scheds] (default: the full
+    table, in row order); results per flow as in
+    {!Experiment.run_figure1}.  With [~check:true] each job attaches an
+    [Ispn_check.Audit] context and registers the scheduler's analytic
+    bounds, so the summaries prove measured delay <= bound per delivered
+    packet; bounds are computed (and printable) either way, keeping
+    default stdout identical. *)
 
 (** {2 E2: admission control policies under dynamic load} *)
 
@@ -443,6 +489,18 @@ type scale_report = {
   sc_fired : int;
   sc_check : Ispn_check.Audit.summary option;
       (** Present when [check]: per-shard audits merged by summation. *)
+  sc_metrics : Ispn_obs.Metrics.snapshot option;
+      (** Present when [metrics]: per-shard registries of per-link
+          instruments ([link.<i>.*], plus [hist.link.<i>.wait.*] when the
+          series sampler is on), concatenated and name-sorted — each link
+          lives in exactly one shard, so the merge is canonical and the
+          snapshot byte-identical at every [shards] width.  The
+          per-domain [engine.*] / [arena.*] gauges are deliberately not
+          registered. *)
+  sc_series : Ispn_obs.Series.export option;
+      (** Present when [series_interval]: per-shard samplers on one
+          shared deterministic tick grid, columns and histogram channels
+          concatenated and name-sorted into a single export. *)
 }
 
 val run_scale :
@@ -454,6 +512,8 @@ val run_scale :
   ?flows:int ->
   ?avg_rate_pps:float ->
   ?check:bool ->
+  ?metrics:bool ->
+  ?series_interval:float ->
   unit ->
   scale_report
 (** One large simulation partitioned over OCaml 5 domains
@@ -470,7 +530,10 @@ val run_scale :
     streams are split off the master in flow order before any domain
     spawns.  [shards] must divide the regions into contiguous blocks
     ([1 <= shards <= regions]).  With [check], each shard owns an audit
-    context and the merged summary must be violation-free.  Shapes to
+    context and the merged summary must be violation-free; [metrics] and
+    [series_interval] follow the same per-shard-context,
+    merge-in-canonical-order pattern (fields {!scale_report.sc_metrics}
+    and {!scale_report.sc_series}).  Shapes to
     expect: mean delay grows with span (propagation dominates; ~10 ms per
     backbone hop), queueing delay stays a small share at this load, and
     drops are rare. *)

@@ -1,0 +1,27 @@
+(** IEEE 802.1Q Credit-Based Shaper (TSN class A/B gating).
+
+    Strict priority across classes with a per-class credit gate: credit
+    accrues at the class's idleSlope while it is backlogged (or negative),
+    is debited by the frame size on each send, resets to zero when the
+    class drains, and the head is eligible only while credit >= 0.  The
+    gate caps each class's long-run rate at its idleSlope, smoothing the
+    class's output so downstream hops see a burst-limited aggregate —
+    the property Mohammadpour et al.'s per-hop bounds (PAPERS.md, encoded
+    as [Analytic.cbs_latency]) rest on.
+
+    Non-work-conserving: when every backlogged class is in deficit the
+    link idles until the earliest credit recovery, via the
+    [attach_waker] hook (the work-conservation audit exempts "CBS"). *)
+
+val create :
+  engine:Ispn_sim.Engine.t ->
+  pool:Ispn_sim.Qdisc.pool ->
+  idle_slopes_bps:float array ->
+  class_of:(int -> int) ->
+  unit ->
+  Ispn_sim.Qdisc.t
+(** [idle_slopes_bps.(c)] is class [c]'s credit slope in bit/s (index 0 is
+    the highest priority; all must be positive — [Invalid_argument]
+    otherwise; slopes summing to at most the link rate keep every class
+    schedulable).  [class_of] maps a flow id to its class index.  The
+    engine is needed to schedule credit-recovery wakeups. *)

@@ -1,0 +1,21 @@
+(** Weighted round robin over per-flow packet queues.
+
+    The baseline TSN/DiffServ class scheduler the related work measures
+    CBS and ATS against (Constantin et al., PAPERS.md): each flow with
+    backlog is visited in round-robin order and may send up to
+    [weight_of flow] {e packets} per round.  Packet-counted weights make
+    the classical WRR unfairness to small-packet flows visible in the
+    bake-off, and give the scheduler the rate-latency service curve
+    [Analytic.wrr_service] that the [--check] bound audits.
+
+    Work-conserving; hot path is [Drr]'s dense flow-array + ring
+    machinery with unit packet cost. *)
+
+val create :
+  pool:Ispn_sim.Qdisc.pool ->
+  ?weight_of:(int -> int) ->
+  unit ->
+  Ispn_sim.Qdisc.t
+(** [weight_of] maps a flow id to its per-round packet quota (default 1,
+    plain round robin); it is consulted once when the flow is first seen
+    and must be positive — [Invalid_argument] otherwise. *)

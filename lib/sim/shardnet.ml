@@ -266,7 +266,7 @@ let digest_mix h ~seq ~delay =
   let h = (h * fnv_prime) lxor seq in
   (h * fnv_prime) lxor Int64.to_int (Int64.bits_of_float delay)
 
-let run ?on_link ?(until = 60.) spec =
+let run ?on_link ?on_shard ?(until = 60.) spec =
   validate spec;
   let n_links = Array.length spec.links in
   let n_flows = Array.length spec.flows in
@@ -415,6 +415,7 @@ let run ?on_link ?(until = 60.) spec =
           f.f_driver engine (fun p -> Node.receive ingress p)
         end)
       spec.flows;
+    (match on_shard with None -> () | Some f -> f ~shard engine);
     (* Drain this shard's inboxes for one window parity: canonical order
        is ascending global link id, entries in production (time) order;
        the engine's FIFO tie-break then fixes simultaneous arrivals

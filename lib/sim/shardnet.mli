@@ -86,6 +86,7 @@ type result = {
 
 val run :
   ?on_link:(shard:int -> Link.t -> unit) ->
+  ?on_shard:(shard:int -> Engine.t -> unit) ->
   ?until:float ->
   spec ->
   result
@@ -93,11 +94,14 @@ val run :
     packet arena), runs the windowed lock-step to [until] (default 60 s)
     and merges per-flow and per-link results in canonical index order.
     [on_link] is called in the owning shard's domain for every link as
-    it is built — the hook for [--check] audit contexts (one per shard;
-    their summaries are plain data, mergeable after the run).  Raises
-    [Invalid_argument] for inconsistent specs, including a cross-shard
-    link with zero propagation delay (no lookahead, no conservative
-    window). *)
+    it is built — the hook for [--check] audit contexts and [--metrics]
+    registration (one context per shard; their summaries and snapshots
+    are plain data, mergeable after the run).  [on_shard] is called once
+    per shard, in its domain, after the shard's links and flows are
+    wired but before the first window — the hook for per-shard engine
+    attachments such as [--series] samplers.  Raises [Invalid_argument]
+    for inconsistent specs, including a cross-shard link with zero
+    propagation delay (no lookahead, no conservative window). *)
 
 (**/**)
 

@@ -371,6 +371,272 @@ let hrr_diff =
         ())
     ~make_model:(hrr_model ~capacity:cap ~frame:0.020 ~slots_of)
 
+(* --- modern-shaper models (PR: machine-checked bake-off) ---
+
+   WRR is integer arithmetic throughout, so its model is exact by
+   construction.  CBS and ATS replay the schedulers' float credit/token
+   updates at the same touch points with the same operation order
+   (enqueue touches the packet's class only; dequeue touches every class
+   — CBS — or refills each scanned head's bucket — ATS — in priority
+   order), so both sides compute bit-identical floats and the eligibility
+   comparisons can be mirrored verbatim.  The real schedulers also arm
+   engine waker events; with no link attached the waker hook is a no-op
+   and firing it changes no scheduler state, so the models ignore it. *)
+
+let wrr_model ~capacity ~weight_of () =
+  (* flow -> (fifo, weight, credit, in_round); [current] is the open
+     service opportunity, exactly as in the scheduler. *)
+  let flows = ref [] in
+  let active = ref [] in
+  let current = ref (-1) in
+  let total = ref 0 in
+  let get flow =
+    match List.assoc_opt flow !flows with
+    | Some st -> st
+    | None ->
+        let st = (ref [], weight_of flow, ref 0, ref false) in
+        flows := (flow, st) :: !flows;
+        st
+  in
+  let serve flow =
+    let fifo, _, credit, in_round = List.assoc flow !flows in
+    match !fifo with
+    | [] -> assert false
+    | p :: rest ->
+        fifo := rest;
+        credit := !credit - 1;
+        decr total;
+        if rest = [] then begin
+          credit := 0;
+          in_round := false;
+          current := -1
+        end
+        else if !credit < 1 then begin
+          in_round := true;
+          active := !active @ [ flow ];
+          current := -1
+        end;
+        Some (id_of p)
+  in
+  let rec deq () =
+    if !current >= 0 then serve !current
+    else
+      match !active with
+      | [] -> None
+      | flow :: rest -> (
+          active := rest;
+          let fifo, weight, credit, in_round = List.assoc flow !flows in
+          if !fifo = [] then begin
+            in_round := false;
+            deq ()
+          end
+          else begin
+            credit := !credit + weight;
+            in_round := false;
+            current := flow;
+            deq ()
+          end)
+  in
+  {
+    m_advance = (fun ~now:_ -> ());
+    m_enqueue =
+      (fun ~now:_ p ->
+        if !total >= capacity then false
+        else begin
+          let flow = Packet.flow p in
+          let fifo, _, credit, in_round = get flow in
+          fifo := !fifo @ [ p ];
+          incr total;
+          if (not !in_round) && !current <> flow then begin
+            in_round := true;
+            credit := 0;
+            active := !active @ [ flow ]
+          end;
+          true
+        end);
+    m_dequeue = (fun ~now:_ -> deq ());
+    m_length = (fun () -> !total);
+  }
+
+let cbs_model ~capacity ~slopes ~class_of () =
+  let n = Array.length slopes in
+  let q = Array.make n [] in
+  let credit = Array.make n 0. in
+  let last = Array.make n 0. in
+  let total = ref 0 in
+  let touch i ~now =
+    if now > last.(i) then begin
+      if q.(i) <> [] then credit.(i) <- credit.(i) +. (slopes.(i) *. (now -. last.(i)))
+      else if credit.(i) < 0. then
+        credit.(i) <- Float.min 0. (credit.(i) +. (slopes.(i) *. (now -. last.(i))));
+      last.(i) <- now
+    end
+  in
+  {
+    m_advance = (fun ~now:_ -> ());
+    m_enqueue =
+      (fun ~now p ->
+        if !total >= capacity then false
+        else begin
+          let c = class_of (Packet.flow p) in
+          touch c ~now;
+          q.(c) <- q.(c) @ [ p ];
+          incr total;
+          true
+        end);
+    m_dequeue =
+      (fun ~now ->
+        for i = 0 to n - 1 do
+          touch i ~now
+        done;
+        let rec pick i =
+          if i >= n then None
+          else
+            match q.(i) with
+            | p :: rest when credit.(i) >= -1e-6 ->
+                q.(i) <- rest;
+                credit.(i) <- credit.(i) -. float (Packet.size_bits p);
+                if rest = [] && credit.(i) > 0. then credit.(i) <- 0.;
+                decr total;
+                Some (id_of p)
+            | _ -> pick (i + 1)
+        in
+        pick 0);
+    m_length = (fun () -> !total);
+  }
+
+let ats_model ~capacity ~n_classes ~class_of ~shaper_of () =
+  let q = Array.make n_classes [] in
+  (* flow -> (tokens, last); buckets start full with last = 0, as in the
+     scheduler's [ensure]. *)
+  let buckets = ref [] in
+  let total = ref 0 in
+  let ensure flow =
+    if not (List.mem_assoc flow !buckets) then begin
+      let _, b = shaper_of flow in
+      buckets := (flow, (ref b, ref 0.)) :: !buckets
+    end
+  in
+  let refill flow ~now =
+    let tokens, last = List.assoc flow !buckets in
+    let r, b = shaper_of flow in
+    if now > !last then begin
+      tokens := Float.min b (!tokens +. ((now -. !last) *. r));
+      last := now
+    end
+  in
+  {
+    m_advance = (fun ~now:_ -> ());
+    m_enqueue =
+      (fun ~now:_ p ->
+        if !total >= capacity then false
+        else begin
+          let flow = Packet.flow p in
+          ensure flow;
+          q.(class_of flow) <- q.(class_of flow) @ [ p ];
+          incr total;
+          true
+        end);
+    m_dequeue =
+      (fun ~now ->
+        let rec pick i =
+          if i >= n_classes then None
+          else
+            match q.(i) with
+            | [] -> pick (i + 1)
+            | p :: rest ->
+                let flow = Packet.flow p in
+                refill flow ~now;
+                let tokens, _ = List.assoc flow !buckets in
+                let need = float (Packet.size_bits p) in
+                if !tokens >= need -. 1e-9 then begin
+                  q.(i) <- rest;
+                  tokens := !tokens -. need;
+                  decr total;
+                  Some (id_of p)
+                end
+                else pick (i + 1)
+        in
+        pick 0);
+    m_length = (fun () -> !total);
+  }
+
+(* Per-flow parameters as pure functions of the flow id, like
+   [weight_of] above; the ATS depths cover the largest script packet. *)
+let wrr_weight_of f = (f mod 3) + 1
+let cbs_class_of f = f mod 2
+let cbs_slopes = [| 3e5; 2e5 |]
+let ats_class_of f = f mod 3
+
+let ats_shaper_of f =
+  (float_of_int ((f mod 3) + 1) *. 1e5, 2000. +. (float_of_int (f mod 4) *. 800.))
+
+let wrr_diff =
+  differential ~name:"WRR matches round-robin model"
+    ~make_qdisc:(fun _ ->
+      Ispn_sched.Wrr.create
+        ~pool:(Qdisc.pool ~capacity:cap)
+        ~weight_of:wrr_weight_of ())
+    ~make_model:(wrr_model ~capacity:cap ~weight_of:wrr_weight_of)
+
+let cbs_diff =
+  differential ~name:"CBS matches credit model"
+    ~make_qdisc:(fun engine ->
+      Ispn_sched.Cbs.create ~engine
+        ~pool:(Qdisc.pool ~capacity:cap)
+        ~idle_slopes_bps:cbs_slopes ~class_of:cbs_class_of ())
+    ~make_model:(cbs_model ~capacity:cap ~slopes:cbs_slopes ~class_of:cbs_class_of)
+
+let ats_diff =
+  differential ~name:"ATS matches token-bucket model"
+    ~make_qdisc:(fun engine ->
+      Ispn_sched.Ats.create ~engine
+        ~pool:(Qdisc.pool ~capacity:cap)
+        ~n_classes:3 ~class_of:ats_class_of ~shaper_of:ats_shaper_of ())
+    ~make_model:
+      (ats_model ~capacity:cap ~n_classes:3 ~class_of:ats_class_of
+         ~shaper_of:ats_shaper_of)
+
+(* Every delivered packet in a randomized bake-off run satisfies the
+   scheduler's registered analytic bound: run one bounded scheduler on
+   the Figure-1 workload under a random seed with the audit attached —
+   the bound invariants must have fired and found nothing. *)
+let bound_audit_prop =
+  QCheck.Test.make ~name:"bake-off delivery obeys registered analytic bounds"
+    ~count:8
+    QCheck.(pair (int_bound 3) (int_bound 1000))
+    (fun (si, seed) ->
+      let module X = Csz.Extensions in
+      let sched =
+        List.nth [ X.B_mc_fifo; X.B_wrr; X.B_cbs; X.B_ats ] si
+      in
+      match
+        X.run_bakeoff ~duration:2. ~seed:(Int64.of_int (seed + 1))
+          ~scheds:[ sched ] ~check:true ()
+      with
+      | [ row ] -> (
+          match row.X.bk_check with
+          | None -> QCheck.Test.fail_report "no audit summary under ~check"
+          | Some s ->
+              if s.Ispn_check.Audit.violations <> 0 then
+                QCheck.Test.fail_reportf "%s: %d bound/invariant violations"
+                  (X.bakeoff_name sched) s.Ispn_check.Audit.violations;
+              let bound_checks =
+                List.fold_left
+                  (fun acc (c : Ispn_check.Audit.inv_summary) ->
+                    if
+                      List.mem c.Ispn_check.Audit.inv_name
+                        [ "cbs-bound"; "ats-bound"; "wrr-bound"; "mcfifo-bound" ]
+                    then acc + c.Ispn_check.Audit.inv_checks
+                    else acc)
+                  0 s.Ispn_check.Audit.invariants
+              in
+              if bound_checks = 0 then
+                QCheck.Test.fail_reportf "%s: bound invariant never checked"
+                  (X.bakeoff_name sched);
+              true)
+      | _ -> QCheck.Test.fail_report "expected exactly one row")
+
 (* --- Recycled flow ids: the slot carries nothing across incarnations ---
 
    Two CSZ schedulers live through the same history, except that the first
@@ -458,7 +724,10 @@ let test_recycled_flow_slot_is_pristine () =
 
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    [ fifo_diff; wfq_diff; edf_diff; sg_diff; hrr_diff ]
+    [
+      fifo_diff; wfq_diff; edf_diff; sg_diff; hrr_diff; wrr_diff; cbs_diff;
+      ats_diff; bound_audit_prop;
+    ]
   @ [
       Alcotest.test_case "recycled flow slot is pristine" `Quick
         test_recycled_flow_slot_is_pristine;

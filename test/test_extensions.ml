@@ -88,22 +88,63 @@ let test_gain_ablation_direction () =
         (slow.E.p999 < fast.E.p999)
   | _ -> Alcotest.fail "expected three gains"
 
+let bakeoff_results runs s =
+  (List.find (fun (row : X.bakeoff_row) -> row.X.bk_sched = s) runs)
+    .X.bk_results
+
 let test_bakeoff_edf_equals_fifo () =
   (* EDF with equal budgets must reproduce FIFO *exactly* (same packets,
      same order, same delays) — the strongest version of Section 5's
-     observation. *)
+     observation.  MC-FIFO is FIFO by construction, so it must too. *)
   let runs = X.run_bakeoff ~duration:30. () in
-  let get s = List.assoc s runs in
+  let get s = bakeoff_results runs s in
   Alcotest.(check bool) "identical results" true
-    (get X.B_edf = get X.B_fifo)
+    (get X.B_edf = get X.B_fifo);
+  Alcotest.(check bool) "MC-FIFO identical to FIFO" true
+    (get X.B_mc_fifo = get X.B_fifo)
 
 let test_bakeoff_nwc_higher_means () =
   let runs = X.run_bakeoff ~duration:30. () in
-  let mean4 s = (find_result (List.assoc s runs) 0).E.mean in
+  let mean4 s = (find_result (bakeoff_results runs s) 0).E.mean in
   Alcotest.(check bool) "Jitter-EDD mean far above FIFO" true
     (mean4 X.B_jitter_edd > 3. *. mean4 X.B_fifo);
   Alcotest.(check bool) "Stop-and-Go mean above FIFO" true
     (mean4 X.B_stop_and_go > 2. *. mean4 X.B_fifo)
+
+let test_bakeoff_bounds_check_clean () =
+  (* The shaper rows carry analytic bounds, the audit checks every
+     delivered packet against them, and nothing violates. *)
+  let runs = X.run_bakeoff ~duration:30. ~check:true () in
+  List.iter
+    (fun (row : X.bakeoff_row) ->
+      let name = X.bakeoff_name row.X.bk_sched in
+      (match (X.bakeoff_bound_kind row.X.bk_sched, row.X.bk_bounds) with
+      | Some _, Some bs ->
+          Alcotest.(check int) (name ^ " bound per flow") 22 (List.length bs);
+          List.iter
+            (fun (_, b) ->
+              Alcotest.(check bool) (name ^ " bound positive") true (b > 0.))
+            bs
+      | None, None -> ()
+      | _ -> Alcotest.fail (name ^ ": bounds iff shaper"));
+      match row.X.bk_check with
+      | None -> Alcotest.fail (name ^ ": expected a check summary")
+      | Some s ->
+          Alcotest.(check int) (name ^ " clean") 0 s.Ispn_check.Audit.violations;
+          if X.bakeoff_bound_kind row.X.bk_sched <> None then
+            let bound_checks =
+              List.fold_left
+                (fun acc (c : Ispn_check.Audit.inv_summary) ->
+                  if
+                    List.mem c.Ispn_check.Audit.inv_name
+                      [ "cbs-bound"; "ats-bound"; "wrr-bound"; "mcfifo-bound" ]
+                  then acc + c.Ispn_check.Audit.inv_checks
+                  else acc)
+                0 s.Ispn_check.Audit.invariants
+            in
+            Alcotest.(check bool) (name ^ " bound checks ran") true
+              (bound_checks > 0))
+    runs
 
 let test_table3_service_shape () =
   let r = X.run_table3_service ~duration:120. () in
@@ -317,9 +358,35 @@ let test_scale_shape () =
           Alcotest.(check int) "audit clean" 0 s.Ispn_check.Audit.violations)
     [ r1; r2; r4 ]
 
+let test_scale_obs_shard_invariant () =
+  let run shards =
+    X.run_scale ~duration:4. ~seed:42L ~shards ~flows:200 ~metrics:true
+      ~series_interval:1.0 ()
+  in
+  let r1 = run 1 in
+  let r4 = run 4 in
+  (* Per-link snapshots and timelines merge in canonical link order, so
+     the exports — like stdout — are byte-identical at every width.
+     [compare] rather than [=]: idle links report NaN percentiles. *)
+  (match (r1.X.sc_metrics, r4.X.sc_metrics) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "snapshot non-empty" true (a <> []);
+      Alcotest.(check bool) "metrics shard-invariant" true (compare a b = 0)
+  | _ -> Alcotest.fail "metrics snapshot missing under ~metrics");
+  match (r1.X.sc_series, r4.X.sc_series) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "series sampled" true
+        (Array.length a.Ispn_obs.Series.ex_times > 1);
+      Alcotest.(check bool) "series has columns" true
+        (a.Ispn_obs.Series.ex_columns <> []);
+      Alcotest.(check bool) "series shard-invariant" true (compare a b = 0)
+  | _ -> Alcotest.fail "series export missing under ~series_interval"
+
 let suite =
   [
     Alcotest.test_case "churn shape" `Slow test_churn_shape;
+    Alcotest.test_case "scale observability shard-invariant" `Slow
+      test_scale_obs_shard_invariant;
     Alcotest.test_case "scale shards-invariant and shaped" `Slow
       test_scale_shape;
     Alcotest.test_case "trace rows shape" `Slow test_trace_rows_shape;
@@ -344,4 +411,6 @@ let suite =
       test_bakeoff_edf_equals_fifo;
     Alcotest.test_case "bakeoff: non-work-conserving means" `Slow
       test_bakeoff_nwc_higher_means;
+    Alcotest.test_case "bakeoff: analytic bounds audit clean" `Slow
+      test_bakeoff_bounds_check_clean;
   ]
